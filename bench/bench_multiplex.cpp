@@ -1,0 +1,39 @@
+// Multiplexed edge cell (extension of the paper's conclusion): N user
+// sessions run CONCURRENTLY through one proxy sharing one 55 ms / 25 Mbps
+// access link. As the cell fills, everyone's latency grows, but the
+// prefetching proxy both stays ahead and keeps its edge because cache hits
+// skip the contended proxy<->origin legs entirely.
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace appx;
+  std::cout << "=== Multiplexing: concurrent sessions on one edge cell (Wish) ===\n\n";
+
+  const eval::AnalyzedApp app = eval::analyze_app(apps::make_wish());
+  trace::TraceParams trace_params;
+  const auto results =
+      eval::run_multiplex_experiment(app, {1, 4, 8, 16}, trace_params);
+
+  eval::TablePrinter table({"Concurrent users", "Orig p50 (ms)", "APPx p50 (ms)",
+                            "Orig p90 (ms)", "APPx p90 (ms)", "Median cut"});
+  for (const eval::MultiplexResult& row : results) {
+    table.add_row({std::to_string(row.users), eval::TablePrinter::fmt(row.orig_median_ms),
+                   eval::TablePrinter::fmt(row.appx_median_ms),
+                   eval::TablePrinter::fmt(row.orig_p90_ms),
+                   eval::TablePrinter::fmt(row.appx_p90_ms),
+                   row.orig_median_ms > 0
+                       ? eval::TablePrinter::pct(1.0 - row.appx_median_ms / row.orig_median_ms)
+                       : "-"});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\n(the paper's conclusion targets 'lightly multiplexed environments, such\n"
+               " as the mobile edge cloud': the relative win persists under moderate\n"
+               " multiplexing, while heavy cells are bottlenecked by the shared access\n"
+               " link that prefetching cannot bypass)\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Table 1: Description of apps and main interactions.
+#include <iostream>
+
+#include "apps/catalog.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace appx;
+  std::cout << "=== Table 1: Description of apps and main interactions ===\n\n";
+  eval::TablePrinter table({"App", "Category", "Main Interaction"});
+  for (const apps::AppSpec& app : apps::make_all_apps()) {
+    table.add_row({app.name, app.category, app.main_interaction_desc});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper Table 1: Wish/Geek shopping item detail; DoorDash/Postmates\n"
+               " restaurant info; Purple Ocean advisor page)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// trace_replay: the user-study workflow (§6.2) as a standalone tool.
+//
+//   1. Generate a 30-user, 3-minutes-per-user event trace for an app and
+//      persist it to disk (the reproducible workload artefact).
+//   2. Replay it twice — without and with prefetching — and print the
+//      latency distribution of the main interaction plus data usage.
+//
+// Usage:  ./build/examples/trace_replay [users] [minutes]
+#include <cstdlib>
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "util/byte_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appx;
+  trace::TraceParams params;
+  if (argc > 1) params.users = std::atoi(argv[1]);
+  if (argc > 2) params.session_length = minutes(std::atof(argv[2]));
+
+  const eval::AnalyzedApp app = eval::analyze_app(apps::make_wish());
+
+  // 1. Generate + persist + reload (replayable workload artefact).
+  const auto traces = trace::generate_traces(app.spec, params);
+  const std::string path = "/tmp/appx_user_study.trace";
+  write_file(path, trace::serialize_traces(traces));
+  const auto replayed = trace::deserialize_traces(read_file(path));
+  std::size_t events = 0;
+  for (const auto& t : replayed) events += t.events.size();
+  std::cout << "generated " << replayed.size() << " user sessions (" << events
+            << " events) -> " << path << "\n\n";
+
+  // 2. Replay under both configurations.
+  eval::TestbedConfig orig;
+  orig.prefetch_enabled = false;
+  const auto base = eval::run_trace_experiment(app, orig, replayed);
+
+  eval::TestbedConfig accel;
+  accel.prefetch_enabled = true;
+  accel.proxy_config = eval::deployment_config(app);
+  const auto fast = eval::run_trace_experiment(app, accel, replayed);
+
+  const auto pct = [](const SampleSet& s, double q) {
+    return s.empty() ? 0.0 : s.percentile(q);
+  };
+  eval::TablePrinter table({"Setup", "p25 (ms)", "p50 (ms)", "p75 (ms)", "p90 (ms)",
+                            "Origin data"});
+  table.add_row({"Orig", eval::TablePrinter::fmt(pct(base.main_latency_ms, 0.25)),
+                 eval::TablePrinter::fmt(pct(base.main_latency_ms, 0.50)),
+                 eval::TablePrinter::fmt(pct(base.main_latency_ms, 0.75)),
+                 eval::TablePrinter::fmt(pct(base.main_latency_ms, 0.90)),
+                 eval::TablePrinter::fmt(static_cast<double>(base.origin_bytes) / 1048576.0) +
+                     " MiB"});
+  table.add_row({"APPx", eval::TablePrinter::fmt(pct(fast.main_latency_ms, 0.25)),
+                 eval::TablePrinter::fmt(pct(fast.main_latency_ms, 0.50)),
+                 eval::TablePrinter::fmt(pct(fast.main_latency_ms, 0.75)),
+                 eval::TablePrinter::fmt(pct(fast.main_latency_ms, 0.90)),
+                 eval::TablePrinter::fmt(static_cast<double>(fast.origin_bytes) / 1048576.0) +
+                     " MiB"});
+  table.print(std::cout);
+
+  const double cut = 1.0 - pct(fast.main_latency_ms, 0.5) / pct(base.main_latency_ms, 0.5);
+  std::cout << "\nmedian main-interaction latency reduction: " << eval::TablePrinter::pct(cut)
+            << "; proxy hit rate "
+            << eval::TablePrinter::pct(
+                   static_cast<double>(fast.proxy_stats.cache_hits) /
+                   static_cast<double>(std::max<std::size_t>(fast.proxy_stats.client_requests,
+                                                             1)))
+            << "\n";
+  return 0;
+}

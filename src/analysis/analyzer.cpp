@@ -1,0 +1,743 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace appx::analysis {
+
+namespace {
+
+using core::BodyKind;
+using core::DependencyEdge;
+using core::FieldLocation;
+using core::RequestField;
+using core::ResponseBodyKind;
+using core::TransactionSignature;
+using ir::Instruction;
+using ir::Method;
+using ir::OpCode;
+using ir::Program;
+using ir::Reg;
+using pattern::FieldTemplate;
+
+// --- abstract value domain --------------------------------------------------------
+
+struct ObjectData;
+struct Node;
+using ValuePtr = std::shared_ptr<const Node>;
+using ObjectPtr = std::shared_ptr<ObjectData>;
+
+struct Node {
+  enum class Kind { kConst, kEnv, kConcat, kResp, kRespField, kObject, kUnknown };
+  Kind kind = Kind::kUnknown;
+  std::string text;            // const text / env name
+  std::vector<ValuePtr> parts; // concat parts; also provenance links
+  std::string site;            // resp / resp-field: send-site key
+  std::string path;            // resp-field JSON path
+  ObjectPtr object;            // heap reference
+  SliceEntry origin;           // defining instruction
+};
+
+ValuePtr make_unknown(SliceEntry origin) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kUnknown;
+  n->origin = std::move(origin);
+  return n;
+}
+
+ValuePtr make_const(std::string text, SliceEntry origin) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kConst;
+  n->text = std::move(text);
+  n->origin = std::move(origin);
+  return n;
+}
+
+ValuePtr make_env(std::string name, SliceEntry origin) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kEnv;
+  n->text = std::move(name);
+  n->origin = std::move(origin);
+  return n;
+}
+
+// Structural equality (objects by identity).
+bool values_equal(const ValuePtr& a, const ValuePtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Node::Kind::kConst:
+    case Node::Kind::kEnv:
+      return a->text == b->text;
+    case Node::Kind::kConcat:
+      if (a->parts.size() != b->parts.size()) return false;
+      for (std::size_t i = 0; i < a->parts.size(); ++i) {
+        if (!values_equal(a->parts[i], b->parts[i])) return false;
+      }
+      return true;
+    case Node::Kind::kResp:
+      return a->site == b->site;
+    case Node::Kind::kRespField:
+      return a->site == b->site && a->path == b->path;
+    case Node::Kind::kObject:
+      return a->object == b->object;
+    case Node::Kind::kUnknown:
+      return false;  // unknowns never merge to equal
+  }
+  return false;
+}
+
+void collect_origins(const ValuePtr& v, std::set<SliceEntry>& out) {
+  if (!v) return;
+  out.insert(v->origin);
+  for (const ValuePtr& part : v->parts) collect_origins(part, out);
+}
+
+// --- builders and heap ---------------------------------------------------------------
+
+struct BuilderField {
+  std::string name;
+  ValuePtr value;
+  bool optional = false;
+  SliceEntry origin;
+};
+
+struct BuilderData {
+  std::string verb = "GET";
+  ValuePtr url;
+  std::vector<BuilderField> query;
+  std::vector<BuilderField> headers;
+  std::vector<BuilderField> body;
+  std::set<SliceEntry> op_origins;  // builder-mutating instructions
+};
+
+struct ObjectData {
+  std::string class_name;
+  std::map<std::string, ValuePtr> fields;
+  std::unique_ptr<BuilderData> builder;  // non-null for HTTP builders
+};
+
+struct SendSite {
+  std::string key;  // "method:pc"
+  std::string label;
+  std::string body_kind;
+  BuilderData builder;
+  std::set<std::string> response_paths;
+  std::set<SliceEntry> slice;
+};
+
+ValuePtr make_object(std::string class_name, bool is_builder, SliceEntry origin) {
+  auto obj = std::make_shared<ObjectData>();
+  obj->class_name = std::move(class_name);
+  if (is_builder) obj->builder = std::make_unique<BuilderData>();
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kObject;
+  n->object = std::move(obj);
+  n->origin = std::move(origin);
+  return n;
+}
+
+// Deep-ish copy used when alias analysis is disabled: the copy shares no
+// mutable state with the original, so later writes are invisible through it.
+ValuePtr copy_object(const ValuePtr& v, SliceEntry origin) {
+  auto obj = std::make_shared<ObjectData>();
+  obj->class_name = v->object->class_name;
+  obj->fields = v->object->fields;
+  if (v->object->builder) obj->builder = std::make_unique<BuilderData>(*v->object->builder);
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kObject;
+  n->object = std::move(obj);
+  n->origin = std::move(origin);
+  return n;
+}
+
+// BuilderData needs a copy constructor for the above; the default one copies
+// the unique_ptr-free members, which is what we get since it has none.
+
+// --- interpreter ------------------------------------------------------------------------
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, const AnalysisOptions& options)
+      : program_(program), options_(options) {}
+
+  void run() {
+    for (std::size_t iteration = 0; iteration < options_.max_fixpoint_iterations; ++iteration) {
+      ++report_.fixpoint_iterations;
+      // Sites are rebuilt each fixpoint pass so values that arrived through
+      // the intent map in later passes replace early Unknowns rather than
+      // merging with them.
+      sites_.clear();
+      site_order_.clear();
+      methods_seen_.clear();
+      intent_changed_ = false;
+      for (const std::string& entry : program_.entry_points) {
+        const Method& method = program_.get_method(entry);
+        std::vector<std::string> stack;
+        interpret(method, {}, 0, stack);
+      }
+      if (!intent_changed_) break;
+    }
+    report_.methods_analyzed = methods_seen_.size();
+    report_.send_sites = site_order_.size();
+  }
+
+  AnalysisResult finish();
+
+ private:
+  SliceEntry here(const Method& method, std::size_t pc) const {
+    return SliceEntry{method.name, pc};
+  }
+
+  ValuePtr interpret(const Method& method, std::vector<ValuePtr> args, std::size_t depth,
+                     std::vector<std::string>& stack);
+
+  ValuePtr rx_element_of(const ValuePtr& v, SliceEntry origin) const {
+    // flatMap iterates the elements of an observable built from `v`; when v
+    // names a JSON array, the element is the per-element ([*]) path.
+    if (v->kind == Node::Kind::kRespField) {
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kRespField;
+      n->site = v->site;
+      n->path = v->path + "[*]";
+      n->origin = origin;
+      n->parts = {v};
+      return n;
+    }
+    if (v->kind == Node::Kind::kResp) return v;
+    return v;
+  }
+
+  ValuePtr call_ref(std::string_view ref, std::vector<ValuePtr> args, std::size_t depth,
+                    std::vector<std::string>& stack, SliceEntry origin) {
+    const Method* callee = program_.find_method(ref);
+    if (callee == nullptr) {
+      log_warn("analysis") << "unresolved method reference " << ref;
+      return make_unknown(origin);
+    }
+    return interpret(*callee, std::move(args), depth + 1, stack);
+  }
+
+  void merge_builder_field(std::vector<BuilderField>& existing,
+                           const std::vector<BuilderField>& incoming);
+  void record_send(const Method& method, std::size_t pc, const Instruction& instr,
+                   const ObjectData& builder_obj);
+
+  const Program& program_;
+  AnalysisOptions options_;
+  std::map<std::string, ValuePtr> intent_map_;
+  bool intent_changed_ = false;
+  std::map<std::string, SendSite> sites_;
+  std::vector<std::string> site_order_;
+  std::set<std::string> methods_seen_;
+  AnalysisReport report_;
+};
+
+ValuePtr Interpreter::interpret(const Method& method, std::vector<ValuePtr> args,
+                                std::size_t depth, std::vector<std::string>& stack) {
+  methods_seen_.insert(method.name);
+  const SliceEntry entry_origin = here(method, 0);
+  if (depth > options_.max_call_depth) return make_unknown(entry_origin);
+  if (std::find(stack.begin(), stack.end(), method.name) != stack.end()) {
+    return make_unknown(entry_origin);  // recursion: give up on this path
+  }
+  stack.push_back(method.name);
+
+  std::vector<ValuePtr> regs(static_cast<std::size_t>(method.reg_count));
+  for (std::size_t i = 0; i < regs.size(); ++i) regs[i] = make_unknown(entry_origin);
+  for (std::size_t i = 0; i < args.size() && i < static_cast<std::size_t>(method.param_count);
+       ++i) {
+    regs[i] = std::move(args[i]);
+  }
+
+  ValuePtr return_value;
+  int guard_depth = 0;
+
+  for (std::size_t pc = 0; pc < method.code.size(); ++pc) {
+    const Instruction& instr = method.code[pc];
+    ++report_.instructions_interpreted;
+    const SliceEntry origin = here(method, pc);
+    const auto reg = [&](Reg r) -> ValuePtr& { return regs[static_cast<std::size_t>(r)]; };
+
+    switch (instr.op) {
+      case OpCode::kConst:
+        reg(instr.dst) = make_const(instr.s, origin);
+        break;
+      case OpCode::kEnv:
+        reg(instr.dst) = make_env(instr.s, origin);
+        break;
+      case OpCode::kMove: {
+        const ValuePtr src = reg(instr.a);
+        if (src->kind == Node::Kind::kObject && !options_.alias_analysis) {
+          // Without alias analysis a move is an untracked copy: subsequent
+          // writes through the original are lost to this reference.
+          reg(instr.dst) = copy_object(src, origin);
+        } else {
+          reg(instr.dst) = src;
+        }
+        break;
+      }
+      case OpCode::kConcat: {
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::kConcat;
+        n->origin = origin;
+        const auto flatten = [&n](const ValuePtr& v) {
+          if (v->kind == Node::Kind::kConcat) {
+            n->parts.insert(n->parts.end(), v->parts.begin(), v->parts.end());
+          } else {
+            n->parts.push_back(v);
+          }
+        };
+        flatten(reg(instr.a));
+        flatten(reg(instr.b));
+        reg(instr.dst) = std::move(n);
+        break;
+      }
+      case OpCode::kNewObject:
+        reg(instr.dst) = make_object(instr.s, /*is_builder=*/false, origin);
+        break;
+      case OpCode::kGetField: {
+        const ValuePtr obj = reg(instr.a);
+        if (obj->kind == Node::Kind::kObject) {
+          const auto it = obj->object->fields.find(instr.s);
+          reg(instr.dst) = (it != obj->object->fields.end()) ? it->second : make_unknown(origin);
+        } else if (obj->kind == Node::Kind::kResp || obj->kind == Node::Kind::kRespField) {
+          // Field access on JSON data behaves like json_get.
+          auto n = std::make_shared<Node>();
+          n->kind = Node::Kind::kRespField;
+          n->site = obj->site;
+          n->path = obj->kind == Node::Kind::kResp ? instr.s : obj->path + "." + instr.s;
+          n->origin = origin;
+          n->parts = {obj};
+          const auto site = sites_.find(obj->site);
+          if (site != sites_.end()) site->second.response_paths.insert(n->path);
+          reg(instr.dst) = std::move(n);
+        } else {
+          reg(instr.dst) = make_unknown(origin);
+        }
+        break;
+      }
+      case OpCode::kPutField: {
+        const ValuePtr obj = reg(instr.a);
+        if (obj->kind == Node::Kind::kObject) obj->object->fields[instr.s] = reg(instr.b);
+        break;
+      }
+      case OpCode::kInvoke: {
+        std::vector<ValuePtr> call_args;
+        call_args.reserve(instr.args.size());
+        for (Reg r : instr.args) call_args.push_back(reg(r));
+        reg(instr.dst) = call_ref(instr.s, std::move(call_args), depth, stack, origin);
+        break;
+      }
+      case OpCode::kIntentPut: {
+        if (!options_.intent_support) break;
+        const ValuePtr value = reg(instr.a);
+        const auto it = intent_map_.find(instr.s);
+        if (it == intent_map_.end() || !values_equal(it->second, value)) {
+          intent_map_[instr.s] = value;
+          intent_changed_ = true;
+        }
+        break;
+      }
+      case OpCode::kIntentGet: {
+        if (!options_.intent_support) {
+          reg(instr.dst) = make_unknown(origin);
+          break;
+        }
+        const auto it = intent_map_.find(instr.s);
+        reg(instr.dst) = (it != intent_map_.end()) ? it->second : make_unknown(origin);
+        break;
+      }
+      case OpCode::kRxMap: {
+        if (!options_.rx_support) {
+          reg(instr.dst) = make_unknown(origin);
+          break;
+        }
+        reg(instr.dst) = call_ref(instr.s, {reg(instr.a)}, depth, stack, origin);
+        break;
+      }
+      case OpCode::kRxFlatMap: {
+        if (!options_.rx_support) {
+          reg(instr.dst) = make_unknown(origin);
+          break;
+        }
+        reg(instr.dst) =
+            call_ref(instr.s, {rx_element_of(reg(instr.a), origin)}, depth, stack, origin);
+        break;
+      }
+      case OpCode::kRxDefer: {
+        if (!options_.rx_support) {
+          reg(instr.dst) = make_unknown(origin);
+          break;
+        }
+        reg(instr.dst) = call_ref(instr.s, {}, depth, stack, origin);
+        break;
+      }
+      case OpCode::kHttpNew:
+        reg(instr.dst) = make_object("HttpRequest", /*is_builder=*/true, origin);
+        break;
+      case OpCode::kHttpMethod:
+      case OpCode::kHttpUrl:
+      case OpCode::kHttpQuery:
+      case OpCode::kHttpHeader:
+      case OpCode::kHttpBody: {
+        const ValuePtr obj = reg(instr.a);
+        if (obj->kind != Node::Kind::kObject || !obj->object->builder) {
+          log_warn("analysis") << method.name << ":" << pc
+                               << ": HTTP builder op on a non-builder value";
+          break;
+        }
+        BuilderData& builder = *obj->object->builder;
+        builder.op_origins.insert(origin);
+        switch (instr.op) {
+          case OpCode::kHttpMethod:
+            builder.verb = instr.s;
+            break;
+          case OpCode::kHttpUrl:
+            builder.url = reg(instr.b);
+            break;
+          case OpCode::kHttpQuery:
+            builder.query.push_back({instr.s, reg(instr.b), guard_depth > 0, origin});
+            break;
+          case OpCode::kHttpHeader:
+            builder.headers.push_back({instr.s, reg(instr.b), guard_depth > 0, origin});
+            break;
+          case OpCode::kHttpBody:
+            builder.body.push_back({instr.s, reg(instr.b), guard_depth > 0, origin});
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      case OpCode::kHttpSend: {
+        const ValuePtr obj = reg(instr.a);
+        if (obj->kind != Node::Kind::kObject || !obj->object->builder) {
+          log_warn("analysis") << method.name << ":" << pc << ": send on a non-builder value";
+          reg(instr.dst) = make_unknown(origin);
+          break;
+        }
+        record_send(method, pc, instr, *obj->object);
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::kResp;
+        n->site = method.name + ":" + std::to_string(pc);
+        n->origin = origin;
+        reg(instr.dst) = std::move(n);
+        break;
+      }
+      case OpCode::kJsonGet: {
+        const ValuePtr src = reg(instr.a);
+        if (src->kind == Node::Kind::kResp || src->kind == Node::Kind::kRespField) {
+          auto n = std::make_shared<Node>();
+          n->kind = Node::Kind::kRespField;
+          n->site = src->site;
+          n->path = src->kind == Node::Kind::kResp ? instr.s : src->path + "." + instr.s;
+          n->origin = origin;
+          n->parts = {src};
+          const auto site = sites_.find(src->site);
+          if (site != sites_.end()) site->second.response_paths.insert(n->path);
+          reg(instr.dst) = std::move(n);
+        } else {
+          reg(instr.dst) = make_unknown(origin);
+        }
+        break;
+      }
+      case OpCode::kIfEnv:
+        ++guard_depth;
+        break;
+      case OpCode::kEndIf:
+        if (guard_depth > 0) --guard_depth;
+        break;
+      case OpCode::kFormat: {
+        // String.format: a concat of the literal pieces with the argument
+        // values in placeholder positions.
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::kConcat;
+        n->origin = origin;
+        std::size_t arg_index = 0;
+        std::string literal;
+        for (std::size_t i = 0; i < instr.s.size(); ++i) {
+          if (instr.s[i] == '%' && i + 1 < instr.s.size() && instr.s[i + 1] == 's') {
+            if (!literal.empty()) {
+              n->parts.push_back(make_const(literal, origin));
+              literal.clear();
+            }
+            if (arg_index < instr.args.size()) {
+              n->parts.push_back(reg(instr.args[arg_index++]));
+            } else {
+              n->parts.push_back(make_unknown(origin));
+            }
+            ++i;
+          } else {
+            literal += instr.s[i];
+          }
+        }
+        if (!literal.empty()) n->parts.push_back(make_const(literal, origin));
+        reg(instr.dst) = std::move(n);
+        break;
+      }
+      case OpCode::kReturn: {
+        const ValuePtr v = reg(instr.a);
+        if (!return_value) {
+          return_value = v;
+        } else if (!values_equal(return_value, v)) {
+          return_value = make_unknown(origin);
+        }
+        break;
+      }
+    }
+  }
+
+  stack.pop_back();
+  return return_value ? return_value : make_unknown(entry_origin);
+}
+
+void Interpreter::merge_builder_field(std::vector<BuilderField>& existing,
+                                      const std::vector<BuilderField>& incoming) {
+  // Fields seen in only one visiting context become optional; fields whose
+  // values differ across contexts degrade to Unknown (a run-time hole).
+  for (const BuilderField& in : incoming) {
+    auto it = std::find_if(existing.begin(), existing.end(),
+                           [&](const BuilderField& e) { return e.name == in.name; });
+    if (it == existing.end()) {
+      BuilderField added = in;
+      added.optional = true;
+      existing.push_back(std::move(added));
+      continue;
+    }
+    it->optional = it->optional || in.optional;
+    if (!values_equal(it->value, in.value)) it->value = make_unknown(in.origin);
+  }
+  for (BuilderField& e : existing) {
+    const bool in_incoming = std::any_of(incoming.begin(), incoming.end(),
+                                         [&](const BuilderField& in) { return in.name == e.name; });
+    if (!in_incoming) e.optional = true;
+  }
+}
+
+void Interpreter::record_send(const Method& method, std::size_t pc, const Instruction& instr,
+                              const ObjectData& builder_obj) {
+  const std::string key = method.name + ":" + std::to_string(pc);
+  const BuilderData& incoming = *builder_obj.builder;
+
+  auto it = sites_.find(key);
+  if (it == sites_.end()) {
+    SendSite site;
+    site.key = key;
+    site.label = instr.s;
+    site.body_kind = instr.s2;
+    site.builder = incoming;
+    it = sites_.emplace(key, std::move(site)).first;
+    site_order_.push_back(key);
+  } else {
+    SendSite& site = it->second;
+    if (!values_equal(site.builder.url, incoming.url)) {
+      site.builder.url = make_unknown(here(method, pc));
+    }
+    merge_builder_field(site.builder.query, incoming.query);
+    merge_builder_field(site.builder.headers, incoming.headers);
+    merge_builder_field(site.builder.body, incoming.body);
+    site.builder.op_origins.insert(incoming.op_origins.begin(), incoming.op_origins.end());
+  }
+
+  // Backward slice: every instruction whose value contributed to the request.
+  SendSite& site = it->second;
+  site.slice.insert(here(method, pc));
+  site.slice.insert(incoming.op_origins.begin(), incoming.op_origins.end());
+  collect_origins(incoming.url, site.slice);
+  for (const auto* group : {&incoming.query, &incoming.headers, &incoming.body}) {
+    for (const BuilderField& f : *group) collect_origins(f.value, site.slice);
+  }
+}
+
+// --- signature construction -------------------------------------------------------------
+
+struct PendingEdge {
+  std::string pred_site;
+  std::string path;
+  std::string succ_site;
+  std::string hole;
+};
+
+class SignatureBuilder {
+ public:
+  SignatureBuilder(const Program& program, AnalysisReport& report)
+      : program_(program), report_(report) {}
+
+  FieldTemplate to_template(const ValuePtr& value, const std::string& site_key) {
+    FieldTemplate t;
+    append_value(t, value, site_key);
+    return t;
+  }
+
+  // Split a URL template into scheme/host/path parts. Expects the scheme
+  // separator "://" to appear inside a literal segment.
+  static void split_url(const FieldTemplate& url, FieldTemplate& scheme, FieldTemplate& host,
+                        FieldTemplate& path) {
+    enum class Part { kScheme, kHost, kPath } part = Part::kScheme;
+    for (const auto& seg : url.segments()) {
+      if (seg.is_hole) {
+        switch (part) {
+          case Part::kScheme: throw ParseError("analysis: URL scheme must be a literal");
+          case Part::kHost: host.append_hole(seg.text, seg.shape); break;
+          case Part::kPath: path.append_hole(seg.text, seg.shape); break;
+        }
+        continue;
+      }
+      std::string_view text = seg.text;
+      if (part == Part::kScheme) {
+        const std::size_t sep = text.find("://");
+        if (sep == std::string_view::npos) {
+          throw ParseError("analysis: URL literal lacks '://': " + seg.text);
+        }
+        scheme.append_literal(text.substr(0, sep));
+        text = text.substr(sep + 3);
+        part = Part::kHost;
+      }
+      if (part == Part::kHost) {
+        const std::size_t slash = text.find('/');
+        if (slash == std::string_view::npos) {
+          host.append_literal(text);
+          continue;
+        }
+        host.append_literal(text.substr(0, slash));
+        text = text.substr(slash);
+        part = Part::kPath;
+      }
+      path.append_literal(text);
+    }
+    if (path.segments().empty()) path.append_literal("/");
+  }
+
+  std::vector<PendingEdge>& pending_edges() { return pending_edges_; }
+
+ private:
+  void append_value(FieldTemplate& t, const ValuePtr& value, const std::string& site_key) {
+    if (!value) {
+      t.append_hole(fresh_runtime_hole(site_key));
+      return;
+    }
+    switch (value->kind) {
+      case Node::Kind::kConst:
+        t.append_literal(value->text);
+        break;
+      case Node::Kind::kEnv:
+        t.append_hole("env." + program_.app + "." + value->text);
+        break;
+      case Node::Kind::kConcat:
+        for (const ValuePtr& part : value->parts) append_value(t, part, site_key);
+        break;
+      case Node::Kind::kRespField: {
+        const std::string hole =
+            "dep." + short_digest(value->site + "|" + value->path, 10);
+        t.append_hole(hole);
+        pending_edges_.push_back({value->site, value->path, site_key, hole});
+        break;
+      }
+      case Node::Kind::kResp:
+      case Node::Kind::kObject:
+      case Node::Kind::kUnknown:
+        t.append_hole(fresh_runtime_hole(site_key));
+        break;
+    }
+  }
+
+  std::string fresh_runtime_hole(const std::string& site_key) {
+    ++report_.unresolved_values;
+    return "rt." + short_digest(site_key, 8) + "." + std::to_string(runtime_counter_++);
+  }
+
+  const Program& program_;
+  AnalysisReport& report_;
+  std::vector<PendingEdge> pending_edges_;
+  std::size_t runtime_counter_ = 0;
+};
+
+AnalysisResult Interpreter::finish() {
+  AnalysisResult result;
+  SignatureBuilder builder(program_, report_);
+  std::map<std::string, std::string> site_to_sig;  // site key -> signature id
+
+  for (const std::string& key : site_order_) {
+    const SendSite& site = sites_.at(key);
+    TransactionSignature sig;
+    sig.app = program_.app;
+    sig.label = site.label;
+    sig.request.method = site.builder.verb;
+
+    const FieldTemplate url = builder.to_template(site.builder.url, key);
+    SignatureBuilder::split_url(url, sig.request.scheme, sig.request.host, sig.request.path);
+
+    const auto lower_fields = [&](const std::vector<BuilderField>& fields,
+                                  FieldLocation location) {
+      std::vector<RequestField> out;
+      out.reserve(fields.size());
+      for (const BuilderField& f : fields) {
+        out.push_back({location, f.name, builder.to_template(f.value, key), f.optional});
+      }
+      return out;
+    };
+    sig.request.query = lower_fields(site.builder.query, FieldLocation::kQuery);
+    sig.request.headers = lower_fields(site.builder.headers, FieldLocation::kHeader);
+    sig.request.body = lower_fields(site.builder.body, FieldLocation::kBody);
+    sig.request.body_kind = sig.request.body.empty() ? BodyKind::kNone : BodyKind::kForm;
+
+    sig.response.body_kind =
+        site.body_kind == "opaque" ? ResponseBodyKind::kOpaque : ResponseBodyKind::kJson;
+    // Leaf paths only: drop paths that are proper prefixes of other paths.
+    for (const std::string& path : site.response_paths) {
+      const bool is_prefix = std::any_of(
+          site.response_paths.begin(), site.response_paths.end(), [&](const std::string& other) {
+            return other.size() > path.size() && other.compare(0, path.size(), path) == 0;
+          });
+      if (!is_prefix) sig.response.fields.push_back({path, ".*"});
+    }
+
+    sig.finalize();
+    if (result.signatures.find(sig.id) == nullptr) {
+      result.signatures.add(sig);
+      result.slices[sig.label].insert(site.slice.begin(), site.slice.end());
+    } else {
+      // Two send sites with identical behaviour collapse into one signature.
+      result.slices[result.signatures.get(sig.id).label].insert(site.slice.begin(),
+                                                                site.slice.end());
+    }
+    site_to_sig[key] = sig.id;
+  }
+
+  std::set<std::string> edge_dedup;
+  for (const PendingEdge& pe : builder.pending_edges()) {
+    const auto pred = site_to_sig.find(pe.pred_site);
+    const auto succ = site_to_sig.find(pe.succ_site);
+    if (pred == site_to_sig.end() || succ == site_to_sig.end()) continue;
+    const std::string dedup_key = pred->second + "|" + pe.path + "|" + succ->second + "|" + pe.hole;
+    if (!edge_dedup.insert(dedup_key).second) continue;
+    result.signatures.add_edge({pred->second, pe.path, succ->second, pe.hole});
+  }
+
+  report_.unique_signatures = result.signatures.size();
+  report_.dependency_edges = result.signatures.edges().size();
+  result.report = report_;
+  return result;
+}
+
+}  // namespace
+
+AnalysisResult analyze(const Program& program, const AnalysisOptions& options) {
+  Interpreter interpreter(program, options);
+  interpreter.run();
+  return interpreter.finish();
+}
+
+AnalysisResult analyze_sapk(const std::vector<std::uint8_t>& sapk,
+                            const AnalysisOptions& options) {
+  return analyze(Program::deserialize(sapk), options);
+}
+
+}  // namespace appx::analysis

@@ -1,0 +1,37 @@
+// The five evaluation apps (paper Table 1), sized from the paper's
+// measurements:
+//
+//   Wish          shopping        item detail     RTT 165 ms, images ~315 KB
+//   Geek          shopping        item detail     RTT 165 ms, images ~315 KB
+//   DoorDash      food delivery   restaurant info RTT 145 ms
+//   Purple Ocean  psychic reading advisor page    RTT 230 ms, large proc delay
+//   Postmates     food delivery   restaurant info RTT 5 ms, menus ~7 KB
+//
+// Each app is produced by one generator parameterised per app: a core
+// interaction chain (launch -> feed -> detail -> merchant -> ...), UI tab
+// families, a deep background dependency chain (Table 3 "max len"), padding
+// successors carrying the bulk of the dependency-edge count, and
+// background/push endpoints only static analysis can discover.
+#pragma once
+
+#include <vector>
+
+#include "apps/spec.hpp"
+
+namespace appx::apps {
+
+AppSpec make_wish();
+AppSpec make_geek();
+AppSpec make_doordash();
+AppSpec make_purpleocean();
+AppSpec make_postmates();
+
+// All five, in the paper's order.
+std::vector<AppSpec> make_all_apps();
+
+// Well-known interaction names produced by the generator.
+inline constexpr const char* kLaunchInteraction = "launch";
+inline constexpr const char* kMainInteraction = "item_detail";
+inline constexpr const char* kMerchantInteraction = "merchant_page";
+
+}  // namespace appx::apps

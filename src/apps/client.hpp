@@ -1,0 +1,99 @@
+// The app client engine: replays an app's interactions over a transport.
+//
+// Plays the role of the instrumented Nexus 6 in the paper's testbed. Driven
+// by the fuzzer (Monkey-style random events), by user-study traces, or
+// directly by benchmarks. Builds requests from the same AppSpec the SAPK
+// binary was compiled from, so live traffic matches the analysed signatures
+// exactly — the property real apps have by construction.
+//
+// Latency accounting follows §6: user-perceived latency = input processing
+// (pre_delay) + network waves (each wave is a render barrier) + render time;
+// the network share is the sum of wave durations, the rest is processing
+// delay (Fig. 13/14's breakdown).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "apps/spec.hpp"
+#include "http/message.hpp"
+#include "json/json.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace appx::apps {
+
+struct ClientEnv {
+  std::map<std::string, std::string> values;  // env name -> concrete value
+  std::set<std::string> flags;                // conditional-field flags that are ON
+
+  // Spec defaults + per-user overrides (cookie, device id).
+  static ClientEnv for_user(const AppSpec& spec, const std::string& user_id);
+};
+
+struct InteractionResult {
+  std::string interaction;
+  Duration total = 0;       // user-perceived latency
+  Duration network = 0;     // sum of wave durations
+  Duration processing = 0;  // total - network
+  std::size_t requests = 0;
+  bool ok = true;  // false when a dependency could not be resolved
+};
+
+class AppClient {
+ public:
+  // Sends a request; must invoke the callback exactly once with the response.
+  using Transport =
+      std::function<void(http::Request, std::function<void(http::Response)>)>;
+  using DoneFn = std::function<void(const InteractionResult&)>;
+
+  // `jitter` adds uniform +-25% noise to interaction pre/render delays
+  // (device scheduling, GC pauses); 0 disables it. The stream is seeded from
+  // the user cookie, so runs stay reproducible.
+  AppClient(const AppSpec* spec, ClientEnv env, sim::Simulator* sim, Transport transport,
+            double jitter = 0.25);
+
+  // True when every dependency of the interaction is resolvable now (or will
+  // be produced by an earlier wave of the same interaction) and `selection`
+  // is within the predecessor's list bounds.
+  bool can_run(const std::string& interaction, std::size_t selection = 0) const;
+
+  // Drive one interaction; `done` fires when the last wave has rendered.
+  void run_interaction(const std::string& interaction, std::size_t selection, DoneFn done);
+
+  // Concrete request for an endpoint (element_index selects [*] elements).
+  // nullopt when a dependency value is unavailable.
+  std::optional<http::Request> build_request(const EndpointSpec& ep,
+                                             std::size_t element_index) const;
+
+  // Number of elements available for per-element/selection steps of an
+  // endpoint's first wildcard dependency (0 when unknown).
+  std::size_t available_elements(const EndpointSpec& ep) const;
+
+  const json::Value* last_response(const std::string& endpoint_label) const;
+  const AppSpec& spec() const { return *spec_; }
+  ClientEnv& env() { return env_; }
+  std::size_t nonces_minted() const { return nonce_counter_; }
+
+ private:
+  struct RunState;
+  void start_wave(std::shared_ptr<RunState> run);
+  std::optional<std::string> resolve_dep(const ValueSpec& value,
+                                         std::size_t element_index) const;
+
+  const AppSpec* spec_;
+  ClientEnv env_;
+  sim::Simulator* sim_;
+  Transport transport_;
+  Duration jittered(Duration base);
+
+  std::map<std::string, json::Value> responses_;  // endpoint label -> last body
+  mutable std::size_t nonce_counter_ = 0;
+  double jitter_;
+  Rng rng_;
+};
+
+}  // namespace appx::apps

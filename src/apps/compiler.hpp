@@ -1,0 +1,24 @@
+// Compile an AppSpec into a SAPK program (the app "binary").
+//
+// The generated IR reproduces, per endpoint, the code shapes real apps use
+// and the paper's analysis must untangle: URL concatenation from an
+// environment host, conditional body fields behind branches, and — per the
+// endpoint's DepRoute — dependency values delivered directly, through
+// Intents, through RxAndroid flatMap chains, or through aliased heap
+// objects.
+#pragma once
+
+#include "apps/spec.hpp"
+#include "ir/program.hpp"
+
+namespace appx::apps {
+
+ir::Program compile_app(const AppSpec& spec);
+
+// Method-name helpers (shared with tests).
+std::string build_method_name(const AppSpec& spec, const EndpointSpec& ep);
+std::string open_method_name(const AppSpec& spec, const EndpointSpec& ep);
+std::string on_item_method_name(const AppSpec& spec, const EndpointSpec& ep);
+std::string main_method_name(const AppSpec& spec);
+
+}  // namespace appx::apps

@@ -1,0 +1,24 @@
+// Deterministic content derivation for the simulated origin servers.
+//
+// Real origins serve databases we do not have; instead every response value
+// is a pure function of (endpoint, seed, index, epoch). Determinism is what
+// makes the end-to-end property testable: a prefetched response and the
+// response the client would have fetched are byte-identical, and dependency
+// values the client extracts match the ones the proxy learned. The `epoch`
+// models content churn (feeds rotating, prices changing) for expiration
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "apps/spec.hpp"
+
+namespace appx::apps {
+
+// Value for a ProducesSpec at element `index`.
+std::string derive_value(ProducesSpec::Kind kind, std::string_view endpoint_label,
+                         std::string_view seed, std::size_t index, std::uint64_t epoch);
+
+}  // namespace appx::apps

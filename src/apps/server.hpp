@@ -1,0 +1,52 @@
+// Simulated origin server for one app.
+//
+// Stands in for the commercial backends (and for the paper's record/replay
+// server used in the user-study evaluation): it answers any request that
+// matches an endpoint of the spec with deterministic content derived from
+// the request's seed field. Unknown requests get a 404; requests missing
+// their seed field get a 400 — both of which the verification phase (§4.3)
+// relies on to filter bad prefetch signatures.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <optional>
+#include <string>
+
+#include "apps/content.hpp"
+#include "apps/spec.hpp"
+#include "http/message.hpp"
+
+namespace appx::apps {
+
+class OriginServer {
+ public:
+  explicit OriginServer(const AppSpec* spec);
+
+  // Pure request -> response mapping (the simulator adds delays).
+  http::Response serve(const http::Request& request) const;
+
+  // Endpoint matching a concrete request (host + path + method), if any.
+  const EndpointSpec* match(const http::Request& request) const;
+
+  // Content epoch: bump to simulate origin-side content churn.
+  std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+
+  // Server-side processing delay for a request (0 for unmatched requests).
+  Duration proc_delay(const http::Request& request) const;
+
+  // Expected seed value a request carries for content derivation, "" when
+  // the endpoint is seedless. Exposed for tests.
+  static std::optional<std::string> seed_of(const EndpointSpec& ep, const http::Request& request);
+
+  std::size_t requests_served() const { return served_; }
+
+ private:
+  const AppSpec* spec_;
+  std::uint64_t epoch_ = 0;
+  mutable std::size_t served_ = 0;
+  mutable std::set<std::string> seen_nonces_;
+};
+
+}  // namespace appx::apps

@@ -1,0 +1,208 @@
+#include "core/baselines.hpp"
+
+#include <cctype>
+
+#include "core/learning.hpp"
+#include "util/error.hpp"
+
+namespace appx::core {
+
+// --- URL extraction -----------------------------------------------------------------
+
+std::vector<std::string> extract_urls(std::string_view body) {
+  std::vector<std::string> urls;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t start = body.find("http", pos);
+    if (start == std::string_view::npos) break;
+    std::string_view rest = body.substr(start);
+    std::size_t scheme_len = 0;
+    if (rest.starts_with("https://")) {
+      scheme_len = 8;
+    } else if (rest.starts_with("http://")) {
+      scheme_len = 7;
+    } else {
+      pos = start + 4;
+      continue;
+    }
+    // Consume until a character that cannot be part of a URL (JSON quotes,
+    // whitespace, backslashes).
+    std::size_t end = scheme_len;
+    while (end < rest.size()) {
+      const char c = rest[end];
+      if (c == '"' || c == '\'' || c == '\\' || c == '<' || c == '>' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      ++end;
+    }
+    if (end > scheme_len) urls.emplace_back(rest.substr(0, end));
+    pos = start + end;
+  }
+  return urls;
+}
+
+// --- LooxyEngine ----------------------------------------------------------------------
+
+LooxyEngine::LooxyEngine(std::optional<Duration> expiration) : expiration_(expiration) {}
+
+LooxyEngine::UserState& LooxyEngine::user_state(const std::string& user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
+  return *it->second;
+}
+
+ClientDecision LooxyEngine::on_client_request(const std::string& user,
+                                              const http::Request& request, SimTime now) {
+  ++stats_.client_requests;
+  UserState& state = user_state(user);
+  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
+  auto cached = state.cache.get(request.cache_key(), now, &lookup);
+  ClientDecision decision;
+  if (lookup == PrefetchCache::Lookup::kHit) {
+    ++stats_.cache_hits;
+    stats_.bytes_served_from_cache += cached->wire_size();
+    decision.served = std::move(cached);
+    return decision;
+  }
+  if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
+  ++stats_.forwarded;
+  return decision;
+}
+
+void LooxyEngine::on_origin_response(const std::string& user, const http::Request& request,
+                                     const http::Response& response, SimTime now) {
+  (void)request;
+  (void)now;
+  UserState& state = user_state(user);
+  stats_.bytes_origin_to_proxy += response.wire_size();
+  if (!response.ok() || response.body.empty()) return;
+
+  for (const std::string& url : extract_urls(response.body)) {
+    if (!state.inflight.insert(url).second) continue;  // already handled
+    PrefetchJob job;
+    job.user = user;
+    job.sig_id = "looxy.url";
+    try {
+      job.request.method = "GET";
+      job.request.uri = http::Uri::parse(url);
+    } catch (const ParseError&) {
+      continue;  // malformed embedded URL
+    }
+    job.cache_key = job.request.cache_key();
+    if (state.cache.contains(job.cache_key, now)) continue;
+    state.pending.push_back(std::move(job));
+  }
+}
+
+void LooxyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                                       const http::Response& response, SimTime now,
+                                       double response_time_ms) {
+  (void)response_time_ms;
+  UserState& state = user_state(user);
+  ++stats_.prefetch_responses;
+  stats_.bytes_prefetched += response.wire_size();
+  if (!response.ok()) {
+    ++stats_.prefetch_failures;
+    return;
+  }
+  PrefetchCache::Entry entry;
+  entry.response = response;
+  entry.sig_id = job.sig_id;
+  entry.fetched_at = now;
+  if (expiration_) entry.expires_at = now + *expiration_;
+  state.cache.put(job.cache_key, std::move(entry));
+}
+
+std::vector<PrefetchJob> LooxyEngine::take_prefetches(const std::string& user, SimTime now) {
+  (void)now;
+  UserState& state = user_state(user);
+  std::vector<PrefetchJob> jobs = std::move(state.pending);
+  state.pending.clear();
+  stats_.prefetches_issued += jobs.size();
+  return jobs;
+}
+
+// --- StaticOnlyEngine --------------------------------------------------------------------
+
+StaticOnlyEngine::StaticOnlyEngine(const SignatureSet* signatures,
+                                   std::optional<Duration> expiration)
+    : signatures_(signatures), expiration_(expiration) {
+  if (signatures == nullptr) throw InvalidArgumentError("StaticOnlyEngine: null signatures");
+  // A request is statically complete when an instance with NO bindings at all
+  // is ready: no dependency holes, no run-time holes (PALOMA's requirement
+  // that "an exact request message be identified during static analysis").
+  for (const auto& sig : signatures->all()) {
+    RequestInstance instance(sig.get(), {});
+    if (instance.ready()) complete_.push_back(instance.materialize());
+  }
+}
+
+ClientDecision StaticOnlyEngine::on_client_request(const std::string& user,
+                                                   const http::Request& request, SimTime now) {
+  ++stats_.client_requests;
+  auto it = users_.find(user);
+  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
+  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
+  auto cached = it->second->cache.get(request.cache_key(), now, &lookup);
+  ClientDecision decision;
+  if (lookup == PrefetchCache::Lookup::kHit) {
+    ++stats_.cache_hits;
+    decision.served = std::move(cached);
+    return decision;
+  }
+  ++stats_.forwarded;
+  return decision;
+}
+
+void StaticOnlyEngine::on_origin_response(const std::string& user, const http::Request& request,
+                                          const http::Response& response, SimTime now) {
+  (void)user;
+  (void)request;
+  (void)now;
+  stats_.bytes_origin_to_proxy += response.wire_size();
+}
+
+void StaticOnlyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                                            const http::Response& response, SimTime now,
+                                            double response_time_ms) {
+  (void)response_time_ms;
+  auto it = users_.find(user);
+  if (it == users_.end()) return;
+  ++stats_.prefetch_responses;
+  stats_.bytes_prefetched += response.wire_size();
+  if (!response.ok()) {
+    ++stats_.prefetch_failures;
+    return;
+  }
+  PrefetchCache::Entry entry;
+  entry.response = response;
+  entry.sig_id = job.sig_id;
+  entry.fetched_at = now;
+  if (expiration_) entry.expires_at = now + *expiration_;
+  it->second->cache.put(job.cache_key, std::move(entry));
+}
+
+std::vector<PrefetchJob> StaticOnlyEngine::take_prefetches(const std::string& user,
+                                                           SimTime now) {
+  (void)now;
+  auto it = users_.find(user);
+  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
+  if (it->second->seeded) return {};
+  it->second->seeded = true;
+  std::vector<PrefetchJob> jobs;
+  for (const http::Request& request : complete_) {
+    PrefetchJob job;
+    job.user = user;
+    job.sig_id = signatures_->match_request(request) != nullptr
+                     ? signatures_->match_request(request)->id
+                     : "static";
+    job.request = request;
+    job.cache_key = request.cache_key();
+    jobs.push_back(std::move(job));
+  }
+  stats_.prefetches_issued += jobs.size();
+  return jobs;
+}
+
+}  // namespace appx::core

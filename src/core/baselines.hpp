@@ -1,0 +1,142 @@
+// Baseline prefetchers from the paper's related-work comparison (§7).
+//
+// LooxyEngine — Looxy (Guo et al., VTC'17) style: a local proxy that
+// "prefetches using only the full URLs of HTTP requests contained in the
+// response". It needs no program analysis: it scans response bodies for
+// absolute URLs and issues GETs for them. The paper's criticism — which the
+// evaluation reproduces — is that most dependencies live in *parts* of
+// requests (the 'cid' form field of POST /product/get), which URL scanning
+// can never reconstruct; Looxy therefore accelerates embedded static assets
+// (image URLs in feeds) but none of the API chains.
+//
+// StaticOnlyEngine — PALOMA-flavoured: prefetch only requests whose exact
+// message is known from static analysis alone (no dynamic learning). Every
+// real signature carries run-time holes (cookies, hosts, versions), so this
+// degenerates to no prefetching at all — the quantitative form of the
+// paper's §7 argument against static-only reconstruction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/proxy.hpp"
+#include "core/signature.hpp"
+
+namespace appx::core {
+
+// Shared shape of the proxy engines so the testbed can host any of them.
+class ProxyLike {
+ public:
+  virtual ~ProxyLike() = default;
+  virtual ClientDecision on_client_request(const std::string& user,
+                                           const http::Request& request, SimTime now) = 0;
+  virtual void on_origin_response(const std::string& user, const http::Request& request,
+                                  const http::Response& response, SimTime now) = 0;
+  virtual void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                                    const http::Response& response, SimTime now,
+                                    double response_time_ms) = 0;
+  virtual std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) = 0;
+  virtual const ProxyStats& stats() const = 0;
+};
+
+// Adapter: the real APPx engine behind the ProxyLike interface.
+class AppxProxy final : public ProxyLike {
+ public:
+  AppxProxy(const SignatureSet* signatures, const ProxyConfig* config, std::uint64_t seed)
+      : engine_(signatures, config, seed) {}
+
+  ClientDecision on_client_request(const std::string& user, const http::Request& request,
+                                   SimTime now) override {
+    return engine_.on_client_request(user, request, now);
+  }
+  void on_origin_response(const std::string& user, const http::Request& request,
+                          const http::Response& response, SimTime now) override {
+    engine_.on_origin_response(user, request, response, now);
+  }
+  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                            const http::Response& response, SimTime now,
+                            double response_time_ms) override {
+    engine_.on_prefetch_response(user, job, response, now, response_time_ms);
+  }
+  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override {
+    return engine_.take_prefetches(user, now);
+  }
+  const ProxyStats& stats() const override { return engine_.stats(); }
+
+  ProxyEngine& engine() { return engine_; }
+  const ProxyEngine& engine() const { return engine_; }
+
+ private:
+  ProxyEngine engine_;
+};
+
+// Extract the absolute http(s) URLs embedded in a response body.
+std::vector<std::string> extract_urls(std::string_view body);
+
+class LooxyEngine final : public ProxyLike {
+ public:
+  // expiration: freshness window for prefetched responses (Looxy caches too).
+  explicit LooxyEngine(std::optional<Duration> expiration = minutes(30));
+
+  ClientDecision on_client_request(const std::string& user, const http::Request& request,
+                                   SimTime now) override;
+  void on_origin_response(const std::string& user, const http::Request& request,
+                          const http::Response& response, SimTime now) override;
+  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                            const http::Response& response, SimTime now,
+                            double response_time_ms) override;
+  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override;
+  const ProxyStats& stats() const override { return stats_; }
+
+ private:
+  struct UserState {
+    PrefetchCache cache;
+    std::set<std::string> inflight;  // URLs already being prefetched
+    std::vector<PrefetchJob> pending;
+  };
+  UserState& user_state(const std::string& user);
+
+  std::optional<Duration> expiration_;
+  std::map<std::string, std::unique_ptr<UserState>> users_;
+  ProxyStats stats_;
+};
+
+// PALOMA-flavoured baseline: emits, once per user, the prefetch requests that
+// are fully concrete in the signature set (no holes anywhere). Serves exact
+// matches like the others.
+class StaticOnlyEngine final : public ProxyLike {
+ public:
+  explicit StaticOnlyEngine(const SignatureSet* signatures,
+                            std::optional<Duration> expiration = minutes(30));
+
+  ClientDecision on_client_request(const std::string& user, const http::Request& request,
+                                   SimTime now) override;
+  void on_origin_response(const std::string& user, const http::Request& request,
+                          const http::Response& response, SimTime now) override;
+  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                            const http::Response& response, SimTime now,
+                            double response_time_ms) override;
+  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override;
+  const ProxyStats& stats() const override { return stats_; }
+
+  // Requests reconstructible from static analysis alone.
+  std::size_t statically_complete() const { return complete_.size(); }
+
+ private:
+  struct UserState {
+    PrefetchCache cache;
+    bool seeded = false;
+  };
+
+  const SignatureSet* signatures_;
+  std::optional<Duration> expiration_;
+  std::vector<http::Request> complete_;
+  std::map<std::string, std::unique_ptr<UserState>> users_;
+  ProxyStats stats_;
+};
+
+}  // namespace appx::core

@@ -1,0 +1,45 @@
+#include "core/cache.hpp"
+
+namespace appx::core {
+
+void PrefetchCache::put(std::string key, Entry entry) {
+  ++inserted_;
+  entries_[std::move(key)] = std::move(entry);
+}
+
+std::optional<http::Response> PrefetchCache::get(std::string_view key, SimTime now,
+                                                 Lookup* result) {
+  const auto set_result = [&](Lookup r) {
+    if (result != nullptr) *result = r;
+  };
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    set_result(Lookup::kMiss);
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  if (entry.expires_at && now >= *entry.expires_at) {
+    entries_.erase(it);
+    set_result(Lookup::kExpired);
+    return std::nullopt;
+  }
+  if (!entry.used) {
+    entry.used = true;
+    ++used_unique_;
+  }
+  set_result(Lookup::kHit);
+  return entry.response;
+}
+
+bool PrefetchCache::contains(std::string_view key, SimTime now) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  const Entry& entry = it->second;
+  return !(entry.expires_at && now >= *entry.expires_at);
+}
+
+std::size_t PrefetchCache::entries_used() const { return used_unique_; }
+
+void PrefetchCache::clear() { entries_.clear(); }
+
+}  // namespace appx::core

@@ -1,0 +1,53 @@
+// Prefetched-response cache with expiry (paper §4.5).
+//
+// Keys are canonical request identities (http::Request::cache_key): the proxy
+// serves a prefetched response only when the client's request is *identical*
+// to the prefetched one — URI, query string, headers and body (R3: never
+// alter app behaviour). Entries expire per the configuration's
+// expiration_time; expired entries are misses and are dropped on lookup.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.hpp"
+#include "util/units.hpp"
+
+namespace appx::core {
+
+class PrefetchCache {
+ public:
+  enum class Lookup { kHit, kMiss, kExpired };
+
+  struct Entry {
+    http::Response response;
+    std::string sig_id;
+    SimTime fetched_at = 0;
+    std::optional<SimTime> expires_at;  // nullopt = never expires
+    bool used = false;                  // served to a client at least once
+  };
+
+  // Insert or overwrite (a fresher prefetch replaces the old response).
+  void put(std::string key, Entry entry);
+
+  // Exact-match lookup. Expired entries are erased and reported as kExpired.
+  // On a hit the entry is marked used and a copy of the response returned.
+  std::optional<http::Response> get(std::string_view key, SimTime now, Lookup* result = nullptr);
+
+  bool contains(std::string_view key, SimTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t entries_inserted() const { return inserted_; }
+  std::size_t entries_used() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::size_t inserted_ = 0;
+  std::size_t used_unique_ = 0;
+};
+
+}  // namespace appx::core

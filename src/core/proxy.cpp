@@ -1,0 +1,171 @@
+#include "core/proxy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace appx::core {
+
+ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
+                         std::uint64_t seed)
+    : signatures_(signatures), config_(config), seed_(seed), rng_(seed) {
+  if (signatures == nullptr) throw InvalidArgumentError("ProxyEngine: null signature set");
+  if (config == nullptr) throw InvalidArgumentError("ProxyEngine: null config");
+  ignored_headers_ = config->all_added_header_names();
+}
+
+ProxyEngine::UserState& ProxyEngine::user_state(const std::string& user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    it = users_.emplace(user, std::make_unique<UserState>(signatures_, *config_)).first;
+  }
+  return *it->second;
+}
+
+ClientDecision ProxyEngine::on_client_request(const std::string& user,
+                                              const http::Request& request, SimTime now) {
+  ++stats_.client_requests;
+  UserState& state = user_state(user);
+
+  const std::string key = request.cache_key(ignored_headers_);
+  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
+  auto cached = state.cache.get(key, now, &lookup);
+
+  // Record the hit/miss against the signature so the scheduler's hit-rate
+  // prioritisation learns which prefetches pay off.
+  const TransactionSignature* sig =
+      signatures_->match_request(request, config_->app_for_host(request.uri.host));
+  if (sig != nullptr && signatures_->is_successor(sig->id)) {
+    sig_stats_.record_lookup(sig->id, lookup == PrefetchCache::Lookup::kHit);
+  }
+
+  ClientDecision decision;
+  if (lookup == PrefetchCache::Lookup::kHit) {
+    ++stats_.cache_hits;
+    stats_.bytes_served_from_cache += cached->wire_size();
+    decision.served = std::move(cached);
+    return decision;
+  }
+  if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
+  ++stats_.forwarded;
+  state.forwarding.insert(key);
+  return decision;
+}
+
+void ProxyEngine::on_origin_response(const std::string& user, const http::Request& request,
+                                     const http::Response& response, SimTime now) {
+  UserState& state = user_state(user);
+  stats_.bytes_origin_to_proxy += response.wire_size();
+  state.forwarding.erase(request.cache_key(ignored_headers_));
+
+  admit_prefetches(state, state.learning.observe(request, response), now);
+}
+
+void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                                       const http::Response& response, SimTime now,
+                                       double response_time_ms) {
+  UserState& state = user_state(user);
+  state.scheduler.on_completed();
+  state.inflight.erase(job.cache_key);
+  ++stats_.prefetch_responses;
+  stats_.bytes_prefetched += response.wire_size();
+  state.prefetch_bytes_used += response.wire_size();
+  sig_stats_.record_response_time(job.sig_id, response_time_ms);
+
+  if (!response.ok()) {
+    ++stats_.prefetch_failures;
+    log_debug("proxy") << "prefetch for " << job.sig_id << " failed with status "
+                       << response.status;
+    return;
+  }
+
+  PrefetchCache::Entry entry;
+  entry.response = response;
+  entry.sig_id = job.sig_id;
+  entry.fetched_at = now;
+  if (const auto expiry = config_->expiration(job.sig_id)) entry.expires_at = now + *expiry;
+  state.cache.put(job.cache_key, std::move(entry));
+
+  // Chained prefetching: treat the prefetched transaction as an observed one
+  // so successors of this signature can become ready in turn.
+  admit_prefetches(state, state.learning.observe(job.request, response), now);
+}
+
+void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready,
+                                   SimTime now) {
+  for (ReadyPrefetch& rp : ready) {
+    const std::string& sig_id = rp.signature->id;
+
+    if (!config_->prefetch_enabled(sig_id)) {
+      ++stats_.skipped_disabled;
+      continue;
+    }
+    if (const auto* conditions = config_->conditions(sig_id)) {
+      const bool pass = std::all_of(
+          conditions->begin(), conditions->end(),
+          [&](const FieldCondition& c) { return c.evaluate(rp.predecessor_body); });
+      if (!pass) {
+        ++stats_.skipped_condition;
+        continue;
+      }
+    }
+    if (config_->data_budget && state.prefetch_bytes_used >= *config_->data_budget) {
+      ++stats_.skipped_budget;
+      continue;
+    }
+
+    PrefetchJob job;
+    job.sig_id = sig_id;
+    job.cache_key = rp.request.cache_key(ignored_headers_);
+    // Probabilistic prefetching (Fig. 9 / Fig. 17). The coin is deterministic
+    // per request identity: ready instances are re-emitted on every relevant
+    // observation, and re-flipping would let every instance eventually win.
+    const double probability = config_->probability(sig_id);
+    if (probability < 1.0) {
+      const std::uint64_t h = hash_combine(fnv1a(job.cache_key), seed_);
+      const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (coin >= probability) {
+        ++stats_.skipped_probability;
+        continue;
+      }
+    }
+    if (state.cache.contains(job.cache_key, now) || state.inflight.contains(job.cache_key) ||
+        state.forwarding.contains(job.cache_key)) {
+      ++stats_.skipped_duplicate;
+      continue;
+    }
+    state.inflight.insert(job.cache_key);
+    job.request = std::move(rp.request);
+    for (const auto& [name, value] : config_->added_headers(sig_id)) {
+      job.request.headers.add(name, value);
+    }
+    job.enqueued_at = now;
+    state.scheduler.enqueue(std::move(job), sig_stats_);
+  }
+}
+
+std::vector<PrefetchJob> ProxyEngine::take_prefetches(const std::string& user, SimTime now) {
+  (void)now;
+  UserState& state = user_state(user);
+  std::vector<PrefetchJob> jobs;
+  while (auto job = state.scheduler.dequeue()) {
+    job->user = user;
+    ++stats_.prefetches_issued;
+    jobs.push_back(std::move(*job));
+  }
+  return jobs;
+}
+
+const LearningEngine* ProxyEngine::learning_for(const std::string& user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second->learning;
+}
+
+const PrefetchCache* ProxyEngine::cache_for(const std::string& user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second->cache;
+}
+
+}  // namespace appx::core

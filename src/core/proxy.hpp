@@ -1,0 +1,127 @@
+// The acceleration proxy engine (paper §4.5, Fig. 10).
+//
+// Transport-agnostic: the engine consumes observed events (client request,
+// origin response, prefetch response) and emits decisions (serve-from-cache
+// or forward; a set of prefetch jobs to issue). The simulator — or a real
+// socket front end — owns the wire.
+//
+// Per-user isolation: prefetched responses and learned run-time state are
+// never shared across users (paper §2/§5: "prefetched responses are not
+// shared across users, and the prototype distinguishes users by IP").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/config.hpp"
+#include "core/learning.hpp"
+#include "core/scheduler.hpp"
+#include "core/signature.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace appx::core {
+
+struct ProxyStats {
+  // Client-facing.
+  std::size_t client_requests = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_expired = 0;
+  std::size_t forwarded = 0;
+  // Prefetching.
+  std::size_t prefetches_issued = 0;
+  std::size_t prefetch_responses = 0;
+  std::size_t prefetch_failures = 0;  // non-2xx prefetch responses
+  std::size_t skipped_disabled = 0;
+  std::size_t skipped_probability = 0;
+  std::size_t skipped_condition = 0;
+  std::size_t skipped_budget = 0;
+  std::size_t skipped_duplicate = 0;  // already cached and fresh
+  std::size_t forward_cached = 0;     // forwarded responses kept in the cache
+  // Data accounting (proxy<->server direction; paper §6.2 data usage).
+  Bytes bytes_origin_to_proxy = 0;  // forwarded responses
+  Bytes bytes_prefetched = 0;       // prefetch responses
+  Bytes bytes_served_from_cache = 0;
+
+  std::size_t prefetched_entries() const { return prefetches_issued; }
+};
+
+// What to do with a client request.
+struct ClientDecision {
+  // Set when the proxy serves from cache; otherwise forward to origin.
+  std::optional<http::Response> served;
+};
+
+class ProxyEngine {
+ public:
+  // `signatures` and `config` must outlive the engine.
+  ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
+              std::uint64_t seed = 1);
+
+  // --- events ---------------------------------------------------------------
+
+  // A client request arrived. Returns the cached response on an exact,
+  // unexpired match; otherwise the caller forwards to the origin.
+  ClientDecision on_client_request(const std::string& user, const http::Request& request,
+                                   SimTime now);
+
+  // The origin answered a forwarded client request. Runs dynamic learning;
+  // afterwards call take_prefetches() for jobs that became issuable.
+  void on_origin_response(const std::string& user, const http::Request& request,
+                          const http::Response& response, SimTime now);
+
+  // A prefetch we issued completed. Caches the response and runs learning on
+  // it (chained prefetching: a prefetched predecessor can ready further
+  // successors, Fig. 3(c)).
+  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+                            const http::Response& response, SimTime now,
+                            double response_time_ms);
+
+  // Prefetch jobs to put on the wire now (priority order, bounded by the
+  // outstanding window). Call after any of the events above.
+  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now);
+
+  // --- introspection ----------------------------------------------------------
+
+  const ProxyStats& stats() const { return stats_; }
+  const SignatureStats& signature_stats() const { return sig_stats_; }
+  const LearningEngine* learning_for(const std::string& user) const;
+  const PrefetchCache* cache_for(const std::string& user) const;
+  std::size_t user_count() const { return users_.size(); }
+
+ private:
+  struct UserState {
+    UserState(const SignatureSet* signatures, const ProxyConfig& config)
+        : learning(signatures, &config.host_apps),
+          scheduler(PrefetchScheduler::Weights{config.scheduler_time_weight,
+                                               config.scheduler_hit_weight},
+                    config.max_outstanding_prefetches) {}
+    LearningEngine learning;
+    PrefetchCache cache;
+    PrefetchScheduler scheduler;
+    Bytes prefetch_bytes_used = 0;  // against config.data_budget
+    std::set<std::string> inflight;  // cache keys with an outstanding prefetch
+    // Cache keys of client requests currently being forwarded: prefetching
+    // these would duplicate bytes already on their way to the proxy.
+    std::set<std::string> forwarding;
+  };
+
+  UserState& user_state(const std::string& user);
+  void admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready, SimTime now);
+
+  const SignatureSet* signatures_;
+  const ProxyConfig* config_;
+  std::vector<std::string> ignored_headers_;  // config add_header names
+  std::uint64_t seed_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<UserState>> users_;
+  SignatureStats sig_stats_;
+  ProxyStats stats_;
+};
+
+}  // namespace appx::core

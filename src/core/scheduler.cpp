@@ -1,0 +1,52 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace appx::core {
+
+void SignatureStats::record_response_time(std::string_view sig_id, double ms) {
+  per_sig_[std::string(sig_id)].response_time.add(ms);
+}
+
+void SignatureStats::record_lookup(std::string_view sig_id, bool hit) {
+  per_sig_[std::string(sig_id)].hits.record(hit);
+}
+
+double SignatureStats::avg_response_time_ms(std::string_view sig_id) const {
+  const auto it = per_sig_.find(sig_id);
+  if (it == per_sig_.end() || !it->second.response_time.has_value()) return 0;
+  return it->second.response_time.value();
+}
+
+double SignatureStats::hit_rate(std::string_view sig_id) const {
+  const auto it = per_sig_.find(sig_id);
+  if (it == per_sig_.end()) return 0.5;
+  return it->second.hits.rate();
+}
+
+PrefetchScheduler::PrefetchScheduler(Weights weights, std::size_t max_outstanding)
+    : weights_(weights), max_outstanding_(max_outstanding) {}
+
+void PrefetchScheduler::enqueue(PrefetchJob job, const SignatureStats& stats) {
+  job.priority = weights_.time_weight * stats.avg_response_time_ms(job.sig_id) +
+                 weights_.hit_weight * stats.hit_rate(job.sig_id);
+  // Stable position: after all jobs with priority >= ours (FIFO among equals).
+  const auto pos = std::find_if(queue_.begin(), queue_.end(), [&](const PrefetchJob& other) {
+    return other.priority < job.priority;
+  });
+  queue_.insert(pos, std::move(job));
+}
+
+std::optional<PrefetchJob> PrefetchScheduler::dequeue() {
+  if (queue_.empty() || outstanding_ >= max_outstanding_) return std::nullopt;
+  PrefetchJob job = std::move(queue_.front());
+  queue_.erase(queue_.begin());
+  ++outstanding_;
+  return job;
+}
+
+void PrefetchScheduler::on_completed() {
+  if (outstanding_ > 0) --outstanding_;
+}
+
+}  // namespace appx::core

@@ -1,0 +1,83 @@
+// Prefetch priority scheduling (paper §5).
+//
+// Multiple prefetch requests can be outstanding; the proxy prioritises
+// (a) signatures whose transactions take long to complete (prefetching them
+// hides the most latency) and (b) signatures with high historical hit rates
+// (their prefetched responses actually get used). The priority is the linear
+// combination  w_time * avg_response_time_ms + w_hit * hit_rate * scale.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.hpp"
+#include "json/json.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace appx::core {
+
+// A prefetch the proxy has decided to issue.
+struct PrefetchJob {
+  std::string user;
+  std::string sig_id;
+  http::Request request;
+  std::string cache_key;  // canonical identity, computed before add_headers
+  double priority = 0;
+  SimTime enqueued_at = 0;
+};
+
+// Per-signature response time / hit-rate statistics shared by all users.
+class SignatureStats {
+ public:
+  void record_response_time(std::string_view sig_id, double ms);
+  void record_lookup(std::string_view sig_id, bool hit);
+
+  double avg_response_time_ms(std::string_view sig_id) const;  // 0 when unknown
+  double hit_rate(std::string_view sig_id) const;              // 0.5 prior
+
+ private:
+  struct PerSig {
+    RunningAverage response_time{0.3};
+    RatioTracker hits;
+  };
+  std::map<std::string, PerSig, std::less<>> per_sig_;
+};
+
+class PrefetchScheduler {
+ public:
+  struct Weights {
+    double time_weight = 1.0;
+    // Hit rate is in [0,1]; scale it into the same magnitude as typical
+    // response times (ms) so both terms matter.
+    double hit_weight = 200.0;
+  };
+
+  explicit PrefetchScheduler(Weights weights = Weights{1.0, 200.0},
+                             std::size_t max_outstanding = 32);
+
+  // Compute the job's priority from current stats and queue it.
+  void enqueue(PrefetchJob job, const SignatureStats& stats);
+
+  // Highest-priority job if the outstanding window has room.
+  std::optional<PrefetchJob> dequeue();
+
+  void on_completed();  // a previously dequeued job finished
+
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t outstanding() const { return outstanding_; }
+  void set_max_outstanding(std::size_t n) { max_outstanding_ = n; }
+
+ private:
+  Weights weights_;
+  std::size_t max_outstanding_;
+  std::size_t outstanding_ = 0;
+  // Kept sorted by priority (descending) at insertion; ties broken FIFO.
+  std::vector<PrefetchJob> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace appx::core

@@ -1,0 +1,280 @@
+#include "eval/experiments.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "apps/compiler.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace appx::eval {
+
+AnalyzedApp analyze_app(apps::AppSpec spec) {
+  AnalyzedApp out{std::move(spec), {}};
+  out.analysis = analysis::analyze(apps::compile_app(out.spec));
+  return out;
+}
+
+std::vector<AnalyzedApp> analyze_all_apps() {
+  std::vector<AnalyzedApp> out;
+  for (apps::AppSpec& spec : apps::make_all_apps()) out.push_back(analyze_app(std::move(spec)));
+  return out;
+}
+
+core::ProxyConfig deployment_config(const AnalyzedApp& app, double probability) {
+  core::ProxyConfig config;
+  config.global_probability = probability;
+  config.default_expiration = minutes(30);
+  for (const auto* sig : app.analysis.signatures.prefetchable()) {
+    core::SignaturePolicy policy;
+    policy.hash = sig->id;
+    policy.uri = sig->uri_regex();
+    policy.prefetch = app.spec.accelerated_labels.contains(sig->label);
+    config.set_policy(std::move(policy));
+  }
+  return config;
+}
+
+// --- microbenchmarks ---------------------------------------------------------------
+
+namespace {
+
+// Run one interaction to completion (drains the simulator).
+apps::InteractionResult run_to_completion(Testbed& bed, const std::string& user,
+                                          const std::string& interaction,
+                                          std::size_t selection) {
+  apps::InteractionResult result;
+  bool done = false;
+  bed.client_for(user).run_interaction(interaction, selection,
+                                       [&](const apps::InteractionResult& r) {
+                                         result = r;
+                                         done = true;
+                                       });
+  bed.sim().run();
+  if (!done) throw InvalidStateError("experiment: interaction never completed");
+  return result;
+}
+
+Breakdown to_breakdown(const std::vector<apps::InteractionResult>& results) {
+  Breakdown out;
+  for (const apps::InteractionResult& r : results) {
+    out.total_ms += to_ms(r.total);
+    out.network_ms += to_ms(r.network);
+    out.processing_ms += to_ms(r.processing);
+  }
+  const double n = std::max<std::size_t>(results.size(), 1);
+  out.total_ms /= n;
+  out.network_ms /= n;
+  out.processing_ms /= n;
+  out.runs = results.size();
+  return out;
+}
+
+}  // namespace
+
+Breakdown measure_main_interaction(const AnalyzedApp& app, TestbedConfig config, int runs) {
+  Testbed bed(&app.spec, &app.analysis.signatures, config);
+  const std::string user = "bench";
+
+  // Warm-up: launch the app and perform the main interaction once so the
+  // proxy learns the run-time values, then let outstanding prefetches drain
+  // ("the proxy prefetches content in advance for the main interaction").
+  run_to_completion(bed, user, apps::kLaunchInteraction, 0);
+  run_to_completion(bed, user, app.spec.main_interaction, 0);
+
+  std::vector<apps::InteractionResult> measured;
+  for (int i = 0; i < runs; ++i) {
+    const std::size_t selection = 1 + static_cast<std::size_t>(i);
+    measured.push_back(run_to_completion(bed, user, app.spec.main_interaction, selection));
+  }
+  return to_breakdown(measured);
+}
+
+Breakdown measure_launch(const AnalyzedApp& app, TestbedConfig config, int runs) {
+  Testbed bed(&app.spec, &app.analysis.signatures, config);
+  const std::string user = "bench";
+
+  // Session 1 warms the proxy (launch + one main interaction).
+  run_to_completion(bed, user, apps::kLaunchInteraction, 0);
+  run_to_completion(bed, user, app.spec.main_interaction, 0);
+
+  std::vector<apps::InteractionResult> measured;
+  for (int i = 0; i < runs; ++i) {
+    bed.reset_client(user);  // app killed and restarted; proxy state persists
+    measured.push_back(run_to_completion(bed, user, apps::kLaunchInteraction, 0));
+  }
+  return to_breakdown(measured);
+}
+
+// --- trace replay ---------------------------------------------------------------------
+
+TraceExperimentResult run_trace_experiment(const AnalyzedApp& app, TestbedConfig config,
+                                           const std::vector<trace::UserTrace>& traces) {
+  Testbed bed(&app.spec, &app.analysis.signatures, config);
+  TraceExperimentResult out;
+
+  for (const trace::UserTrace& user_trace : traces) {
+    trace::TraceReplayer replayer(&bed.client_for(user_trace.user_id), &bed.sim());
+    replayer.replay(user_trace);
+    bed.sim().run();  // drain the session (and its prefetches) completely
+    out.skipped_events += replayer.skipped();
+    for (const apps::InteractionResult& r : replayer.results()) {
+      ++out.interactions;
+      out.all_latency_ms.add(to_ms(r.total));
+      if (r.interaction == app.spec.main_interaction) {
+        out.main_latency_ms.add(to_ms(r.total));
+      }
+    }
+  }
+  out.origin_bytes = bed.origin_down_bytes();
+  out.proxy_stats = bed.engine().stats();
+  return out;
+}
+
+// --- multiplexing -------------------------------------------------------------------------
+
+namespace {
+
+// Replay all sessions overlapping in time; return main-interaction samples.
+SampleSet replay_concurrently(const AnalyzedApp& app, TestbedConfig config,
+                              const std::vector<trace::UserTrace>& traces) {
+  Testbed bed(&app.spec, &app.analysis.signatures, config);
+  std::vector<std::unique_ptr<trace::TraceReplayer>> replayers;
+  replayers.reserve(traces.size());
+  for (const trace::UserTrace& user_trace : traces) {
+    replayers.push_back(
+        std::make_unique<trace::TraceReplayer>(&bed.client_for(user_trace.user_id), &bed.sim()));
+    replayers.back()->replay(user_trace);
+  }
+  bed.sim().run();
+  SampleSet samples;
+  for (const auto& replayer : replayers) {
+    for (const apps::InteractionResult& r : replayer->results()) {
+      if (r.interaction == app.spec.main_interaction) samples.add(to_ms(r.total));
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::vector<MultiplexResult> run_multiplex_experiment(const AnalyzedApp& app,
+                                                      const std::vector<int>& user_counts,
+                                                      const trace::TraceParams& trace_params) {
+  std::vector<MultiplexResult> results;
+  for (const int users : user_counts) {
+    trace::TraceParams params = trace_params;
+    params.users = users;
+    const auto traces = trace::generate_traces(app.spec, params);
+
+    TestbedConfig orig;
+    orig.prefetch_enabled = false;
+    const SampleSet base = replay_concurrently(app, orig, traces);
+
+    TestbedConfig accel;
+    accel.prefetch_enabled = true;
+    accel.proxy_config = deployment_config(app);
+    const SampleSet fast = replay_concurrently(app, accel, traces);
+
+    MultiplexResult row;
+    row.users = users;
+    row.orig_median_ms = base.empty() ? 0 : base.median();
+    row.appx_median_ms = fast.empty() ? 0 : fast.median();
+    row.orig_p90_ms = base.empty() ? 0 : base.percentile(0.9);
+    row.appx_p90_ms = fast.empty() ? 0 : fast.percentile(0.9);
+    results.push_back(row);
+  }
+  return results;
+}
+
+// --- coverage (Table 3) ------------------------------------------------------------------
+
+std::set<std::string> observed_signatures(const core::SignatureSet& signatures,
+                                          const std::vector<ObservedRequest>& log) {
+  std::set<std::string> observed;
+  for (const ObservedRequest& entry : log) {
+    if (const auto* sig = signatures.match_request(entry.request)) observed.insert(sig->id);
+  }
+  return observed;
+}
+
+CoverageMetrics induced_metrics(const core::SignatureSet& signatures,
+                                const std::set<std::string>& observed_ids) {
+  CoverageMetrics out;
+  out.total = observed_ids.size();
+
+  std::vector<const core::DependencyEdge*> observed_edges;
+  for (const core::DependencyEdge& e : signatures.edges()) {
+    if (observed_ids.contains(e.pred_id) && observed_ids.contains(e.succ_id)) {
+      observed_edges.push_back(&e);
+    }
+  }
+  out.dependencies = observed_edges.size();
+
+  std::set<std::string> successors;
+  for (const auto* e : observed_edges) successors.insert(e->succ_id);
+  out.prefetchable = successors.size();
+
+  // Longest path over the induced edge set.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto* e : observed_edges) adjacency[e->pred_id].push_back(e->succ_id);
+  std::map<std::string, std::size_t> memo;
+  const std::function<std::size_t(const std::string&)> depth =
+      [&](const std::string& node) -> std::size_t {
+    const auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    memo[node] = 0;  // cycle guard
+    std::size_t best = 0;
+    const auto adj = adjacency.find(node);
+    if (adj != adjacency.end()) {
+      for (const std::string& next : adj->second) best = std::max(best, 1 + depth(next));
+    }
+    memo[node] = best;
+    return best;
+  };
+  for (const std::string& id : observed_ids) out.max_chain = std::max(out.max_chain, depth(id));
+  return out;
+}
+
+CoverageRow run_coverage_experiment(const AnalyzedApp& app, const fuzz::FuzzParams& fuzz_params,
+                                    const trace::TraceParams& trace_params) {
+  CoverageRow row;
+  row.app = app.spec.name;
+  const core::SignatureSet& signatures = app.analysis.signatures;
+
+  // APPx column: pure static analysis.
+  row.appx.total = signatures.size();
+  row.appx.prefetchable = signatures.prefetchable().size();
+  row.appx.dependencies = signatures.edges().size();
+  row.appx.max_chain = signatures.max_chain_length();
+
+  // Fuzzing column: 1 h of Monkey events, then regex-match the traffic.
+  {
+    TestbedConfig config;
+    config.prefetch_enabled = false;  // trace collection, not acceleration
+    Testbed bed(&app.spec, &signatures, config);
+    fuzz::Fuzzer fuzzer(&bed.client_for("monkey"), &bed.sim(), fuzz_params);
+    fuzzer.start();
+    bed.sim().run();
+    row.fuzz = induced_metrics(signatures, observed_signatures(signatures,
+                                                               bed.observed_requests()));
+  }
+
+  // User-study column: 30 x 3 min sessions.
+  {
+    TestbedConfig config;
+    config.prefetch_enabled = false;
+    Testbed bed(&app.spec, &signatures, config);
+    const auto traces = trace::generate_traces(app.spec, trace_params);
+    for (const trace::UserTrace& user_trace : traces) {
+      trace::TraceReplayer replayer(&bed.client_for(user_trace.user_id), &bed.sim());
+      replayer.replay(user_trace);
+      bed.sim().run();
+    }
+    row.user = induced_metrics(signatures, observed_signatures(signatures,
+                                                               bed.observed_requests()));
+  }
+  return row;
+}
+
+}  // namespace appx::eval

@@ -1,0 +1,26 @@
+// Fixed-width table formatting for the benchmark binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace appx::eval {
+
+// Column-aligned plain-text tables, printed to any stream.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  static std::string fmt(double value, int decimals = 1);
+  static std::string pct(double fraction, int decimals = 0);  // 0.47 -> "47%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace appx::eval

@@ -1,0 +1,77 @@
+#include "eval/verification.hpp"
+
+#include <map>
+
+#include "util/log.hpp"
+
+namespace appx::eval {
+
+VerificationOutcome run_verification(const AnalyzedApp& app, const VerificationParams& params) {
+  VerificationOutcome outcome;
+  const core::SignatureSet& signatures = app.analysis.signatures;
+
+  // Phase A: fuzz the app through a prefetching proxy and log per-signature
+  // prefetch outcomes and one concrete request sample per signature.
+  TestbedConfig config;
+  config.prefetch_enabled = true;
+  config.proxy_config.default_expiration = std::nullopt;  // keep everything
+  Testbed bed(&app.spec, &signatures, config);
+
+  std::map<std::string, http::Request> sample_requests;
+  bed.on_prefetch_response = [&](const core::PrefetchJob& job, const http::Response& response) {
+    ++outcome.prefetches_observed;
+    if (response.ok()) {
+      outcome.verified.insert(job.sig_id);
+      sample_requests.emplace(job.sig_id, job.request);
+    } else {
+      outcome.failing.insert(job.sig_id);
+      log_info("verify") << app.spec.name << ": signature " << job.sig_id
+                         << " drew status " << response.status << " -> disabling prefetch";
+    }
+  };
+
+  fuzz::Fuzzer fuzzer(&bed.client_for("verifier"), &bed.sim(), params.fuzz);
+  fuzzer.start();
+  bed.sim().run();
+
+  // A signature that failed even once must not be prefetched (C3).
+  for (const std::string& id : outcome.failing) outcome.verified.erase(id);
+
+  // Phase B: expiration estimation. "The proxy periodically prefetches and
+  // checks the difference between the new one and the old one. The prefetch
+  // period is increased until the new one differs."
+  for (const auto& [sig_id, request] : sample_requests) {
+    if (outcome.failing.contains(sig_id)) continue;
+    const apps::EndpointSpec* ep = bed.origin().match(request);
+    if (ep == nullptr || ep->content_ttl <= 0) continue;
+    const SimTime base_time = bed.sim().now();
+    const auto body_at = [&](SimTime t) {
+      bed.origin().set_epoch(static_cast<std::uint64_t>(t / ep->content_ttl));
+      const http::Response response = bed.origin().serve(request);
+      return std::make_pair(response.body, response.opaque_payload);
+    };
+    const auto baseline = body_at(base_time);
+    Duration period = params.min_expiry_probe;
+    while (period < params.max_expiry_probe && body_at(base_time + period) == baseline) {
+      period *= 2;
+    }
+    outcome.expiry_estimates[sig_id] = period;
+  }
+
+  // Phase C: emit the initial configuration (Fig. 9).
+  for (const auto* sig : signatures.prefetchable()) {
+    core::SignaturePolicy policy;
+    policy.hash = sig->id;
+    policy.uri = sig->uri_regex();
+    policy.prefetch = !outcome.failing.contains(sig->id);
+    const auto expiry = outcome.expiry_estimates.find(sig->id);
+    if (expiry != outcome.expiry_estimates.end()) {
+      // Conservative: expire at half the observed change period.
+      policy.expiration_time = expiry->second / 2;
+    }
+    outcome.initial_config.set_policy(std::move(policy));
+  }
+  return outcome;
+}
+
+}  // namespace appx::eval

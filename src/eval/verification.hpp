@@ -1,0 +1,43 @@
+// Testing & verification phase (paper §4.3).
+//
+// Before deployment, APPx drives the app with UI fuzzing through the proxy
+// against the real servers and watches the proxy's own prefetch traffic:
+//
+//   * signatures whose reconstructed requests draw errors or no response are
+//     disabled (here: the nonce-protected cart endpoint draws 403s),
+//   * an expiration time is estimated per prefetchable signature by
+//     re-fetching at growing intervals until the content changes,
+//   * the result is emitted as the initial proxy configuration (Fig. 9)
+//     which the service provider can then hand-tune.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "eval/experiments.hpp"
+
+namespace appx::eval {
+
+struct VerificationParams {
+  fuzz::FuzzParams fuzz;
+  // Expiration probing: start period and cap (doubling in between).
+  Duration min_expiry_probe = minutes(1);
+  Duration max_expiry_probe = minutes(128);
+};
+
+struct VerificationOutcome {
+  // Signatures whose prefetches failed during fuzzing -> prefetch disabled.
+  std::set<std::string> failing;
+  // Verified-working prefetchable signatures.
+  std::set<std::string> verified;
+  // Estimated content lifetime per signature (probing result).
+  std::map<std::string, Duration> expiry_estimates;
+  // The generated initial configuration.
+  core::ProxyConfig initial_config;
+  std::size_t prefetches_observed = 0;
+};
+
+VerificationOutcome run_verification(const AnalyzedApp& app, const VerificationParams& params);
+
+}  // namespace appx::eval

@@ -1,0 +1,80 @@
+#include "fuzz/fuzzer.hpp"
+
+#include "util/error.hpp"
+
+namespace appx::fuzz {
+
+using apps::Interaction;
+
+Fuzzer::Fuzzer(apps::AppClient* client, sim::Simulator* sim, FuzzParams params)
+    : client_(client), sim_(sim), params_(params), rng_(params.seed) {
+  if (client == nullptr) throw InvalidArgumentError("Fuzzer: null client");
+  if (sim == nullptr) throw InvalidArgumentError("Fuzzer: null simulator");
+}
+
+void Fuzzer::start(std::function<void(const FuzzStats&)> done) {
+  done_ = std::move(done);
+  end_time_ = sim_->now() + params_.duration;
+
+  // Launching the app is the session's first act (Monkey starts the app).
+  busy_ = true;
+  ++stats_.interactions_started;
+  stats_.interactions_covered.insert(apps::kLaunchInteraction);
+  client_->run_interaction(apps::kLaunchInteraction, 0,
+                           [this](const apps::InteractionResult&) { busy_ = false; });
+  sim_->schedule(params_.event_interval, [this] { on_event(); });
+}
+
+void Fuzzer::on_event() {
+  if (sim_->now() >= end_time_) {
+    if (done_) done_(stats_);
+    return;
+  }
+  sim_->schedule(params_.event_interval, [this] { on_event(); });
+  ++stats_.events;
+
+  if (busy_) {
+    ++stats_.events_while_busy;
+    return;
+  }
+  if (!rng_.chance(params_.actionable_probability)) return;  // dead tap
+
+  // Weighted pick over UI-triggered interactions.
+  const auto& interactions = client_->spec().interactions;
+  double total_weight = 0;
+  for (const Interaction& it : interactions) {
+    if (it.trigger == Interaction::Trigger::kUi) total_weight += it.fuzz_weight;
+  }
+  if (total_weight <= 0) return;
+  double draw = rng_.uniform(0, total_weight);
+  const Interaction* chosen = nullptr;
+  for (const Interaction& it : interactions) {
+    if (it.trigger != Interaction::Trigger::kUi) continue;
+    draw -= it.fuzz_weight;
+    if (draw <= 0) {
+      chosen = &it;
+      break;
+    }
+  }
+  if (chosen == nullptr) return;
+
+  // Random element selection, like a random tap on a list.
+  std::size_t selection = 0;
+  const auto& first_wave = chosen->waves.front();
+  if (!first_wave.empty()) {
+    const auto& ep = client_->spec().endpoint(first_wave.front().endpoint);
+    const std::size_t n = client_->available_elements(ep);
+    if (n > 0) selection = rng_.index(n);
+  }
+  if (!client_->can_run(chosen->name, selection)) {
+    ++stats_.events_not_runnable;
+    return;
+  }
+  busy_ = true;
+  ++stats_.interactions_started;
+  stats_.interactions_covered.insert(chosen->name);
+  client_->run_interaction(chosen->name, selection,
+                           [this](const apps::InteractionResult&) { busy_ = false; });
+}
+
+}  // namespace appx::fuzz

@@ -1,0 +1,62 @@
+// Monkey-style UI fuzzing (paper §4.3 and §6.1).
+//
+// Replays the paper's methodology: "we use Monkey to generate an arbitrary
+// stream of user events, such as click or scrolling, at a 500 ms interval for
+// a duration of an hour". Events land on the app's UI surface: each event
+// either triggers one of the UI-triggered interactions (weighted pick) or is
+// a no-op touch (scrolling over static content, taps while a page loads).
+// Background and server-push interactions are unreachable — the coverage gap
+// Table 3 quantifies.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "apps/client.hpp"
+#include "util/rng.hpp"
+
+namespace appx::fuzz {
+
+struct FuzzParams {
+  Duration event_interval = milliseconds(500);
+  Duration duration = minutes(60);
+  std::uint64_t seed = 1;
+  // Probability that an event lands on an actionable element at all.
+  double actionable_probability = 0.7;
+};
+
+struct FuzzStats {
+  std::size_t events = 0;
+  std::size_t interactions_started = 0;
+  std::size_t events_while_busy = 0;
+  std::size_t events_not_runnable = 0;
+  std::set<std::string> interactions_covered;
+};
+
+class Fuzzer {
+ public:
+  // The client must be freshly constructed (the fuzzer performs the launch).
+  Fuzzer(apps::AppClient* client, sim::Simulator* sim, FuzzParams params);
+
+  // Schedules the whole fuzzing session on the simulator; call sim->run()
+  // (or run_until) afterwards. `done` fires at the end of the session.
+  void start(std::function<void(const FuzzStats&)> done = {});
+
+  const FuzzStats& stats() const { return stats_; }
+
+ private:
+  void on_event();
+
+  apps::AppClient* client_;
+  sim::Simulator* sim_;
+  FuzzParams params_;
+  Rng rng_;
+  FuzzStats stats_;
+  SimTime end_time_ = 0;
+  bool busy_ = false;
+  std::function<void(const FuzzStats&)> done_;
+};
+
+}  // namespace appx::fuzz

@@ -1,0 +1,279 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appx::http {
+
+namespace strings = appx::strings;
+
+namespace {
+constexpr std::string_view kOpaqueHeader = "X-Appx-Opaque-Bytes";
+}
+
+// --- Headers -----------------------------------------------------------------
+
+void Headers::set(std::string_view name, std::string_view value) {
+  for (auto& [k, v] : items_) {
+    if (strings::iequals(k, name)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::string(name), std::string(value));
+}
+
+void Headers::add(std::string_view name, std::string_view value) {
+  items_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [k, v] : items_) {
+    if (strings::iequals(k, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Headers::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : items_) {
+    if (strings::iequals(k, name)) out.push_back(v);
+  }
+  return out;
+}
+
+bool Headers::has(std::string_view name) const { return get(name).has_value(); }
+
+void Headers::remove(std::string_view name) {
+  std::erase_if(items_, [&](const auto& kv) { return strings::iequals(kv.first, name); });
+}
+
+// --- form bodies --------------------------------------------------------------
+
+FormFields parse_form(std::string_view body) {
+  FormFields out;
+  if (body.empty()) return out;
+  for (const std::string& pair : strings::split(body, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(strings::url_decode(pair), "");
+    } else {
+      out.emplace_back(strings::url_decode(pair.substr(0, eq)),
+                       strings::url_decode(pair.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+std::string serialize_form(const FormFields& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += '&';
+    out += strings::url_encode(fields[i].first);
+    out += '=';
+    out += strings::url_encode(fields[i].second);
+  }
+  return out;
+}
+
+// --- wire helpers --------------------------------------------------------------
+
+namespace {
+
+struct WireHead {
+  std::string start_line;
+  Headers headers;
+  std::string body;
+};
+
+WireHead parse_head(std::string_view wire, const char* what) {
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    throw ParseError(std::string(what) + ": missing header terminator");
+  }
+  WireHead out;
+  const std::string_view head = wire.substr(0, head_end);
+  out.body = std::string(wire.substr(head_end + 4));
+
+  const auto lines = strings::split(head, "\r\n");
+  if (lines.empty() || lines[0].empty()) {
+    throw ParseError(std::string(what) + ": empty start line");
+  }
+  out.start_line = lines[0];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw ParseError(std::string(what) + ": malformed header line '" + line + "'");
+    }
+    out.headers.add(strings::trim(line.substr(0, colon)), strings::trim(line.substr(colon + 1)));
+  }
+  return out;
+}
+
+void write_headers(const Headers& headers, std::string& out) {
+  for (const auto& [k, v] : headers.items()) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+}
+
+}  // namespace
+
+// --- Request -------------------------------------------------------------------
+
+std::string Request::serialize() const {
+  std::string out = method;
+  out += ' ';
+  out += uri.path_and_query();
+  out += " HTTP/1.1\r\n";
+  if (!uri.host.empty() && !headers.has("Host")) {
+    out += "Host: " + uri.host_port() + "\r\n";  // Host goes first per convention
+  }
+  write_headers(headers, out);
+  if (!body.empty() && !headers.has("Content-Length")) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Request Request::parse(std::string_view wire) {
+  WireHead head = parse_head(wire, "http request");
+  const auto parts = strings::split(head.start_line, ' ');
+  if (parts.size() != 3) throw ParseError("http request: bad request line");
+  if (!strings::starts_with(parts[2], "HTTP/")) {
+    throw ParseError("http request: bad version '" + parts[2] + "'");
+  }
+  Request req;
+  req.method = parts[0];
+  req.uri = Uri::parse(parts[1]);
+  if (req.uri.host.empty()) {
+    if (const auto host = head.headers.get("Host")) {
+      const auto colon = host->rfind(':');
+      if (colon != std::string::npos && strings::to_int(host->substr(colon + 1))) {
+        req.uri.host = strings::to_lower(host->substr(0, colon));
+        req.uri.port = static_cast<int>(*strings::to_int(host->substr(colon + 1)));
+      } else {
+        req.uri.host = strings::to_lower(*host);
+      }
+    }
+  }
+  head.headers.remove("Host");
+  head.headers.remove("Content-Length");
+  req.headers = std::move(head.headers);
+  req.body = std::move(head.body);
+  return req;
+}
+
+Bytes Request::wire_size() const { return static_cast<Bytes>(serialize().size()); }
+
+void Request::set_form_fields(const FormFields& fields) {
+  body = serialize_form(fields);
+  if (!headers.has("Content-Type")) {
+    headers.set("Content-Type", "application/x-www-form-urlencoded");
+  }
+}
+
+std::string Request::cache_key(const std::vector<std::string>& ignored_headers) const {
+  std::string key = method;
+  key += ' ';
+  key += uri.serialize();
+  key += '\n';
+  std::vector<std::string> lines;
+  for (const auto& [k, v] : headers.items()) {
+    const bool ignored =
+        std::any_of(ignored_headers.begin(), ignored_headers.end(),
+                    [&, &name = k](const std::string& ig) { return strings::iequals(ig, name); });
+    if (ignored) continue;
+    lines.push_back(strings::to_lower(k) + ":" + v);
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) {
+    key += line;
+    key += '\n';
+  }
+  key += body;
+  return key;
+}
+
+// --- Response ------------------------------------------------------------------
+
+std::string Response::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  write_headers(headers, out);
+  if (!body.empty() && !headers.has("Content-Length")) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (opaque_payload > 0) {
+    out += std::string(kOpaqueHeader) + ": " + std::to_string(opaque_payload) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Response Response::parse(std::string_view wire) {
+  WireHead head = parse_head(wire, "http response");
+  // Status line: HTTP/1.1 SP code SP reason (reason may contain spaces).
+  const std::string& line = head.start_line;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || !strings::starts_with(line, "HTTP/")) {
+    throw ParseError("http response: bad status line");
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code =
+      std::string_view(line).substr(sp1 + 1, (sp2 == std::string::npos ? line.size() : sp2) - sp1 - 1);
+  const auto status = strings::to_int(code);
+  if (!status || *status < 100 || *status > 599) {
+    throw ParseError("http response: bad status code");
+  }
+  Response resp;
+  resp.status = static_cast<int>(*status);
+  resp.reason = (sp2 == std::string::npos) ? std::string(reason_phrase(resp.status))
+                                           : line.substr(sp2 + 1);
+  if (const auto opaque = head.headers.get(kOpaqueHeader)) {
+    const auto n = strings::to_int(*opaque);
+    if (!n || *n < 0) throw ParseError("http response: bad opaque byte count");
+    resp.opaque_payload = *n;
+    head.headers.remove(kOpaqueHeader);
+  }
+  head.headers.remove("Content-Length");
+  resp.headers = std::move(head.headers);
+  resp.body = std::move(head.body);
+  return resp;
+}
+
+Bytes Response::wire_size() const {
+  return static_cast<Bytes>(serialize().size()) + opaque_payload;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace appx::http

@@ -1,0 +1,90 @@
+// HTTP/1.1 message model: headers, requests, responses, wire formats.
+//
+// Messages carry an optional `opaque_payload` byte count in addition to the
+// textual body. Large static objects (product images, ~315 KB in the paper's
+// Wish workload) are simulated: the simulator charges their bandwidth cost
+// without materialising the bytes. The wire format encodes the count in an
+// "X-Appx-Opaque-Bytes" header so parse/serialize round-trips.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "http/uri.hpp"
+#include "util/units.hpp"
+
+namespace appx::http {
+
+// Case-insensitive header map preserving insertion order. Duplicate names
+// are allowed (the paper's add_header policy can add repeated fields).
+class Headers {
+ public:
+  void set(std::string_view name, std::string_view value);  // replace-or-insert
+  void add(std::string_view name, std::string_view value);  // always append
+  std::optional<std::string> get(std::string_view name) const;
+  std::vector<std::string> get_all(std::string_view name) const;
+  bool has(std::string_view name) const;
+  void remove(std::string_view name);
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<std::pair<std::string, std::string>>& items() const { return items_; }
+
+  bool operator==(const Headers& other) const { return items_ == other.items_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+// Ordered key/value pairs of an application/x-www-form-urlencoded body.
+// Repeated keys (e.g. Wish's "_cap[]" fields, Fig. 5) are preserved.
+using FormFields = std::vector<std::pair<std::string, std::string>>;
+
+FormFields parse_form(std::string_view body);
+std::string serialize_form(const FormFields& fields);
+
+struct Request {
+  std::string method = "GET";
+  Uri uri;
+  Headers headers;
+  std::string body;
+
+  // Full request line + headers + body in HTTP/1.1 wire form.
+  std::string serialize() const;
+  static Request parse(std::string_view wire);
+
+  // Total simulated size on the wire.
+  Bytes wire_size() const;
+
+  FormFields form_fields() const { return parse_form(body); }
+  void set_form_fields(const FormFields& fields);
+
+  // Canonical identity used for exact-match serving (paper §4.5: "URI, query
+  // string, header, and body"). Headers listed in `ignored_headers` (the
+  // proxy's own add_header marks) are excluded; header order is normalised.
+  std::string cache_key(const std::vector<std::string>& ignored_headers = {}) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+  // Simulated extra payload bytes (images/video stills); charged to the
+  // network but not materialised.
+  Bytes opaque_payload = 0;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  std::string serialize() const;
+  static Response parse(std::string_view wire);
+
+  Bytes wire_size() const;
+};
+
+// Standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view reason_phrase(int status);
+
+}  // namespace appx::http

@@ -1,0 +1,141 @@
+#include "http/uri.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appx::http {
+
+namespace strings = appx::strings;
+
+Uri Uri::parse(std::string_view text) {
+  Uri uri;
+  uri.path.clear();
+
+  std::string_view rest = text;
+  const std::size_t scheme_end = rest.find("://");
+  if (scheme_end != std::string_view::npos) {
+    uri.scheme = strings::to_lower(rest.substr(0, scheme_end));
+    rest = rest.substr(scheme_end + 3);
+    const std::size_t authority_end = rest.find_first_of("/?");
+    std::string_view authority = rest.substr(0, authority_end);
+    rest = (authority_end == std::string_view::npos) ? std::string_view{}
+                                                     : rest.substr(authority_end);
+    const std::size_t colon = authority.rfind(':');
+    if (colon != std::string_view::npos) {
+      const auto port = strings::to_int(authority.substr(colon + 1));
+      if (!port || *port <= 0 || *port > 65535) {
+        throw ParseError("uri: bad port in '" + std::string(text) + "'");
+      }
+      uri.port = static_cast<int>(*port);
+      authority = authority.substr(0, colon);
+    }
+    if (authority.empty()) throw ParseError("uri: empty host in '" + std::string(text) + "'");
+    uri.host = strings::to_lower(authority);
+  }
+
+  const std::size_t qmark = rest.find('?');
+  std::string_view path = rest.substr(0, qmark);
+  uri.path = path.empty() ? "/" : std::string(path);
+  if (uri.path[0] != '/') throw ParseError("uri: path must start with '/': '" + std::string(text) + "'");
+
+  if (qmark != std::string_view::npos) {
+    const std::string_view qs = rest.substr(qmark + 1);
+    if (!qs.empty()) {
+      for (const std::string& pair : strings::split(qs, '&')) {
+        if (pair.empty()) continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          uri.query.emplace_back(strings::url_decode(pair), "");
+        } else {
+          uri.query.emplace_back(strings::url_decode(pair.substr(0, eq)),
+                                 strings::url_decode(pair.substr(eq + 1)));
+        }
+      }
+    }
+  }
+  return uri;
+}
+
+std::string Uri::serialize() const {
+  std::string out;
+  if (!host.empty()) {
+    out += scheme.empty() ? "http" : scheme;
+    out += "://";
+    out += host_port();
+  }
+  out += path_and_query();
+  return out;
+}
+
+std::string Uri::path_and_query() const {
+  std::string out = path;
+  const std::string qs = query_string();
+  if (!qs.empty()) {
+    out += '?';
+    out += qs;
+  }
+  return out;
+}
+
+std::string Uri::query_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    if (i != 0) out += '&';
+    out += strings::url_encode(query[i].first);
+    if (!query[i].second.empty()) {
+      out += '=';
+      out += strings::url_encode(query[i].second);
+    }
+  }
+  return out;
+}
+
+std::string Uri::host_port() const {
+  if (port == 0 || port == effective_port_default()) return host;
+  return host + ":" + std::to_string(port);
+}
+
+namespace {
+int default_port_for(const std::string& scheme) {
+  if (scheme == "https") return 443;
+  return 80;
+}
+}  // namespace
+
+int Uri::effective_port() const { return port != 0 ? port : default_port_for(scheme); }
+
+// Keep host_port() compact when the explicit port equals the scheme default.
+int Uri::effective_port_default() const { return default_port_for(scheme); }
+
+std::optional<std::string> Uri::query_param(std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+void Uri::set_query_param(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : query) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  query.emplace_back(std::string(key), std::string(value));
+}
+
+void Uri::add_query_param(std::string_view key, std::string_view value) {
+  query.emplace_back(std::string(key), std::string(value));
+}
+
+void Uri::remove_query_param(std::string_view key) {
+  std::erase_if(query, [&](const auto& kv) { return kv.first == key; });
+}
+
+bool Uri::operator==(const Uri& other) const {
+  return scheme == other.scheme && host == other.host &&
+         effective_port() == other.effective_port() && path == other.path &&
+         query == other.query;
+}
+
+}  // namespace appx::http

@@ -1,0 +1,42 @@
+// URI model with ordered query parameters.
+//
+// Query order is preserved because the proxy must reconstruct prefetch
+// requests byte-identical to what the app would send (paper R2); reordering
+// parameters would break exact-match serving.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace appx::http {
+
+struct Uri {
+  std::string scheme;  // "http" or "https"; may be empty for origin-form URIs
+  std::string host;    // empty for origin-form ("/path?query") URIs
+  int port = 0;        // 0 means scheme default
+  std::string path = "/";
+  std::vector<std::pair<std::string, std::string>> query;
+
+  // Accepts absolute ("https://host:port/path?a=b") and origin-form
+  // ("/path?a=b") URIs. Percent-decoding is applied to query keys/values.
+  static Uri parse(std::string_view text);
+
+  std::string serialize() const;        // absolute if host set, else origin-form
+  std::string path_and_query() const;   // "/path?a=b"
+  std::string query_string() const;     // "a=b&c=d" (percent-encoded)
+  std::string host_port() const;        // "host" or "host:port"
+  int effective_port() const;           // port or scheme default (80/443)
+  int effective_port_default() const;   // the scheme's default port
+
+  std::optional<std::string> query_param(std::string_view key) const;
+  void set_query_param(std::string_view key, std::string_view value);  // add or replace first
+  void add_query_param(std::string_view key, std::string_view value);
+  void remove_query_param(std::string_view key);
+
+  bool operator==(const Uri& other) const;
+};
+
+}  // namespace appx::http

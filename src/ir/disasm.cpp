@@ -1,0 +1,92 @@
+#include "ir/disasm.hpp"
+
+#include <sstream>
+
+namespace appx::ir {
+
+namespace {
+
+void append_reg(std::ostringstream& out, Reg r) {
+  if (r == kNoReg) {
+    out << "_";
+  } else {
+    out << "r" << r;
+  }
+}
+
+void append_quoted(std::ostringstream& out, const std::string& s) {
+  out << '\'';
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '\'';
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& instr) {
+  std::ostringstream out;
+  out << to_string(instr.op);
+  if (instr.dst != kNoReg) {
+    out << "  ";
+    append_reg(out, instr.dst);
+    out << " <-";
+  }
+  if (instr.a != kNoReg) {
+    out << ' ';
+    append_reg(out, instr.a);
+  }
+  if (instr.b != kNoReg) {
+    out << ' ';
+    append_reg(out, instr.b);
+  }
+  if (!instr.s.empty()) {
+    out << ' ';
+    append_quoted(out, instr.s);
+  }
+  if (!instr.s2.empty()) {
+    out << ' ';
+    append_quoted(out, instr.s2);
+  }
+  if (!instr.args.empty()) {
+    out << " (";
+    for (std::size_t i = 0; i < instr.args.size(); ++i) {
+      if (i != 0) out << ", ";
+      append_reg(out, instr.args[i]);
+    }
+    out << ')';
+  }
+  return out.str();
+}
+
+std::string disassemble(const Method& method) {
+  std::ostringstream out;
+  out << "method " << method.name << " (params=" << method.param_count
+      << ", regs=" << method.reg_count << ")\n";
+  int indent = 1;
+  for (std::size_t pc = 0; pc < method.code.size(); ++pc) {
+    const Instruction& instr = method.code[pc];
+    if (instr.op == OpCode::kEndIf && indent > 1) --indent;
+    out << "  ";
+    const std::string pc_text = std::to_string(pc);
+    out << std::string(4 > pc_text.size() ? 4 - pc_text.size() : 0, ' ') << pc_text << ": ";
+    out << std::string(static_cast<std::size_t>(indent - 1) * 2, ' ');
+    out << disassemble(instr) << '\n';
+    if (instr.op == OpCode::kIfEnv) ++indent;
+  }
+  return out.str();
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream out;
+  out << "sapk " << program.app << " (" << program.methods.size() << " methods, "
+      << program.instruction_count() << " instructions)\n";
+  out << "entry points:\n";
+  for (const std::string& entry : program.entry_points) out << "  " << entry << '\n';
+  out << '\n';
+  for (const Method& method : program.methods) out << disassemble(method) << '\n';
+  return out.str();
+}
+
+}  // namespace appx::ir

@@ -1,0 +1,22 @@
+// Textual disassembly of SAPK programs — the tooling view of the app binary.
+//
+// Produces a stable, human-readable listing used by the analyze_app example
+// and by tests that want to assert on program shape without binary diffing.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace appx::ir {
+
+// One instruction, e.g. "  12: http-query  r5 <- r3  'offset'".
+std::string disassemble(const Instruction& instruction);
+
+// A whole method with header and numbered instructions.
+std::string disassemble(const Method& method);
+
+// The whole program: header, entry points, every method.
+std::string disassemble(const Program& program);
+
+}  // namespace appx::ir

@@ -1,0 +1,376 @@
+#include "ir/interpreter.hpp"
+
+#include <algorithm>
+
+#include "json/json.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace appx::ir {
+
+namespace {
+
+// Concrete runtime values.
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct BuilderState {
+  std::string verb = "GET";
+  ValuePtr url;
+  // (location, name, value): 0=query 1=header 2=body.
+  std::vector<std::tuple<int, std::string, ValuePtr>> fields;
+};
+
+struct Value {
+  enum class Kind { kNull, kStr, kJson, kList, kObject };
+  Kind kind = Kind::kNull;
+  std::string str;
+  json::Value json;                          // kJson (includes parsed responses)
+  std::vector<ValuePtr> list;                // kList: per-element values
+  std::map<std::string, ValuePtr> fields;    // kObject
+  std::unique_ptr<BuilderState> builder;     // kObject created by http_new
+};
+
+ValuePtr make_null() {
+  return std::make_shared<Value>();
+}
+
+ValuePtr make_str(std::string s) {
+  auto v = std::make_shared<Value>();
+  v->kind = Value::Kind::kStr;
+  v->str = std::move(s);
+  return v;
+}
+
+ValuePtr make_json(json::Value j) {
+  auto v = std::make_shared<Value>();
+  v->kind = Value::Kind::kJson;
+  v->json = std::move(j);
+  return v;
+}
+
+ValuePtr make_list(std::vector<ValuePtr> elems) {
+  auto v = std::make_shared<Value>();
+  v->kind = Value::Kind::kList;
+  v->list = std::move(elems);
+  return v;
+}
+
+std::string to_text(const ValuePtr& v, const char* context) {
+  if (!v) throw InvalidStateError(std::string("interpreter: null value in ") + context);
+  switch (v->kind) {
+    case Value::Kind::kStr:
+      return v->str;
+    case Value::Kind::kJson:
+      if (!v->json.is_array() && !v->json.is_object()) return v->json.scalar_to_string();
+      break;
+    default:
+      break;
+  }
+  throw InvalidStateError(std::string("interpreter: value not stringifiable in ") + context);
+}
+
+// Resolve a JSON path on a value; '[*]' yields a list value.
+ValuePtr json_get(const ValuePtr& src, const std::string& path_text) {
+  const json::Path path(path_text);
+  const auto resolve_on = [&](const json::Value& root) -> ValuePtr {
+    const auto nodes = path.resolve(root);
+    if (nodes.empty()) return make_null();
+    if (path.is_multi()) {
+      std::vector<ValuePtr> elems;
+      elems.reserve(nodes.size());
+      for (const json::Value* node : nodes) elems.push_back(make_json(*node));
+      return make_list(std::move(elems));
+    }
+    return make_json(*nodes.front());
+  };
+  switch (src->kind) {
+    case Value::Kind::kJson:
+      return resolve_on(src->json);
+    case Value::Kind::kList: {
+      std::vector<ValuePtr> out;
+      out.reserve(src->list.size());
+      for (const ValuePtr& elem : src->list) out.push_back(json_get(elem, path_text));
+      return make_list(std::move(out));
+    }
+    default:
+      return make_null();
+  }
+}
+
+}  // namespace
+
+// --- Impl --------------------------------------------------------------------------
+
+struct Interpreter::Impl {
+  const Program* program;
+  ConcreteEnv env;
+  Transport transport;
+  std::map<std::string, ValuePtr> intents;
+  std::vector<http::Request> requests;
+  std::size_t executed = 0;
+  std::size_t nonce_counter = 0;
+  std::size_t request_limit = 100000;
+
+  ValuePtr env_value(const std::string& name) {
+    if (name == "nonce") {
+      return make_str("nc_" + short_digest("interp|" + std::to_string(nonce_counter++), 10));
+    }
+    const auto it = env.values.find(name);
+    if (it == env.values.end()) {
+      throw InvalidStateError("interpreter: environment value '" + name + "' not set");
+    }
+    return make_str(it->second);
+  }
+
+  ValuePtr call(const std::string& name, std::vector<ValuePtr> args, std::size_t depth) {
+    if (depth > 128) throw InvalidStateError("interpreter: call depth exceeded");
+    const Method* method = program->find_method(name);
+    if (method == nullptr) throw NotFoundError("interpreter: no method " + name);
+
+    // Replication: a list-valued argument fans the call out per element
+    // (the concrete counterpart of the analysis' [*] dependency paths and of
+    // dynamic learning's instance replication).
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] && args[i]->kind == Value::Kind::kList) {
+        const std::size_t n = args[i]->list.size();
+        std::vector<ValuePtr> results;
+        for (std::size_t e = 0; e < n; ++e) {
+          std::vector<ValuePtr> element_args = args;
+          for (std::size_t j = 0; j < element_args.size(); ++j) {
+            if (element_args[j] && element_args[j]->kind == Value::Kind::kList) {
+              // Zip when sizes agree; broadcast the first element otherwise.
+              const auto& lst = element_args[j]->list;
+              element_args[j] = lst.empty() ? make_null()
+                                            : lst[lst.size() == n ? e : 0];
+            }
+          }
+          results.push_back(call(name, std::move(element_args), depth + 1));
+        }
+        return make_list(std::move(results));
+      }
+    }
+    return execute(*method, std::move(args), depth);
+  }
+
+  ValuePtr execute(const Method& method, std::vector<ValuePtr> args, std::size_t depth) {
+    std::vector<ValuePtr> regs(static_cast<std::size_t>(method.reg_count));
+    for (auto& r : regs) r = make_null();
+    for (std::size_t i = 0; i < args.size() && i < static_cast<std::size_t>(method.param_count);
+         ++i) {
+      regs[i] = std::move(args[i]);
+    }
+    const auto reg = [&](Reg r) -> ValuePtr& { return regs[static_cast<std::size_t>(r)]; };
+
+    for (std::size_t pc = 0; pc < method.code.size(); ++pc) {
+      const Instruction& instr = method.code[pc];
+      ++executed;
+      switch (instr.op) {
+        case OpCode::kConst:
+          reg(instr.dst) = make_str(instr.s);
+          break;
+        case OpCode::kEnv:
+          reg(instr.dst) = env_value(instr.s);
+          break;
+        case OpCode::kMove:
+          reg(instr.dst) = reg(instr.a);  // concrete moves are always aliases
+          break;
+        case OpCode::kConcat:
+          reg(instr.dst) =
+              make_str(to_text(reg(instr.a), "concat") + to_text(reg(instr.b), "concat"));
+          break;
+        case OpCode::kNewObject: {
+          auto v = std::make_shared<Value>();
+          v->kind = Value::Kind::kObject;
+          reg(instr.dst) = std::move(v);
+          break;
+        }
+        case OpCode::kGetField: {
+          const ValuePtr obj = reg(instr.a);
+          if (obj->kind == Value::Kind::kObject) {
+            const auto it = obj->fields.find(instr.s);
+            reg(instr.dst) = it == obj->fields.end() ? make_null() : it->second;
+          } else {
+            reg(instr.dst) = json_get(obj, instr.s);
+          }
+          break;
+        }
+        case OpCode::kPutField: {
+          const ValuePtr obj = reg(instr.a);
+          if (obj->kind != Value::Kind::kObject) {
+            throw InvalidStateError("interpreter: putfield on non-object");
+          }
+          obj->fields[instr.s] = reg(instr.b);
+          break;
+        }
+        case OpCode::kInvoke: {
+          std::vector<ValuePtr> call_args;
+          call_args.reserve(instr.args.size());
+          for (Reg r : instr.args) call_args.push_back(reg(r));
+          reg(instr.dst) = call(instr.s, std::move(call_args), depth + 1);
+          break;
+        }
+        case OpCode::kIntentPut:
+          intents[instr.s] = reg(instr.a);
+          break;
+        case OpCode::kIntentGet: {
+          const auto it = intents.find(instr.s);
+          reg(instr.dst) = it == intents.end() ? make_null() : it->second;
+          break;
+        }
+        case OpCode::kRxMap:
+          reg(instr.dst) = call(instr.s, {reg(instr.a)}, depth + 1);
+          break;
+        case OpCode::kRxFlatMap: {
+          const ValuePtr src = reg(instr.a);
+          std::vector<ValuePtr> elems;
+          if (src->kind == Value::Kind::kList) {
+            elems = src->list;
+          } else if (src->kind == Value::Kind::kJson && src->json.is_array()) {
+            for (const json::Value& e : src->json.as_array()) elems.push_back(make_json(e));
+          } else if (src->kind != Value::Kind::kNull) {
+            elems.push_back(src);
+          }
+          std::vector<ValuePtr> results;
+          results.reserve(elems.size());
+          for (const ValuePtr& e : elems) results.push_back(call(instr.s, {e}, depth + 1));
+          reg(instr.dst) = make_list(std::move(results));
+          break;
+        }
+        case OpCode::kRxDefer:
+          reg(instr.dst) = call(instr.s, {}, depth + 1);
+          break;
+        case OpCode::kHttpNew: {
+          auto v = std::make_shared<Value>();
+          v->kind = Value::Kind::kObject;
+          v->builder = std::make_unique<BuilderState>();
+          reg(instr.dst) = std::move(v);
+          break;
+        }
+        case OpCode::kHttpMethod:
+        case OpCode::kHttpUrl:
+        case OpCode::kHttpQuery:
+        case OpCode::kHttpHeader:
+        case OpCode::kHttpBody: {
+          const ValuePtr obj = reg(instr.a);
+          if (obj->kind != Value::Kind::kObject || !obj->builder) {
+            throw InvalidStateError("interpreter: HTTP op on non-builder");
+          }
+          BuilderState& b = *obj->builder;
+          switch (instr.op) {
+            case OpCode::kHttpMethod: b.verb = instr.s; break;
+            case OpCode::kHttpUrl: b.url = reg(instr.b); break;
+            case OpCode::kHttpQuery: b.fields.emplace_back(0, instr.s, reg(instr.b)); break;
+            case OpCode::kHttpHeader: b.fields.emplace_back(1, instr.s, reg(instr.b)); break;
+            case OpCode::kHttpBody: b.fields.emplace_back(2, instr.s, reg(instr.b)); break;
+            default: break;
+          }
+          break;
+        }
+        case OpCode::kHttpSend: {
+          const ValuePtr obj = reg(instr.a);
+          if (obj->kind != Value::Kind::kObject || !obj->builder) {
+            throw InvalidStateError("interpreter: send on non-builder");
+          }
+          reg(instr.dst) = send(*obj->builder, instr.s2 == "json");
+          break;
+        }
+        case OpCode::kJsonGet:
+          reg(instr.dst) = json_get(reg(instr.a), instr.s);
+          break;
+        case OpCode::kIfEnv: {
+          if (env.flags.contains(instr.s)) break;  // condition holds: fall through
+          // Skip to the matching kEndIf.
+          int nesting = 1;
+          while (nesting > 0) {
+            ++pc;
+            if (pc >= method.code.size()) {
+              throw InvalidStateError("interpreter: unbalanced if in " + method.name);
+            }
+            if (method.code[pc].op == OpCode::kIfEnv) ++nesting;
+            if (method.code[pc].op == OpCode::kEndIf) --nesting;
+          }
+          break;
+        }
+        case OpCode::kEndIf:
+          break;
+        case OpCode::kFormat: {
+          std::string out;
+          std::size_t arg_index = 0;
+          for (std::size_t i = 0; i < instr.s.size(); ++i) {
+            if (instr.s[i] == '%' && i + 1 < instr.s.size() && instr.s[i + 1] == 's') {
+              if (arg_index >= instr.args.size()) {
+                throw InvalidStateError("interpreter: format placeholder without argument");
+              }
+              out += to_text(reg(instr.args[arg_index++]), "format");
+              ++i;
+            } else {
+              out += instr.s[i];
+            }
+          }
+          reg(instr.dst) = make_str(std::move(out));
+          break;
+        }
+        case OpCode::kReturn:
+          return reg(instr.a);
+      }
+    }
+    return make_null();
+  }
+
+  ValuePtr send(BuilderState& builder, bool json_body) {
+    http::Request req;
+    req.method = builder.verb;
+    req.uri = http::Uri::parse(to_text(builder.url, "url"));
+    http::FormFields body_fields;
+    for (const auto& [loc, name, value] : builder.fields) {
+      if (!value || value->kind == Value::Kind::kNull) {
+        throw InvalidStateError("interpreter: unresolved request field " + name);
+      }
+      const std::string text = to_text(value, name.c_str());
+      switch (loc) {
+        case 0: req.uri.add_query_param(name, text); break;
+        case 1: req.headers.add(name, text); break;
+        case 2: body_fields.emplace_back(name, text); break;
+      }
+    }
+    if (!body_fields.empty()) req.set_form_fields(body_fields);
+
+    if (requests.size() >= request_limit) {
+      throw InvalidStateError("interpreter: request limit exceeded");
+    }
+    requests.push_back(req);
+    const http::Response resp = transport(req);
+    if (!resp.ok() || !json_body || resp.body.empty()) return make_null();
+    return make_json(json::parse(resp.body));
+  }
+};
+
+// --- public API --------------------------------------------------------------------
+
+Interpreter::Interpreter(const Program* program, ConcreteEnv env, Transport transport)
+    : impl_(std::make_unique<Impl>()) {
+  if (program == nullptr) throw InvalidArgumentError("Interpreter: null program");
+  if (!transport) throw InvalidArgumentError("Interpreter: null transport");
+  impl_->program = program;
+  impl_->env = std::move(env);
+  impl_->transport = std::move(transport);
+}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::run_entry(const std::string& method_name) {
+  impl_->call(method_name, {}, 0);
+}
+
+void Interpreter::run_all_entries() {
+  for (const std::string& entry : impl_->program->entry_points) run_entry(entry);
+}
+
+const std::vector<http::Request>& Interpreter::requests() const { return impl_->requests; }
+
+std::size_t Interpreter::instructions_executed() const { return impl_->executed; }
+
+void Interpreter::set_request_limit(std::size_t limit) { impl_->request_limit = limit; }
+
+}  // namespace appx::ir

@@ -1,0 +1,61 @@
+// Concrete execution of SAPK programs.
+//
+// The analysis (analysis/analyzer.hpp) interprets programs *abstractly*; this
+// interpreter runs them for real: environment values resolve to strings, HTTP
+// sends hit a transport, JSON responses are parsed and json-get walks real
+// documents, flatMap iterates real arrays, Intents carry real values.
+//
+// Its main role is differential testing of the static analysis: every request
+// a concretely-executed app binary emits must match one of the statically
+// extracted signatures (soundness), and conversely executing all entry points
+// should visit every signature (completeness for our generated apps). It also
+// demonstrates that SAPK is a real program format, not just an analysis input.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "ir/program.hpp"
+
+namespace appx::ir {
+
+// Concrete runtime environment: what the device knows.
+struct ConcreteEnv {
+  std::map<std::string, std::string> values;  // env name -> value
+  std::set<std::string> flags;                // enabled kIfEnv conditions
+};
+
+class Interpreter {
+ public:
+  // Synchronous transport: the interpreter blocks on each transaction.
+  using Transport = std::function<http::Response(const http::Request&)>;
+
+  Interpreter(const Program* program, ConcreteEnv env, Transport transport);
+  ~Interpreter();
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Execute one entry point (no arguments).
+  void run_entry(const std::string& method_name);
+  // Execute every entry point of the program in order.
+  void run_all_entries();
+
+  // Every request issued so far, in order.
+  const std::vector<http::Request>& requests() const;
+  std::size_t instructions_executed() const;
+
+  // Bound on total requests (the generated apps fan out one request per list
+  // element; this guards against runaway programs). Exceeding it throws.
+  void set_request_limit(std::size_t limit);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace appx::ir

@@ -1,0 +1,314 @@
+#include "ir/program.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace appx::ir {
+
+std::string_view to_string(OpCode op) {
+  switch (op) {
+    case OpCode::kConst: return "const";
+    case OpCode::kEnv: return "env";
+    case OpCode::kMove: return "move";
+    case OpCode::kConcat: return "concat";
+    case OpCode::kNewObject: return "new";
+    case OpCode::kGetField: return "getfield";
+    case OpCode::kPutField: return "putfield";
+    case OpCode::kInvoke: return "invoke";
+    case OpCode::kIntentPut: return "intent-put";
+    case OpCode::kIntentGet: return "intent-get";
+    case OpCode::kRxMap: return "rx-map";
+    case OpCode::kRxFlatMap: return "rx-flatmap";
+    case OpCode::kRxDefer: return "rx-defer";
+    case OpCode::kHttpNew: return "http-new";
+    case OpCode::kHttpMethod: return "http-method";
+    case OpCode::kHttpUrl: return "http-url";
+    case OpCode::kHttpQuery: return "http-query";
+    case OpCode::kHttpHeader: return "http-header";
+    case OpCode::kHttpBody: return "http-body";
+    case OpCode::kHttpSend: return "http-send";
+    case OpCode::kJsonGet: return "json-get";
+    case OpCode::kIfEnv: return "if-env";
+    case OpCode::kEndIf: return "end-if";
+    case OpCode::kReturn: return "return";
+    case OpCode::kFormat: return "format";
+  }
+  return "?";
+}
+
+// --- Program ----------------------------------------------------------------------
+
+const Method* Program::find_method(std::string_view name) const {
+  for (const Method& m : methods) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const Method& Program::get_method(std::string_view name) const {
+  const Method* m = find_method(name);
+  if (m == nullptr) throw NotFoundError("Program: no method " + std::string(name));
+  return *m;
+}
+
+std::size_t Program::instruction_count() const {
+  return std::accumulate(methods.begin(), methods.end(), std::size_t{0},
+                         [](std::size_t acc, const Method& m) { return acc + m.code.size(); });
+}
+
+namespace {
+constexpr std::uint32_t kSapkMagic = 0x4b504153;  // 'SAPK'
+constexpr std::uint32_t kSapkVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> Program::serialize() const {
+  ByteWriter out;
+  out.u32(kSapkMagic);
+  out.u32(kSapkVersion);
+  out.str(app);
+  out.u32(static_cast<std::uint32_t>(methods.size()));
+  for (const Method& m : methods) {
+    out.str(m.name);
+    out.u32(static_cast<std::uint32_t>(m.param_count));
+    out.u32(static_cast<std::uint32_t>(m.reg_count));
+    out.u32(static_cast<std::uint32_t>(m.code.size()));
+    for (const Instruction& instr : m.code) {
+      out.u8(static_cast<std::uint8_t>(instr.op));
+      out.u32(static_cast<std::uint32_t>(instr.dst));
+      out.u32(static_cast<std::uint32_t>(instr.a));
+      out.u32(static_cast<std::uint32_t>(instr.b));
+      out.str(instr.s);
+      out.str(instr.s2);
+      out.u32(static_cast<std::uint32_t>(instr.args.size()));
+      for (Reg r : instr.args) out.u32(static_cast<std::uint32_t>(r));
+    }
+  }
+  out.u32(static_cast<std::uint32_t>(entry_points.size()));
+  for (const std::string& entry : entry_points) out.str(entry);
+  return out.take();
+}
+
+Program Program::deserialize(const std::vector<std::uint8_t>& data) {
+  ByteReader in(data);
+  if (in.u32() != kSapkMagic) throw ParseError("SAPK: bad magic");
+  if (in.u32() != kSapkVersion) throw ParseError("SAPK: unsupported version");
+  Program program;
+  program.app = in.str();
+  const std::uint32_t nmethods = in.u32();
+  program.methods.reserve(nmethods);
+  for (std::uint32_t i = 0; i < nmethods; ++i) {
+    Method m;
+    m.name = in.str();
+    m.param_count = static_cast<std::int32_t>(in.u32());
+    m.reg_count = static_cast<std::int32_t>(in.u32());
+    const std::uint32_t ninstr = in.u32();
+    m.code.reserve(ninstr);
+    for (std::uint32_t j = 0; j < ninstr; ++j) {
+      Instruction instr;
+      const std::uint8_t op = in.u8();
+      if (op > static_cast<std::uint8_t>(OpCode::kFormat)) {
+        throw ParseError("SAPK: bad opcode " + std::to_string(op));
+      }
+      instr.op = static_cast<OpCode>(op);
+      instr.dst = static_cast<Reg>(in.u32());
+      instr.a = static_cast<Reg>(in.u32());
+      instr.b = static_cast<Reg>(in.u32());
+      instr.s = in.str();
+      instr.s2 = in.str();
+      const std::uint32_t nargs = in.u32();
+      instr.args.reserve(nargs);
+      for (std::uint32_t k = 0; k < nargs; ++k) instr.args.push_back(static_cast<Reg>(in.u32()));
+      m.code.push_back(std::move(instr));
+    }
+    program.methods.push_back(std::move(m));
+  }
+  const std::uint32_t nentries = in.u32();
+  for (std::uint32_t i = 0; i < nentries; ++i) program.entry_points.push_back(in.str());
+  return program;
+}
+
+// --- MethodBuilder -----------------------------------------------------------------
+
+MethodBuilder::MethodBuilder(std::string name, std::int32_t param_count) {
+  method_.name = std::move(name);
+  method_.param_count = param_count;
+  method_.reg_count = param_count;
+}
+
+Reg MethodBuilder::param(std::int32_t index) const {
+  if (index < 0 || index >= method_.param_count) {
+    throw InvalidArgumentError("MethodBuilder: parameter index out of range");
+  }
+  return index;
+}
+
+Reg MethodBuilder::fresh() { return method_.reg_count++; }
+
+Instruction& MethodBuilder::emit(Instruction instr) {
+  method_.code.push_back(std::move(instr));
+  return method_.code.back();
+}
+
+Reg MethodBuilder::const_str(std::string_view value) {
+  const Reg dst = fresh();
+  emit({OpCode::kConst, dst, kNoReg, kNoReg, std::string(value), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::env(std::string_view name) {
+  const Reg dst = fresh();
+  emit({OpCode::kEnv, dst, kNoReg, kNoReg, std::string(name), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::move(Reg src) {
+  const Reg dst = fresh();
+  emit({OpCode::kMove, dst, src, kNoReg, "", "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::concat(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit({OpCode::kConcat, dst, a, b, "", "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::concat(std::initializer_list<Reg> parts) {
+  if (parts.size() == 0) throw InvalidArgumentError("MethodBuilder::concat: empty");
+  auto it = parts.begin();
+  Reg acc = *it++;
+  while (it != parts.end()) acc = concat(acc, *it++);
+  return acc;
+}
+
+Reg MethodBuilder::format(std::string_view fmt, std::vector<Reg> args) {
+  // Validate the arity up front: one %s per argument.
+  std::size_t placeholders = 0;
+  for (std::size_t i = 0; i + 1 < fmt.size(); ++i) {
+    if (fmt[i] == '%' && fmt[i + 1] == 's') ++placeholders;
+  }
+  if (placeholders != args.size()) {
+    throw InvalidArgumentError("MethodBuilder::format: placeholder/argument count mismatch");
+  }
+  const Reg dst = fresh();
+  Instruction instr{OpCode::kFormat, dst, kNoReg, kNoReg, std::string(fmt), "", {}};
+  instr.args = std::move(args);
+  emit(std::move(instr));
+  return dst;
+}
+
+Reg MethodBuilder::new_object(std::string_view class_name) {
+  const Reg dst = fresh();
+  emit({OpCode::kNewObject, dst, kNoReg, kNoReg, std::string(class_name), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::get_field(Reg obj, std::string_view field) {
+  const Reg dst = fresh();
+  emit({OpCode::kGetField, dst, obj, kNoReg, std::string(field), "", {}});
+  return dst;
+}
+
+void MethodBuilder::put_field(Reg obj, std::string_view field, Reg value) {
+  emit({OpCode::kPutField, kNoReg, obj, value, std::string(field), "", {}});
+}
+
+Reg MethodBuilder::invoke(std::string_view method, std::vector<Reg> args) {
+  const Reg dst = fresh();
+  Instruction instr{OpCode::kInvoke, dst, kNoReg, kNoReg, std::string(method), "", {}};
+  instr.args = std::move(args);
+  emit(std::move(instr));
+  return dst;
+}
+
+void MethodBuilder::intent_put(std::string_view key, Reg value) {
+  emit({OpCode::kIntentPut, kNoReg, value, kNoReg, std::string(key), "", {}});
+}
+
+Reg MethodBuilder::intent_get(std::string_view key) {
+  const Reg dst = fresh();
+  emit({OpCode::kIntentGet, dst, kNoReg, kNoReg, std::string(key), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::rx_map(Reg source, std::string_view method_ref) {
+  const Reg dst = fresh();
+  emit({OpCode::kRxMap, dst, source, kNoReg, std::string(method_ref), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::rx_flat_map(Reg source, std::string_view method_ref) {
+  const Reg dst = fresh();
+  emit({OpCode::kRxFlatMap, dst, source, kNoReg, std::string(method_ref), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::rx_defer(std::string_view method_ref) {
+  const Reg dst = fresh();
+  emit({OpCode::kRxDefer, dst, kNoReg, kNoReg, std::string(method_ref), "", {}});
+  return dst;
+}
+
+Reg MethodBuilder::http_new() {
+  const Reg dst = fresh();
+  emit({OpCode::kHttpNew, dst, kNoReg, kNoReg, "", "", {}});
+  return dst;
+}
+
+void MethodBuilder::http_method(Reg builder, std::string_view verb) {
+  emit({OpCode::kHttpMethod, kNoReg, builder, kNoReg, std::string(verb), "", {}});
+}
+
+void MethodBuilder::http_url(Reg builder, Reg url) {
+  emit({OpCode::kHttpUrl, kNoReg, builder, url, "", "", {}});
+}
+
+void MethodBuilder::http_query(Reg builder, std::string_view name, Reg value) {
+  emit({OpCode::kHttpQuery, kNoReg, builder, value, std::string(name), "", {}});
+}
+
+void MethodBuilder::http_header(Reg builder, std::string_view name, Reg value) {
+  emit({OpCode::kHttpHeader, kNoReg, builder, value, std::string(name), "", {}});
+}
+
+void MethodBuilder::http_body(Reg builder, std::string_view name, Reg value) {
+  emit({OpCode::kHttpBody, kNoReg, builder, value, std::string(name), "", {}});
+}
+
+Reg MethodBuilder::http_send(Reg builder, std::string_view label, std::string_view body_kind) {
+  if (body_kind != "json" && body_kind != "opaque") {
+    throw InvalidArgumentError("MethodBuilder::http_send: body_kind must be json|opaque");
+  }
+  const Reg dst = fresh();
+  emit({OpCode::kHttpSend, dst, builder, kNoReg, std::string(label), std::string(body_kind), {}});
+  return dst;
+}
+
+Reg MethodBuilder::json_get(Reg source, std::string_view path) {
+  const Reg dst = fresh();
+  emit({OpCode::kJsonGet, dst, source, kNoReg, std::string(path), "", {}});
+  return dst;
+}
+
+void MethodBuilder::if_env(std::string_view flag) {
+  ++open_ifs_;
+  emit({OpCode::kIfEnv, kNoReg, kNoReg, kNoReg, std::string(flag), "", {}});
+}
+
+void MethodBuilder::end_if() {
+  if (open_ifs_ == 0) throw InvalidStateError("MethodBuilder: end_if without if_env");
+  --open_ifs_;
+  emit({OpCode::kEndIf, kNoReg, kNoReg, kNoReg, "", "", {}});
+}
+
+void MethodBuilder::ret(Reg value) {
+  emit({OpCode::kReturn, kNoReg, value, kNoReg, "", "", {}});
+}
+
+Method MethodBuilder::build() {
+  if (open_ifs_ != 0) throw InvalidStateError("MethodBuilder: unbalanced if_env/end_if");
+  return std::move(method_);
+}
+
+}  // namespace appx::ir

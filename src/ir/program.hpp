@@ -1,0 +1,144 @@
+// The SAPK app intermediate representation.
+//
+// The paper's framework consumes Android APKs (dex bytecode) and runs
+// Extractocol/FlowDroid-style static analysis over them. An Android
+// toolchain is out of scope here, so SAPK is our substitute app binary: a
+// compact register-based IR that models exactly the constructs the paper's
+// analysis must handle:
+//
+//   * string building (const / concat) for URLs and field values,
+//   * heap objects with fields, aliases via moves, and chained derivations
+//     (the paper's "precise alias and complex heap object analysis"),
+//   * Intents: put/get through a component-crossing key-value channel,
+//   * RxAndroid-style operators (map / flatMap / defer) with method refs,
+//   * HTTP request builders and send sites (network sinks),
+//   * JSON path reads on responses (network sources),
+//   * environment values only known at run time (device id, cookie, ...),
+//   * structured conditionals guarding optional request fields (Fig. 8).
+//
+// Programs serialise to a binary "SAPK" blob, the unit the analysis loads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace appx::ir {
+
+using Reg = std::int32_t;
+constexpr Reg kNoReg = -1;
+
+enum class OpCode : std::uint8_t {
+  kConst,         // dst <- string literal `s`
+  kEnv,           // dst <- run-time environment value named `s` (cookie, ua...)
+  kMove,          // dst <- a (object moves create aliases)
+  kConcat,        // dst <- a ++ b
+  kNewObject,     // dst <- new heap object (class name `s`, informational)
+  kGetField,      // dst <- a.`s`
+  kPutField,      // a.`s` <- b
+  kInvoke,        // dst <- call method `s`(args = regs listed in `args`)
+  kIntentPut,     // intent[`s`] <- a
+  kIntentGet,     // dst <- intent[`s`]
+  kRxMap,         // dst <- a.map(`s` = method ref)
+  kRxFlatMap,     // dst <- a.flatMap(`s` = method ref); result is per-element
+  kRxDefer,       // dst <- Observable.defer(`s` = method ref)
+  kHttpNew,       // dst <- new HTTP request builder
+  kHttpMethod,    // builder a: method <- `s` ("GET"/"POST")
+  kHttpUrl,       // builder a: url <- b
+  kHttpQuery,     // builder a: query[`s`] <- b
+  kHttpHeader,    // builder a: header[`s`] <- b
+  kHttpBody,      // builder a: body form field [`s`] <- b
+  kHttpSend,      // dst(response) <- send(builder a); `s` = transaction label,
+                  // `s2` = response body kind ("json"/"opaque")
+  kJsonGet,       // dst <- json_get(a, path `s`); a is a response or json value
+  kIfEnv,         // begin conditional region guarded by env flag `s`
+  kEndIf,         // end innermost conditional region
+  kReturn,        // return a
+  kFormat,        // dst <- printf-style `s` with %s placeholders filled from args
+};
+
+std::string_view to_string(OpCode op);
+
+struct Instruction {
+  OpCode op = OpCode::kConst;
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  std::string s;   // primary string operand (literal, field, key, label, ref)
+  std::string s2;  // secondary string operand
+  std::vector<Reg> args;  // kInvoke arguments
+};
+
+struct Method {
+  std::string name;  // fully qualified, "Class.method"
+  std::int32_t param_count = 0;
+  std::int32_t reg_count = 0;  // registers 0..param_count-1 hold parameters
+  std::vector<Instruction> code;
+};
+
+struct Program {
+  std::string app;  // package name, e.g. "com.wish.app"
+  std::vector<Method> methods;
+  // Entry points (activity lifecycle handlers, click handlers, ...). The
+  // analysis explores every entry point.
+  std::vector<std::string> entry_points;
+
+  const Method* find_method(std::string_view name) const;
+  const Method& get_method(std::string_view name) const;  // throws NotFoundError
+
+  std::size_t instruction_count() const;
+
+  std::vector<std::uint8_t> serialize() const;  // SAPK blob
+  static Program deserialize(const std::vector<std::uint8_t>& data);
+};
+
+// Fluent builder for authoring methods in tests and the app compiler.
+class MethodBuilder {
+ public:
+  explicit MethodBuilder(std::string name, std::int32_t param_count = 0);
+
+  Reg param(std::int32_t index) const;  // register holding parameter `index`
+  Reg fresh();                          // allocate a new register
+
+  Reg const_str(std::string_view value);
+  Reg env(std::string_view name);
+  Reg move(Reg src);
+  Reg concat(Reg a, Reg b);
+  Reg concat(std::initializer_list<Reg> parts);  // left fold; needs >= 1 part
+  // String.format-style: "https://%s/item/%s" with one arg per %s.
+  Reg format(std::string_view fmt, std::vector<Reg> args);
+  Reg new_object(std::string_view class_name);
+  Reg get_field(Reg obj, std::string_view field);
+  void put_field(Reg obj, std::string_view field, Reg value);
+  Reg invoke(std::string_view method, std::vector<Reg> args = {});
+  void intent_put(std::string_view key, Reg value);
+  Reg intent_get(std::string_view key);
+  Reg rx_map(Reg source, std::string_view method_ref);
+  Reg rx_flat_map(Reg source, std::string_view method_ref);
+  Reg rx_defer(std::string_view method_ref);
+  Reg http_new();
+  void http_method(Reg builder, std::string_view verb);
+  void http_url(Reg builder, Reg url);
+  void http_query(Reg builder, std::string_view name, Reg value);
+  void http_header(Reg builder, std::string_view name, Reg value);
+  void http_body(Reg builder, std::string_view name, Reg value);
+  Reg http_send(Reg builder, std::string_view label, std::string_view body_kind = "json");
+  Reg json_get(Reg source, std::string_view path);
+  void if_env(std::string_view flag);
+  void end_if();
+  void ret(Reg value);
+
+  Method build();  // finalises (validates balanced if/endif)
+
+ private:
+  Instruction& emit(Instruction instr);
+
+  Method method_;
+  std::int32_t open_ifs_ = 0;
+};
+
+}  // namespace appx::ir

@@ -1,0 +1,72 @@
+#include "net/http_io.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appx::net {
+
+namespace {
+
+// Content-Length of a message head (the text before the blank line), 0 when
+// absent. Malformed values throw ParseError.
+std::size_t content_length_of(std::string_view head) {
+  for (const std::string& line : strings::split(head, "\r\n")) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (!strings::iequals(strings::trim(line.substr(0, colon)), "Content-Length")) continue;
+    const auto value = strings::to_int(line.substr(colon + 1));
+    if (!value || *value < 0) throw ParseError("http framing: bad Content-Length");
+    return static_cast<std::size_t>(*value);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpReader::read_message() {
+  char chunk[4096];
+  while (true) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      const std::size_t body_len = content_length_of(std::string_view(buffer_).substr(0, head_end));
+      const std::size_t total = head_end + 4 + body_len;
+      if (buffer_.size() >= total) {
+        std::string message = buffer_.substr(0, total);
+        buffer_.erase(0, total);
+        return message;
+      }
+    }
+    if (eof_) {
+      if (buffer_.empty()) return std::nullopt;
+      throw ParseError("http framing: connection closed mid-message");
+    }
+    const std::size_t n = stream_->read_some(chunk, sizeof chunk);
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+std::optional<http::Request> HttpReader::read_request() {
+  const auto wire = read_message();
+  if (!wire) return std::nullopt;
+  return http::Request::parse(*wire);
+}
+
+std::optional<http::Response> HttpReader::read_response() {
+  const auto wire = read_message();
+  if (!wire) return std::nullopt;
+  return http::Response::parse(*wire);
+}
+
+void write_request(TcpStream& stream, const http::Request& request) {
+  stream.write_all(request.serialize());
+}
+
+void write_response(TcpStream& stream, const http::Response& response) {
+  stream.write_all(response.serialize());
+}
+
+}  // namespace appx::net

@@ -1,0 +1,37 @@
+// HTTP/1.1 framing over TCP streams: Content-Length based message reading
+// and writing for the live proxy/origin servers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/message.hpp"
+#include "net/socket.hpp"
+
+namespace appx::net {
+
+// Incremental reader for one connection; handles pipelined messages by
+// buffering the residue between calls.
+class HttpReader {
+ public:
+  explicit HttpReader(TcpStream* stream) : stream_(stream) {}
+
+  // Read one complete request. nullopt on orderly EOF at a message boundary;
+  // throws ParseError on malformed framing, Error on transport failure.
+  std::optional<http::Request> read_request();
+  // Same for responses.
+  std::optional<http::Response> read_response();
+
+ private:
+  // Raw wire text of one message, or nullopt on clean EOF.
+  std::optional<std::string> read_message();
+
+  TcpStream* stream_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+void write_request(TcpStream& stream, const http::Request& request);
+void write_response(TcpStream& stream, const http::Response& response);
+
+}  // namespace appx::net

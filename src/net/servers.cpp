@@ -1,0 +1,263 @@
+#include "net/servers.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+
+namespace {
+// Registers a connection fd for the server's stop() to shut down; removes it
+// again when the handling thread finishes.
+class ConnGuard {
+ public:
+  ConnGuard(std::mutex& mutex, std::set<int>& fds, int fd)
+      : mutex_(mutex), fds_(fds), fd_(fd) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fds_.insert(fd_);
+  }
+  ~ConnGuard() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fds_.erase(fd_);
+  }
+  ConnGuard(const ConnGuard&) = delete;
+  ConnGuard& operator=(const ConnGuard&) = delete;
+
+ private:
+  std::mutex& mutex_;
+  std::set<int>& fds_;
+  int fd_;
+};
+
+void shutdown_all(std::mutex& mutex, std::set<int>& fds) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+}
+}  // namespace
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace appx::net {
+
+// --- LiveOriginServer ----------------------------------------------------------------
+
+LiveOriginServer::LiveOriginServer(apps::OriginServer* origin, std::uint16_t port)
+    : origin_(origin), listener_(port) {
+  if (origin == nullptr) throw InvalidArgumentError("LiveOriginServer: null origin");
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+LiveOriginServer::~LiveOriginServer() { stop(); }
+
+void LiveOriginServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  shutdown_all(conns_mutex_, conn_fds_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void LiveOriginServer::accept_loop() {
+  while (!stopping_.load()) {
+    TcpStream stream = listener_.accept();
+    if (!stream.valid()) return;  // listener closed
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back(
+        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
+          serve_connection(std::move(*s));
+        });
+  }
+}
+
+void LiveOriginServer::serve_connection(TcpStream stream) {
+  const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
+  try {
+    HttpReader reader(&stream);
+    while (auto request = reader.read_request()) {
+      http::Response response;
+      {
+        const std::lock_guard<std::mutex> lock(origin_mutex_);
+        response = origin_->serve(*request);
+      }
+      write_response(stream, response);
+      ++served_;
+    }
+  } catch (const Error& e) {
+    log_debug("net.origin") << "connection ended: " << e.what();
+  }
+}
+
+// --- LiveProxyServer ------------------------------------------------------------------
+
+LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
+                                 std::uint16_t port)
+    : engine_(engine), upstreams_(std::move(upstreams)), listener_(port) {
+  if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
+  acceptor_ = std::thread([this] { accept_loop(); });
+  prefetcher_ = std::thread([this] { prefetch_loop(); });
+}
+
+LiveProxyServer::~LiveProxyServer() { stop(); }
+
+void LiveProxyServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  shutdown_all(conns_mutex_, conn_fds_);
+  queue_cv_.notify_all();
+  idle_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (prefetcher_.joinable()) prefetcher_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+SimTime LiveProxyServer::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void LiveProxyServer::accept_loop() {
+  while (!stopping_.load()) {
+    TcpStream stream = listener_.accept();
+    if (!stream.valid()) return;
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back(
+        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
+          serve_connection(std::move(*s));
+        });
+  }
+}
+
+http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
+  const auto it = upstreams_.find(request.uri.host);
+  if (it == upstreams_.end()) {
+    http::Response resp;
+    resp.status = 502;
+    resp.reason = std::string(http::reason_phrase(502));
+    resp.body = R"({"error":"no upstream for host"})";
+    return resp;
+  }
+  TcpStream upstream = TcpStream::connect("127.0.0.1", it->second);
+  write_request(upstream, request);
+  HttpReader reader(&upstream);
+  auto response = reader.read_response();
+  if (!response) throw Error("upstream closed without responding");
+  return *response;
+}
+
+void LiveProxyServer::serve_connection(TcpStream stream) {
+  // One logical user per connection source; for the loopback demo each
+  // client identifies itself with an X-Appx-User header (falling back to a
+  // shared id). A production front end would key on client address.
+  const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
+  try {
+    HttpReader reader(&stream);
+    while (auto request = reader.read_request()) {
+      const std::string user = request->headers.get("X-Appx-User").value_or("default");
+      http::Request upstream_request = *request;
+      upstream_request.headers.remove("X-Appx-User");
+      // Origin-form request targets carry no scheme; this front end stands in
+      // for the TLS-terminating proxy of the paper's deployment model, so
+      // normalise to https for signature matching and cache identity.
+      if (upstream_request.uri.scheme.empty()) upstream_request.uri.scheme = "https";
+
+      core::ClientDecision decision;
+      {
+        const std::lock_guard<std::mutex> lock(engine_mutex_);
+        decision = engine_->on_client_request(user, upstream_request, now());
+      }
+      if (decision.served) {
+        decision.served->headers.set("X-Appx-Cache", "hit");
+        write_response(stream, *decision.served);
+        enqueue_prefetches(user);
+        continue;
+      }
+
+      http::Response response = fetch_upstream(upstream_request);
+      {
+        const std::lock_guard<std::mutex> lock(engine_mutex_);
+        engine_->on_origin_response(user, upstream_request, response, now());
+      }
+      enqueue_prefetches(user);
+      response.headers.set("X-Appx-Cache", "miss");
+      write_response(stream, response);
+    }
+  } catch (const Error& e) {
+    log_debug("net.proxy") << "connection ended: " << e.what();
+  }
+}
+
+void LiveProxyServer::enqueue_prefetches(const std::string& user) {
+  std::vector<core::PrefetchJob> jobs;
+  {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    jobs = engine_->take_prefetches(user, now());
+  }
+  if (jobs.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (core::PrefetchJob& job : jobs) {
+      job.user = user;
+      prefetch_queue_.push_back(std::move(job));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void LiveProxyServer::prefetch_loop() {
+  while (true) {
+    core::PrefetchJob job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_.load() || !prefetch_queue_.empty(); });
+      if (stopping_.load()) return;
+      job = std::move(prefetch_queue_.front());
+      prefetch_queue_.pop_front();
+      prefetch_busy_ = true;
+    }
+
+    const SimTime started = now();
+    http::Response response;
+    try {
+      response = fetch_upstream(job.request);
+    } catch (const Error& e) {
+      log_warn("net.proxy") << "prefetch failed: " << e.what();
+      response.status = 504;
+      response.reason = std::string(http::reason_phrase(504));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(engine_mutex_);
+      engine_->on_prefetch_response(job.user, job, response, now(),
+                                    to_ms(now() - started));
+    }
+    enqueue_prefetches(job.user);  // chained prefetching
+
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      prefetch_busy_ = false;
+      if (prefetch_queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void LiveProxyServer::drain_prefetches() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return stopping_.load() || (prefetch_queue_.empty() && !prefetch_busy_);
+  });
+}
+
+}  // namespace appx::net

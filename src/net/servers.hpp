@@ -1,0 +1,114 @@
+// Live (real-socket) origin server and acceleration proxy.
+//
+// The simulator variant of these lives in eval/testbed; this is the same
+// engine on actual TCP connections, mirroring the paper's deployable
+// artefact (their mitmproxy-based prototype):
+//
+//   * LiveOriginServer — serves an apps::OriginServer over HTTP/1.1 with
+//     keep-alive, one thread per connection.
+//   * LiveProxyServer — accepts client connections, serves exact matches
+//     from the engine's cache (tagging them "X-Appx-Cache: hit"), forwards
+//     misses upstream, and runs dynamic learning + prefetching on a
+//     dedicated worker thread (paper §5: "we assign different worker threads
+//     to handle dynamic learning and prefetching").
+//
+// Engine access is serialised by a mutex; network I/O never holds it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <set>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/server.hpp"
+#include "core/baselines.hpp"
+#include "core/proxy.hpp"
+#include "net/http_io.hpp"
+#include "net/socket.hpp"
+
+namespace appx::net {
+
+class LiveOriginServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving immediately.
+  // `origin` must outlive the server.
+  LiveOriginServer(apps::OriginServer* origin, std::uint16_t port = 0);
+  ~LiveOriginServer();
+  LiveOriginServer(const LiveOriginServer&) = delete;
+  LiveOriginServer& operator=(const LiveOriginServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::size_t requests_served() const { return served_.load(); }
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(TcpStream stream);
+
+  apps::OriginServer* origin_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> served_{0};
+  std::mutex origin_mutex_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+  std::mutex conns_mutex_;
+  std::set<int> conn_fds_;  // live connections, shut down on stop()
+  std::thread acceptor_;
+};
+
+class LiveProxyServer {
+ public:
+  // Routes upstream connections by request host: host -> 127.0.0.1:port.
+  using UpstreamMap = std::map<std::string, std::uint16_t>;
+
+  // `engine` must outlive the server (any ProxyLike: APPx or a baseline).
+  LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams, std::uint16_t port = 0);
+  ~LiveProxyServer();
+  LiveProxyServer(const LiveProxyServer&) = delete;
+  LiveProxyServer& operator=(const LiveProxyServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  void stop();
+
+  // Blocks until the prefetch queue is empty and no prefetch is in flight
+  // (used by tests and demos to observe a settled cache).
+  void drain_prefetches();
+
+ private:
+  void accept_loop();
+  void serve_connection(TcpStream stream);
+  void prefetch_loop();
+  void enqueue_prefetches(const std::string& user);
+  http::Response fetch_upstream(const http::Request& request);
+  SimTime now() const;
+
+  core::ProxyLike* engine_;
+  UpstreamMap upstreams_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex engine_mutex_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<core::PrefetchJob> prefetch_queue_;
+  bool prefetch_busy_ = false;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+  std::mutex conns_mutex_;
+  std::set<int> conn_fds_;  // live connections, shut down on stop()
+  std::thread acceptor_;
+  std::thread prefetcher_;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace appx::net

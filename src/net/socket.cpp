@@ -1,0 +1,153 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace appx::net {
+
+namespace {
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd::Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw Error("connect: getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  Fd fd;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Fd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd = std::move(candidate);
+      break;
+    }
+    last_error = std::strerror(errno);
+  }
+  ::freeaddrinfo(results);
+  if (!fd.valid()) throw Error("connect to " + host + ":" + service + " failed: " + last_error);
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(std::move(fd));
+}
+
+void TcpStream::write_all(std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    if (n == 0) throw Error("send: connection closed");
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpStream::read_some(char* buffer, std::size_t max) {
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buffer, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    fail_errno("recv");
+  }
+}
+
+void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    fail_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_.get(), 64) != 0) fail_errno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpStream TcpListener::accept() {
+  while (true) {
+    if (closed_.load()) return TcpStream(Fd{});
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) {
+      if (closed_.load()) {
+        ::close(client);  // the close() wake-up connection (or a late client)
+        return TcpStream(Fd{});
+      }
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpStream(Fd(client));
+    }
+    if (errno == EINTR) continue;
+    return TcpStream(Fd{});  // fd closed underneath us: orderly shutdown
+  }
+}
+
+void TcpListener::close() {
+  // A blocked accept() on Linux is NOT unblocked by shutdown()/close() of the
+  // listening socket; wake it with a throwaway loopback connection instead.
+  if (closed_.exchange(true)) return;
+  if (fd_.valid()) {
+    try {
+      TcpStream::connect("127.0.0.1", port_);
+    } catch (const Error&) {
+      // Listener already unreachable; accept() will see the closed fd.
+    }
+    fd_.reset();
+  }
+}
+
+}  // namespace appx::net

@@ -1,0 +1,81 @@
+// Minimal RAII wrappers over POSIX TCP sockets.
+//
+// The evaluation runs on the discrete-event simulator, but the proxy engine
+// is transport-agnostic; this module is the real-wire front end: blocking
+// TCP with full-write/handled-partial-read semantics, errors surfaced as
+// appx::Error, file descriptors owned by RAII handles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace appx::net {
+
+// Owning file-descriptor handle.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept;
+  Fd& operator=(Fd&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();  // close now
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected TCP stream.
+class TcpStream {
+ public:
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  // Connect to host:port (numeric or resolvable); throws appx::Error.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  // Write the whole buffer; throws on error/EOF.
+  void write_all(std::string_view data);
+
+  // Read up to `max` bytes; returns 0 on orderly EOF; throws on error.
+  std::size_t read_some(char* buffer, std::size_t max);
+
+  // Shut down the write side (half-close).
+  void shutdown_write();
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+ private:
+  Fd fd_;
+};
+
+// A listening TCP socket on 127.0.0.1.
+class TcpListener {
+ public:
+  // Binds to 127.0.0.1:`port` (0 = ephemeral); throws appx::Error.
+  explicit TcpListener(std::uint16_t port);
+
+  // The actual bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; returns an invalid stream if the
+  // listener was closed from another thread.
+  TcpStream accept();
+
+  // Unblocks accept() permanently (used for shutdown).
+  void close();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace appx::net

@@ -1,0 +1,275 @@
+#include "pattern/regex.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace appx::pattern {
+
+namespace {
+constexpr std::string_view kMetaChars = ".*+?()[]|\\^$";
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: recursive descent over
+//   alt    := concat ('|' concat)*
+//   concat := repeat*
+//   repeat := atom ('*' | '+' | '?')*
+//   atom   := char | '.' | class | '(' alt ')'
+// Each production returns an NFA fragment (start state + dangling exits).
+// ---------------------------------------------------------------------------
+
+struct Regex::Parser {
+  Regex& re;
+  std::string_view src;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= src.size(); }
+  char peek() const { return src[pos]; }
+  char take() { return src[pos++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("regex '" + std::string(src) + "': " + message);
+  }
+
+  Fragment parse_alt() {
+    Fragment left = parse_concat();
+    while (!at_end() && peek() == '|') {
+      take();
+      Fragment right = parse_concat();
+      // New split state with epsilon edges to both branches.
+      State split;
+      const std::int32_t s = re.add_state(split);
+      re.states_[static_cast<std::size_t>(s)].eps.push_back(left.start);
+      re.states_[static_cast<std::size_t>(s)].eps.push_back(right.start);
+      Fragment merged;
+      merged.start = s;
+      merged.dangling = left.dangling;
+      merged.dangling.insert(merged.dangling.end(), right.dangling.begin(),
+                             right.dangling.end());
+      left = std::move(merged);
+    }
+    return left;
+  }
+
+  Fragment parse_concat() {
+    // An empty concat (e.g. "(|a)" branch or whole-empty regex) is a single
+    // epsilon state.
+    if (at_end() || peek() == '|' || peek() == ')') {
+      State s;
+      const std::int32_t id = re.add_state(s);
+      return Fragment{id, {id}};
+    }
+    Fragment frag = parse_repeat();
+    while (!at_end() && peek() != '|' && peek() != ')') {
+      Fragment next = parse_repeat();
+      re.patch(frag.dangling, next.start);
+      frag.dangling = std::move(next.dangling);
+    }
+    return frag;
+  }
+
+  Fragment parse_repeat() {
+    Fragment frag = parse_atom();
+    while (!at_end() && (peek() == '*' || peek() == '+' || peek() == '?')) {
+      const char op = take();
+      State split;
+      const std::int32_t s = re.add_state(split);
+      if (op == '*') {
+        re.states_[static_cast<std::size_t>(s)].eps.push_back(frag.start);
+        re.patch(frag.dangling, s);
+        frag = Fragment{s, {s}};
+      } else if (op == '+') {
+        re.states_[static_cast<std::size_t>(s)].eps.push_back(frag.start);
+        re.patch(frag.dangling, s);
+        frag = Fragment{frag.start, {s}};
+      } else {  // '?'
+        re.states_[static_cast<std::size_t>(s)].eps.push_back(frag.start);
+        Fragment out{s, {s}};
+        out.dangling.insert(out.dangling.end(), frag.dangling.begin(), frag.dangling.end());
+        frag = std::move(out);
+      }
+    }
+    return frag;
+  }
+
+  Fragment parse_atom() {
+    if (at_end()) fail("unexpected end of expression");
+    const char c = take();
+    switch (c) {
+      case '(': {
+        Fragment inner = parse_alt();
+        if (at_end() || take() != ')') fail("missing ')'");
+        return inner;
+      }
+      case '[':
+        return parse_class();
+      case '.': {
+        State s;
+        s.kind = State::Kind::kAny;
+        const std::int32_t id = re.add_state(s);
+        return Fragment{id, {id}};
+      }
+      case '\\': {
+        if (at_end()) fail("dangling escape");
+        return literal_atom(unescape(take()));
+      }
+      case '*':
+      case '+':
+      case '?':
+        fail("quantifier with nothing to repeat");
+      case ')':
+        fail("unbalanced ')'");
+      case '|':
+        fail("internal: '|' reached parse_atom");
+      default:
+        return literal_atom(c);
+    }
+  }
+
+  static char unescape(char c) {
+    switch (c) {
+      case 'n': return '\n';
+      case 'r': return '\r';
+      case 't': return '\t';
+      default: return c;  // escaped metachar or literal
+    }
+  }
+
+  Fragment literal_atom(char c) {
+    State s;
+    s.kind = State::Kind::kChar;
+    s.ch = c;
+    const std::int32_t id = re.add_state(s);
+    return Fragment{id, {id}};
+  }
+
+  Fragment parse_class() {
+    std::vector<std::uint8_t> bitmap(256, 0);
+    bool negate = false;
+    if (!at_end() && peek() == '^') {
+      negate = true;
+      take();
+    }
+    bool first = true;
+    while (true) {
+      if (at_end()) fail("unterminated character class");
+      char c = take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (at_end()) fail("dangling escape in class");
+        c = unescape(take());
+      }
+      if (!at_end() && peek() == '-' && pos + 1 < src.size() && src[pos + 1] != ']') {
+        take();  // '-'
+        char hi = take();
+        if (hi == '\\') {
+          if (at_end()) fail("dangling escape in class");
+          hi = unescape(take());
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          fail("inverted range in character class");
+        }
+        for (int b = static_cast<unsigned char>(c); b <= static_cast<unsigned char>(hi); ++b) {
+          bitmap[static_cast<std::size_t>(b)] = 1;
+        }
+      } else {
+        bitmap[static_cast<unsigned char>(c)] = 1;
+      }
+    }
+    if (negate) {
+      for (auto& bit : bitmap) bit = !bit;
+    }
+    State s;
+    s.kind = State::Kind::kClass;
+    s.cls = static_cast<std::uint32_t>(re.class_sets_.size());
+    re.class_sets_.push_back(std::move(bitmap));
+    const std::int32_t id = re.add_state(s);
+    return Fragment{id, {id}};
+  }
+};
+
+Regex::Regex(std::string_view expression) : source_(expression) {
+  Parser parser{*this, expression};
+  Fragment frag = parser.parse_alt();
+  if (!parser.at_end()) parser.fail("unbalanced ')'");
+  State accept;
+  accept_ = add_state(accept);
+  patch(frag.dangling, accept_);
+  start_ = frag.start;
+}
+
+std::int32_t Regex::add_state(State s) {
+  states_.push_back(std::move(s));
+  return static_cast<std::int32_t>(states_.size() - 1);
+}
+
+void Regex::patch(const std::vector<std::int32_t>& dangling, std::int32_t target) {
+  for (std::int32_t id : dangling) {
+    State& s = states_[static_cast<std::size_t>(id)];
+    if (s.kind == State::Kind::kNone) {
+      s.eps.push_back(target);
+    } else {
+      s.next = target;
+    }
+  }
+}
+
+void Regex::add_closure(std::int32_t id, std::vector<std::int32_t>& set,
+                        std::vector<std::uint8_t>& mark) const {
+  if (mark[static_cast<std::size_t>(id)]) return;
+  mark[static_cast<std::size_t>(id)] = 1;
+  set.push_back(id);
+  for (std::int32_t e : states_[static_cast<std::size_t>(id)].eps) add_closure(e, set, mark);
+}
+
+bool Regex::full_match(std::string_view input) const {
+  return longest_prefix_match(input) == static_cast<std::ptrdiff_t>(input.size());
+}
+
+std::ptrdiff_t Regex::longest_prefix_match(std::string_view input) const {
+  std::vector<std::int32_t> current;
+  std::vector<std::uint8_t> mark(states_.size(), 0);
+  add_closure(start_, current, mark);
+
+  std::ptrdiff_t best = -1;
+  auto is_accepting = [&](const std::vector<std::int32_t>& set) {
+    return std::find(set.begin(), set.end(), accept_) != set.end();
+  };
+  if (is_accepting(current)) best = 0;
+
+  std::vector<std::int32_t> next;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(input[i]);
+    next.clear();
+    std::fill(mark.begin(), mark.end(), 0);
+    for (std::int32_t id : current) {
+      const State& s = states_[static_cast<std::size_t>(id)];
+      bool consume = false;
+      switch (s.kind) {
+        case State::Kind::kChar: consume = (static_cast<unsigned char>(s.ch) == c); break;
+        case State::Kind::kAny: consume = true; break;
+        case State::Kind::kClass: consume = class_sets_[s.cls][c] != 0; break;
+        case State::Kind::kNone: break;
+      }
+      if (consume && s.next >= 0) add_closure(s.next, next, mark);
+    }
+    if (next.empty()) return best;
+    current.swap(next);
+    if (is_accepting(current)) best = static_cast<std::ptrdiff_t>(i + 1);
+  }
+  return best;
+}
+
+std::string Regex::escape(std::string_view literal) {
+  std::string out;
+  out.reserve(literal.size());
+  for (char c : literal) {
+    if (kMetaChars.find(c) != std::string_view::npos) out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace appx::pattern

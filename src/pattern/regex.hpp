@@ -1,0 +1,81 @@
+// A small regular-expression engine.
+//
+// Transaction signatures extracted by the static analysis are regular
+// expressions over URIs, header values and body fields (paper Fig. 5:
+// ".*/api/get-feed", "cid: .*", "offset: (0|-1)"). Matching them is on the
+// proxy's per-message fast path, so we implement the needed subset directly
+// as a Thompson NFA rather than going through std::regex:
+//
+//   literals, '.', character classes [a-z0-9_] (with ranges and '^'
+//   negation), grouping (...), alternation '|', postfix '*', '+', '?',
+//   and '\' escapes.
+//
+// Matches are whole-string (anchored at both ends), which is how the paper's
+// signatures are written; use ".*" affixes for substring behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appx::pattern {
+
+class Regex {
+ public:
+  // Compiles the expression; throws appx::ParseError on invalid syntax.
+  explicit Regex(std::string_view expression);
+
+  Regex(const Regex&) = default;
+  Regex(Regex&&) noexcept = default;
+  Regex& operator=(const Regex&) = default;
+  Regex& operator=(Regex&&) noexcept = default;
+
+  // True if the entire input matches.
+  bool full_match(std::string_view input) const;
+
+  // Length of the longest prefix of `input` that the expression matches, or
+  // -1 if no prefix (not even the empty one) matches. Used by template
+  // extraction.
+  std::ptrdiff_t longest_prefix_match(std::string_view input) const;
+
+  const std::string& source() const { return source_; }
+
+  // Escapes all metacharacters so the result matches `literal` exactly.
+  static std::string escape(std::string_view literal);
+
+ private:
+  struct State {
+    // Transition kinds: epsilon edges in eps[], plus at most one consuming
+    // edge described by (kind, lo/hi or class bitmap index).
+    enum class Kind : std::uint8_t { kNone, kChar, kAny, kClass };
+    Kind kind = Kind::kNone;
+    char ch = 0;             // for kChar
+    std::uint32_t cls = 0;   // index into class_sets_ for kClass
+    std::int32_t next = -1;  // target of the consuming edge
+    std::vector<std::int32_t> eps;
+  };
+
+  struct Fragment {
+    std::int32_t start;
+    std::vector<std::int32_t> dangling;  // states whose `next`/eps needs patching
+  };
+
+  // --- compilation ---
+  struct Parser;
+  std::int32_t add_state(State s);
+  void patch(const std::vector<std::int32_t>& dangling, std::int32_t target);
+
+  // --- simulation ---
+  void add_closure(std::int32_t s, std::vector<std::int32_t>& set,
+                   std::vector<std::uint8_t>& mark) const;
+
+  std::string source_;
+  std::vector<State> states_;
+  std::vector<std::vector<std::uint8_t>> class_sets_;  // 256-bit bitmaps
+  std::int32_t start_ = -1;
+  std::int32_t accept_ = -1;
+};
+
+}  // namespace appx::pattern

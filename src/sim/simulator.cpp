@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace appx::sim {
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) throw InvalidArgumentError("Simulator::schedule: negative delay");
+  queue_.push(Event{now_ + delay, seq_++, std::move(fn)});
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so copy the header fields and steal the callable.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  now_ = std::max(now_, t);
+}
+
+Link::Link(Simulator* sim, Duration latency, double bits_per_second)
+    : sim_(sim), latency_(latency), bits_per_second_(bits_per_second) {
+  if (sim == nullptr) throw InvalidArgumentError("Link: null simulator");
+  if (latency < 0) throw InvalidArgumentError("Link: negative latency");
+}
+
+void Link::send(Bytes size, std::function<void()> on_arrival) {
+  if (size < 0) throw InvalidArgumentError("Link::send: negative size");
+  bytes_carried_ += size;
+  ++messages_carried_;
+
+  const SimTime now = sim_->now();
+  Duration serialization = 0;
+  if (bits_per_second_ > 0) serialization = transmission_delay(size, bits_per_second_);
+
+  // FIFO bottleneck: a transfer starts when the link is free.
+  const SimTime start = std::max(now, busy_until_);
+  const SimTime done_sending = start + serialization;
+  busy_until_ = done_sending;
+
+  const SimTime arrival = done_sending + latency_;
+  sim_->schedule(arrival - now, std::move(on_arrival));
+}
+
+}  // namespace appx::sim

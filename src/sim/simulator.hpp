@@ -1,0 +1,94 @@
+// Discrete-event network simulation substrate.
+//
+// Replaces the paper's physical testbed (Nexus 6 on a wired LAN, mitmproxy
+// host, commercial origin servers). The evaluation metric — user-perceived
+// latency — is a function of propagation delay (RTT), serialisation delay
+// (bandwidth), server processing time and request chain structure; a DES
+// reproduces that arithmetic exactly and deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace appx::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run `delay` microseconds from now (delay >= 0).
+  void schedule(Duration delay, std::function<void()> fn);
+
+  // Run until the event queue is empty.
+  void run();
+
+  // Run events with time <= t, then advance the clock to t.
+  void run_until(SimTime t);
+
+  std::size_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO among simultaneous events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// A unidirectional link with fixed propagation latency and a serialising
+// bandwidth bottleneck: transfers queue FIFO behind each other, so a 315 KB
+// image delays the requests behind it — matching access-link behaviour.
+class Link {
+ public:
+  // bits_per_second <= 0 means infinite bandwidth.
+  Link(Simulator* sim, Duration latency, double bits_per_second);
+
+  // Deliver `size` bytes; `on_arrival` fires at the receiver.
+  void send(Bytes size, std::function<void()> on_arrival);
+
+  Duration latency() const { return latency_; }
+  Bytes bytes_carried() const { return bytes_carried_; }
+  std::size_t messages_carried() const { return messages_carried_; }
+
+ private:
+  Simulator* sim_;
+  Duration latency_;
+  double bits_per_second_;
+  SimTime busy_until_ = 0;
+  Bytes bytes_carried_ = 0;
+  std::size_t messages_carried_ = 0;
+};
+
+// A bidirectional channel: paired links with shared parameters, as the
+// experiments configure them ("RTT of 55 ms and bandwidth of 25 Mbps between
+// the client and proxy").
+class Channel {
+ public:
+  Channel(Simulator* sim, Duration rtt, double bits_per_second)
+      : up_(sim, rtt / 2, bits_per_second), down_(sim, rtt / 2, bits_per_second) {}
+
+  Link& up() { return up_; }      // client -> server direction
+  Link& down() { return down_; }  // server -> client direction
+  Duration rtt() const { return up_.latency() + down_.latency(); }
+
+ private:
+  Link up_;
+  Link down_;
+};
+
+}  // namespace appx::sim

@@ -1,0 +1,184 @@
+#include "trace/trace.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace appx::trace {
+
+using apps::Interaction;
+
+namespace {
+
+// Offline prerequisite check mirroring AppClient::can_run: an interaction is
+// runnable when every external dependency endpoint has been fetched by a
+// previous interaction of the session.
+bool runnable(const apps::AppSpec& spec, const Interaction& interaction,
+              const std::set<std::string>& fetched) {
+  std::set<std::string> will_have = fetched;
+  for (const auto& wave : interaction.waves) {
+    for (const apps::WaveStep& step : wave) {
+      const apps::EndpointSpec& ep = spec.endpoint(step.endpoint);
+      for (const apps::FieldSpec* f : ep.dep_fields()) {
+        if (!will_have.contains(f->value.dep_endpoint)) return false;
+      }
+    }
+    for (const apps::WaveStep& step : wave) will_have.insert(step.endpoint);
+  }
+  return true;
+}
+
+void mark_fetched(const apps::AppSpec& spec, const Interaction& interaction,
+                  std::set<std::string>& fetched) {
+  for (const auto& wave : interaction.waves) {
+    for (const apps::WaveStep& step : wave) {
+      const apps::EndpointSpec& ep = spec.endpoint(step.endpoint);
+      if (!ep.opaque) fetched.insert(ep.label);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<UserTrace> generate_traces(const apps::AppSpec& spec, const TraceParams& params) {
+  std::vector<UserTrace> traces;
+  Rng master(params.seed);
+
+  for (int u = 0; u < params.users; ++u) {
+    Rng rng = master.fork();
+    UserTrace trace;
+    trace.user_id = "user" + std::to_string(u);
+
+    std::set<std::string> fetched;
+    Duration t = 0;
+    trace.events.push_back({t, apps::kLaunchInteraction, 0});
+    mark_fetched(spec, spec.interaction(apps::kLaunchInteraction), fetched);
+    // Launch itself takes a few seconds of session time.
+    t += seconds(3);
+
+    while (t < params.session_length) {
+      t += static_cast<Duration>(rng.exponential(static_cast<double>(params.mean_think_time)));
+      if (t >= params.session_length) break;
+
+      // Weighted pick over user-visible interactions that are runnable now.
+      double total = 0;
+      for (const Interaction& it : spec.interactions) {
+        if (it.user_weight <= 0) continue;
+        if (!runnable(spec, it, fetched)) continue;
+        total += it.user_weight;
+      }
+      if (total <= 0) break;
+      double draw = rng.uniform(0, total);
+      const Interaction* chosen = nullptr;
+      for (const Interaction& it : spec.interactions) {
+        if (it.user_weight <= 0 || !runnable(spec, it, fetched)) continue;
+        draw -= it.user_weight;
+        if (draw <= 0) {
+          chosen = &it;
+          break;
+        }
+      }
+      if (chosen == nullptr) break;
+
+      std::size_t selection = 0;
+      const auto& first_wave = chosen->waves.front();
+      if (!first_wave.empty()) {
+        const apps::EndpointSpec& ep = spec.endpoint(first_wave.front().endpoint);
+        for (const apps::FieldSpec* f : ep.dep_fields()) {
+          std::string prefix, remainder;
+          if (apps::split_wildcard_path(f->value.dep_path, prefix, remainder)) {
+            const apps::EndpointSpec& pred = spec.endpoint(f->value.dep_endpoint);
+            if (pred.list_count > 0) {
+              selection = rng.zipf(static_cast<std::size_t>(pred.list_count),
+                                   params.selection_zipf_skew);
+            }
+            break;
+          }
+        }
+      }
+      trace.events.push_back({t, chosen->name, selection});
+      mark_fetched(spec, *chosen, fetched);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<std::uint8_t> serialize_traces(const std::vector<UserTrace>& traces) {
+  ByteWriter out;
+  out.u32(0x53435254);  // 'TRCS'
+  out.u32(1);
+  out.u32(static_cast<std::uint32_t>(traces.size()));
+  for (const UserTrace& trace : traces) {
+    out.str(trace.user_id);
+    out.u32(static_cast<std::uint32_t>(trace.events.size()));
+    for (const TraceEvent& event : trace.events) {
+      out.i64(event.at);
+      out.str(event.interaction);
+      out.u32(static_cast<std::uint32_t>(event.selection));
+    }
+  }
+  return out.take();
+}
+
+std::vector<UserTrace> deserialize_traces(const std::vector<std::uint8_t>& data) {
+  ByteReader in(data);
+  if (in.u32() != 0x53435254) throw ParseError("traces: bad magic");
+  if (in.u32() != 1) throw ParseError("traces: unsupported version");
+  std::vector<UserTrace> traces;
+  const std::uint32_t ntraces = in.u32();
+  traces.reserve(ntraces);
+  for (std::uint32_t i = 0; i < ntraces; ++i) {
+    UserTrace trace;
+    trace.user_id = in.str();
+    const std::uint32_t nevents = in.u32();
+    trace.events.reserve(nevents);
+    for (std::uint32_t j = 0; j < nevents; ++j) {
+      TraceEvent event;
+      event.at = in.i64();
+      event.interaction = in.str();
+      event.selection = in.u32();
+      trace.events.push_back(std::move(event));
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+TraceReplayer::TraceReplayer(apps::AppClient* client, sim::Simulator* sim)
+    : client_(client), sim_(sim) {
+  if (client == nullptr) throw InvalidArgumentError("TraceReplayer: null client");
+  if (sim == nullptr) throw InvalidArgumentError("TraceReplayer: null simulator");
+}
+
+void TraceReplayer::replay(const UserTrace& trace, std::function<void()> done) {
+  run_event(trace, 0, std::move(done));
+}
+
+void TraceReplayer::run_event(const UserTrace& trace, std::size_t index,
+                              std::function<void()> done) {
+  if (index >= trace.events.size()) {
+    if (done) done();
+    return;
+  }
+  const TraceEvent& event = trace.events[index];
+  // Honour the recorded think time: wait out the event's offset relative to
+  // the previous event. (The caller must keep `trace` alive until `done`.)
+  const Duration gap =
+      index == 0 ? event.at : std::max<Duration>(0, event.at - trace.events[index - 1].at);
+  sim_->schedule(gap, [this, &trace, index, done] {
+    const TraceEvent& ev = trace.events[index];
+    if (!client_->can_run(ev.interaction, ev.selection)) {
+      ++skipped_;
+      run_event(trace, index + 1, done);
+      return;
+    }
+    client_->run_interaction(ev.interaction, ev.selection,
+                             [this, &trace, index, done](const apps::InteractionResult& r) {
+                               results_.push_back(r);
+                               run_event(trace, index + 1, done);
+                             });
+  });
+}
+
+}  // namespace appx::trace

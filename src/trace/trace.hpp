@@ -1,0 +1,71 @@
+// User-study traces (paper §6: 30 participants x 3 minutes per app).
+//
+// The paper recorded real user event streams with Appetizer and replayed
+// them on a phone. We generate statistically-shaped synthetic sessions
+// instead: a launch, then interactions picked by user preference weights
+// with exponential think times and Zipf-distributed item selections, each
+// session honouring interaction prerequisites (you cannot open a merchant
+// page before viewing an item). Traces serialise to a binary format so
+// experiments replay the identical workload across proxy configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "apps/client.hpp"
+#include "apps/spec.hpp"
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace appx::trace {
+
+struct TraceEvent {
+  Duration at = 0;  // offset from session start
+  std::string interaction;
+  std::size_t selection = 0;
+};
+
+struct UserTrace {
+  std::string user_id;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceParams {
+  int users = 30;
+  Duration session_length = minutes(3);
+  Duration mean_think_time = seconds(6);
+  double selection_zipf_skew = 1.1;  // users favour top-of-list items
+  std::uint64_t seed = 7;
+};
+
+// Generate one session per user.
+std::vector<UserTrace> generate_traces(const apps::AppSpec& spec, const TraceParams& params);
+
+// Serialisation for experiment reproducibility.
+std::vector<std::uint8_t> serialize_traces(const std::vector<UserTrace>& traces);
+std::vector<UserTrace> deserialize_traces(const std::vector<std::uint8_t>& data);
+
+// Replays one user's trace through a client. Results for every interaction
+// are appended to `results` (tagged by interaction name); skipped events
+// (dependencies unavailable at replay time) are counted.
+class TraceReplayer {
+ public:
+  TraceReplayer(apps::AppClient* client, sim::Simulator* sim);
+
+  void replay(const UserTrace& trace, std::function<void()> done = {});
+
+  const std::vector<apps::InteractionResult>& results() const { return results_; }
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  void run_event(const UserTrace& trace, std::size_t index, std::function<void()> done);
+
+  apps::AppClient* client_;
+  sim::Simulator* sim_;
+  std::vector<apps::InteractionResult> results_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace appx::trace

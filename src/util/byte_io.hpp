@@ -1,0 +1,62 @@
+// Binary serialisation primitives for the SAPK app-binary format and the
+// signature-set format. Little-endian, length-prefixed, no padding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appx {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  // u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  void raw(const void* data, std::size_t len);
+
+  const std::vector<std::uint8_t>& data() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {}
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Whole-file helpers (throw appx::Error subclasses on failure).
+void write_file(const std::string& path, const std::vector<std::uint8_t>& data);
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace appx

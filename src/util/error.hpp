@@ -1,0 +1,42 @@
+// Exception hierarchy shared by all appx subsystems.
+//
+// Every subsystem throws a subclass of appx::Error so callers can choose
+// between catching a specific failure class (ParseError, ...) or anything
+// raised by the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace appx {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed textual or binary input (HTTP wire data, JSON, patterns, SAPK).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// A lookup for a key/id/path that does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+// An operation that violates an invariant of the receiving object.
+class InvalidStateError : public Error {
+ public:
+  explicit InvalidStateError(const std::string& what) : Error(what) {}
+};
+
+// Bad argument supplied by the caller.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace appx

@@ -1,0 +1,29 @@
+#include "util/hash.hpp"
+
+#include "util/strings.hpp"
+
+namespace appx {
+
+std::uint64_t fnv1a(std::string_view data) { return fnv1a(data.data(), data.size()); }
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::string short_digest(std::string_view data, std::size_t hex_chars) {
+  std::string full = strings::to_hex(fnv1a(data));
+  if (hex_chars < full.size()) full.resize(hex_chars);
+  return full;
+}
+
+}  // namespace appx

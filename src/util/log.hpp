@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The proxy and the analysis pipeline log at Debug/Info; experiments run with
+// the level raised to Warn so measurement loops stay quiet. The logger is a
+// process-wide sink by design (it is configuration, not data flow).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace appx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  // Emit one line at the given level (no-op if below the current level).
+  static void write(LogLevel level, const std::string& component, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= Logger::level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug(std::string component) {
+  return detail::LogLine(LogLevel::kDebug, std::move(component));
+}
+inline detail::LogLine log_info(std::string component) {
+  return detail::LogLine(LogLevel::kInfo, std::move(component));
+}
+inline detail::LogLine log_warn(std::string component) {
+  return detail::LogLine(LogLevel::kWarn, std::move(component));
+}
+inline detail::LogLine log_error(std::string component) {
+  return detail::LogLine(LogLevel::kError, std::move(component));
+}
+
+}  // namespace appx

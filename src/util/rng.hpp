@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible bit-for-bit across platforms, so we avoid
+// std::*_distribution (whose output is implementation-defined) and implement
+// the distributions we need on top of a fixed 64-bit generator
+// (splitmix64-seeded xoshiro256**).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appx {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  // Exponential with the given mean (> 0). Used for think times.
+  double exponential(double mean);
+
+  // Approximately normal (Irwin-Hall sum of 12 uniforms), mean/stddev given.
+  double normal(double mean, double stddev);
+
+  // Zipf-distributed rank in [0, n). s is the skew (s = 0 -> uniform).
+  // Used for item-popularity choices in user traces.
+  std::size_t zipf(std::size_t n, double s);
+
+  // Random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  // Derive an independent child generator (for per-user streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace appx

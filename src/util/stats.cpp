@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appx {
+
+void SampleSet::add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void SampleSet::add_all(const std::vector<double>& values) {
+  samples_.insert(samples_.end(), values.begin(), values.end());
+  sorted_valid_ = false;
+}
+
+double SampleSet::sum() const {
+  double total = 0;
+  for (double v : samples_) total += v;
+  return total;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) throw InvalidStateError("SampleSet::mean on empty set");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) throw InvalidStateError("SampleSet::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) throw InvalidStateError("SampleSet::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) throw InvalidStateError("SampleSet::percentile on empty set");
+  if (q < 0 || q > 1) throw InvalidArgumentError("SampleSet::percentile: q outside [0,1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  const double n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double p = static_cast<double>(i + 1) / n;
+    if (!out.empty() && out.back().first == sorted_[i]) {
+      out.back().second = p;
+    } else {
+      out.emplace_back(sorted_[i], p);
+    }
+  }
+  return out;
+}
+
+RunningAverage::RunningAverage(double alpha) : alpha_(alpha) {
+  if (alpha <= 0 || alpha > 1) throw InvalidArgumentError("RunningAverage: alpha outside (0,1]");
+}
+
+void RunningAverage::add(double value) {
+  value_ = (count_ == 0) ? value : alpha_ * value + (1.0 - alpha_) * value_;
+  ++count_;
+}
+
+void RatioTracker::record(bool hit) {
+  ++total_;
+  if (hit) ++hits_;
+}
+
+double RatioTracker::rate() const {
+  return (static_cast<double>(hits_) + 1.0) / (static_cast<double>(total_) + 2.0);
+}
+
+}  // namespace appx

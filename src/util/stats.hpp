@@ -1,0 +1,74 @@
+// Descriptive statistics over latency / size samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace appx {
+
+// Accumulates samples and answers summary queries. Percentile queries sort a
+// copy lazily; the accumulator itself is append-only.
+class SampleSet {
+ public:
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  // q in [0, 1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+  // (value, cumulative probability) pairs for each distinct sorted sample.
+  std::vector<std::pair<double, double>> cdf() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Exponentially-weighted running average; used by the proxy's prefetch
+// scheduler for per-signature response-time estimates (paper §5).
+class RunningAverage {
+ public:
+  explicit RunningAverage(double alpha = 0.2);
+
+  void add(double value);
+  double value() const { return value_; }
+  bool has_value() const { return count_ > 0; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  std::size_t count_ = 0;
+};
+
+// Hit/miss ratio tracker (also §5: hit-rate-weighted prefetch priority).
+class RatioTracker {
+ public:
+  void record(bool hit);
+  std::size_t hits() const { return hits_; }
+  std::size_t total() const { return total_; }
+  // Laplace-smoothed so unseen signatures start at 0.5 rather than 0.
+  double rate() const;
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace appx

@@ -1,0 +1,187 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace appx::strings {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  return split(s, std::string_view(&sep, 1));
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view sep) {
+  if (sep.empty()) throw InvalidArgumentError("strings::split: empty separator");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(s.substr(pos));
+      return out;
+    }
+    out.emplace_back(s.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::int64_t> to_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> to_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is not universally available pre-gcc11 with
+  // -std=c++20, but gcc 12 has it.
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+namespace {
+bool is_unreserved(unsigned char c) {
+  return std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~';
+}
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string url_encode(std::string_view s) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (is_unreserved(c)) {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  return out;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) throw ParseError("url_decode: truncated percent escape");
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) throw ParseError("url_decode: bad percent escape");
+      out += static_cast<char>((hi << 4) | lo);
+      i += 2;
+    } else if (s[i] == '+') {
+      out += ' ';
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string to_hex(const void* data, std::size_t len) {
+  static const char* kHex = "0123456789abcdef";
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kHex[bytes[i] >> 4];
+    out += kHex[bytes[i] & 0xf];
+  }
+  return out;
+}
+
+std::string to_hex(std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 7; i >= 0; --i) {
+    bytes[i] = static_cast<unsigned char>(value & 0xff);
+    value >>= 8;
+  }
+  return to_hex(bytes, sizeof bytes);
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+  if (from.empty()) throw InvalidArgumentError("strings::replace_all: empty needle");
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(from, pos);
+    if (next == std::string_view::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, next - pos);
+    out += to;
+    pos = next + from.size();
+  }
+}
+
+}  // namespace appx::strings

@@ -1,0 +1,48 @@
+// Small string helpers used across parsing code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appx::strings {
+
+// Split on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Split on a separator string. Requires non-empty sep.
+std::vector<std::string> split(std::string_view s, std::string_view sep);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view s, std::string_view needle);
+
+// ASCII case conversion (locale-independent).
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+bool iequals(std::string_view a, std::string_view b);
+
+// Parse a decimal integer; rejects trailing garbage.
+std::optional<std::int64_t> to_int(std::string_view s);
+std::optional<double> to_double(std::string_view s);
+
+// Percent-encoding per RFC 3986 (unreserved chars kept verbatim).
+std::string url_encode(std::string_view s);
+std::string url_decode(std::string_view s);
+
+// Lower-case hex rendering of raw bytes.
+std::string to_hex(const void* data, std::size_t len);
+std::string to_hex(std::uint64_t value);
+
+// Replace every occurrence of `from` with `to`. Requires non-empty `from`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+}  // namespace appx::strings

@@ -1,0 +1,36 @@
+// Simulation-wide unit types.
+//
+// All simulated time is integer microseconds so event ordering is exact;
+// helpers convert to/from human units. Sizes are plain bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace appx {
+
+// Microseconds since simulation start.
+using SimTime = std::int64_t;
+// A span of simulated time, also microseconds.
+using Duration = std::int64_t;
+
+using Bytes = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t us) { return us; }
+constexpr Duration milliseconds(double ms) { return static_cast<Duration>(ms * 1000.0); }
+constexpr Duration seconds(double s) { return static_cast<Duration>(s * 1'000'000.0); }
+constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+constexpr Bytes kilobytes(double kb) { return static_cast<Bytes>(kb * 1024.0); }
+constexpr Bytes megabytes(double mb) { return static_cast<Bytes>(mb * 1024.0 * 1024.0); }
+
+// Bandwidth in bits per second; transmission delay of `size` bytes.
+constexpr Duration transmission_delay(Bytes size, double bits_per_second) {
+  return static_cast<Duration>(static_cast<double>(size) * 8.0 / bits_per_second * 1'000'000.0);
+}
+
+constexpr double mbps(double megabits_per_second) { return megabits_per_second * 1'000'000.0; }
+
+}  // namespace appx

@@ -1,0 +1,348 @@
+// Tests for the app substrate: specs, the spec->IR compiler, origin servers,
+// the client engine, and the end-to-end consistency property that makes the
+// reproduction sound: client traffic matches the statically-derived
+// signatures byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/analyzer.hpp"
+#include "apps/catalog.hpp"
+#include "apps/client.hpp"
+#include "apps/compiler.hpp"
+#include "apps/content.hpp"
+#include "apps/server.hpp"
+#include "util/error.hpp"
+
+namespace appx::apps {
+namespace {
+
+// --- spec ------------------------------------------------------------------------
+
+TEST(AppSpec, AllCatalogAppsValidate) {
+  for (const AppSpec& app : make_all_apps()) {
+    EXPECT_NO_THROW(app.validate()) << app.name;
+    EXPECT_FALSE(app.endpoints.empty());
+    EXPECT_FALSE(app.interactions.empty());
+    EXPECT_NO_THROW(app.interaction(app.main_interaction));
+  }
+}
+
+TEST(AppSpec, EndpointLookup) {
+  const AppSpec app = make_wish();
+  EXPECT_EQ(app.endpoint("feed").path, "/api/get-feed");
+  EXPECT_EQ(app.find_endpoint("nope"), nullptr);
+  EXPECT_THROW(app.endpoint("nope"), NotFoundError);
+}
+
+TEST(AppSpec, SuccessorsAndRoots) {
+  const AppSpec app = make_wish();
+  const auto succ = app.successors_of("feed");
+  EXPECT_GT(succ.size(), 3u);  // thumb, detail, related, aux*
+  const auto roots = app.roots();
+  EXPECT_TRUE(std::any_of(roots.begin(), roots.end(),
+                          [](const EndpointSpec* ep) { return ep->label == "feed"; }));
+  EXPECT_TRUE(std::none_of(roots.begin(), roots.end(),
+                           [](const EndpointSpec* ep) { return ep->label == "detail"; }));
+}
+
+TEST(AppSpec, RttPerHost) {
+  const AppSpec app = make_wish();
+  EXPECT_EQ(app.rtt_for_host("api.wish.example"), milliseconds(165));
+  EXPECT_EQ(app.rtt_for_host("img.wish.example"), milliseconds(16));
+  EXPECT_EQ(app.rtt_for_host("unknown.example"), app.default_rtt);
+}
+
+TEST(AppSpec, ValidationCatchesBadDeps) {
+  AppSpec app = make_wish();
+  app.endpoints[2].fields.push_back(
+      {core::FieldLocation::kBody, "x", ValueSpec::dep("missing", "a.b"), false, ""});
+  EXPECT_THROW(app.validate(), InvalidArgumentError);
+}
+
+TEST(AppSpec, ValidationCatchesUnproducedPath) {
+  AppSpec app = make_wish();
+  // detail reads a path feed does not produce.
+  for (EndpointSpec& ep : app.endpoints) {
+    if (ep.label == "detail") {
+      ep.fields.push_back(
+          {core::FieldLocation::kBody, "bad", ValueSpec::dep("feed", "data.nope"), false, ""});
+    }
+  }
+  EXPECT_THROW(app.validate(), InvalidArgumentError);
+}
+
+TEST(SplitWildcardPath, Cases) {
+  std::string prefix, remainder;
+  ASSERT_TRUE(split_wildcard_path("data.items[*].id", prefix, remainder));
+  EXPECT_EQ(prefix, "data.items");
+  EXPECT_EQ(remainder, "id");
+  ASSERT_TRUE(split_wildcard_path("a.b[*]", prefix, remainder));
+  EXPECT_EQ(prefix, "a.b");
+  EXPECT_EQ(remainder, "");
+  EXPECT_FALSE(split_wildcard_path("a.b.c", prefix, remainder));
+}
+
+// --- content / server ----------------------------------------------------------------
+
+TEST(Content, Deterministic) {
+  EXPECT_EQ(derive_value(ProducesSpec::Kind::kId, "feed", "s", 3, 0),
+            derive_value(ProducesSpec::Kind::kId, "feed", "s", 3, 0));
+  EXPECT_NE(derive_value(ProducesSpec::Kind::kId, "feed", "s", 3, 0),
+            derive_value(ProducesSpec::Kind::kId, "feed", "s", 4, 0));
+  EXPECT_NE(derive_value(ProducesSpec::Kind::kId, "feed", "s", 3, 0),
+            derive_value(ProducesSpec::Kind::kId, "feed", "s", 3, 1));  // epoch churn
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : app_(make_wish()), server_(&app_) {}
+
+  http::Request feed_request() const {
+    http::Request req;
+    req.method = "POST";
+    req.uri = http::Uri::parse("https://api.wish.example/api/get-feed?offset=0&count=30");
+    req.headers.set("Cookie", "c");
+    req.headers.set("User-Agent", "ua");
+    req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+    return req;
+  }
+
+  AppSpec app_;
+  OriginServer server_;
+};
+
+TEST_F(ServerTest, FeedResponseHasConfiguredListShape) {
+  const auto resp = server_.serve(feed_request());
+  ASSERT_TRUE(resp.ok());
+  const auto body = json::parse(resp.body);
+  const auto ids = json::Path("data.items[*].id").resolve(body);
+  EXPECT_EQ(ids.size(), 30u);
+  // Deterministic: serving again yields the identical body.
+  EXPECT_EQ(server_.serve(feed_request()).body, resp.body);
+}
+
+TEST_F(ServerTest, DetailSeededByCid) {
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://api.wish.example/product/get");
+  req.set_form_fields({{"cid", "abc123"}});
+  const auto resp = server_.serve(req);
+  ASSERT_TRUE(resp.ok());
+  const auto body = json::parse(resp.body);
+  EXPECT_NE(json::Path("data.contest.merchant_name").resolve_first(body), nullptr);
+
+  // Different cid -> different content.
+  http::Request req2 = req;
+  req2.set_form_fields({{"cid", "zzz999"}});
+  EXPECT_NE(server_.serve(req2).body, resp.body);
+}
+
+TEST_F(ServerTest, OpaqueEndpointChargesPayload) {
+  http::Request req;
+  req.uri = http::Uri::parse("https://img.wish.example/photo?pid=x1");
+  const auto resp = server_.serve(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.opaque_payload, kilobytes(315));
+  EXPECT_TRUE(resp.body.empty());
+}
+
+TEST_F(ServerTest, UnknownEndpointIs404) {
+  http::Request req;
+  req.uri = http::Uri::parse("https://api.wish.example/nope");
+  EXPECT_EQ(server_.serve(req).status, 404);
+}
+
+TEST_F(ServerTest, MissingSeedIs400) {
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://api.wish.example/product/get");
+  req.set_form_fields({{"other", "x"}});
+  EXPECT_EQ(server_.serve(req).status, 400);
+}
+
+TEST_F(ServerTest, EpochChangesContent) {
+  const auto before = server_.serve(feed_request()).body;
+  server_.set_epoch(1);
+  EXPECT_NE(server_.serve(feed_request()).body, before);
+}
+
+TEST_F(ServerTest, ProcDelayExposed) {
+  EXPECT_GT(server_.proc_delay(feed_request()), 0);
+  http::Request unknown;
+  unknown.uri = http::Uri::parse("https://api.wish.example/nope");
+  EXPECT_EQ(server_.proc_delay(unknown), 0);
+}
+
+// --- compiler + analysis on catalog apps ------------------------------------------------
+
+TEST(Compiler, WishProgramAnalyzesToTableThreeScale) {
+  const AppSpec app = make_wish();
+  const auto program = compile_app(app);
+  EXPECT_GT(program.instruction_count(), 1000u);
+  const auto result = analysis::analyze(program);
+
+  // Table 3, Wish row: 120 signatures / 33 prefetchable / 794 deps / len 12.
+  // The generator targets that scale; assert a tolerant band so parameter
+  // tweaks don't break the suite (bench_table3 prints exact values).
+  EXPECT_NEAR(static_cast<double>(result.signatures.size()), 120.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(result.signatures.prefetchable().size()), 33.0, 6.0);
+  EXPECT_NEAR(static_cast<double>(result.signatures.edges().size()), 794.0, 80.0);
+  EXPECT_EQ(result.signatures.max_chain_length(), 12u);
+}
+
+TEST(Compiler, AllAppsCompileAndAnalyze) {
+  for (const AppSpec& app : make_all_apps()) {
+    const auto program = compile_app(app);
+    const auto result = analysis::analyze(program);
+    EXPECT_EQ(result.signatures.size(), app.endpoints.size()) << app.name;
+    EXPECT_GT(result.signatures.edges().size(), 50u) << app.name;
+    EXPECT_GE(result.signatures.max_chain_length(), 4u) << app.name;
+  }
+}
+
+TEST(Compiler, SignaturesMatchClientTraffic) {
+  // The end-to-end soundness property: every request the client engine emits
+  // matches exactly one statically-derived signature.
+  const AppSpec app = make_wish();
+  const auto result = analysis::analyze(compile_app(app));
+
+  sim::Simulator sim;
+  OriginServer server(&app);
+  std::vector<http::Request> sent;
+  AppClient client(&app, ClientEnv::for_user(app, "u1"), &sim,
+                   [&](http::Request req, std::function<void(http::Response)> cb) {
+                     sent.push_back(req);
+                     const auto resp = server.serve(req);
+                     sim.schedule(milliseconds(1), [cb, resp] { cb(resp); });
+                   });
+
+  bool launch_done = false;
+  client.run_interaction(kLaunchInteraction, 0, [&](const InteractionResult& r) {
+    launch_done = true;
+    EXPECT_TRUE(r.ok);
+  });
+  sim.run();
+  ASSERT_TRUE(launch_done);
+  ASSERT_TRUE(client.can_run(kMainInteraction, 2));
+  client.run_interaction(kMainInteraction, 2, [](const InteractionResult&) {});
+  client.run_interaction(kMerchantInteraction, 0, [](const InteractionResult&) {});
+  sim.run();
+
+  ASSERT_GT(sent.size(), 30u);
+  for (const http::Request& req : sent) {
+    const auto* sig = result.signatures.match_request(req);
+    EXPECT_NE(sig, nullptr) << "unmatched request: " << req.uri.serialize();
+  }
+}
+
+// --- client engine ------------------------------------------------------------------------
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : app_(make_wish()),
+        server_(&app_),
+        client_(&app_, ClientEnv::for_user(app_, "u1"), &sim_, make_transport()) {}
+
+  AppClient::Transport make_transport() {
+    return [this](http::Request req, std::function<void(http::Response)> cb) {
+      ++requests_;
+      const auto resp = server_.serve(req);
+      const Duration delay = milliseconds(10) + server_.proc_delay(req);
+      sim_.schedule(delay, [cb, resp] { cb(resp); });
+    };
+  }
+
+  sim::Simulator sim_;
+  AppSpec app_;
+  OriginServer server_;
+  AppClient client_;
+  std::size_t requests_ = 0;
+};
+
+TEST_F(ClientTest, LaunchIssuesFeedAndThumbnails) {
+  InteractionResult result;
+  client_.run_interaction(kLaunchInteraction, 0, [&](const InteractionResult& r) { result = r; });
+  sim_.run();
+  // boot_config + feed + 30 thumbnails + aux0 + tab0 + tab0_content.
+  EXPECT_EQ(result.requests, 35u);
+  EXPECT_TRUE(result.ok);
+  EXPECT_GT(result.total, 0);
+  EXPECT_GT(result.network, 0);
+  EXPECT_EQ(result.total, result.network + result.processing);
+  // Three waves, each >= 10 ms of transport.
+  EXPECT_GE(result.network, milliseconds(30));
+}
+
+TEST_F(ClientTest, CannotRunDetailBeforeFeed) {
+  EXPECT_FALSE(client_.can_run(kMainInteraction, 0));
+  InteractionResult result;
+  client_.run_interaction(kMainInteraction, 0, [&](const InteractionResult& r) { result = r; });
+  sim_.run();
+  EXPECT_FALSE(result.ok);  // dependency unavailable
+}
+
+TEST_F(ClientTest, SelectionOutOfRangeRejected) {
+  client_.run_interaction(kLaunchInteraction, 0, [](const InteractionResult&) {});
+  sim_.run();
+  EXPECT_TRUE(client_.can_run(kMainInteraction, 29));
+  EXPECT_FALSE(client_.can_run(kMainInteraction, 30));
+}
+
+TEST_F(ClientTest, DetailUsesSelectedItemId) {
+  client_.run_interaction(kLaunchInteraction, 0, [](const InteractionResult&) {});
+  sim_.run();
+  const json::Value* feed = client_.last_response("feed");
+  ASSERT_NE(feed, nullptr);
+  const std::string expected_id =
+      json::Path("data.items[5].id").resolve_first(*feed)->as_string();
+
+  const auto req = client_.build_request(app_.endpoint("detail"), 5);
+  ASSERT_TRUE(req.has_value());
+  const auto fields = req->form_fields();
+  const auto cid = std::find_if(fields.begin(), fields.end(),
+                                [](const auto& kv) { return kv.first == "cid"; });
+  ASSERT_NE(cid, fields.end());
+  EXPECT_EQ(cid->second, expected_id);
+}
+
+TEST_F(ClientTest, ConditionalFieldFollowsEnvFlag) {
+  client_.run_interaction(kLaunchInteraction, 0, [](const InteractionResult&) {});
+  sim_.run();
+  auto without = client_.build_request(app_.endpoint("detail"), 0);
+  ASSERT_TRUE(without.has_value());
+  EXPECT_EQ(without->body.find("credit_id"), std::string::npos);
+
+  client_.env().flags.insert("has_credit");
+  auto with = client_.build_request(app_.endpoint("detail"), 0);
+  ASSERT_TRUE(with.has_value());
+  EXPECT_NE(with->body.find("credit_id"), std::string::npos);
+}
+
+TEST_F(ClientTest, MerchantChainRunsAfterDetail) {
+  client_.run_interaction(kLaunchInteraction, 0, [](const InteractionResult&) {});
+  sim_.run();
+  EXPECT_FALSE(client_.can_run(kMerchantInteraction, 0));  // needs detail response
+  client_.run_interaction(kMainInteraction, 1, [](const InteractionResult&) {});
+  sim_.run();
+  ASSERT_TRUE(client_.can_run(kMerchantInteraction, 0));
+  InteractionResult result;
+  client_.run_interaction(kMerchantInteraction, 0,
+                          [&](const InteractionResult& r) { result = r; });
+  sim_.run();
+  EXPECT_TRUE(result.ok);
+  // merchant + ratings + image + 4 items + 1 item photo = 8.
+  EXPECT_EQ(result.requests, 8u);
+}
+
+TEST_F(ClientTest, PerUserEnvDiffers) {
+  const auto e1 = ClientEnv::for_user(app_, "alice");
+  const auto e2 = ClientEnv::for_user(app_, "bob");
+  EXPECT_NE(e1.values.at("cookie"), e2.values.at("cookie"));
+  EXPECT_EQ(e1.values.at("api_host"), e2.values.at("api_host"));
+}
+
+}  // namespace
+}  // namespace appx::apps

@@ -1,0 +1,160 @@
+// Tests for the §7 baseline engines (Looxy-style URL prefetching and the
+// PALOMA-flavoured static-only prefetcher) and the URL extraction helper.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "wish_fixture.hpp"
+
+namespace appx::core {
+namespace {
+
+using testfix::make_wish_set;
+
+// --- URL extraction ------------------------------------------------------------------
+
+TEST(ExtractUrls, FindsUrlsInJson) {
+  const auto urls = extract_urls(
+      R"({"items":[{"thumb":"https://img.example/t?cid=a"},{"thumb":"http://img.example/t?cid=b"}]})");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "https://img.example/t?cid=a");
+  EXPECT_EQ(urls[1], "http://img.example/t?cid=b");
+}
+
+TEST(ExtractUrls, IgnoresNonUrls) {
+  EXPECT_TRUE(extract_urls("no urls here").empty());
+  EXPECT_TRUE(extract_urls("httpx://nope http:/almost https:").empty());
+  EXPECT_TRUE(extract_urls("").empty());
+}
+
+TEST(ExtractUrls, StopsAtDelimiters) {
+  const auto urls = extract_urls("see https://a.com/x<b> and 'https://b.com/y' done");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "https://a.com/x");
+  EXPECT_EQ(urls[1], "https://b.com/y");
+}
+
+// --- LooxyEngine ----------------------------------------------------------------------
+
+http::Request get_request(const std::string& url) {
+  http::Request req;
+  req.uri = http::Uri::parse(url);
+  return req;
+}
+
+TEST(LooxyEngine, PrefetchesEmbeddedUrlsAndServesThem) {
+  LooxyEngine looxy;
+  http::Request feed = get_request("https://api.example/feed");
+  http::Response feed_resp;
+  feed_resp.body = R"({"thumb":"https://img.example/t?cid=a"})";
+
+  EXPECT_FALSE(looxy.on_client_request("u", feed, 0).served.has_value());
+  looxy.on_origin_response("u", feed, feed_resp, 0);
+  auto jobs = looxy.take_prefetches("u", 0);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].request.method, "GET");
+  EXPECT_EQ(jobs[0].request.uri.serialize(), "https://img.example/t?cid=a");
+
+  http::Response img;
+  img.opaque_payload = kilobytes(40);
+  looxy.on_prefetch_response("u", jobs[0], img, 10, 20.0);
+
+  const auto decision = looxy.on_client_request("u", get_request("https://img.example/t?cid=a"), 20);
+  ASSERT_TRUE(decision.served.has_value());
+  EXPECT_EQ(decision.served->opaque_payload, kilobytes(40));
+  EXPECT_EQ(looxy.stats().cache_hits, 1u);
+}
+
+TEST(LooxyEngine, CannotServePostRequests) {
+  // The paper's criticism: dependencies inside request bodies are invisible
+  // to URL scanning.
+  LooxyEngine looxy;
+  http::Request feed = get_request("https://api.example/feed");
+  http::Response resp;
+  resp.body = R"({"id":"09cf"})";  // the dependency value, but no URL
+  looxy.on_origin_response("u", feed, resp, 0);
+  EXPECT_TRUE(looxy.take_prefetches("u", 0).empty());
+}
+
+TEST(LooxyEngine, DeduplicatesUrlsAcrossResponses) {
+  LooxyEngine looxy;
+  http::Request feed = get_request("https://api.example/feed");
+  http::Response resp;
+  resp.body = R"({"a":"https://img.example/t?cid=a","b":"https://img.example/t?cid=a"})";
+  looxy.on_origin_response("u", feed, resp, 0);
+  EXPECT_EQ(looxy.take_prefetches("u", 0).size(), 1u);
+  looxy.on_origin_response("u", feed, resp, 1);
+  EXPECT_TRUE(looxy.take_prefetches("u", 1).empty());
+}
+
+TEST(LooxyEngine, UsersAreIsolated) {
+  LooxyEngine looxy;
+  http::Request feed = get_request("https://api.example/feed");
+  http::Response resp;
+  resp.body = R"({"t":"https://img.example/t?cid=a"})";
+  looxy.on_origin_response("u1", feed, resp, 0);
+  auto jobs = looxy.take_prefetches("u1", 0);
+  ASSERT_EQ(jobs.size(), 1u);
+  http::Response img;
+  looxy.on_prefetch_response("u1", jobs[0], img, 0, 1.0);
+  EXPECT_FALSE(
+      looxy.on_client_request("u2", get_request("https://img.example/t?cid=a"), 1).served);
+  EXPECT_TRUE(
+      looxy.on_client_request("u1", get_request("https://img.example/t?cid=a"), 1).served);
+}
+
+TEST(LooxyEngine, FailedPrefetchNotCached) {
+  LooxyEngine looxy;
+  http::Request feed = get_request("https://api.example/feed");
+  http::Response resp;
+  resp.body = R"({"t":"https://img.example/missing"})";
+  looxy.on_origin_response("u", feed, resp, 0);
+  auto jobs = looxy.take_prefetches("u", 0);
+  ASSERT_EQ(jobs.size(), 1u);
+  http::Response fail;
+  fail.status = 404;
+  looxy.on_prefetch_response("u", jobs[0], fail, 0, 1.0);
+  EXPECT_GT(looxy.stats().prefetch_failures, 0u);
+  EXPECT_FALSE(
+      looxy.on_client_request("u", get_request("https://img.example/missing"), 1).served);
+}
+
+// --- StaticOnlyEngine ------------------------------------------------------------------
+
+TEST(StaticOnlyEngine, NothingReconstructibleFromRealSignatures) {
+  const auto set = make_wish_set();
+  StaticOnlyEngine engine(&set);
+  // Every fixture signature carries run-time holes.
+  EXPECT_EQ(engine.statically_complete(), 0u);
+  EXPECT_TRUE(engine.take_prefetches("u", 0).empty());
+}
+
+TEST(StaticOnlyEngine, PrefetchesFullyConcreteSignatures) {
+  SignatureSet set;
+  TransactionSignature sig;
+  sig.app = "a";
+  sig.label = "static.ping";
+  sig.request.method = "GET";
+  sig.request.scheme = pattern::FieldTemplate::literal("https");
+  sig.request.host = pattern::FieldTemplate::literal("api.example");
+  sig.request.path = pattern::FieldTemplate::literal("/ping");
+  set.add(sig);
+
+  StaticOnlyEngine engine(&set);
+  EXPECT_EQ(engine.statically_complete(), 1u);
+
+  auto jobs = engine.take_prefetches("u", 0);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].request.uri.path, "/ping");
+  // Seeded once per user.
+  EXPECT_TRUE(engine.take_prefetches("u", 0).empty());
+
+  http::Response resp;
+  resp.body = "pong";
+  engine.on_prefetch_response("u", jobs[0], resp, 0, 1.0);
+  const auto decision = engine.on_client_request("u", jobs[0].request, 1);
+  ASSERT_TRUE(decision.served.has_value());
+  EXPECT_EQ(decision.served->body, "pong");
+}
+
+}  // namespace
+}  // namespace appx::core

@@ -1,0 +1,214 @@
+// Unit tests for the proxy configuration model (paper Fig. 9).
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "util/error.hpp"
+
+namespace appx::core {
+namespace {
+
+json::Value product_body(int price, const std::string& merchant = "Silk") {
+  json::Object contest;
+  contest["price"] = price;
+  contest["merchant_name"] = merchant;
+  json::Object data;
+  data["contest"] = std::move(contest);
+  json::Object root;
+  root["data"] = std::move(data);
+  return json::Value(std::move(root));
+}
+
+TEST(FieldCondition, NumericComparisons) {
+  FieldCondition c{"data.contest.price", FieldCondition::Op::kGt, "1000"};
+  EXPECT_TRUE(c.evaluate(product_body(1200)));
+  EXPECT_FALSE(c.evaluate(product_body(800)));
+
+  c.op = FieldCondition::Op::kLe;
+  EXPECT_TRUE(c.evaluate(product_body(1000)));
+  c.op = FieldCondition::Op::kEq;
+  EXPECT_TRUE(c.evaluate(product_body(1000)));
+  c.op = FieldCondition::Op::kNe;
+  EXPECT_FALSE(c.evaluate(product_body(1000)));
+}
+
+TEST(FieldCondition, StringComparisons) {
+  FieldCondition c{"data.contest.merchant_name", FieldCondition::Op::kEq, "Silk"};
+  EXPECT_TRUE(c.evaluate(product_body(1, "Silk")));
+  EXPECT_FALSE(c.evaluate(product_body(1, "Other")));
+  c.op = FieldCondition::Op::kContains;
+  c.value = "il";
+  EXPECT_TRUE(c.evaluate(product_body(1, "Silk")));
+}
+
+TEST(FieldCondition, MissingPathFailsConservatively) {
+  FieldCondition c{"data.nope", FieldCondition::Op::kGt, "0"};
+  EXPECT_FALSE(c.evaluate(product_body(100)));
+}
+
+TEST(FieldCondition, ContainerValueFails) {
+  FieldCondition c{"data.contest", FieldCondition::Op::kEq, "x"};
+  EXPECT_FALSE(c.evaluate(product_body(100)));
+}
+
+TEST(FieldCondition, OpNamesRoundTrip) {
+  for (const char* name : {"gt", "ge", "lt", "le", "eq", "ne", "contains"}) {
+    FieldCondition c;
+    c.op = FieldCondition::parse_op(name);
+    EXPECT_EQ(c.op_name(), name);
+  }
+  EXPECT_THROW(FieldCondition::parse_op("unknown"), ParseError);
+}
+
+TEST(ProxyConfig, DefaultsWhenNoPolicy) {
+  ProxyConfig config;
+  EXPECT_TRUE(config.prefetch_enabled("any"));
+  EXPECT_DOUBLE_EQ(config.probability("any"), 1.0);
+  EXPECT_EQ(config.expiration("any"), seconds(60));
+  EXPECT_TRUE(config.added_headers("any").empty());
+  EXPECT_EQ(config.conditions("any"), nullptr);
+}
+
+TEST(ProxyConfig, PolicyOverrides) {
+  ProxyConfig config;
+  SignaturePolicy p;
+  p.hash = "3853be";
+  p.uri = ".*/product/get";
+  p.prefetch = true;
+  p.expiration_time = minutes(60 * 24);  // 1 day
+  p.probability = 0.8;
+  p.add_headers = {{"proxy", "prefetch"}};
+  p.conditions = {{"data.contest.price", FieldCondition::Op::kGt, "1000"}};
+  config.set_policy(p);
+
+  EXPECT_TRUE(config.prefetch_enabled("3853be"));
+  EXPECT_DOUBLE_EQ(config.probability("3853be"), 0.8);
+  EXPECT_EQ(config.expiration("3853be"), minutes(60 * 24));
+  ASSERT_EQ(config.added_headers("3853be").size(), 1u);
+  ASSERT_NE(config.conditions("3853be"), nullptr);
+}
+
+TEST(ProxyConfig, GlobalProbabilityMultiplies) {
+  ProxyConfig config;
+  config.global_probability = 0.5;
+  SignaturePolicy p;
+  p.hash = "x";
+  p.probability = 0.8;
+  config.set_policy(p);
+  EXPECT_DOUBLE_EQ(config.probability("x"), 0.4);
+  EXPECT_DOUBLE_EQ(config.probability("unlisted"), 0.5);
+}
+
+TEST(ProxyConfig, DisabledPrefetch) {
+  ProxyConfig config;
+  SignaturePolicy p;
+  p.hash = "ar93ba";
+  p.prefetch = false;
+  p.expiration_time = std::nullopt;  // "none"
+  config.set_policy(p);
+  EXPECT_FALSE(config.prefetch_enabled("ar93ba"));
+  EXPECT_FALSE(config.expiration("ar93ba").has_value());
+}
+
+TEST(ProxyConfig, RejectsBadPolicies) {
+  ProxyConfig config;
+  SignaturePolicy no_hash;
+  EXPECT_THROW(config.set_policy(no_hash), InvalidArgumentError);
+  SignaturePolicy bad_prob;
+  bad_prob.hash = "h";
+  bad_prob.probability = 1.5;
+  EXPECT_THROW(config.set_policy(bad_prob), InvalidArgumentError);
+}
+
+TEST(ProxyConfig, AddedHeaderNamesAggregated) {
+  ProxyConfig config;
+  SignaturePolicy a;
+  a.hash = "a";
+  a.add_headers = {{"X-Prefetch", "1"}, {"X-Tier", "gold"}};
+  config.set_policy(a);
+  SignaturePolicy b;
+  b.hash = "b";
+  b.add_headers = {{"X-Prefetch", "1"}};
+  config.set_policy(b);
+  const auto names = config.all_added_header_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(ProxyConfig, JsonRoundTrip) {
+  ProxyConfig config;
+  config.global_probability = 0.9;
+  config.default_expiration = seconds(30);
+  config.data_budget = megabytes(10);
+  config.max_outstanding_prefetches = 8;
+
+  SignaturePolicy p;
+  p.hash = "3853be";
+  p.uri = ".*/product/get";
+  p.prefetch = true;
+  p.expiration_time = seconds(86400);
+  p.probability = 0.8;
+  p.add_headers = {{"proxy", "prefetch"}};
+  p.conditions = {{"price", FieldCondition::Op::kGt, "1000"}};
+  config.set_policy(p);
+
+  SignaturePolicy q;
+  q.hash = "ar93ba";
+  q.uri = ".*/api/get-feed";
+  q.prefetch = false;
+  q.expiration_time = std::nullopt;
+  config.set_policy(q);
+
+  const ProxyConfig back = ProxyConfig::from_json(config.to_json());
+  EXPECT_DOUBLE_EQ(back.global_probability, 0.9);
+  EXPECT_EQ(back.default_expiration, seconds(30));
+  EXPECT_EQ(back.data_budget, megabytes(10));
+  EXPECT_EQ(back.max_outstanding_prefetches, 8u);
+  EXPECT_EQ(back.policy_count(), 2u);
+
+  const auto* bp = back.policy_for("3853be");
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->uri, ".*/product/get");
+  EXPECT_EQ(bp->expiration_time, seconds(86400));
+  EXPECT_DOUBLE_EQ(bp->probability, 0.8);
+  ASSERT_EQ(bp->add_headers.size(), 1u);
+  EXPECT_EQ(bp->add_headers[0].first, "proxy");
+  ASSERT_EQ(bp->conditions.size(), 1u);
+  EXPECT_EQ(bp->conditions[0].op, FieldCondition::Op::kGt);
+
+  const auto* bq = back.policy_for("ar93ba");
+  ASSERT_NE(bq, nullptr);
+  EXPECT_FALSE(bq->prefetch);
+  EXPECT_FALSE(bq->expiration_time.has_value());
+}
+
+TEST(ProxyConfig, FromJsonMinimalDocument) {
+  const ProxyConfig config = ProxyConfig::from_json("{}");
+  EXPECT_DOUBLE_EQ(config.global_probability, 1.0);
+  EXPECT_EQ(config.policy_count(), 0u);
+}
+
+TEST(ProxyConfig, FromJsonRejectsGarbage) {
+  EXPECT_THROW(ProxyConfig::from_json("not json"), ParseError);
+}
+
+TEST(ProxyConfig, HostAppsRoutingAndRoundTrip) {
+  ProxyConfig config;
+  config.host_apps = {{"api.wish.example", "com.wish.app"},
+                      {"api.geek.example", "com.geek.app"}};
+  EXPECT_EQ(config.app_for_host("api.wish.example"), "com.wish.app");
+  EXPECT_EQ(config.app_for_host("unknown.example"), "");
+
+  const ProxyConfig back = ProxyConfig::from_json(config.to_json());
+  EXPECT_EQ(back.host_apps, config.host_apps);
+}
+
+TEST(ProxyConfig, SchedulerWeightsRoundTrip) {
+  ProxyConfig config;
+  config.scheduler_time_weight = 0;
+  config.scheduler_hit_weight = 42.5;
+  const ProxyConfig back = ProxyConfig::from_json(config.to_json());
+  EXPECT_DOUBLE_EQ(back.scheduler_time_weight, 0);
+  EXPECT_DOUBLE_EQ(back.scheduler_hit_weight, 42.5);
+}
+
+}  // namespace
+}  // namespace appx::core

@@ -1,0 +1,67 @@
+// Tests for the SAPK disassembler.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "apps/compiler.hpp"
+#include "ir/disasm.hpp"
+
+namespace appx::ir {
+namespace {
+
+TEST(Disasm, InstructionForms) {
+  EXPECT_EQ(disassemble(Instruction{OpCode::kConst, 3, kNoReg, kNoReg, "v", "", {}}),
+            "const  r3 <- 'v'");
+  EXPECT_EQ(disassemble(Instruction{OpCode::kConcat, 5, 1, 2, "", "", {}}),
+            "concat  r5 <- r1 r2");
+  EXPECT_EQ(disassemble(Instruction{OpCode::kHttpQuery, kNoReg, 4, 7, "offset", "", {}}),
+            "http-query r4 r7 'offset'");
+  EXPECT_EQ(disassemble(Instruction{OpCode::kInvoke, 9, kNoReg, kNoReg, "C.m", "", {1, 2}}),
+            "invoke  r9 <- 'C.m' (r1, r2)");
+  EXPECT_EQ(disassemble(Instruction{OpCode::kHttpSend, 2, 1, kNoReg, "label", "json", {}}),
+            "http-send  r2 <- r1 'label' 'json'");
+}
+
+TEST(Disasm, EscapesQuotes) {
+  EXPECT_EQ(disassemble(Instruction{OpCode::kConst, 0, kNoReg, kNoReg, "a'b\\c", "", {}}),
+            "const  r0 <- 'a\\'b\\\\c'");
+}
+
+TEST(Disasm, MethodListingHasHeaderAndNumbering) {
+  MethodBuilder b("C.m", 1);
+  const Reg v = b.const_str("x");
+  b.if_env("flag");
+  b.http_new();
+  b.end_if();
+  b.ret(v);
+  const std::string text = disassemble(b.build());
+  EXPECT_NE(text.find("method C.m (params=1, regs="), std::string::npos);
+  EXPECT_NE(text.find("   0: const"), std::string::npos);
+  EXPECT_NE(text.find("if-env 'flag'"), std::string::npos);
+  // The guarded instruction is indented past the if.
+  EXPECT_NE(text.find("  http-new"), std::string::npos);
+  EXPECT_NE(text.find("return"), std::string::npos);
+}
+
+TEST(Disasm, ProgramListingIsComplete) {
+  const ir::Program program = apps::compile_app(apps::make_wish());
+  const std::string text = disassemble(program);
+  EXPECT_NE(text.find("sapk com.wish.app"), std::string::npos);
+  EXPECT_NE(text.find("entry points:"), std::string::npos);
+  // Every method appears.
+  for (const Method& method : program.methods) {
+    EXPECT_NE(text.find("method " + method.name), std::string::npos) << method.name;
+  }
+  // Listing is substantial and line-counted roughly like the program.
+  const auto lines = static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_GT(lines, program.instruction_count());
+}
+
+TEST(Disasm, StableAcrossSerializationRoundTrip) {
+  const ir::Program program = apps::compile_app(apps::make_postmates());
+  const ir::Program back = ir::Program::deserialize(program.serialize());
+  EXPECT_EQ(disassemble(program), disassemble(back));
+}
+
+}  // namespace
+}  // namespace appx::ir

@@ -1,0 +1,292 @@
+// Integration tests for the evaluation layer: testbed wiring, experiment
+// drivers, the verification phase, and report formatting. These are the
+// paper's headline claims as assertions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/experiments.hpp"
+#include "eval/report.hpp"
+#include "eval/verification.hpp"
+#include "util/error.hpp"
+
+namespace appx::eval {
+namespace {
+
+// Shared analyzed app (analysis of the full Wish model takes ~10 ms; do it
+// once for the suite).
+const AnalyzedApp& wish() {
+  static const AnalyzedApp app = analyze_app(apps::make_wish());
+  return app;
+}
+
+// --- Testbed ----------------------------------------------------------------------
+
+TEST(Testbed, ForwardsAndMeasuresTraffic) {
+  TestbedConfig config;
+  config.prefetch_enabled = false;
+  Testbed bed(&wish().spec, &wish().analysis.signatures, config);
+  bool done = false;
+  bed.client_for("u").run_interaction(apps::kLaunchInteraction, 0,
+                                      [&](const apps::InteractionResult& r) {
+                                        done = true;
+                                        EXPECT_TRUE(r.ok);
+                                      });
+  bed.sim().run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(bed.origin_down_bytes(), 0);
+  EXPECT_GT(bed.client_down_bytes(), 0);
+  EXPECT_FALSE(bed.observed_requests().empty());
+  // Baseline proxy never prefetches.
+  EXPECT_EQ(bed.proxy().stats().prefetches_issued, 0u);
+  EXPECT_GT(bed.proxy().stats().skipped_probability, 0u);
+}
+
+TEST(Testbed, LatencyReflectsConfiguredRtt) {
+  // One launch under two different client RTTs: higher RTT, higher latency.
+  Duration totals[2];
+  int i = 0;
+  for (const Duration rtt : {milliseconds(10), milliseconds(200)}) {
+    TestbedConfig config;
+    config.prefetch_enabled = false;
+    config.client_proxy_rtt = rtt;
+    Testbed bed(&wish().spec, &wish().analysis.signatures, config);
+    bed.client_for("u").run_interaction(apps::kLaunchInteraction, 0,
+                                        [&](const apps::InteractionResult& r) {
+                                          totals[i] = r.total;
+                                        });
+    bed.sim().run();
+    ++i;
+  }
+  EXPECT_GT(totals[1], totals[0] + milliseconds(400));  // several serial waves
+}
+
+TEST(Testbed, OriginRttOverrideApplies) {
+  Duration totals[2];
+  int i = 0;
+  for (const Duration rtt : {milliseconds(10), milliseconds(300)}) {
+    TestbedConfig config;
+    config.prefetch_enabled = false;
+    config.proxy_origin_rtt_override = rtt;
+    Testbed bed(&wish().spec, &wish().analysis.signatures, config);
+    bed.client_for("u").run_interaction(apps::kLaunchInteraction, 0,
+                                        [&](const apps::InteractionResult& r) {
+                                          totals[i] = r.total;
+                                        });
+    bed.sim().run();
+    ++i;
+  }
+  EXPECT_GT(totals[1], totals[0]);
+}
+
+TEST(Testbed, RejectsNullArguments) {
+  TestbedConfig config;
+  EXPECT_THROW(Testbed(nullptr, &wish().analysis.signatures, config), InvalidArgumentError);
+  EXPECT_THROW(Testbed(&wish().spec, nullptr, config), InvalidArgumentError);
+}
+
+// --- experiments: the paper's headline claims ---------------------------------------
+
+TEST(Experiments, MainInteractionPrefetchingReducesLatency) {
+  TestbedConfig orig;
+  orig.prefetch_enabled = false;
+  orig.origin_proc_jitter = 0;
+  const Breakdown base = measure_main_interaction(wish(), orig, 5);
+
+  TestbedConfig accel;
+  accel.prefetch_enabled = true;
+  accel.origin_proc_jitter = 0;
+  accel.proxy_config = deployment_config(wish());
+  const Breakdown fast = measure_main_interaction(wish(), accel, 5);
+
+  // Paper Fig. 13: 47-62% reduction; assert the conservative band.
+  const double reduction = 1.0 - fast.total_ms / base.total_ms;
+  EXPECT_GT(reduction, 0.25);
+  EXPECT_LT(reduction, 0.80);
+  // Processing delay is untouched; all savings are network savings.
+  EXPECT_NEAR(fast.processing_ms, base.processing_ms, 1.0);
+  EXPECT_LT(fast.network_ms, base.network_ms);
+}
+
+TEST(Experiments, LaunchBenefitsLessThanMainInteraction) {
+  TestbedConfig orig;
+  orig.prefetch_enabled = false;
+  orig.origin_proc_jitter = 0;
+  TestbedConfig accel;
+  accel.prefetch_enabled = true;
+  accel.origin_proc_jitter = 0;
+  accel.proxy_config = deployment_config(wish());
+
+  const double main_cut = 1.0 - measure_main_interaction(wish(), accel, 5).total_ms /
+                                    measure_main_interaction(wish(), orig, 5).total_ms;
+  const double launch_cut = 1.0 - measure_launch(wish(), accel, 5).total_ms /
+                                      measure_launch(wish(), orig, 5).total_ms;
+  EXPECT_GT(launch_cut, 0.02);       // launch still improves...
+  EXPECT_LT(launch_cut, main_cut);   // ...but less (paper Fig. 13 vs 14)
+}
+
+TEST(Experiments, TraceWorkloadLatencyAndDataUsage) {
+  trace::TraceParams tp;
+  tp.users = 6;  // keep the test fast; benches run the full 30
+  const auto traces = trace::generate_traces(wish().spec, tp);
+
+  TestbedConfig orig;
+  orig.prefetch_enabled = false;
+  const auto base = run_trace_experiment(wish(), orig, traces);
+
+  TestbedConfig accel;
+  accel.prefetch_enabled = true;
+  accel.proxy_config = deployment_config(wish());
+  const auto fast = run_trace_experiment(wish(), accel, traces);
+
+  ASSERT_GT(base.main_latency_ms.count(), 20u);
+  ASSERT_EQ(base.main_latency_ms.count(), fast.main_latency_ms.count());
+  // Median latency falls...
+  EXPECT_LT(fast.main_latency_ms.median(), 0.85 * base.main_latency_ms.median());
+  // ...at the cost of extra proxy<->origin data (paper: 1.08-4.17x).
+  EXPECT_GT(fast.origin_bytes, base.origin_bytes);
+  EXPECT_LT(fast.origin_bytes, 6 * base.origin_bytes);
+  EXPECT_GT(fast.proxy_stats.cache_hits, 0u);
+}
+
+TEST(Experiments, ProbabilityKnobTradesLatencyForData) {
+  trace::TraceParams tp;
+  tp.users = 6;
+  const auto traces = trace::generate_traces(wish().spec, tp);
+
+  Bytes usage_low = 0, usage_high = 0;
+  double median_low = 0, median_high = 0;
+  for (const double p : {0.25, 1.0}) {
+    TestbedConfig accel;
+    accel.prefetch_enabled = true;
+    accel.proxy_config = deployment_config(wish(), p);
+    const auto result = run_trace_experiment(wish(), accel, traces);
+    if (p < 0.5) {
+      usage_low = result.origin_bytes;
+      median_low = result.main_latency_ms.median();
+    } else {
+      usage_high = result.origin_bytes;
+      median_high = result.main_latency_ms.median();
+    }
+  }
+  EXPECT_LT(usage_low, usage_high);      // less prefetching, less data
+  EXPECT_GE(median_low, median_high);    // ...but weakly higher latency
+}
+
+TEST(Experiments, CoverageOrderingMatchesTableThree) {
+  fuzz::FuzzParams fp;
+  fp.duration = minutes(10);  // abbreviated fuzzing for test speed
+  trace::TraceParams tp;
+  tp.users = 8;
+  const CoverageRow row = run_coverage_experiment(wish(), fp, tp);
+
+  EXPECT_EQ(row.appx.total, 120u);
+  EXPECT_EQ(row.appx.prefetchable, 33u);
+  EXPECT_EQ(row.appx.dependencies, 794u);
+  EXPECT_EQ(row.appx.max_chain, 12u);
+
+  // Static analysis strictly dominates both dynamic methods.
+  EXPECT_GT(row.appx.total, row.fuzz.total);
+  EXPECT_GT(row.appx.prefetchable, row.fuzz.prefetchable);
+  EXPECT_GT(row.appx.dependencies, row.fuzz.dependencies);
+  EXPECT_GT(row.appx.max_chain, row.fuzz.max_chain);
+  EXPECT_GT(row.appx.total, row.user.total);
+  EXPECT_GT(row.fuzz.total, 10u);
+  EXPECT_GT(row.user.total, 5u);
+}
+
+TEST(Experiments, InducedMetricsOnSubsets) {
+  const auto& sigs = wish().analysis.signatures;
+  // Empty set -> zeros.
+  const CoverageMetrics empty = induced_metrics(sigs, {});
+  EXPECT_EQ(empty.total, 0u);
+  EXPECT_EQ(empty.dependencies, 0u);
+  // Full set -> full metrics.
+  std::set<std::string> all;
+  for (const auto& sig : sigs.all()) all.insert(sig->id);
+  const CoverageMetrics full = induced_metrics(sigs, all);
+  EXPECT_EQ(full.total, sigs.size());
+  EXPECT_EQ(full.dependencies, sigs.edges().size());
+  EXPECT_EQ(full.max_chain, sigs.max_chain_length());
+  EXPECT_EQ(full.prefetchable, sigs.prefetchable().size());
+}
+
+// --- verification phase (§4.3) -------------------------------------------------------
+
+TEST(Verification, DisablesNonceProtectedSignature) {
+  VerificationParams params;
+  params.fuzz.duration = minutes(12);
+  params.fuzz.seed = 3;
+  const VerificationOutcome outcome = run_verification(wish(), params);
+
+  EXPECT_GT(outcome.prefetches_observed, 0u);
+  // The cart endpoint replays nonces -> 403 -> must be disabled.
+  const auto* cart = wish().analysis.signatures.find_by_label("cart_add");
+  ASSERT_NE(cart, nullptr);
+  EXPECT_TRUE(outcome.failing.contains(cart->id));
+  const auto* policy = outcome.initial_config.policy_for(cart->id);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_FALSE(policy->prefetch);
+
+  // Idempotent endpoints verify fine and stay enabled.
+  const auto* detail = wish().analysis.signatures.find_by_label("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_TRUE(outcome.verified.contains(detail->id));
+  const auto* detail_policy = outcome.initial_config.policy_for(detail->id);
+  ASSERT_NE(detail_policy, nullptr);
+  EXPECT_TRUE(detail_policy->prefetch);
+}
+
+TEST(Verification, EstimatesExpirationFromContentChurn) {
+  VerificationParams params;
+  params.fuzz.duration = minutes(12);
+  const VerificationOutcome outcome = run_verification(wish(), params);
+  const auto* detail = wish().analysis.signatures.find_by_label("detail");
+  const auto it = outcome.expiry_estimates.find(detail->id);
+  ASSERT_NE(it, outcome.expiry_estimates.end());
+  // The catalog default content TTL is 30 min; the doubling probe lands
+  // within a factor of two.
+  EXPECT_GE(it->second, minutes(15));
+  EXPECT_LE(it->second, minutes(64));
+  // The emitted policy halves the observed period (conservative freshness).
+  const auto* policy = outcome.initial_config.policy_for(detail->id);
+  ASSERT_NE(policy, nullptr);
+  ASSERT_TRUE(policy->expiration_time.has_value());
+  EXPECT_EQ(*policy->expiration_time, it->second / 2);
+}
+
+TEST(Verification, GeneratedConfigRoundTripsThroughJson) {
+  VerificationParams params;
+  params.fuzz.duration = minutes(5);
+  const VerificationOutcome outcome = run_verification(wish(), params);
+  const auto back = core::ProxyConfig::from_json(outcome.initial_config.to_json());
+  EXPECT_EQ(back.policy_count(), outcome.initial_config.policy_count());
+}
+
+// --- report formatting ------------------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"A", "Longer header"});
+  table.add_row({"xxxxxxxx", "1"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| A        | Longer header |"), std::string::npos);
+  EXPECT_NE(text.find("| xxxxxxxx | 1             |"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsBadRows) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgumentError);
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgumentError);
+}
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(1234.567, 1), "1234.6");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::pct(0.47), "47%");
+  EXPECT_EQ(TablePrinter::pct(0.123, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace appx::eval

@@ -1,0 +1,123 @@
+// Tests for the Monkey-style UI fuzzer (§4.3, §6.1).
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "apps/server.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "util/error.hpp"
+
+namespace appx::fuzz {
+namespace {
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  FuzzTest() : app_(apps::make_wish()), server_(&app_) {}
+
+  apps::AppClient make_client() {
+    return apps::AppClient(&app_, apps::ClientEnv::for_user(app_, "monkey"), &sim_,
+                           [this](http::Request req, std::function<void(http::Response)> cb) {
+                             ++requests_;
+                             labels_.insert(req.uri.path);
+                             const auto resp = server_.serve(req);
+                             sim_.schedule(milliseconds(20), [cb, resp] { cb(resp); });
+                           });
+  }
+
+  sim::Simulator sim_;
+  apps::AppSpec app_;
+  apps::OriginServer server_;
+  std::size_t requests_ = 0;
+  std::set<std::string> labels_;
+};
+
+TEST_F(FuzzTest, SessionRunsForConfiguredDuration) {
+  auto client = make_client();
+  FuzzParams params;
+  params.duration = minutes(2);
+  params.event_interval = milliseconds(500);
+  Fuzzer fuzzer(&client, &sim_, params);
+  bool finished = false;
+  FuzzStats final_stats;
+  fuzzer.start([&](const FuzzStats& s) {
+    finished = true;
+    final_stats = s;
+  });
+  sim_.run();
+  EXPECT_TRUE(finished);
+  // ~240 events at 500 ms over 2 minutes.
+  EXPECT_NEAR(static_cast<double>(final_stats.events), 240.0, 5.0);
+  EXPECT_GT(final_stats.interactions_started, 1u);
+  EXPECT_GT(requests_, 10u);
+}
+
+TEST_F(FuzzTest, LaunchHappensFirst) {
+  auto client = make_client();
+  FuzzParams params;
+  params.duration = seconds(10);
+  Fuzzer fuzzer(&client, &sim_, params);
+  fuzzer.start();
+  sim_.run();
+  EXPECT_TRUE(fuzzer.stats().interactions_covered.contains(apps::kLaunchInteraction));
+  EXPECT_TRUE(labels_.contains("/api/get-feed"));
+}
+
+TEST_F(FuzzTest, DeterministicForSameSeed) {
+  std::vector<std::size_t> counts;
+  for (int round = 0; round < 2; ++round) {
+    sim::Simulator sim;
+    apps::OriginServer server(&app_);
+    std::size_t requests = 0;
+    apps::AppClient client(&app_, apps::ClientEnv::for_user(app_, "monkey"), &sim,
+                           [&](http::Request req, std::function<void(http::Response)> cb) {
+                             ++requests;
+                             const auto resp = server.serve(req);
+                             sim.schedule(milliseconds(20), [cb, resp] { cb(resp); });
+                           });
+    FuzzParams params;
+    params.duration = minutes(3);
+    params.seed = 99;
+    Fuzzer fuzzer(&client, &sim, params);
+    fuzzer.start();
+    sim.run();
+    counts.push_back(requests);
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST_F(FuzzTest, LongSessionCoversUiButNotBackground) {
+  auto client = make_client();
+  FuzzParams params;
+  params.duration = minutes(60);
+  Fuzzer fuzzer(&client, &sim_, params);
+  fuzzer.start();
+  sim_.run();
+  const auto& covered = fuzzer.stats().interactions_covered;
+  // An hour of events reaches the main interaction and the merchant chain...
+  EXPECT_TRUE(covered.contains(apps::kMainInteraction));
+  EXPECT_TRUE(covered.contains(apps::kMerchantInteraction));
+  // ...but never the background sync (Monkey cannot trigger push/periodic
+  // work) — the Table 3 coverage gap.
+  EXPECT_FALSE(covered.contains("background_sync"));
+  for (const std::string& name : covered) {
+    EXPECT_EQ(app_.interaction(name).trigger, apps::Interaction::Trigger::kUi) << name;
+  }
+}
+
+TEST_F(FuzzTest, EventsWhileBusyAreDropped) {
+  auto client = make_client();
+  FuzzParams params;
+  params.duration = minutes(5);
+  params.event_interval = milliseconds(100);  // much faster than interactions
+  Fuzzer fuzzer(&client, &sim_, params);
+  fuzzer.start();
+  sim_.run();
+  EXPECT_GT(fuzzer.stats().events_while_busy, 0u);
+}
+
+TEST(Fuzzer, RejectsNullArguments) {
+  sim::Simulator sim;
+  EXPECT_THROW(Fuzzer(nullptr, &sim, FuzzParams{}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace appx::fuzz

@@ -1,0 +1,278 @@
+// Unit tests for the HTTP substrate: URIs, headers, form bodies, messages.
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+#include "http/uri.hpp"
+#include "util/error.hpp"
+
+namespace appx::http {
+namespace {
+
+// --- Uri -----------------------------------------------------------------------
+
+TEST(Uri, ParseAbsolute) {
+  const Uri u = Uri::parse("https://wish.com/api/get-feed?offset=0&count=30");
+  EXPECT_EQ(u.scheme, "https");
+  EXPECT_EQ(u.host, "wish.com");
+  EXPECT_EQ(u.path, "/api/get-feed");
+  ASSERT_EQ(u.query.size(), 2u);
+  EXPECT_EQ(u.query[0].first, "offset");
+  EXPECT_EQ(u.query[0].second, "0");
+  EXPECT_EQ(u.query_param("count").value(), "30");
+}
+
+TEST(Uri, ParseWithPort) {
+  const Uri u = Uri::parse("http://localhost:8080/x");
+  EXPECT_EQ(u.port, 8080);
+  EXPECT_EQ(u.host_port(), "localhost:8080");
+  EXPECT_EQ(u.effective_port(), 8080);
+}
+
+TEST(Uri, DefaultPorts) {
+  EXPECT_EQ(Uri::parse("https://a.com/").effective_port(), 443);
+  EXPECT_EQ(Uri::parse("http://a.com/").effective_port(), 80);
+  // Explicit default port collapses in host_port().
+  EXPECT_EQ(Uri::parse("https://a.com:443/").host_port(), "a.com");
+}
+
+TEST(Uri, ParseOriginForm) {
+  const Uri u = Uri::parse("/product/get?cid=0c99f");
+  EXPECT_TRUE(u.host.empty());
+  EXPECT_EQ(u.path, "/product/get");
+  EXPECT_EQ(u.query_param("cid").value(), "0c99f");
+}
+
+TEST(Uri, HostOnlyGetsRootPath) {
+  const Uri u = Uri::parse("https://a.com");
+  EXPECT_EQ(u.path, "/");
+}
+
+TEST(Uri, HostIsLowercased) {
+  EXPECT_EQ(Uri::parse("https://WISH.com/x").host, "wish.com");
+}
+
+TEST(Uri, QueryPercentEncodingRoundTrip) {
+  Uri u = Uri::parse("/search");
+  u.add_query_param("q", "red dress & more");
+  const Uri back = Uri::parse(u.serialize());
+  EXPECT_EQ(back.query_param("q").value(), "red dress & more");
+}
+
+TEST(Uri, SerializeRoundTrip) {
+  const std::string text = "https://a.com/p/1?x=1&y=2";
+  EXPECT_EQ(Uri::parse(text).serialize(), text);
+}
+
+TEST(Uri, SetQueryParamReplacesFirst) {
+  Uri u = Uri::parse("/x?a=1&b=2");
+  u.set_query_param("a", "9");
+  EXPECT_EQ(u.query_param("a").value(), "9");
+  u.set_query_param("c", "3");
+  EXPECT_EQ(u.query.size(), 3u);
+  u.remove_query_param("b");
+  EXPECT_FALSE(u.query_param("b").has_value());
+}
+
+TEST(Uri, QueryKeyWithoutValue) {
+  const Uri u = Uri::parse("/x?flag&k=v");
+  EXPECT_EQ(u.query_param("flag").value(), "");
+}
+
+TEST(Uri, ParseErrors) {
+  EXPECT_THROW(Uri::parse("https://a.com:badport/"), ParseError);
+  EXPECT_THROW(Uri::parse("https:///nopath"), ParseError);
+  EXPECT_THROW(Uri::parse("relative/path"), ParseError);
+}
+
+TEST(Uri, EqualityIgnoresImplicitPort) {
+  EXPECT_EQ(Uri::parse("https://a.com/x"), Uri::parse("https://a.com:443/x"));
+  EXPECT_FALSE(Uri::parse("https://a.com/x") == Uri::parse("https://a.com/y"));
+}
+
+// --- Headers -----------------------------------------------------------------------
+
+TEST(Headers, CaseInsensitiveAccess) {
+  Headers h;
+  h.set("Content-Type", "application/json");
+  EXPECT_EQ(h.get("content-type").value(), "application/json");
+  EXPECT_TRUE(h.has("CONTENT-TYPE"));
+}
+
+TEST(Headers, SetReplacesAddAppends) {
+  Headers h;
+  h.set("X-K", "1");
+  h.set("x-k", "2");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.get("X-K").value(), "2");
+  h.add("X-K", "3");
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.get_all("X-K").size(), 2u);
+}
+
+TEST(Headers, RemoveDropsAllOccurrences) {
+  Headers h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  h.remove("A");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.has("B"));
+}
+
+// --- form bodies ----------------------------------------------------------------------
+
+TEST(Form, ParsePreservesOrderAndDuplicates) {
+  const auto fields = parse_form("cid=b4f9&_cap%5B%5D=2&_cap%5B%5D=4");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0].first, "cid");
+  EXPECT_EQ(fields[1].first, "_cap[]");
+  EXPECT_EQ(fields[1].second, "2");
+  EXPECT_EQ(fields[2].second, "4");
+}
+
+TEST(Form, SerializeRoundTrip) {
+  const FormFields fields{{"a b", "c&d"}, {"k", ""}, {"k", "2"}};
+  EXPECT_EQ(parse_form(serialize_form(fields)), fields);
+}
+
+TEST(Form, EmptyBody) { EXPECT_TRUE(parse_form("").empty()); }
+
+// --- Request ---------------------------------------------------------------------------
+
+TEST(Request, SerializeParseRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.uri = Uri::parse("https://wish.com/product/get");
+  req.headers.set("User-Agent", "Mozilla/5.0");
+  req.headers.set("Cookie", "e8d5");
+  req.set_form_fields({{"cid", "556e"}, {"_client", "android"}});
+
+  const Request back = Request::parse(req.serialize());
+  EXPECT_EQ(back.method, "POST");
+  EXPECT_EQ(back.uri.host, "wish.com");
+  EXPECT_EQ(back.uri.path, "/product/get");
+  EXPECT_EQ(back.headers.get("cookie").value(), "e8d5");
+  const auto fields = back.form_fields();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].second, "556e");
+}
+
+TEST(Request, ParseSetsHostFromHeader) {
+  const Request req = Request::parse("GET /x?a=1 HTTP/1.1\r\nHost: api.geek.com\r\n\r\n");
+  EXPECT_EQ(req.uri.host, "api.geek.com");
+  EXPECT_EQ(req.uri.query_param("a").value(), "1");
+}
+
+TEST(Request, ParseHostWithPort) {
+  const Request req = Request::parse("GET / HTTP/1.1\r\nHost: a.com:8443\r\n\r\n");
+  EXPECT_EQ(req.uri.host, "a.com");
+  EXPECT_EQ(req.uri.port, 8443);
+}
+
+TEST(Request, ParseErrors) {
+  EXPECT_THROW(Request::parse("GARBAGE"), ParseError);
+  EXPECT_THROW(Request::parse("GET /x\r\n\r\n"), ParseError);           // no version
+  EXPECT_THROW(Request::parse("GET /x NOTHTTP\r\n\r\n"), ParseError);   // bad version
+  EXPECT_THROW(Request::parse("GET /x HTTP/1.1\r\nbad\r\n\r\n"), ParseError);
+}
+
+TEST(Request, WireSizePositive) {
+  Request req;
+  req.uri = Uri::parse("https://a.com/");
+  EXPECT_GT(req.wire_size(), 0);
+}
+
+TEST(Request, CacheKeyHeaderOrderInsensitive) {
+  Request a;
+  a.uri = Uri::parse("https://a.com/x");
+  a.headers.add("K1", "v1");
+  a.headers.add("K2", "v2");
+  Request b = a;
+  b.headers = Headers{};
+  b.headers.add("K2", "v2");
+  b.headers.add("k1", "v1");
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+}
+
+TEST(Request, CacheKeyIgnoresConfiguredHeaders) {
+  Request a;
+  a.uri = Uri::parse("https://a.com/x");
+  Request b = a;
+  b.headers.add("X-Appx-Prefetch", "1");
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_key({"X-Appx-Prefetch"}), b.cache_key({"X-Appx-Prefetch"}));
+}
+
+TEST(Request, CacheKeySensitiveToEverythingElse) {
+  Request base;
+  base.method = "POST";
+  base.uri = Uri::parse("https://a.com/x?q=1");
+  base.body = "k=v";
+
+  Request diff_method = base;
+  diff_method.method = "GET";
+  EXPECT_NE(base.cache_key(), diff_method.cache_key());
+
+  Request diff_query = base;
+  diff_query.uri.set_query_param("q", "2");
+  EXPECT_NE(base.cache_key(), diff_query.cache_key());
+
+  Request diff_body = base;
+  diff_body.body = "k=w";
+  EXPECT_NE(base.cache_key(), diff_body.cache_key());
+
+  Request diff_host = base;
+  diff_host.uri.host = "b.com";
+  EXPECT_NE(base.cache_key(), diff_host.cache_key());
+}
+
+// --- Response ------------------------------------------------------------------------
+
+TEST(Response, SerializeParseRoundTrip) {
+  Response resp;
+  resp.status = 200;
+  resp.reason = "OK";
+  resp.headers.set("Set-Cookie", "bsid=c38e");
+  resp.body = R"({"data":[1,2]})";
+
+  const Response back = Response::parse(resp.serialize());
+  EXPECT_EQ(back.status, 200);
+  EXPECT_TRUE(back.ok());
+  EXPECT_EQ(back.headers.get("set-cookie").value(), "bsid=c38e");
+  EXPECT_EQ(back.body, resp.body);
+}
+
+TEST(Response, OpaquePayloadRoundTrip) {
+  Response resp;
+  resp.opaque_payload = kilobytes(315);
+  const Response back = Response::parse(resp.serialize());
+  EXPECT_EQ(back.opaque_payload, kilobytes(315));
+  // Wire size charges the opaque bytes.
+  EXPECT_GT(resp.wire_size(), kilobytes(315));
+}
+
+TEST(Response, ErrorStatusNotOk) {
+  Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  EXPECT_FALSE(resp.ok());
+  const Response back = Response::parse(resp.serialize());
+  EXPECT_EQ(back.status, 404);
+  EXPECT_EQ(back.reason, "Not Found");
+}
+
+TEST(Response, ParseErrors) {
+  EXPECT_THROW(Response::parse("HTTP/1.1\r\n\r\n"), ParseError);
+  EXPECT_THROW(Response::parse("HTTP/1.1 999999 X\r\n\r\n"), ParseError);
+  EXPECT_THROW(Response::parse("NOTHTTP 200 OK\r\n\r\n"), ParseError);
+}
+
+TEST(Response, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace appx::http

@@ -1,0 +1,308 @@
+// Tests for the concrete SAPK interpreter, culminating in the differential
+// property against the static analysis: executed traffic ⊆ extracted
+// signatures (soundness) and executed traffic covers every reachable
+// signature (completeness on the generated apps).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/analyzer.hpp"
+#include "apps/catalog.hpp"
+#include "apps/compiler.hpp"
+#include "apps/server.hpp"
+#include "ir/interpreter.hpp"
+#include "util/error.hpp"
+
+namespace appx::ir {
+namespace {
+
+// A canned transport that returns a fixed JSON body for every request.
+Interpreter::Transport fixed_transport(std::string body) {
+  return [body = std::move(body)](const http::Request&) {
+    http::Response resp;
+    resp.headers.set("Content-Type", "application/json");
+    resp.body = body;
+    return resp;
+  };
+}
+
+ConcreteEnv basic_env() {
+  ConcreteEnv env;
+  env.values = {{"host", "api.test.example"}, {"cookie", "c0"}};
+  return env;
+}
+
+Program single_method(Method m, std::vector<std::string> entries = {}) {
+  Program p;
+  p.app = "com.test";
+  if (entries.empty()) entries = {m.name};
+  p.methods.push_back(std::move(m));
+  p.entry_points = std::move(entries);
+  return p;
+}
+
+TEST(Interpreter, BuildsAndSendsConcreteRequest) {
+  MethodBuilder b("C.main");
+  const Reg url = b.concat({b.const_str("https://"), b.env("host"), b.const_str("/ping")});
+  const Reg req = b.http_new();
+  b.http_method(req, "POST");
+  b.http_url(req, url);
+  b.http_query(req, "q", b.const_str("1"));
+  b.http_header(req, "Cookie", b.env("cookie"));
+  b.http_body(req, "k", b.const_str("v"));
+  b.http_send(req, "t.ping");
+  const Program p = single_method(b.build());
+
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 1u);
+  const http::Request& sent = interp.requests()[0];
+  EXPECT_EQ(sent.method, "POST");
+  EXPECT_EQ(sent.uri.host, "api.test.example");
+  EXPECT_EQ(sent.uri.path, "/ping");
+  EXPECT_EQ(sent.uri.query_param("q").value(), "1");
+  EXPECT_EQ(sent.headers.get("Cookie").value(), "c0");
+  EXPECT_EQ(sent.form_fields().front().second, "v");
+}
+
+TEST(Interpreter, JsonGetFeedsFollowUpRequest) {
+  Program p;
+  p.app = "com.test";
+  {
+    MethodBuilder b("C.first");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/a")}));
+    const Reg resp = b.http_send(req, "t.a");
+    const Reg token = b.json_get(resp, "data.token");
+    b.invoke("C.second", {token});
+    p.methods.push_back(b.build());
+  }
+  {
+    MethodBuilder b("C.second", 1);
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/b")}));
+    b.http_query(req, "t", b.param(0));
+    b.http_send(req, "t.b");
+    p.methods.push_back(b.build());
+  }
+  p.entry_points = {"C.first"};
+
+  Interpreter interp(&p, basic_env(), fixed_transport(R"({"data":{"token":"xyz"}})"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 2u);
+  EXPECT_EQ(interp.requests()[1].uri.query_param("t").value(), "xyz");
+}
+
+TEST(Interpreter, WildcardPathReplicatesCalls) {
+  Program p;
+  p.app = "com.test";
+  {
+    MethodBuilder b("C.list");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/list")}));
+    const Reg resp = b.http_send(req, "t.list");
+    const Reg ids = b.json_get(resp, "items[*].id");
+    b.invoke("C.item", {ids});
+    p.methods.push_back(b.build());
+  }
+  {
+    MethodBuilder b("C.item", 1);
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/item")}));
+    b.http_query(req, "id", b.param(0));
+    b.http_send(req, "t.item");
+    p.methods.push_back(b.build());
+  }
+  p.entry_points = {"C.list"};
+
+  Interpreter interp(&p, basic_env(),
+                     fixed_transport(R"({"items":[{"id":"a"},{"id":"b"},{"id":"c"}]})"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 4u);  // list + 3 items
+  EXPECT_EQ(interp.requests()[1].uri.query_param("id").value(), "a");
+  EXPECT_EQ(interp.requests()[3].uri.query_param("id").value(), "c");
+}
+
+TEST(Interpreter, FlatMapIteratesArray) {
+  Program p;
+  p.app = "com.test";
+  {
+    MethodBuilder b("C.list");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/list")}));
+    const Reg resp = b.http_send(req, "t.list");
+    const Reg items = b.json_get(resp, "items");
+    b.rx_flat_map(items, "C.onItem");
+    p.methods.push_back(b.build());
+  }
+  {
+    MethodBuilder b("C.onItem", 1);
+    const Reg id = b.json_get(b.param(0), "id");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/img")}));
+    b.http_query(req, "id", id);
+    b.http_send(req, "t.img", "opaque");
+    p.methods.push_back(b.build());
+  }
+  p.entry_points = {"C.list"};
+
+  Interpreter interp(&p, basic_env(),
+                     fixed_transport(R"({"items":[{"id":"x"},{"id":"y"}]})"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 3u);
+  EXPECT_EQ(interp.requests()[2].uri.query_param("id").value(), "y");
+}
+
+TEST(Interpreter, FormatSubstitutesArguments) {
+  MethodBuilder b("C.main");
+  const Reg url = b.format("https://%s/item/%s/view", {b.env("host"), b.const_str("42")});
+  const Reg req = b.http_new();
+  b.http_url(req, url);
+  b.http_send(req, "t.f");
+  const Program p = single_method(b.build());
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 1u);
+  EXPECT_EQ(interp.requests()[0].uri.path, "/item/42/view");
+  EXPECT_EQ(interp.requests()[0].uri.host, "api.test.example");
+}
+
+TEST(Interpreter, IntentCarriesValuesAcrossEntries) {
+  Program p;
+  p.app = "com.test";
+  {
+    MethodBuilder b("C.producer");
+    b.intent_put("key", b.const_str("carried"));
+    p.methods.push_back(b.build());
+  }
+  {
+    MethodBuilder b("C.consumer");
+    const Reg v = b.intent_get("key");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/c")}));
+    b.http_query(req, "v", v);
+    b.http_send(req, "t.c");
+    p.methods.push_back(b.build());
+  }
+  p.entry_points = {"C.producer", "C.consumer"};
+
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  interp.run_all_entries();
+  ASSERT_EQ(interp.requests().size(), 1u);
+  EXPECT_EQ(interp.requests()[0].uri.query_param("v").value(), "carried");
+}
+
+TEST(Interpreter, ConditionalBlocksFollowEnvFlags) {
+  MethodBuilder b("C.main");
+  const Reg req = b.http_new();
+  b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/x")}));
+  b.if_env("extra");
+  b.http_query(req, "extra", b.const_str("1"));
+  b.end_if();
+  b.http_send(req, "t.x");
+  const Program p = single_method(b.build());
+
+  Interpreter off(&p, basic_env(), fixed_transport("{}"));
+  off.run_all_entries();
+  EXPECT_FALSE(off.requests()[0].uri.query_param("extra").has_value());
+
+  ConcreteEnv env = basic_env();
+  env.flags.insert("extra");
+  Interpreter on(&p, env, fixed_transport("{}"));
+  on.run_all_entries();
+  EXPECT_TRUE(on.requests()[0].uri.query_param("extra").has_value());
+}
+
+TEST(Interpreter, AliasedHeapObjectsShareState) {
+  // The concrete counterpart of the alias-analysis fixture: write through
+  // the original after a move, read through the alias.
+  MethodBuilder b("C.main");
+  const Reg holder = b.new_object("Holder");
+  const Reg alias = b.move(holder);
+  b.put_field(holder, "v", b.const_str("shared"));
+  const Reg v = b.get_field(alias, "v");
+  const Reg req = b.http_new();
+  b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/y")}));
+  b.http_query(req, "v", v);
+  b.http_send(req, "t.y");
+  const Program p = single_method(b.build());
+
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  interp.run_all_entries();
+  EXPECT_EQ(interp.requests()[0].uri.query_param("v").value(), "shared");
+}
+
+TEST(Interpreter, MissingEnvValueThrows) {
+  MethodBuilder b("C.main");
+  b.env("does_not_exist");
+  const Program p = single_method(b.build());
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  EXPECT_THROW(interp.run_all_entries(), InvalidStateError);
+}
+
+TEST(Interpreter, RequestLimitGuardsRunaways) {
+  Program p;
+  p.app = "com.test";
+  {
+    MethodBuilder b("C.loop");
+    const Reg req = b.http_new();
+    b.http_url(req, b.concat({b.const_str("https://"), b.env("host"), b.const_str("/l")}));
+    b.http_send(req, "t.l");
+    b.invoke("C.loop", {});
+    p.methods.push_back(b.build());
+  }
+  p.entry_points = {"C.loop"};
+  Interpreter interp(&p, basic_env(), fixed_transport("{}"));
+  interp.set_request_limit(10);
+  EXPECT_THROW(interp.run_all_entries(), InvalidStateError);
+}
+
+// --- differential tests against the static analysis --------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, ExecutedTrafficMatchesStaticSignatures) {
+  const apps::AppSpec spec = apps::make_all_apps()[static_cast<std::size_t>(GetParam())];
+  const ir::Program program = apps::compile_app(spec);
+  const auto result = analysis::analyze(program);
+  apps::OriginServer server(&spec);
+
+  ConcreteEnv env;
+  env.values = spec.env_defaults;
+  // Exercise the branch-conditional fields too.
+  for (const auto& flag : spec.env_flags) env.flags.insert(flag);
+  env.flags.insert("has_credit");
+
+  Interpreter interp(&program, env,
+                     [&](const http::Request& req) { return server.serve(req); });
+  interp.run_all_entries();
+
+  ASSERT_GT(interp.requests().size(), 50u) << spec.name;
+
+  // Soundness: every concretely executed request matches a signature.
+  std::set<std::string> covered;
+  for (const http::Request& req : interp.requests()) {
+    const auto* sig = result.signatures.match_request(req);
+    ASSERT_NE(sig, nullptr) << spec.name << ": unmatched " << req.method << " "
+                            << req.uri.serialize();
+    covered.insert(sig->id);
+    // The origin accepts it (no 404/400: the analysis didn't hallucinate).
+    const auto resp = server.serve(req);
+    EXPECT_NE(resp.status, 404) << req.uri.serialize();
+    EXPECT_NE(resp.status, 400) << req.uri.serialize();
+  }
+
+  // Completeness: concretely executing every entry point visits every
+  // statically extracted signature.
+  EXPECT_EQ(covered.size(), result.signatures.size()) << spec.name;
+}
+
+std::string app_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"Wish", "Geek", "DoorDash", "PurpleOcean", "Postmates"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, DifferentialTest, ::testing::Range(0, 5), app_case_name);
+
+}  // namespace
+}  // namespace appx::ir

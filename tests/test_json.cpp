@@ -1,0 +1,220 @@
+// Unit tests for the JSON value model, parser, serialiser and path queries.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include "util/error.hpp"
+
+namespace appx::json {
+namespace {
+
+// --- parsing ---------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinction) {
+  EXPECT_TRUE(parse("3").is_int());
+  EXPECT_TRUE(parse("3.0").is_double());
+  EXPECT_TRUE(parse("3e0").is_double());
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value v = parse(R"({"data":{"products":[{"id":"09cf"},{"id":"3gf3"}]}})");
+  EXPECT_EQ(v.at("data").at("products").size(), 2u);
+  EXPECT_EQ(v.at("data").at("products").at(0).at("id").as_string(), "09cf");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Value v = parse("  {\n \"a\" : [ 1 , 2 ] }\t");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");  // euro sign
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").is_object());
+  EXPECT_EQ(parse("{}").size(), 0u);
+  EXPECT_TRUE(parse("[]").is_array());
+  EXPECT_EQ(parse("[]").size(), 0u);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse("{'single':1}"), ParseError);
+  EXPECT_THROW(parse("-"), ParseError);
+}
+
+// --- serialisation ------------------------------------------------------------------
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string doc = R"({"a":[1,2.5,"x",true,null],"b":{"c":-3}})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(JsonDump, CanonicalKeyOrder) {
+  // std::map ordering: keys serialise sorted regardless of insertion order.
+  Object o;
+  o["zebra"] = 1;
+  o["alpha"] = 2;
+  EXPECT_EQ(Value(std::move(o)).dump(), R"({"alpha":2,"zebra":1})");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Value("a\"b\n\x01").dump(), "\"a\\\"b\\n\\u0001\"");
+}
+
+TEST(JsonDump, PrettyPrintingParsesBack) {
+  const Value v = parse(R"({"a":[1,2],"b":"x"})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+// --- value API ------------------------------------------------------------------------
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), InvalidStateError);
+  EXPECT_THROW(v.as_string(), InvalidStateError);
+  EXPECT_THROW(v.at("k"), InvalidStateError);
+  EXPECT_THROW(parse("3").as_bool(), InvalidStateError);
+  EXPECT_THROW(parse("\"s\"").as_int(), InvalidStateError);
+}
+
+TEST(JsonValue, AtMissingMemberThrows) {
+  const Value v = parse(R"({"a":1})");
+  EXPECT_THROW(v.at("b"), NotFoundError);
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_NE(v.find("a"), nullptr);
+}
+
+TEST(JsonValue, ArrayIndexOutOfRangeThrows) {
+  const Value v = parse("[1,2]");
+  EXPECT_THROW(v.at(std::size_t{2}), NotFoundError);
+}
+
+TEST(JsonValue, SubscriptCreatesMembers) {
+  Value v;  // null
+  v["a"]["b"] = 5;
+  EXPECT_EQ(v.at("a").at("b").as_int(), 5);
+}
+
+TEST(JsonValue, ScalarToString) {
+  EXPECT_EQ(parse("42").scalar_to_string(), "42");
+  EXPECT_EQ(parse("true").scalar_to_string(), "true");
+  EXPECT_EQ(parse("\"id9\"").scalar_to_string(), "id9");
+  EXPECT_EQ(parse("null").scalar_to_string(), "null");
+  EXPECT_THROW(parse("[]").scalar_to_string(), InvalidStateError);
+}
+
+TEST(JsonValue, AsDoubleAcceptsInt) { EXPECT_DOUBLE_EQ(parse("3").as_double(), 3.0); }
+
+// --- paths --------------------------------------------------------------------------
+
+const char* kFeed = R"({
+  "data": {
+    "products": [
+      {"product_info": {"id": "09cf", "price": 1200}, "aspect": 1.5},
+      {"product_info": {"id": "3gf3", "price": 800}, "aspect": 1.0},
+      {"product_info": {"id": "vm98", "price": 50}, "aspect": 2.0}
+    ],
+    "contest": {"cache": "x"}
+  }
+})";
+
+TEST(JsonPath, SimpleMemberChain) {
+  const Value v = parse(kFeed);
+  const Path p("data.contest.cache");
+  const Value* r = p.resolve_first(v);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->as_string(), "x");
+}
+
+TEST(JsonPath, WildcardCollectsAllElements) {
+  const Value v = parse(kFeed);
+  const Path p("data.products[*].product_info.id");
+  EXPECT_TRUE(p.is_multi());
+  const auto all = p.resolve(v);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->as_string(), "09cf");
+  EXPECT_EQ(all[2]->as_string(), "vm98");
+}
+
+TEST(JsonPath, NumericIndex) {
+  const Value v = parse(kFeed);
+  const Path p("data.products[1].product_info.price");
+  const Value* r = p.resolve_first(v);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->as_int(), 800);
+}
+
+TEST(JsonPath, IndexOutOfRangeResolvesEmpty) {
+  const Value v = parse(kFeed);
+  EXPECT_TRUE(Path("data.products[9].aspect").resolve(v).empty());
+}
+
+TEST(JsonPath, MissingMemberResolvesEmpty) {
+  const Value v = parse(kFeed);
+  EXPECT_TRUE(Path("data.nothing.here").resolve(v).empty());
+  EXPECT_EQ(Path("data.nothing").resolve_first(v), nullptr);
+}
+
+TEST(JsonPath, WildcardOnNonArrayResolvesEmpty) {
+  const Value v = parse(kFeed);
+  EXPECT_TRUE(Path("data.contest[*].x").resolve(v).empty());
+}
+
+TEST(JsonPath, ParseErrors) {
+  EXPECT_THROW(Path(""), ParseError);
+  EXPECT_THROW(Path("a..b"), ParseError);
+  EXPECT_THROW(Path("a["), ParseError);
+  EXPECT_THROW(Path("a[x]"), ParseError);
+  EXPECT_THROW(Path("a."), ParseError);
+  EXPECT_THROW(Path("a[]"), ParseError);
+}
+
+TEST(JsonPath, TextPreserved) {
+  const Path p("data.products[*].id");
+  EXPECT_EQ(p.text(), "data.products[*].id");
+}
+
+TEST(JsonSetAt, CreatesIntermediateStructure) {
+  Value root;
+  set_at(root, Path("data.items[2].id"), Value("x"));
+  EXPECT_EQ(root.at("data").at("items").size(), 3u);
+  EXPECT_EQ(root.at("data").at("items").at(2).at("id").as_string(), "x");
+  EXPECT_TRUE(root.at("data").at("items").at(0).is_null());
+}
+
+TEST(JsonSetAt, OverwritesExisting) {
+  Value root = parse(R"({"a":{"b":1}})");
+  set_at(root, Path("a.b"), Value(2));
+  EXPECT_EQ(root.at("a").at("b").as_int(), 2);
+}
+
+TEST(JsonSetAt, WildcardRejected) {
+  Value root;
+  EXPECT_THROW(set_at(root, Path("a[*].b"), Value(1)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace appx::json

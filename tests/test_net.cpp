@@ -1,0 +1,242 @@
+// Integration tests for the real-socket front end: loopback origin servers,
+// the live proxy, HTTP framing, and the end-to-end acceleration flow over
+// actual TCP connections.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include "analysis/analyzer.hpp"
+#include "apps/catalog.hpp"
+#include "apps/compiler.hpp"
+#include "net/servers.hpp"
+#include "util/error.hpp"
+
+namespace appx::net {
+namespace {
+
+// A minimal HTTP client over one keep-alive connection.
+class TestClient {
+ public:
+  TestClient(std::uint16_t port, std::string user)
+      : stream_(TcpStream::connect("127.0.0.1", port)), reader_(&stream_),
+        user_(std::move(user)) {}
+
+  http::Response send(http::Request request) {
+    request.headers.set("X-Appx-User", user_);
+    write_request(stream_, request);
+    auto response = reader_.read_response();
+    if (!response) throw Error("test client: connection closed");
+    return *response;
+  }
+
+ private:
+  TcpStream stream_;
+  HttpReader reader_;
+  std::string user_;
+};
+
+TEST(LiveOrigin, ServesOverRealSockets) {
+  const apps::AppSpec spec = apps::make_wish();
+  apps::OriginServer origin(&spec);
+  LiveOriginServer server(&origin);
+  ASSERT_GT(server.port(), 0);
+
+  TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://" + spec.endpoint("feed").host + "/api/get-feed");
+  req.uri.add_query_param("offset", "0");
+  req.uri.add_query_param("count", "30");
+  req.headers.set("Cookie", "c");
+  req.headers.set("User-Agent", "ua");
+  req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+  write_request(stream, req);
+
+  HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok());
+  const auto body = json::parse(response->body);
+  EXPECT_EQ(json::Path("data.items[*].id").resolve(body).size(), 30u);
+
+  // Keep-alive: a second request on the same connection.
+  write_request(stream, req);
+  const auto second = reader.read_response();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->body, response->body);
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(LiveOrigin, UnknownPathIs404) {
+  const apps::AppSpec spec = apps::make_wish();
+  apps::OriginServer origin(&spec);
+  LiveOriginServer server(&origin);
+  TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+  http::Request req;
+  req.uri = http::Uri::parse("https://" + spec.endpoint("feed").host + "/definitely/not");
+  write_request(stream, req);
+  HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+}
+
+class LiveProxyTest : public ::testing::Test {
+ protected:
+  LiveProxyTest()
+      : spec_(apps::make_wish()),
+        analysis_(analysis::analyze(apps::compile_app(spec_))),
+        origin_(&spec_),
+        origin_server_(&origin_) {
+    config_.default_expiration = minutes(30);
+    adapter_ = std::make_unique<core::AppxProxy>(&analysis_.signatures, &config_, 3);
+    // Every app host resolves to the single loopback origin.
+    LiveProxyServer::UpstreamMap upstreams;
+    for (const apps::EndpointSpec& ep : spec_.endpoints) {
+      upstreams[ep.host] = origin_server_.port();
+    }
+    proxy_server_ = std::make_unique<LiveProxyServer>(adapter_.get(), std::move(upstreams));
+  }
+
+  http::Request feed_request() const {
+    http::Request req;
+    req.method = "POST";
+    req.uri = http::Uri::parse("https://" + spec_.endpoint("feed").host + "/api/get-feed");
+    req.uri.add_query_param("offset", "0");
+    req.uri.add_query_param("count", "30");
+    req.headers.set("Cookie", "c0");
+    req.headers.set("User-Agent", "ua");
+    req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+    return req;
+  }
+
+  // The detail request the app would issue for feed item `index`.
+  http::Request detail_request(std::size_t index) const {
+    http::Request req;
+    req.method = "POST";
+    req.uri = http::Uri::parse("https://" + spec_.endpoint("detail").host + "/product/get");
+    req.headers.set("Cookie", "c0");
+    req.headers.set("User-Agent", "ua");
+    const auto feed_body = json::parse(origin_.serve(feed_request()).body);
+    http::FormFields fields;
+    const apps::EndpointSpec& detail = spec_.endpoint("detail");
+    for (const apps::FieldSpec& f : detail.fields) {
+      if (f.loc != core::FieldLocation::kBody || f.conditional) continue;
+      if (f.value.kind == apps::ValueSpec::Kind::kDep) {
+        std::string path = f.value.dep_path;
+        const auto star = path.find("[*]");
+        if (star != std::string::npos) path.replace(star, 3, "[" + std::to_string(index) + "]");
+        fields.emplace_back(f.name,
+                            json::Path(path).resolve_first(feed_body)->scalar_to_string());
+      } else if (f.value.kind == apps::ValueSpec::Kind::kEnv) {
+        fields.emplace_back(f.name, spec_.env_defaults.at(f.value.text));
+      } else {
+        fields.emplace_back(f.name, f.value.text);
+      }
+    }
+    req.set_form_fields(fields);
+    return req;
+  }
+
+  std::string feed_item_id(std::size_t index) const {
+    const auto body = json::parse(origin_.serve(feed_request()).body);
+    return json::Path("data.items[" + std::to_string(index) + "].id")
+        .resolve_first(body)
+        ->as_string();
+  }
+
+  apps::AppSpec spec_;
+  analysis::AnalysisResult analysis_;
+  apps::OriginServer origin_;
+  LiveOriginServer origin_server_;
+  core::ProxyConfig config_;
+  std::unique_ptr<core::AppxProxy> adapter_;
+  std::unique_ptr<LiveProxyServer> proxy_server_;
+};
+
+TEST_F(LiveProxyTest, ForwardsMissesTaggedAsMiss) {
+  TestClient client(proxy_server_->port(), "u1");
+  const auto response = client.send(feed_request());
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.headers.get("X-Appx-Cache").value(), "miss");
+  EXPECT_FALSE(json::parse(response.body).is_null());
+}
+
+TEST_F(LiveProxyTest, EndToEndPrefetchOverRealSockets) {
+  TestClient client(proxy_server_->port(), "u1");
+  // 1. Feed: the proxy learns the item list.
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  // 2. First detail: a miss, but it teaches the run-time values; the proxy's
+  //    prefetch worker then fetches the sibling items in the background.
+  const auto first = client.send(detail_request(0));
+  EXPECT_EQ(first.headers.get("X-Appx-Cache").value(), "miss");
+  proxy_server_->drain_prefetches();
+  // 3. A different item: served from the prefetch cache.
+  const auto second = client.send(detail_request(1));
+  EXPECT_EQ(second.headers.get("X-Appx-Cache").value(), "hit");
+  // The served body is byte-identical to what the origin would return.
+  EXPECT_EQ(second.body, origin_.serve(detail_request(1)).body);
+}
+
+TEST_F(LiveProxyTest, UsersIsolatedOverSockets) {
+  TestClient u1(proxy_server_->port(), "u1");
+  ASSERT_TRUE(u1.send(feed_request()).ok());
+  u1.send(detail_request(0));
+  proxy_server_->drain_prefetches();
+  // u2 issues the same second request: the per-user cache must not leak.
+  TestClient u2(proxy_server_->port(), "u2");
+  const auto response = u2.send(detail_request(1));
+  EXPECT_EQ(response.headers.get("X-Appx-Cache").value(), "miss");
+}
+
+TEST_F(LiveProxyTest, UnknownUpstreamHostIs502) {
+  TestClient client(proxy_server_->port(), "u1");
+  http::Request req;
+  req.uri = http::Uri::parse("https://unmapped.example/x");
+  const auto response = client.send(req);
+  EXPECT_EQ(response.status, 502);
+}
+
+TEST_F(LiveProxyTest, GarbageInputClosesConnectionButServerSurvives) {
+  {
+    TcpStream garbage = TcpStream::connect("127.0.0.1", proxy_server_->port());
+    garbage.write_all("NOT HTTP AT ALL\r\njunk junk junk\r\n\r\n");
+    garbage.shutdown_write();
+    char buf[64];
+    while (garbage.read_some(buf, sizeof buf) > 0) {
+    }  // proxy closes the connection
+  }
+  // The server keeps serving well-formed clients.
+  TestClient client(proxy_server_->port(), "u9");
+  EXPECT_TRUE(client.send(feed_request()).ok());
+}
+
+TEST_F(LiveProxyTest, ConcurrentClients) {
+  // Several client threads hammer the proxy at once; everything stays
+  // consistent and every response parses.
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &failures] {
+      try {
+        TestClient client(proxy_server_->port(), "user" + std::to_string(c));
+        if (!client.send(feed_request()).ok()) ++failures;
+        for (int i = 0; i < 4; ++i) {
+          if (!client.send(detail_request(static_cast<std::size_t>(i))).ok()) {
+            ++failures;
+          }
+        }
+      } catch (const Error&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  proxy_server_->drain_prefetches();
+}
+
+}  // namespace
+}  // namespace appx::net

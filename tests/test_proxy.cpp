@@ -1,0 +1,441 @@
+// Unit tests for the prefetch cache, scheduler and proxy engine (Fig. 10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cache.hpp"
+#include "core/proxy.hpp"
+#include "core/scheduler.hpp"
+#include "wish_fixture.hpp"
+
+namespace appx::core {
+namespace {
+
+using testfix::make_feed_request;
+using testfix::make_feed_response;
+using testfix::make_product_request;
+using testfix::make_product_response;
+using testfix::make_wish_set;
+
+// --- PrefetchCache ---------------------------------------------------------------
+
+TEST(PrefetchCache, HitMissExpiry) {
+  PrefetchCache cache;
+  PrefetchCache::Lookup lookup;
+
+  EXPECT_FALSE(cache.get("k", 0, &lookup).has_value());
+  EXPECT_EQ(lookup, PrefetchCache::Lookup::kMiss);
+
+  PrefetchCache::Entry entry;
+  entry.response.body = "data";
+  entry.fetched_at = 0;
+  entry.expires_at = 100;
+  cache.put("k", entry);
+
+  EXPECT_TRUE(cache.get("k", 50, &lookup).has_value());
+  EXPECT_EQ(lookup, PrefetchCache::Lookup::kHit);
+
+  EXPECT_FALSE(cache.get("k", 100, &lookup).has_value());
+  EXPECT_EQ(lookup, PrefetchCache::Lookup::kExpired);
+  // The expired entry is gone: a second lookup is a plain miss.
+  EXPECT_FALSE(cache.get("k", 100, &lookup).has_value());
+  EXPECT_EQ(lookup, PrefetchCache::Lookup::kMiss);
+}
+
+TEST(PrefetchCache, NoExpiryEntryLivesForever) {
+  PrefetchCache cache;
+  PrefetchCache::Entry entry;
+  cache.put("k", entry);
+  EXPECT_TRUE(cache.get("k", 1'000'000'000'000).has_value());
+}
+
+TEST(PrefetchCache, ContainsRespectsExpiry) {
+  PrefetchCache cache;
+  PrefetchCache::Entry entry;
+  entry.expires_at = 10;
+  cache.put("k", entry);
+  EXPECT_TRUE(cache.contains("k", 5));
+  EXPECT_FALSE(cache.contains("k", 10));
+  EXPECT_FALSE(cache.contains("other", 5));
+}
+
+TEST(PrefetchCache, UsedCountsUniqueEntries) {
+  PrefetchCache cache;
+  cache.put("a", {});
+  cache.put("b", {});
+  EXPECT_EQ(cache.entries_used(), 0u);
+  cache.get("a", 0);
+  cache.get("a", 0);
+  EXPECT_EQ(cache.entries_used(), 1u);
+  cache.get("b", 0);
+  EXPECT_EQ(cache.entries_used(), 2u);
+  EXPECT_EQ(cache.entries_inserted(), 2u);
+}
+
+TEST(PrefetchCache, PutOverwrites) {
+  PrefetchCache cache;
+  PrefetchCache::Entry e1;
+  e1.response.body = "old";
+  cache.put("k", e1);
+  PrefetchCache::Entry e2;
+  e2.response.body = "new";
+  cache.put("k", e2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("k", 0)->body, "new");
+}
+
+// --- scheduler ------------------------------------------------------------------
+
+TEST(SignatureStats, Defaults) {
+  SignatureStats stats;
+  EXPECT_DOUBLE_EQ(stats.avg_response_time_ms("x"), 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_rate("x"), 0.5);
+}
+
+TEST(SignatureStats, Updates) {
+  SignatureStats stats;
+  stats.record_response_time("x", 100);
+  EXPECT_DOUBLE_EQ(stats.avg_response_time_ms("x"), 100);
+  stats.record_lookup("x", true);
+  stats.record_lookup("x", false);
+  EXPECT_DOUBLE_EQ(stats.hit_rate("x"), 0.5);  // (1+1)/(2+2)
+  stats.record_lookup("x", true);
+  EXPECT_GT(stats.hit_rate("x"), 0.5);
+}
+
+TEST(PrefetchScheduler, PriorityOrdering) {
+  SignatureStats stats;
+  stats.record_response_time("slow", 500);
+  stats.record_response_time("fast", 10);
+
+  PrefetchScheduler sched;
+  PrefetchJob a;
+  a.sig_id = "fast";
+  PrefetchJob b;
+  b.sig_id = "slow";
+  sched.enqueue(a, stats);
+  sched.enqueue(b, stats);
+
+  // Slow-to-complete signature dequeues first (paper §5).
+  const auto first = sched.dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->sig_id, "slow");
+  EXPECT_EQ(sched.dequeue()->sig_id, "fast");
+}
+
+TEST(PrefetchScheduler, HitRateBreaksTies) {
+  SignatureStats stats;
+  stats.record_response_time("a", 100);
+  stats.record_response_time("b", 100);
+  for (int i = 0; i < 20; ++i) {
+    stats.record_lookup("a", true);
+    stats.record_lookup("b", false);
+  }
+  PrefetchScheduler sched;
+  PrefetchJob ja;
+  ja.sig_id = "a";
+  PrefetchJob jb;
+  jb.sig_id = "b";
+  sched.enqueue(jb, stats);
+  sched.enqueue(ja, stats);
+  EXPECT_EQ(sched.dequeue()->sig_id, "a");
+}
+
+TEST(PrefetchScheduler, FifoAmongEqualPriorities) {
+  SignatureStats stats;
+  PrefetchScheduler sched;
+  for (int i = 0; i < 3; ++i) {
+    PrefetchJob j;
+    j.sig_id = "same";
+    j.request.body = std::to_string(i);
+    sched.enqueue(j, stats);
+  }
+  EXPECT_EQ(sched.dequeue()->request.body, "0");
+  EXPECT_EQ(sched.dequeue()->request.body, "1");
+  EXPECT_EQ(sched.dequeue()->request.body, "2");
+}
+
+TEST(PrefetchScheduler, OutstandingWindowLimitsDequeue) {
+  SignatureStats stats;
+  PrefetchScheduler sched(PrefetchScheduler::Weights{1.0, 200.0}, 2);
+  for (int i = 0; i < 5; ++i) sched.enqueue(PrefetchJob{}, stats);
+  EXPECT_TRUE(sched.dequeue().has_value());
+  EXPECT_TRUE(sched.dequeue().has_value());
+  EXPECT_FALSE(sched.dequeue().has_value());  // window full
+  EXPECT_EQ(sched.outstanding(), 2u);
+  sched.on_completed();
+  EXPECT_TRUE(sched.dequeue().has_value());
+  EXPECT_EQ(sched.queued(), 2u);
+}
+
+// --- ProxyEngine -----------------------------------------------------------------
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : set_(make_wish_set()) {
+    config_.default_expiration = seconds(3600);
+    engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7);
+  }
+
+  // Drive a full transaction through the proxy as the simulator would:
+  // client request -> (cache | origin) -> prefetch jobs -> prefetch responses.
+  http::Response run_transaction(const std::string& user, const http::Request& req,
+                                 const http::Response& origin_response, SimTime now,
+                                 bool* served_from_cache = nullptr) {
+    const auto decision = engine_->on_client_request(user, req, now);
+    if (served_from_cache != nullptr) *served_from_cache = decision.served.has_value();
+    if (decision.served) return *decision.served;
+    engine_->on_origin_response(user, req, origin_response, now);
+    drain_prefetches(user, now);
+    return origin_response;
+  }
+
+  // Answer outstanding prefetch jobs from a canned origin.
+  void drain_prefetches(const std::string& user, SimTime now) {
+    auto jobs = engine_->take_prefetches(user, now);
+    while (!jobs.empty()) {
+      for (const auto& job : jobs) {
+        http::Response resp;
+        if (job.request.uri.path == "/product/get") {
+          // Deterministic per-item merchant, like a real origin would return.
+          const auto fields = job.request.form_fields();
+          resp = make_product_response("m_" + fields[0].second, 1500);
+        } else if (job.request.uri.path == "/img") {
+          resp.opaque_payload = kilobytes(300);
+        } else {
+          resp.body = "{}";
+        }
+        engine_->on_prefetch_response(user, job, resp, now, 165.0);
+      }
+      jobs = engine_->take_prefetches(user, now);
+    }
+  }
+
+  SignatureSet set_;
+  ProxyConfig config_;
+  std::unique_ptr<ProxyEngine> engine_;
+};
+
+TEST_F(ProxyTest, EndToEndPrefetchServesSecondInteraction) {
+  // 1. Feed: forwarded (nothing cached yet), learning sees the ids.
+  run_transaction("u1", make_feed_request(), make_feed_response({"09cf", "3gf3"}), 0);
+  // 2. First product request: miss (runtime values unknown before this), but
+  //    it teaches the engine; sibling instances are prefetched.
+  bool hit = false;
+  run_transaction("u1", make_product_request("09cf"), make_product_response("Silk", 1), 1000,
+                  &hit);
+  EXPECT_FALSE(hit);
+  // 3. Second product request: must be a cache hit.
+  run_transaction("u1", make_product_request("3gf3"), make_product_response("Silk", 1), 2000,
+                  &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(engine_->stats().cache_hits, 1u);
+  EXPECT_GT(engine_->stats().prefetches_issued, 0u);
+}
+
+TEST_F(ProxyTest, PrefetchedResponseIdenticalToOrigin) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("Silk", 1500), 1);
+  bool hit = false;
+  const auto resp = run_transaction("u1", make_product_request("b"),
+                                    make_product_response("ignored", 0), 2, &hit);
+  ASSERT_TRUE(hit);
+  // Served body is the prefetched origin payload (canned per-item merchant).
+  EXPECT_EQ(resp.body, make_product_response("m_b", 1500).body);
+}
+
+TEST_F(ProxyTest, ExpiredEntryIsMissAndRefetched) {
+  config_.default_expiration = milliseconds(10);
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1000);
+  bool hit = true;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1),
+                  seconds(10), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(engine_->stats().cache_expired, 1u);
+}
+
+TEST_F(ProxyTest, UsersAreIsolated) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  // u2 never saw anything: its identical request must NOT be served from
+  // u1's cache.
+  bool hit = true;
+  run_transaction("u2", make_product_request("b"), make_product_response("m", 1), 2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(engine_->user_count(), 2u);
+}
+
+TEST_F(ProxyTest, DisabledSignatureIsNotPrefetched) {
+  const auto* product = set_.find_by_label("wish.product");
+  SignaturePolicy p;
+  p.hash = product->id;
+  p.prefetch = false;
+  config_.set_policy(p);
+
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  bool hit = true;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), 2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_GT(engine_->stats().skipped_disabled, 0u);
+}
+
+TEST_F(ProxyTest, ZeroProbabilityNeverPrefetches) {
+  config_.global_probability = 0.0;
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  EXPECT_EQ(engine_->stats().prefetches_issued, 0u);
+  EXPECT_GT(engine_->stats().skipped_probability, 0u);
+}
+
+TEST_F(ProxyTest, ConditionGatesPrefetch) {
+  const auto* related = set_.find_by_label("wish.related");
+  SignaturePolicy p;
+  p.hash = related->id;
+  p.conditions = {{"data.contest.price", FieldCondition::Op::kGt, "1000"}};
+  config_.set_policy(p);
+
+  // Teach the engine related's run-time values (host) with one observation.
+  http::Request rel;
+  rel.method = "POST";
+  rel.uri = http::Uri::parse("https://wish.com/related/get");
+  rel.set_form_fields({{"merchant", "Warmup"}});
+  http::Response rel_resp;
+  rel_resp.body = "{}";
+  run_transaction("u1", rel, rel_resp, 0);
+
+  // Product response with price 500: the ready related instance must be
+  // rejected by the price condition.
+  run_transaction("u1", make_product_request("a"), make_product_response("Cheap", 500), 1);
+  EXPECT_GT(engine_->stats().skipped_condition, 0u);
+
+  // Price above the threshold: prefetch proceeds.
+  const auto issued_before = engine_->stats().prefetches_issued;
+  run_transaction("u1", make_product_request("b"), make_product_response("Lux", 2000), 2);
+  EXPECT_GT(engine_->stats().prefetches_issued, issued_before);
+}
+
+TEST_F(ProxyTest, DataBudgetStopsPrefetching) {
+  config_.data_budget = 1;  // one byte: first prefetch response exhausts it
+  std::vector<std::string> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back("id" + std::to_string(i));
+  run_transaction("u1", make_feed_request(), make_feed_response(ids), 0);
+  run_transaction("u1", make_product_request("id0"), make_product_response("m", 1), 1);
+  run_transaction("u1", make_feed_request(), make_feed_response({"fresh1", "fresh2"}), 2);
+  EXPECT_GT(engine_->stats().skipped_budget, 0u);
+}
+
+TEST_F(ProxyTest, AddedHeaderMarksPrefetchButStillMatchesClient) {
+  const auto* product = set_.find_by_label("wish.product");
+  SignaturePolicy p;
+  p.hash = product->id;
+  p.add_headers = {{"X-Appx", "prefetch"}};
+  config_.set_policy(p);
+  engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7);  // re-read header names
+
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  bool hit = false;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), 2, &hit);
+  EXPECT_TRUE(hit) << "prefetch-marker header must not break exact matching";
+}
+
+TEST_F(ProxyTest, ChainedPrefetchReachesSecondHop) {
+  // Wish merchant-page chain (Fig. 3c): feed -> product -> related. After
+  // the app has shown each transaction once (runtime values known), a new
+  // feed item should trigger product prefetch, whose prefetched response
+  // triggers related prefetch — without any client involvement.
+  run_transaction("u1", make_feed_request(), make_feed_response({"seed"}), 0);
+  run_transaction("u1", make_product_request("seed"), make_product_response("SeedStore", 1), 1);
+  http::Request img;
+  img.uri = http::Uri::parse("https://img.wish.com/img?cid=seed");
+  http::Response img_resp;
+  img_resp.opaque_payload = kilobytes(300);
+  run_transaction("u1", img, img_resp, 1);
+  http::Request rel;
+  rel.method = "POST";
+  rel.uri = http::Uri::parse("https://wish.com/related/get");
+  rel.set_form_fields({{"merchant", "SeedStore"}});
+  http::Response rel_resp;
+  rel_resp.body = "{}";
+  run_transaction("u1", rel, rel_resp, 2);
+
+  // New feed: both hops should now be prefetched via the chain.
+  const auto before = engine_->stats().prefetches_issued;
+  run_transaction("u1", make_feed_request(), make_feed_response({"chained"}), 3);
+  const auto issued = engine_->stats().prefetches_issued - before;
+  EXPECT_GE(issued, 3u);  // product + image + related (chained through product)
+
+  bool hit = false;
+  http::Request rel2 = rel;
+  rel2.set_form_fields({{"merchant", "m_chained"}});  // canned prefetch merchant
+  run_transaction("u1", rel2, rel_resp, 4, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST_F(ProxyTest, FailedPrefetchNotCached) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  const auto decision = engine_->on_client_request("u1", make_product_request("a"), 1);
+  ASSERT_FALSE(decision.served.has_value());
+  // The sibling instance ("b") becomes prefetchable; fail its prefetch.
+  engine_->on_origin_response("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  auto jobs = engine_->take_prefetches("u1", 1);
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& job : jobs) {
+    http::Response fail;
+    fail.status = 500;
+    engine_->on_prefetch_response("u1", job, fail, 1, 100.0);
+  }
+  EXPECT_GT(engine_->stats().prefetch_failures, 0u);
+  const auto* cache = engine_->cache_for("u1");
+  ASSERT_NE(cache, nullptr);
+  for (const auto& job : jobs) {
+    EXPECT_FALSE(cache->contains(job.cache_key, 1));
+  }
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST_F(ProxyTest, DuplicatePrefetchSuppressedWhileFresh) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  const auto issued_before = engine_->stats().prefetches_issued;
+  // Same feed again: instances already cached -> no re-issue.
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 2);
+  const auto product_issued = engine_->stats().prefetches_issued - issued_before;
+  EXPECT_GT(engine_->stats().skipped_duplicate, 0u);
+  EXPECT_EQ(product_issued, 0u);
+}
+
+TEST_F(ProxyTest, ExpiredEntryIsReprefetchedOnNextObservation) {
+  config_.default_expiration = seconds(10);
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), seconds(1));
+  // Fresh: hit.
+  bool hit = false;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), seconds(2),
+                  &hit);
+  ASSERT_TRUE(hit);
+  // Long pause: entries expire. Re-observing the feed re-emits the ready
+  // instances, which are re-prefetched because the cache no longer holds
+  // them — the behaviour the engine's re-emission design exists for.
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), seconds(60));
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), seconds(61),
+                  &hit);
+  EXPECT_TRUE(hit) << "expired entry must be re-prefetched after re-observation";
+}
+
+TEST_F(ProxyTest, StatsDataAccounting) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  const auto& stats = engine_->stats();
+  EXPECT_GT(stats.bytes_origin_to_proxy, 0);
+  EXPECT_GT(stats.bytes_prefetched, 0);
+  bool hit = false;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), 2, &hit);
+  ASSERT_TRUE(hit);
+  EXPECT_GT(stats.bytes_served_from_cache, 0);
+}
+
+}  // namespace
+}  // namespace appx::core

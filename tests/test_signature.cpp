@@ -1,0 +1,273 @@
+// Unit tests for transaction signatures, matching, and the signature set.
+#include <gtest/gtest.h>
+
+#include "core/signature.hpp"
+#include "util/error.hpp"
+#include "wish_fixture.hpp"
+
+namespace appx::core {
+namespace {
+
+using testfix::make_feed_request;
+using testfix::make_feed_signature;
+using testfix::make_image_signature;
+using testfix::make_product_request;
+using testfix::make_product_signature;
+using testfix::make_wish_set;
+
+TEST(TransactionSignature, FinalizeAssignsStableId) {
+  auto a = make_feed_signature();
+  auto b = make_feed_signature();
+  EXPECT_FALSE(a.id.empty());
+  EXPECT_EQ(a.id, b.id);  // content-addressed
+
+  b.request.method = "POST";
+  b.finalize();
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(TransactionSignature, IdIgnoresLabel) {
+  auto a = make_feed_signature();
+  auto b = make_feed_signature();
+  b.label = "renamed";
+  b.finalize();
+  EXPECT_EQ(a.id, b.id);
+}
+
+TEST(TransactionSignature, UriRegexDisplayForm) {
+  const auto sig = make_feed_signature();
+  EXPECT_EQ(sig.uri_regex(), "https://.*/api/get-feed");
+}
+
+TEST(TransactionSignature, MatchExtractsBindings) {
+  const auto sig = make_feed_signature();
+  const auto bindings = sig.match(make_feed_request());
+  ASSERT_TRUE(bindings.has_value());
+  EXPECT_EQ(bindings->at("wish.host"), "wish.com");
+  EXPECT_EQ(bindings->at("wish.cookie"), "e8d5");
+  EXPECT_EQ(bindings->at("o"), "0");
+  EXPECT_EQ(bindings->at("n"), "30");
+}
+
+TEST(TransactionSignature, MatchRejectsWrongMethod) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.method = "POST";
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchRejectsWrongPath) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.uri.path = "/api/get-feed2";
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchRejectsShapeViolation) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.uri.set_query_param("offset", "7");  // shape is (0|-1)
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchRejectsMissingRequiredQuery) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.uri.remove_query_param("count");
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchRejectsExtraQueryParam) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.uri.add_query_param("extra", "1");
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchAllowsExtraHeaders) {
+  const auto sig = make_feed_signature();
+  auto req = make_feed_request();
+  req.headers.add("Accept-Language", "en");
+  EXPECT_TRUE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, MatchFormBodyWithOptionalAbsent) {
+  const auto sig = make_product_signature();
+  const auto result = sig.match_ex(make_product_request("556e", /*with_credit=*/false));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->bindings.at("wish.product.cid"), "556e");
+  ASSERT_EQ(result->absent_optional.size(), 1u);
+  EXPECT_EQ(result->absent_optional[0], "body:credit_id");
+}
+
+TEST(TransactionSignature, MatchFormBodyWithOptionalPresent) {
+  const auto sig = make_product_signature();
+  const auto result = sig.match_ex(make_product_request("556e", /*with_credit=*/true));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->absent_optional.empty());
+  EXPECT_EQ(result->bindings.at("wish.credit"), "cc01");
+}
+
+TEST(TransactionSignature, MatchRejectsLiteralBodyMismatch) {
+  const auto sig = make_product_signature();
+  auto req = make_product_request("556e");
+  auto fields = req.form_fields();
+  fields[3].second = "google";  // _build must be "amazon"
+  req.set_form_fields(fields);
+  EXPECT_FALSE(sig.match(req).has_value());
+}
+
+TEST(TransactionSignature, SerializationRoundTrip) {
+  const auto sig = make_product_signature();
+  ByteWriter w;
+  sig.serialize(w);
+  ByteReader r(w.data());
+  const auto back = TransactionSignature::deserialize(r);
+  EXPECT_EQ(sig, back);
+}
+
+TEST(MatchFields, RepeatedNamesMatchPositionally) {
+  std::vector<RequestField> fields{
+      {FieldLocation::kBody, "_cap[]", pattern::FieldTemplate::literal("2"), false},
+      {FieldLocation::kBody, "_cap[]", pattern::FieldTemplate::literal("4"), false},
+  };
+  Bindings bindings;
+  EXPECT_TRUE(match_fields(fields, {{"_cap[]", "2"}, {"_cap[]", "4"}}, false, false, bindings));
+  Bindings b2;
+  EXPECT_FALSE(match_fields(fields, {{"_cap[]", "4"}, {"_cap[]", "2"}}, false, false, b2));
+}
+
+TEST(MatchFields, CrossFieldBindingConsistency) {
+  std::vector<RequestField> fields{
+      {FieldLocation::kBody, "a", pattern::FieldTemplate::hole("x"), false},
+      {FieldLocation::kBody, "b", pattern::FieldTemplate::hole("x"), false},
+  };
+  Bindings consistent;
+  EXPECT_TRUE(match_fields(fields, {{"a", "same"}, {"b", "same"}}, false, false, consistent));
+  Bindings conflicting;
+  EXPECT_FALSE(match_fields(fields, {{"a", "one"}, {"b", "two"}}, false, false, conflicting));
+}
+
+// --- SignatureSet --------------------------------------------------------------------
+
+TEST(SignatureSet, AddAndLookup) {
+  const auto set = make_wish_set();
+  EXPECT_EQ(set.size(), 4u);
+  const auto* feed = set.find_by_label("wish.feed");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(&set.get(feed->id), feed);
+  EXPECT_EQ(set.find("nope"), nullptr);
+  EXPECT_THROW(set.get("nope"), NotFoundError);
+}
+
+TEST(SignatureSet, DuplicateIdRejected) {
+  SignatureSet set;
+  set.add(make_feed_signature());
+  EXPECT_THROW(set.add(make_feed_signature()), InvalidArgumentError);
+}
+
+TEST(SignatureSet, EdgeValidation) {
+  SignatureSet set;
+  const auto& feed = set.add(make_feed_signature());
+  EXPECT_THROW(set.add_edge({feed.id, "a.b", "missing", "h"}), InvalidArgumentError);
+  EXPECT_THROW(set.add_edge({"missing", "a.b", feed.id, "h"}), InvalidArgumentError);
+  const auto& product = set.add(make_product_signature());
+  EXPECT_THROW(set.add_edge({feed.id, "bad..path", product.id, "h"}), ParseError);
+}
+
+TEST(SignatureSet, SuccessorPredecessorClassification) {
+  const auto set = make_wish_set();
+  const auto* feed = set.find_by_label("wish.feed");
+  const auto* product = set.find_by_label("wish.product");
+  const auto* image = set.find_by_label("wish.image");
+  const auto* related = set.find_by_label("wish.related");
+
+  EXPECT_TRUE(set.is_predecessor(feed->id));
+  EXPECT_FALSE(set.is_successor(feed->id));
+  // product is both (fed by feed, feeds related).
+  EXPECT_TRUE(set.is_successor(product->id));
+  EXPECT_TRUE(set.is_predecessor(product->id));
+  EXPECT_TRUE(set.is_successor(image->id));
+  EXPECT_FALSE(set.is_predecessor(image->id));
+  EXPECT_TRUE(set.is_successor(related->id));
+
+  EXPECT_EQ(set.prefetchable().size(), 3u);  // product, image, related
+}
+
+TEST(SignatureSet, RuntimeVsDependencyHoles) {
+  const auto set = make_wish_set();
+  const auto* product = set.find_by_label("wish.product");
+  const auto dep = set.dependency_holes(product->id);
+  ASSERT_EQ(dep.size(), 1u);
+  EXPECT_EQ(dep[0], "wish.product.cid");
+  const auto rt = set.runtime_holes(product->id);
+  // host, cookie, ua, client, ver, credit
+  EXPECT_EQ(rt.size(), 6u);
+}
+
+TEST(SignatureSet, MaxChainLength) {
+  const auto set = make_wish_set();
+  // feed -> product -> related : 2 edges.
+  EXPECT_EQ(set.max_chain_length(), 2u);
+}
+
+TEST(SignatureSet, MaxChainLengthEmpty) {
+  SignatureSet set;
+  EXPECT_EQ(set.max_chain_length(), 0u);
+}
+
+TEST(SignatureSet, MatchRequestFindsRightSignature) {
+  const auto set = make_wish_set();
+  const auto* sig = set.match_request(make_feed_request());
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->label, "wish.feed");
+  const auto* product = set.match_request(make_product_request("1"));
+  ASSERT_NE(product, nullptr);
+  EXPECT_EQ(product->label, "wish.product");
+
+  http::Request unknown;
+  unknown.uri = http::Uri::parse("https://elsewhere.com/nothing");
+  EXPECT_EQ(set.match_request(unknown), nullptr);
+}
+
+TEST(SignatureSet, MatchRequestFiltersByApp) {
+  const auto set = make_wish_set();
+  EXPECT_NE(set.match_request(make_feed_request(), "com.wish.test"), nullptr);
+  EXPECT_EQ(set.match_request(make_feed_request(), "com.other.app"), nullptr);
+}
+
+TEST(SignatureSet, SubsetForApp) {
+  auto set = make_wish_set();
+  TransactionSignature other;
+  other.app = "com.other.app";
+  other.label = "other.x";
+  other.request.host = pattern::FieldTemplate::literal("o.com");
+  other.request.path = pattern::FieldTemplate::literal("/z");
+  set.add(other);
+
+  const auto subset = set.subset_for_app("com.wish.test");
+  EXPECT_EQ(subset.size(), 4u);
+  EXPECT_EQ(subset.edges().size(), 3u);
+  EXPECT_EQ(subset.find_by_label("other.x"), nullptr);
+}
+
+TEST(SignatureSet, SerializationRoundTrip) {
+  const auto set = make_wish_set();
+  const auto bytes = set.serialize();
+  const auto back = SignatureSet::deserialize(bytes);
+  EXPECT_EQ(back.size(), set.size());
+  EXPECT_EQ(back.edges().size(), set.edges().size());
+  for (const auto& sig : set.all()) {
+    const auto* restored = back.find(sig->id);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(*restored, *sig);
+  }
+}
+
+TEST(SignatureSet, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(SignatureSet::deserialize(garbage), ParseError);
+}
+
+}  // namespace
+}  // namespace appx::core

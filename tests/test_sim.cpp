@@ -1,0 +1,145 @@
+// Unit tests for the discrete-event simulator and link model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace appx::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = -1;
+  sim.schedule(milliseconds(5), [&] {
+    sim.schedule(milliseconds(7), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, milliseconds(12));
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(10), [&] { ++fired; });
+  sim.schedule(milliseconds(30), [&] { ++fired; });
+  sim.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(20));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), InvalidArgumentError);
+}
+
+TEST(Link, PropagationDelayOnly) {
+  Simulator sim;
+  Link link(&sim, milliseconds(50), 0);  // infinite bandwidth
+  SimTime arrival = -1;
+  link.send(megabytes(10), [&] { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(arrival, milliseconds(50));
+}
+
+TEST(Link, SerializationDelayAddsToLatency) {
+  Simulator sim;
+  Link link(&sim, milliseconds(10), mbps(8));  // 1 MB/s
+  SimTime arrival = -1;
+  link.send(1'000'000, [&] { arrival = sim.now(); });  // 1 MB -> 1 s
+  sim.run();
+  EXPECT_EQ(arrival, milliseconds(10) + seconds(1));
+}
+
+TEST(Link, TransfersQueueFifoBehindEachOther) {
+  Simulator sim;
+  Link link(&sim, milliseconds(10), mbps(8));  // 1 MB/s
+  std::vector<SimTime> arrivals;
+  link.send(500'000, [&] { arrivals.push_back(sim.now()); });  // 0.5 s
+  link.send(500'000, [&] { arrivals.push_back(sim.now()); });  // waits for first
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], milliseconds(510));
+  EXPECT_EQ(arrivals[1], milliseconds(1010));
+}
+
+TEST(Link, BottleneckFreesOverTime) {
+  Simulator sim;
+  Link link(&sim, 0, mbps(8));
+  SimTime first = -1, second = -1;
+  link.send(1'000'000, [&] { first = sim.now(); });
+  // Sent 2 s later: the link is idle again, no queueing.
+  sim.schedule(seconds(2), [&] { link.send(1'000'000, [&] { second = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(first, seconds(1));
+  EXPECT_EQ(second, seconds(3));
+}
+
+TEST(Link, CountsTraffic) {
+  Simulator sim;
+  Link link(&sim, 0, 0);
+  link.send(100, [] {});
+  link.send(250, [] {});
+  sim.run();
+  EXPECT_EQ(link.bytes_carried(), 350);
+  EXPECT_EQ(link.messages_carried(), 2u);
+}
+
+TEST(Link, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(Link(nullptr, 0, 0), InvalidArgumentError);
+  EXPECT_THROW(Link(&sim, -1, 0), InvalidArgumentError);
+  Link link(&sim, 0, 0);
+  EXPECT_THROW(link.send(-5, [] {}), InvalidArgumentError);
+}
+
+TEST(Channel, RttSplitsAcrossDirections) {
+  Simulator sim;
+  Channel chan(&sim, milliseconds(55), mbps(25));
+  EXPECT_EQ(chan.rtt(), milliseconds(55));
+  SimTime up_arrival = -1, down_arrival = -1;
+  chan.up().send(0, [&] { up_arrival = sim.now(); });
+  chan.down().send(0, [&] { down_arrival = sim.now(); });
+  sim.run();
+  // Each direction carries half the RTT; integer microseconds.
+  EXPECT_NEAR(static_cast<double>(up_arrival), static_cast<double>(milliseconds(27.5)), 1.0);
+  EXPECT_EQ(up_arrival, down_arrival);
+}
+
+TEST(Channel, RoundTripEchoTakesRtt) {
+  Simulator sim;
+  Channel chan(&sim, milliseconds(100), 0);
+  SimTime done = -1;
+  chan.up().send(0, [&] { chan.down().send(0, [&] { done = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done, milliseconds(100));
+}
+
+}  // namespace
+}  // namespace appx::sim

@@ -1,0 +1,185 @@
+// Tests for user-study trace generation, serialisation and replay (§6).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/catalog.hpp"
+#include "apps/server.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace appx::trace {
+namespace {
+
+TEST(TraceGeneration, ProducesOneSessionPerUser) {
+  const apps::AppSpec app = apps::make_wish();
+  TraceParams params;
+  params.users = 30;
+  const auto traces = generate_traces(app, params);
+  ASSERT_EQ(traces.size(), 30u);
+  std::set<std::string> ids;
+  for (const UserTrace& t : traces) {
+    ids.insert(t.user_id);
+    ASSERT_FALSE(t.events.empty());
+    EXPECT_EQ(t.events.front().interaction, apps::kLaunchInteraction);
+    EXPECT_EQ(t.events.front().at, 0);
+  }
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+TEST(TraceGeneration, EventsWithinSessionLengthAndOrdered) {
+  const apps::AppSpec app = apps::make_wish();
+  TraceParams params;
+  params.session_length = minutes(3);
+  for (const UserTrace& t : generate_traces(app, params)) {
+    Duration prev = -1;
+    for (const TraceEvent& e : t.events) {
+      EXPECT_GT(e.at, prev);
+      prev = e.at;
+      EXPECT_LT(e.at, params.session_length);
+    }
+  }
+}
+
+TEST(TraceGeneration, RespectsInteractionPrerequisites) {
+  // merchant_page requires a detail view; item_detail requires launch.
+  const apps::AppSpec app = apps::make_wish();
+  for (const UserTrace& t : generate_traces(app, TraceParams{})) {
+    bool seen_main = false;
+    for (const TraceEvent& e : t.events) {
+      if (e.interaction == apps::kMainInteraction) seen_main = true;
+      if (e.interaction == apps::kMerchantInteraction) {
+        EXPECT_TRUE(seen_main) << "merchant page before any item detail in " << t.user_id;
+      }
+    }
+  }
+}
+
+TEST(TraceGeneration, DeterministicForSeed) {
+  const apps::AppSpec app = apps::make_wish();
+  TraceParams params;
+  params.seed = 5;
+  const auto a = generate_traces(app, params);
+  const auto b = generate_traces(app, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].events.size(), b[i].events.size());
+    for (std::size_t j = 0; j < a[i].events.size(); ++j) {
+      EXPECT_EQ(a[i].events[j].at, b[i].events[j].at);
+      EXPECT_EQ(a[i].events[j].interaction, b[i].events[j].interaction);
+      EXPECT_EQ(a[i].events[j].selection, b[i].events[j].selection);
+    }
+  }
+  params.seed = 6;
+  const auto c = generate_traces(app, params);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a[i].events.size() != c[i].events.size();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceGeneration, SelectionsFavorTopOfList) {
+  const apps::AppSpec app = apps::make_wish();
+  TraceParams params;
+  params.users = 60;
+  std::size_t zero = 0, total = 0;
+  for (const UserTrace& t : generate_traces(app, params)) {
+    for (const TraceEvent& e : t.events) {
+      if (e.interaction != apps::kMainInteraction) continue;
+      ++total;
+      if (e.selection == 0) ++zero;
+      EXPECT_LT(e.selection, 30u);
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(zero) / static_cast<double>(total), 0.15);
+}
+
+TEST(TraceSerialization, RoundTrip) {
+  const apps::AppSpec app = apps::make_wish();
+  const auto traces = generate_traces(app, TraceParams{});
+  const auto blob = serialize_traces(traces);
+  const auto back = deserialize_traces(blob);
+  ASSERT_EQ(back.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(back[i].user_id, traces[i].user_id);
+    ASSERT_EQ(back[i].events.size(), traces[i].events.size());
+    for (std::size_t j = 0; j < traces[i].events.size(); ++j) {
+      EXPECT_EQ(back[i].events[j].at, traces[i].events[j].at);
+      EXPECT_EQ(back[i].events[j].interaction, traces[i].events[j].interaction);
+      EXPECT_EQ(back[i].events[j].selection, traces[i].events[j].selection);
+    }
+  }
+}
+
+TEST(TraceSerialization, RejectsGarbage) {
+  EXPECT_THROW(deserialize_traces({1, 2, 3, 4}), ParseError);
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() : app_(apps::make_wish()), server_(&app_) {}
+
+  apps::AppClient make_client() {
+    return apps::AppClient(&app_, apps::ClientEnv::for_user(app_, "u"), &sim_,
+                           [this](http::Request req, std::function<void(http::Response)> cb) {
+                             const auto resp = server_.serve(req);
+                             sim_.schedule(milliseconds(15), [cb, resp] { cb(resp); });
+                           });
+  }
+
+  sim::Simulator sim_;
+  apps::AppSpec app_;
+  apps::OriginServer server_;
+};
+
+TEST_F(ReplayTest, ReplaysAllRunnableEvents) {
+  TraceParams params;
+  params.users = 1;
+  const auto traces = generate_traces(app_, params);
+  auto client = make_client();
+  TraceReplayer replayer(&client, &sim_);
+  bool done = false;
+  replayer.replay(traces[0], [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(replayer.results().size() + replayer.skipped(), traces[0].events.size());
+  EXPECT_EQ(replayer.skipped(), 0u) << "generated traces must be fully replayable";
+  for (const apps::InteractionResult& r : replayer.results()) EXPECT_TRUE(r.ok);
+}
+
+TEST_F(ReplayTest, HonoursThinkTimes) {
+  UserTrace t;
+  t.user_id = "u";
+  t.events.push_back({0, apps::kLaunchInteraction, 0});
+  t.events.push_back({seconds(30), apps::kMainInteraction, 0});
+  auto client = make_client();
+  TraceReplayer replayer(&client, &sim_);
+  replayer.replay(t);
+  sim_.run();
+  ASSERT_EQ(replayer.results().size(), 2u);
+  // The whole replay spans at least the 30 s think-time offset.
+  EXPECT_GE(sim_.now(), seconds(30));
+}
+
+TEST_F(ReplayTest, SkipsEventsWithUnmetDependencies) {
+  UserTrace t;
+  t.user_id = "u";
+  // Main interaction without a prior launch: dependencies unavailable.
+  t.events.push_back({0, apps::kMainInteraction, 0});
+  auto client = make_client();
+  TraceReplayer replayer(&client, &sim_);
+  replayer.replay(t);
+  sim_.run();
+  EXPECT_EQ(replayer.results().size(), 0u);
+  EXPECT_EQ(replayer.skipped(), 1u);
+}
+
+TEST(TraceReplayer, RejectsNullArguments) {
+  sim::Simulator sim;
+  EXPECT_THROW(TraceReplayer(nullptr, &sim), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace appx::trace

@@ -1,0 +1,426 @@
+// Unit tests for the util subsystem: rng, strings, hash, stats, byte_io.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace appx {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgumentError);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceProbabilityApproximation) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgumentError);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgumentError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ZipfSkewPrefersLowRanks) {
+  Rng rng(19);
+  int first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(100, 1.2) == 0) ++first;
+  }
+  // With s=1.2 the top rank should draw a clearly dominant share.
+  EXPECT_GT(first, n / 10);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish) {
+  Rng rng(23);
+  int first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(10, 0.0) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.1, 0.02);
+}
+
+TEST(Rng, IndexThrowsOnEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), InvalidArgumentError);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = strings::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitByString) {
+  const auto parts = strings::split("x::y::z", "::");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "z");
+}
+
+TEST(Strings, SplitEmptySeparatorThrows) {
+  EXPECT_THROW(strings::split("abc", ""), InvalidArgumentError);
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(strings::join(parts, "-"), "a-b-c");
+  EXPECT_EQ(strings::join({}, "-"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(strings::trim(""), "");
+  EXPECT_EQ(strings::trim("   "), "");
+  EXPECT_EQ(strings::trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(strings::starts_with("foobar", "foo"));
+  EXPECT_FALSE(strings::starts_with("fo", "foo"));
+  EXPECT_TRUE(strings::ends_with("foobar", "bar"));
+  EXPECT_FALSE(strings::ends_with("ar", "bar"));
+  EXPECT_TRUE(strings::contains("foobar", "oba"));
+  EXPECT_FALSE(strings::contains("foobar", "baz"));
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(strings::to_lower("AbC-9"), "abc-9");
+  EXPECT_EQ(strings::to_upper("AbC-9"), "ABC-9");
+  EXPECT_TRUE(strings::iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(strings::iequals("a", "ab"));
+}
+
+TEST(Strings, ToInt) {
+  EXPECT_EQ(strings::to_int("42").value(), 42);
+  EXPECT_EQ(strings::to_int("-17").value(), -17);
+  EXPECT_EQ(strings::to_int(" 8 ").value(), 8);
+  EXPECT_FALSE(strings::to_int("4x").has_value());
+  EXPECT_FALSE(strings::to_int("").has_value());
+}
+
+TEST(Strings, ToDouble) {
+  EXPECT_DOUBLE_EQ(strings::to_double("2.5").value(), 2.5);
+  EXPECT_FALSE(strings::to_double("2.5f").has_value());
+}
+
+TEST(Strings, UrlEncodeDecodeRoundTrip) {
+  const std::string original = "a b&c=d/%?#";
+  const std::string encoded = strings::url_encode(original);
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(strings::url_decode(encoded), original);
+}
+
+TEST(Strings, UrlDecodePlusAsSpace) { EXPECT_EQ(strings::url_decode("a+b"), "a b"); }
+
+TEST(Strings, UrlDecodeRejectsBadEscape) {
+  EXPECT_THROW(strings::url_decode("%zz"), ParseError);
+  EXPECT_THROW(strings::url_decode("%2"), ParseError);
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(strings::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(strings::replace_all("none", "x", "y"), "none");
+  EXPECT_THROW(strings::replace_all("a", "", "y"), InvalidArgumentError);
+}
+
+TEST(Strings, ToHex) {
+  const unsigned char bytes[] = {0x00, 0xff, 0x1a};
+  EXPECT_EQ(strings::to_hex(bytes, 3), "00ff1a");
+  EXPECT_EQ(strings::to_hex(std::uint64_t{0x0102030405060708ULL}), "0102030405060708");
+}
+
+// --- hash ----------------------------------------------------------------------
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known FNV-1a 64-bit test vector.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, DifferentInputsDiffer) { EXPECT_NE(fnv1a("abc"), fnv1a("abd")); }
+
+TEST(Hash, ShortDigestLength) {
+  EXPECT_EQ(short_digest("hello").size(), 12u);
+  EXPECT_EQ(short_digest("hello", 6).size(), 6u);
+  EXPECT_EQ(short_digest("hello"), short_digest("hello"));
+  EXPECT_NE(short_digest("hello"), short_digest("world"));
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(SampleSet, BasicMoments) {
+  SampleSet s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.mean(), InvalidStateError);
+  EXPECT_THROW(s.percentile(0.5), InvalidStateError);
+}
+
+TEST(SampleSet, PercentileInterpolation) {
+  SampleSet s;
+  s.add_all({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.9), 37.0);
+}
+
+TEST(SampleSet, PercentileRejectsOutOfRangeQ) {
+  SampleSet s;
+  s.add(1);
+  EXPECT_THROW(s.percentile(-0.1), InvalidArgumentError);
+  EXPECT_THROW(s.percentile(1.1), InvalidArgumentError);
+}
+
+TEST(SampleSet, PercentileAfterAppend) {
+  SampleSet s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  s.add(20);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 15);
+}
+
+TEST(SampleSet, CdfIsMonotone) {
+  SampleSet s;
+  s.add_all({3, 1, 2, 2, 5});
+  const auto cdf = s.cdf();
+  ASSERT_EQ(cdf.size(), 4u);  // distinct values
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(RunningAverage, FirstValueTakenAsIs) {
+  RunningAverage avg(0.5);
+  EXPECT_FALSE(avg.has_value());
+  avg.add(10);
+  EXPECT_DOUBLE_EQ(avg.value(), 10);
+  avg.add(20);
+  EXPECT_DOUBLE_EQ(avg.value(), 15);
+}
+
+TEST(RunningAverage, RejectsBadAlpha) {
+  EXPECT_THROW(RunningAverage(0.0), InvalidArgumentError);
+  EXPECT_THROW(RunningAverage(1.5), InvalidArgumentError);
+}
+
+TEST(RatioTracker, LaplaceSmoothedRate) {
+  RatioTracker t;
+  EXPECT_DOUBLE_EQ(t.rate(), 0.5);  // prior
+  t.record(true);
+  t.record(true);
+  t.record(false);
+  EXPECT_DOUBLE_EQ(t.rate(), 3.0 / 5.0);
+  EXPECT_EQ(t.hits(), 2u);
+  EXPECT_EQ(t.total(), 3u);
+}
+
+// --- units ---------------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(milliseconds(1.5), 1500);
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_EQ(minutes(1), 60'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(2'000'000), 2.0);
+  EXPECT_EQ(kilobytes(1), 1024);
+}
+
+TEST(Units, TransmissionDelay) {
+  // 25 Mbps, 315 KB -> about 103 ms.
+  const Duration d = transmission_delay(kilobytes(315), mbps(25));
+  EXPECT_NEAR(to_ms(d), 103.2, 0.5);
+  EXPECT_EQ(transmission_delay(0, mbps(25)), 0);
+}
+
+// --- byte_io --------------------------------------------------------------------
+
+TEST(ByteIo, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello \x01 world");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello \x01 world");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteIo, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(ByteIo, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.str(), ParseError);
+}
+
+TEST(ByteIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/appx_byteio_test.bin";
+  ByteWriter w;
+  w.str("persisted");
+  write_file(path, w.data());
+  const auto data = read_file(path);
+  ByteReader r(data);
+  EXPECT_EQ(r.str(), "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(ByteIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/appx/file.bin"), Error);
+}
+
+}  // namespace
+}  // namespace appx

@@ -1,0 +1,176 @@
+// appx — the command-line face of the framework.
+//
+//   appx compile <app> <out.sapk>          compile an app model to a binary
+//   appx disasm <in.sapk>                  textual listing of a binary
+//   appx analyze <in.sapk> [opts]          extract signatures + dependencies
+//        --sigs <out.sig>                  persist the signature artefact
+//        --no-intent --no-rx --no-alias    disable analysis extensions
+//   appx verify <app>                      run the §4.3 verification phase;
+//                                          prints the initial Fig. 9 config
+//   appx demo <app>                        live loopback proxy demo (sockets)
+//
+// <app> is one of: wish geek doordash purpleocean postmates.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "apps/catalog.hpp"
+#include "apps/compiler.hpp"
+#include "eval/report.hpp"
+#include "eval/verification.hpp"
+#include "ir/disasm.hpp"
+#include "net/servers.hpp"
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appx;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  appx compile <app> <out.sapk>\n"
+               "  appx disasm <in.sapk>\n"
+               "  appx analyze <in.sapk> [--sigs out.sig] [--no-intent] [--no-rx] "
+               "[--no-alias]\n"
+               "  appx verify <app>\n"
+               "  appx demo <app>\n"
+               "apps: wish geek doordash purpleocean postmates\n";
+  return 2;
+}
+
+apps::AppSpec app_by_name(const std::string& name) {
+  if (name == "wish") return apps::make_wish();
+  if (name == "geek") return apps::make_geek();
+  if (name == "doordash") return apps::make_doordash();
+  if (name == "purpleocean") return apps::make_purpleocean();
+  if (name == "postmates") return apps::make_postmates();
+  throw InvalidArgumentError("unknown app '" + name + "'");
+}
+
+int cmd_compile(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const apps::AppSpec spec = app_by_name(args[0]);
+  const ir::Program program = apps::compile_app(spec);
+  const auto blob = program.serialize();
+  write_file(args[1], blob);
+  std::cout << "wrote " << args[1] << ": " << blob.size() << " bytes, "
+            << program.methods.size() << " methods, " << program.instruction_count()
+            << " instructions\n";
+  return 0;
+}
+
+int cmd_disasm(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const ir::Program program = ir::Program::deserialize(read_file(args[0]));
+  std::cout << ir::disassemble(program);
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  analysis::AnalysisOptions options;
+  std::string sigs_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--no-intent") {
+      options.intent_support = false;
+    } else if (args[i] == "--no-rx") {
+      options.rx_support = false;
+    } else if (args[i] == "--no-alias") {
+      options.alias_analysis = false;
+    } else if (args[i] == "--sigs" && i + 1 < args.size()) {
+      sigs_out = args[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto result = analysis::analyze_sapk(read_file(args[0]), options);
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  eval::TablePrinter table({"Metric", "Value"});
+  table.add_row({"signatures", std::to_string(result.signatures.size())});
+  table.add_row({"prefetchable", std::to_string(result.signatures.prefetchable().size())});
+  table.add_row({"dependency edges", std::to_string(result.signatures.edges().size())});
+  table.add_row({"max chain length", std::to_string(result.signatures.max_chain_length())});
+  table.add_row({"methods analyzed", std::to_string(result.report.methods_analyzed)});
+  table.add_row(
+      {"abstract instructions", std::to_string(result.report.instructions_interpreted)});
+  table.add_row({"unresolved run-time values",
+                 std::to_string(result.report.unresolved_values)});
+  table.add_row({"analysis time", eval::TablePrinter::fmt(ms, 1) + " ms"});
+  table.print(std::cout);
+
+  if (!sigs_out.empty()) {
+    const auto blob = result.signatures.serialize();
+    write_file(sigs_out, blob);
+    std::cout << "\nwrote signature artefact " << sigs_out << " (" << blob.size()
+              << " bytes)\n";
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const eval::AnalyzedApp app = eval::analyze_app(app_by_name(args[0]));
+  eval::VerificationParams params;
+  params.fuzz.duration = minutes(15);
+  const auto outcome = eval::run_verification(app, params);
+  std::cerr << "verification: " << outcome.prefetches_observed << " prefetches observed, "
+            << outcome.verified.size() << " signatures verified, " << outcome.failing.size()
+            << " disabled, " << outcome.expiry_estimates.size()
+            << " expiration estimates\n";
+  std::cout << outcome.initial_config.to_json() << "\n";
+  return 0;
+}
+
+int cmd_demo(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const apps::AppSpec spec = app_by_name(args[0]);
+  const auto analysis = analysis::analyze(apps::compile_app(spec));
+  apps::OriginServer origin(&spec);
+  net::LiveOriginServer origin_server(&origin);
+  core::ProxyConfig config;
+  config.default_expiration = minutes(30);
+  core::AppxProxy engine(&analysis.signatures, &config, 1);
+  net::LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
+  net::LiveProxyServer proxy(&engine, std::move(upstreams));
+
+  std::cout << spec.name << " origin on 127.0.0.1:" << origin_server.port()
+            << ", proxy on 127.0.0.1:" << proxy.port() << "\n"
+            << "send HTTP/1.1 requests with an X-Appx-User header; press Enter to stop.\n";
+  std::string line;
+  std::getline(std::cin, line);
+  proxy.stop();
+  origin_server.stop();
+  const auto& stats = engine.engine().stats();
+  std::cout << "served " << stats.client_requests << " requests, " << stats.cache_hits
+            << " from cache, " << stats.prefetches_issued << " prefetches\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "compile") return cmd_compile(args);
+    if (command == "disasm") return cmd_disasm(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "demo") return cmd_demo(args);
+  } catch (const appx::Error& e) {
+    std::cerr << "appx: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
