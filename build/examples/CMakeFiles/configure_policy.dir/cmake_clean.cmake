@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configure_policy.dir/configure_policy.cpp.o"
+  "CMakeFiles/configure_policy.dir/configure_policy.cpp.o.d"
+  "configure_policy"
+  "configure_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configure_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_proxy.dir/live_proxy.cpp.o"
+  "CMakeFiles/live_proxy.dir/live_proxy.cpp.o.d"
+  "live_proxy"
+  "live_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_analysis.dir/analysis/analyzer.cpp.o"
+  "CMakeFiles/appx_analysis.dir/analysis/analyzer.cpp.o.d"
+  "libappx_analysis.a"
+  "libappx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

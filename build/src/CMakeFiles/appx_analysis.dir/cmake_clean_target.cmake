@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libappx_analysis.a"
+)

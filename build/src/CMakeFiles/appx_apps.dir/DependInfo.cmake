@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/catalog.cpp" "src/CMakeFiles/appx_apps.dir/apps/catalog.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/catalog.cpp.o.d"
+  "/root/repo/src/apps/client.cpp" "src/CMakeFiles/appx_apps.dir/apps/client.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/client.cpp.o.d"
+  "/root/repo/src/apps/compiler.cpp" "src/CMakeFiles/appx_apps.dir/apps/compiler.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/compiler.cpp.o.d"
+  "/root/repo/src/apps/content.cpp" "src/CMakeFiles/appx_apps.dir/apps/content.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/content.cpp.o.d"
+  "/root/repo/src/apps/server.cpp" "src/CMakeFiles/appx_apps.dir/apps/server.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/server.cpp.o.d"
+  "/root/repo/src/apps/spec.cpp" "src/CMakeFiles/appx_apps.dir/apps/spec.cpp.o" "gcc" "src/CMakeFiles/appx_apps.dir/apps/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/appx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

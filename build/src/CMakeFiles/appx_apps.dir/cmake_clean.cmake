@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_apps.dir/apps/catalog.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/catalog.cpp.o.d"
+  "CMakeFiles/appx_apps.dir/apps/client.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/client.cpp.o.d"
+  "CMakeFiles/appx_apps.dir/apps/compiler.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/compiler.cpp.o.d"
+  "CMakeFiles/appx_apps.dir/apps/content.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/content.cpp.o.d"
+  "CMakeFiles/appx_apps.dir/apps/server.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/server.cpp.o.d"
+  "CMakeFiles/appx_apps.dir/apps/spec.cpp.o"
+  "CMakeFiles/appx_apps.dir/apps/spec.cpp.o.d"
+  "libappx_apps.a"
+  "libappx_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/appx_core.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/appx_core.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/appx_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/learning.cpp" "src/CMakeFiles/appx_core.dir/core/learning.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/learning.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/CMakeFiles/appx_core.dir/core/proxy.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/proxy.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/appx_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/CMakeFiles/appx_core.dir/core/signature.cpp.o" "gcc" "src/CMakeFiles/appx_core.dir/core/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/appx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_core.dir/core/baselines.cpp.o"
+  "CMakeFiles/appx_core.dir/core/baselines.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/cache.cpp.o"
+  "CMakeFiles/appx_core.dir/core/cache.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/config.cpp.o"
+  "CMakeFiles/appx_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/learning.cpp.o"
+  "CMakeFiles/appx_core.dir/core/learning.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/proxy.cpp.o"
+  "CMakeFiles/appx_core.dir/core/proxy.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/appx_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/appx_core.dir/core/signature.cpp.o"
+  "CMakeFiles/appx_core.dir/core/signature.cpp.o.d"
+  "libappx_core.a"
+  "libappx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

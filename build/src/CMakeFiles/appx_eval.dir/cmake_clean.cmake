@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_eval.dir/eval/experiments.cpp.o"
+  "CMakeFiles/appx_eval.dir/eval/experiments.cpp.o.d"
+  "CMakeFiles/appx_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/appx_eval.dir/eval/report.cpp.o.d"
+  "CMakeFiles/appx_eval.dir/eval/testbed.cpp.o"
+  "CMakeFiles/appx_eval.dir/eval/testbed.cpp.o.d"
+  "CMakeFiles/appx_eval.dir/eval/verification.cpp.o"
+  "CMakeFiles/appx_eval.dir/eval/verification.cpp.o.d"
+  "libappx_eval.a"
+  "libappx_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_fuzz.dir/fuzz/fuzzer.cpp.o"
+  "CMakeFiles/appx_fuzz.dir/fuzz/fuzzer.cpp.o.d"
+  "libappx_fuzz.a"
+  "libappx_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/message.cpp" "src/CMakeFiles/appx_http.dir/http/message.cpp.o" "gcc" "src/CMakeFiles/appx_http.dir/http/message.cpp.o.d"
+  "/root/repo/src/http/uri.cpp" "src/CMakeFiles/appx_http.dir/http/uri.cpp.o" "gcc" "src/CMakeFiles/appx_http.dir/http/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/appx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_http.dir/http/message.cpp.o"
+  "CMakeFiles/appx_http.dir/http/message.cpp.o.d"
+  "CMakeFiles/appx_http.dir/http/uri.cpp.o"
+  "CMakeFiles/appx_http.dir/http/uri.cpp.o.d"
+  "libappx_http.a"
+  "libappx_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

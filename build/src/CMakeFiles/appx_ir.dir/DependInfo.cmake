@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/disasm.cpp" "src/CMakeFiles/appx_ir.dir/ir/disasm.cpp.o" "gcc" "src/CMakeFiles/appx_ir.dir/ir/disasm.cpp.o.d"
+  "/root/repo/src/ir/interpreter.cpp" "src/CMakeFiles/appx_ir.dir/ir/interpreter.cpp.o" "gcc" "src/CMakeFiles/appx_ir.dir/ir/interpreter.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/appx_ir.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/appx_ir.dir/ir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/appx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

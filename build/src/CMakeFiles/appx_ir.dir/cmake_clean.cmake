@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_ir.dir/ir/disasm.cpp.o"
+  "CMakeFiles/appx_ir.dir/ir/disasm.cpp.o.d"
+  "CMakeFiles/appx_ir.dir/ir/interpreter.cpp.o"
+  "CMakeFiles/appx_ir.dir/ir/interpreter.cpp.o.d"
+  "CMakeFiles/appx_ir.dir/ir/program.cpp.o"
+  "CMakeFiles/appx_ir.dir/ir/program.cpp.o.d"
+  "libappx_ir.a"
+  "libappx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_json.dir/json/json.cpp.o"
+  "CMakeFiles/appx_json.dir/json/json.cpp.o.d"
+  "libappx_json.a"
+  "libappx_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appx_json.
+# This may be replaced when dependencies are built.

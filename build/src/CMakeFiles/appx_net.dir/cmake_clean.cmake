@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_net.dir/net/http_io.cpp.o"
+  "CMakeFiles/appx_net.dir/net/http_io.cpp.o.d"
+  "CMakeFiles/appx_net.dir/net/servers.cpp.o"
+  "CMakeFiles/appx_net.dir/net/servers.cpp.o.d"
+  "CMakeFiles/appx_net.dir/net/socket.cpp.o"
+  "CMakeFiles/appx_net.dir/net/socket.cpp.o.d"
+  "libappx_net.a"
+  "libappx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

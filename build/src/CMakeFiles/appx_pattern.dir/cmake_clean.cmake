@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_pattern.dir/pattern/regex.cpp.o"
+  "CMakeFiles/appx_pattern.dir/pattern/regex.cpp.o.d"
+  "CMakeFiles/appx_pattern.dir/pattern/template.cpp.o"
+  "CMakeFiles/appx_pattern.dir/pattern/template.cpp.o.d"
+  "libappx_pattern.a"
+  "libappx_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/appx_sim.dir/sim/simulator.cpp.o.d"
+  "libappx_sim.a"
+  "libappx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

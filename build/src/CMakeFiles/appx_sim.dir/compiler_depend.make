@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appx_sim.
+# This may be replaced when dependencies are built.

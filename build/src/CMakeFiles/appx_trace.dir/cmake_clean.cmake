@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/appx_trace.dir/trace/trace.cpp.o.d"
+  "libappx_trace.a"
+  "libappx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

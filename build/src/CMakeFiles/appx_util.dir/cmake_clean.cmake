@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx_util.dir/util/byte_io.cpp.o"
+  "CMakeFiles/appx_util.dir/util/byte_io.cpp.o.d"
+  "CMakeFiles/appx_util.dir/util/hash.cpp.o"
+  "CMakeFiles/appx_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/appx_util.dir/util/log.cpp.o"
+  "CMakeFiles/appx_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/appx_util.dir/util/rng.cpp.o"
+  "CMakeFiles/appx_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/appx_util.dir/util/stats.cpp.o"
+  "CMakeFiles/appx_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/appx_util.dir/util/strings.cpp.o"
+  "CMakeFiles/appx_util.dir/util/strings.cpp.o.d"
+  "libappx_util.a"
+  "libappx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/test_eval.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/test_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/appx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/appx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

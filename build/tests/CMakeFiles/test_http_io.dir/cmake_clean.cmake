@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_io.dir/test_http_io.cpp.o"
+  "CMakeFiles/test_http_io.dir/test_http_io.cpp.o.d"
+  "test_http_io"
+  "test_http_io.pdb"
+  "test_http_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appx.dir/appx_cli.cpp.o"
+  "CMakeFiles/appx.dir/appx_cli.cpp.o.d"
+  "appx"
+  "appx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
