@@ -26,13 +26,26 @@ void BM_RegexCompile(benchmark::State& state) {
 BENCHMARK(BM_RegexCompile);
 
 void BM_RegexMatch(benchmark::State& state) {
+  // The seed engine's execution path: NFA simulation, one state set per byte.
+  const pattern::Regex re(".*/api/tab/[0-9]+/content");
+  const std::string input = "https://api.wish.example/api/tab/7/content";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.longest_prefix_match_nfa(input));
+  }
+}
+BENCHMARK(BM_RegexMatch);
+
+void BM_RegexMatchDFA(benchmark::State& state) {
+  // Same pattern and input through the lazy DFA (full_match's default path);
+  // after warm-up every byte is a single cached-transition lookup.
   const pattern::Regex re(".*/api/tab/[0-9]+/content");
   const std::string input = "https://api.wish.example/api/tab/7/content";
   for (auto _ : state) {
     benchmark::DoNotOptimize(re.full_match(input));
   }
+  state.counters["dfa_states"] = static_cast<double>(re.dfa_state_count());
 }
-BENCHMARK(BM_RegexMatch);
+BENCHMARK(BM_RegexMatchDFA);
 
 void BM_TemplateExtract(benchmark::State& state) {
   const auto t = pattern::FieldTemplate::parse("https://{host}/product/{pid:[0-9a-f]+}/img");
@@ -89,6 +102,54 @@ void BM_SignatureMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SignatureMatch);
+
+// A set of n signatures with distinct literal endpoints plus one concrete
+// request hitting the *last* signature — worst case for a linear scan, and
+// the shape the multi-app proxy sees (many apps, one matching endpoint).
+core::SignatureSet make_dispatch_set(int n) {
+  core::SignatureSet set;
+  for (int i = 0; i < n; ++i) {
+    core::TransactionSignature sig;
+    sig.app = "app" + std::to_string(i % 4);
+    sig.label = "ep" + std::to_string(i);
+    sig.request.method = i % 2 == 0 ? "GET" : "POST";
+    sig.request.scheme = pattern::FieldTemplate::literal("https");
+    sig.request.host = pattern::FieldTemplate::hole("host");
+    sig.request.path = pattern::FieldTemplate::literal("/api/ep" + std::to_string(i) + "/get");
+    sig.request.query = {{core::FieldLocation::kQuery, "v",
+                          pattern::FieldTemplate::hole("v" + std::to_string(i)), false}};
+    set.add(std::move(sig));
+  }
+  return set;
+}
+
+http::Request make_dispatch_request(int n) {
+  http::Request req;
+  req.method = (n - 1) % 2 == 0 ? "GET" : "POST";
+  req.uri = http::Uri::parse("https://api.bench.example/api/ep" + std::to_string(n - 1) +
+                             "/get?v=1");
+  return req;
+}
+
+void BM_SignatureDispatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::SignatureSet set = make_dispatch_set(n);
+  const http::Request req = make_dispatch_request(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.match_request(req));
+  }
+}
+BENCHMARK(BM_SignatureDispatch)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SignatureDispatchLinear(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::SignatureSet set = make_dispatch_set(n);
+  const http::Request req = make_dispatch_request(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.match_request_linear(req));
+  }
+}
+BENCHMARK(BM_SignatureDispatchLinear)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_DynamicLearningFeed(benchmark::State& state) {
   // One full learning pass over a 30-item feed response: instance creation

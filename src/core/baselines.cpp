@@ -107,7 +107,7 @@ void LooxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
     return;
   }
   PrefetchCache::Entry entry;
-  entry.response = response;
+  entry.set_response(response);
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (expiration_) entry.expires_at = now + *expiration_;
@@ -176,7 +176,7 @@ void StaticOnlyEngine::on_prefetch_response(const std::string& user, const Prefe
     return;
   }
   PrefetchCache::Entry entry;
-  entry.response = response;
+  entry.set_response(response);
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (expiration_) entry.expires_at = now + *expiration_;
@@ -194,9 +194,8 @@ std::vector<PrefetchJob> StaticOnlyEngine::take_prefetches(const std::string& us
   for (const http::Request& request : complete_) {
     PrefetchJob job;
     job.user = user;
-    job.sig_id = signatures_->match_request(request) != nullptr
-                     ? signatures_->match_request(request)->id
-                     : "static";
+    const TransactionSignature* sig = signatures_->match_request(request);
+    job.sig_id = sig != nullptr ? sig->id : "static";
     job.request = request;
     job.cache_key = request.cache_key();
     jobs.push_back(std::move(job));

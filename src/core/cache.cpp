@@ -7,21 +7,21 @@ void PrefetchCache::put(std::string key, Entry entry) {
   entries_[std::move(key)] = std::move(entry);
 }
 
-std::optional<http::Response> PrefetchCache::get(std::string_view key, SimTime now,
-                                                 Lookup* result) {
+std::shared_ptr<const http::Response> PrefetchCache::get(std::string_view key, SimTime now,
+                                                         Lookup* result) {
   const auto set_result = [&](Lookup r) {
     if (result != nullptr) *result = r;
   };
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     set_result(Lookup::kMiss);
-    return std::nullopt;
+    return nullptr;
   }
   Entry& entry = it->second;
   if (entry.expires_at && now >= *entry.expires_at) {
     entries_.erase(it);
     set_result(Lookup::kExpired);
-    return std::nullopt;
+    return nullptr;
   }
   if (!entry.used) {
     entry.used = true;

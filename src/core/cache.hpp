@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -22,19 +23,30 @@ class PrefetchCache {
   enum class Lookup { kHit, kMiss, kExpired };
 
   struct Entry {
-    http::Response response;
+    // Shared so a hit hands out the stored response without copying the body
+    // (responses can be hundreds of KB); the pointer stays valid even if the
+    // entry is later overwritten or expired. Never null, so a kHit lookup
+    // always returns a usable response.
+    std::shared_ptr<const http::Response> response =
+        std::make_shared<const http::Response>();
     std::string sig_id;
     SimTime fetched_at = 0;
     std::optional<SimTime> expires_at;  // nullopt = never expires
     bool used = false;                  // served to a client at least once
+
+    void set_response(http::Response r) {
+      response = std::make_shared<const http::Response>(std::move(r));
+    }
   };
 
   // Insert or overwrite (a fresher prefetch replaces the old response).
   void put(std::string key, Entry entry);
 
   // Exact-match lookup. Expired entries are erased and reported as kExpired.
-  // On a hit the entry is marked used and a copy of the response returned.
-  std::optional<http::Response> get(std::string_view key, SimTime now, Lookup* result = nullptr);
+  // On a hit the entry is marked used and the stored response returned
+  // (shared, not copied); null on miss/expiry.
+  std::shared_ptr<const http::Response> get(std::string_view key, SimTime now,
+                                            Lookup* result = nullptr);
 
   bool contains(std::string_view key, SimTime now) const;
 

@@ -45,7 +45,7 @@ ClientDecision ProxyEngine::on_client_request(const std::string& user,
   if (lookup == PrefetchCache::Lookup::kHit) {
     ++stats_.cache_hits;
     stats_.bytes_served_from_cache += cached->wire_size();
-    decision.served = std::move(cached);
+    decision.served = std::move(cached);  // shares the cache entry, no body copy
     return decision;
   }
   if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
@@ -82,7 +82,7 @@ void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
   }
 
   PrefetchCache::Entry entry;
-  entry.response = response;
+  entry.set_response(response);
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (const auto expiry = config_->expiration(job.sig_id)) entry.expires_at = now + *expiry;

@@ -53,8 +53,10 @@ struct ProxyStats {
 
 // What to do with a client request.
 struct ClientDecision {
-  // Set when the proxy serves from cache; otherwise forward to origin.
-  std::optional<http::Response> served;
+  // Set when the proxy serves from cache; otherwise forward to origin. The
+  // response is shared with the cache entry rather than copied (bodies can
+  // be hundreds of KB) and stays valid however long the caller holds it.
+  std::shared_ptr<const http::Response> served;
 };
 
 class ProxyEngine {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <set>
 
+#include "core/signature_index.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
@@ -301,6 +302,11 @@ bool match_fields(const std::vector<RequestField>& fields,
 
 // --- SignatureSet ----------------------------------------------------------------
 
+SignatureSet::SignatureSet() = default;
+SignatureSet::SignatureSet(SignatureSet&&) noexcept = default;
+SignatureSet& SignatureSet::operator=(SignatureSet&&) noexcept = default;
+SignatureSet::~SignatureSet() = default;
+
 const TransactionSignature& SignatureSet::add(TransactionSignature sig) {
   if (sig.id.empty()) sig.finalize();
   if (by_id_.contains(sig.id)) {
@@ -309,6 +315,7 @@ const TransactionSignature& SignatureSet::add(TransactionSignature sig) {
   signatures_.push_back(std::make_unique<TransactionSignature>(std::move(sig)));
   const TransactionSignature& ref = *signatures_.back();
   by_id_.emplace(ref.id, &ref);
+  index_.reset();  // the dispatch index no longer covers every signature
   return ref;
 }
 
@@ -430,11 +437,21 @@ std::size_t SignatureSet::max_chain_length() const {
 
 const TransactionSignature* SignatureSet::match_request(const http::Request& request,
                                                         std::string_view app) const {
+  return index().match(request, app);
+}
+
+const TransactionSignature* SignatureSet::match_request_linear(const http::Request& request,
+                                                               std::string_view app) const {
   for (const auto& sig : signatures_) {
     if (!app.empty() && sig->app != app) continue;
     if (sig->match(request)) return sig.get();
   }
   return nullptr;
+}
+
+const SignatureIndex& SignatureSet::index() const {
+  if (!index_) index_ = std::make_unique<SignatureIndex>(signatures_);
+  return *index_;
 }
 
 SignatureSet SignatureSet::subset_for_app(std::string_view app) const {

@@ -130,9 +130,16 @@ struct DependencyEdge {
   bool operator==(const DependencyEdge&) const = default;
 };
 
+class SignatureIndex;
+
 // The complete analysis output for one or more apps: signatures + edges.
 class SignatureSet {
  public:
+  SignatureSet();
+  SignatureSet(SignatureSet&&) noexcept;
+  SignatureSet& operator=(SignatureSet&&) noexcept;
+  ~SignatureSet();
+
   // Takes ownership; finalizes the signature if it has no id yet.
   // Throws InvalidArgumentError on duplicate ids.
   const TransactionSignature& add(TransactionSignature sig);
@@ -166,9 +173,20 @@ class SignatureSet {
 
   // First signature whose templates match the request (paper Fig. 6: "regex
   // matching" identifies the learning target). Signatures of `app` only when
-  // app != "".
+  // app != "". Dispatches through a lazily (re)built SignatureIndex, so the
+  // cost is near-constant in the set size; results are identical to
+  // match_request_linear.
   const TransactionSignature* match_request(const http::Request& request,
                                             std::string_view app = "") const;
+
+  // Reference implementation: linear scan over all signatures in insertion
+  // order. Kept for tests and benchmarks of the dispatch index.
+  const TransactionSignature* match_request_linear(const http::Request& request,
+                                                   std::string_view app = "") const;
+
+  // The dispatch index over the current signatures (built on first use,
+  // invalidated by add/absorb).
+  const SignatureIndex& index() const;
 
   // Restrict to one app's signatures (copies; used per-proxy-target).
   SignatureSet subset_for_app(std::string_view app) const;
@@ -185,6 +203,7 @@ class SignatureSet {
   std::vector<std::unique_ptr<TransactionSignature>> signatures_;
   std::map<std::string, const TransactionSignature*, std::less<>> by_id_;
   std::vector<DependencyEdge> edges_;
+  mutable std::unique_ptr<SignatureIndex> index_;  // null until first lookup
 };
 
 // Composite key identifying a field within a request: "<location>:<name>".

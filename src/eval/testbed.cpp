@@ -101,9 +101,12 @@ apps::AppClient::Transport Testbed::transport_for(const std::string& user) {
                                                      cb = std::move(cb)]() mutable {
       const auto decision = engine_->on_client_request(user, request, sim_.now());
       if (decision.served) {
-        const http::Response response = *decision.served;
-        client_channel_->down().send(response.wire_size(),
-                                     [cb = std::move(cb), response] { cb(response); });
+        // Hold the shared cache entry across the simulated downlink instead
+        // of copying the response body.
+        client_channel_->down().send(decision.served->wire_size(),
+                                     [cb = std::move(cb), served = decision.served] {
+                                       cb(*served);
+                                     });
         pump_prefetches(user);
         return;
       }

@@ -180,8 +180,11 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
         decision = engine_->on_client_request(user, upstream_request, now());
       }
       if (decision.served) {
-        decision.served->headers.set("X-Appx-Cache", "hit");
-        write_response(stream, *decision.served);
+        // The served response is shared with the proxy's cache; take a local
+        // copy to annotate without mutating the cached entry.
+        http::Response served = *decision.served;
+        served.headers.set("X-Appx-Cache", "hit");
+        write_response(stream, served);
         enqueue_prefetches(user);
         continue;
       }

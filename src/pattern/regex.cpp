@@ -200,6 +200,24 @@ Regex::Regex(std::string_view expression) : source_(expression) {
   start_ = frag.start;
 }
 
+Regex::Regex(const Regex& other)
+    : source_(other.source_),
+      states_(other.states_),
+      class_sets_(other.class_sets_),
+      start_(other.start_),
+      accept_(other.accept_) {}
+
+Regex& Regex::operator=(const Regex& other) {
+  if (this == &other) return *this;
+  source_ = other.source_;
+  states_ = other.states_;
+  class_sets_ = other.class_sets_;
+  start_ = other.start_;
+  accept_ = other.accept_;
+  dfa_.reset();  // the assigned-to regex starts with a cold cache
+  return *this;
+}
+
 std::int32_t Regex::add_state(State s) {
   states_.push_back(std::move(s));
   return static_cast<std::int32_t>(states_.size() - 1);
@@ -216,50 +234,204 @@ void Regex::patch(const std::vector<std::int32_t>& dangling, std::int32_t target
   }
 }
 
+// ---------------------------------------------------------------------------
+// NFA simulation.
+//
+// Frontier sets and visited marks live in a thread-local scratch arena so the
+// per-message fast path allocates nothing in steady state. Marks are
+// generation-stamped: bumping the generation invalidates every mark in O(1)
+// instead of refilling the vector.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct NfaScratch {
+  std::vector<std::int32_t> current;
+  std::vector<std::int32_t> next;
+  std::vector<std::uint32_t> stamp;  // stamp[s] == generation  <=>  s marked
+  std::uint32_t generation = 0;
+
+  // Prepares the arena for a regex with `nstates` NFA states and returns a
+  // fresh generation.
+  std::uint32_t begin(std::size_t nstates) {
+    if (stamp.size() < nstates) stamp.resize(nstates, 0);
+    return bump();
+  }
+  std::uint32_t bump() {
+    if (++generation == 0) {  // wrapped: stamps from older eras may collide
+      std::fill(stamp.begin(), stamp.end(), 0);
+      generation = 1;
+    }
+    return generation;
+  }
+};
+
+NfaScratch& scratch_arena() {
+  // Leaked on thread exit by design: trivial size, avoids destruction-order
+  // issues with static Regex objects matching during teardown.
+  thread_local NfaScratch* arena = new NfaScratch();
+  return *arena;
+}
+
+}  // namespace
+
 void Regex::add_closure(std::int32_t id, std::vector<std::int32_t>& set,
-                        std::vector<std::uint8_t>& mark) const {
-  if (mark[static_cast<std::size_t>(id)]) return;
-  mark[static_cast<std::size_t>(id)] = 1;
+                        std::vector<std::uint32_t>& stamp, std::uint32_t generation) const {
+  if (stamp[static_cast<std::size_t>(id)] == generation) return;
+  stamp[static_cast<std::size_t>(id)] = generation;
   set.push_back(id);
-  for (std::int32_t e : states_[static_cast<std::size_t>(id)].eps) add_closure(e, set, mark);
+  for (std::int32_t e : states_[static_cast<std::size_t>(id)].eps) {
+    add_closure(e, set, stamp, generation);
+  }
+}
+
+bool Regex::step_nfa(const std::vector<std::int32_t>& current, unsigned char c,
+                     std::vector<std::int32_t>& next, std::vector<std::uint32_t>& stamp,
+                     std::uint32_t generation) const {
+  next.clear();
+  for (std::int32_t id : current) {
+    const State& s = states_[static_cast<std::size_t>(id)];
+    bool consume = false;
+    switch (s.kind) {
+      case State::Kind::kChar: consume = (static_cast<unsigned char>(s.ch) == c); break;
+      case State::Kind::kAny: consume = true; break;
+      case State::Kind::kClass: consume = class_sets_[s.cls][c] != 0; break;
+      case State::Kind::kNone: break;
+    }
+    if (consume && s.next >= 0) add_closure(s.next, next, stamp, generation);
+  }
+  return !next.empty();
+}
+
+std::ptrdiff_t Regex::longest_prefix_match_nfa(std::string_view input) const {
+  NfaScratch& arena = scratch_arena();
+  std::uint32_t generation = arena.begin(states_.size());
+  // The frontier vectors are swapped locally but owned by the arena, so their
+  // capacity survives across matches.
+  std::vector<std::int32_t>& current = arena.current;
+  std::vector<std::int32_t>& next = arena.next;
+  current.clear();
+  add_closure(start_, current, arena.stamp, generation);
+
+  const auto accepting = [&](std::uint32_t gen) {
+    return arena.stamp[static_cast<std::size_t>(accept_)] == gen;
+  };
+  std::ptrdiff_t best = accepting(generation) ? 0 : -1;
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(input[i]);
+    const std::uint32_t gen = arena.bump();
+    if (!step_nfa(current, c, next, arena.stamp, gen)) return best;
+    current.swap(next);
+    if (accepting(gen)) best = static_cast<std::ptrdiff_t>(i + 1);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Lazy DFA: subset construction on demand. Each cached DFA state remembers
+// the (sorted) NFA set it stands for; a missing transition is filled by one
+// NFA step from that set and interned, so repeated matches settle into one
+// array lookup per input byte.
+// ---------------------------------------------------------------------------
+
+std::int32_t Regex::intern_dfa_state(std::vector<std::int32_t> set) const {
+  if (set.empty()) return kTransDead;
+  std::sort(set.begin(), set.end());
+  const auto it = dfa_->interned.find(set);
+  if (it != dfa_->interned.end()) return it->second;
+  if (dfa_->states.size() >= kMaxDfaStates) return kTransUnknown;  // cache full
+  DfaState state;
+  state.next.fill(kTransUnknown);
+  state.accepting = std::binary_search(set.begin(), set.end(), accept_);
+  state.nfa = set;
+  dfa_->states.push_back(std::move(state));
+  const std::int32_t id = static_cast<std::int32_t>(dfa_->states.size() - 1);
+  dfa_->interned.emplace(std::move(set), id);
+  return id;
+}
+
+void Regex::ensure_dfa_start() const {
+  if (dfa_) return;
+  dfa_ = std::make_unique<Dfa>();
+  NfaScratch& arena = scratch_arena();
+  const std::uint32_t generation = arena.begin(states_.size());
+  std::vector<std::int32_t> closure;
+  add_closure(start_, closure, arena.stamp, generation);
+  intern_dfa_state(std::move(closure));  // state 0; never empty (start exists)
+}
+
+std::int32_t Regex::dfa_step(std::int32_t from, unsigned char c) const {
+  const std::int32_t cached = dfa_->states[static_cast<std::size_t>(from)].next[c];
+  if (cached != kTransUnknown) return cached;
+  NfaScratch& arena = scratch_arena();
+  const std::uint32_t generation = arena.begin(states_.size());
+  std::vector<std::int32_t> next;
+  step_nfa(dfa_->states[static_cast<std::size_t>(from)].nfa, c, next, arena.stamp, generation);
+  const std::int32_t target = intern_dfa_state(std::move(next));
+  if (target != kTransUnknown) {
+    dfa_->states[static_cast<std::size_t>(from)].next[c] = target;
+  }
+  return target;
+}
+
+std::ptrdiff_t Regex::longest_prefix_match(std::string_view input) const {
+  ensure_dfa_start();
+  std::int32_t current = 0;
+  std::ptrdiff_t best = dfa_->states[0].accepting ? 0 : -1;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::int32_t target = dfa_step(current, static_cast<unsigned char>(input[i]));
+    if (target == kTransDead) return best;
+    if (target == kTransUnknown) {
+      // DFA cache blew its cap mid-walk: redo this match on the NFA. The
+      // states cached so far stay usable for future matches.
+      return longest_prefix_match_nfa(input);
+    }
+    current = target;
+    if (dfa_->states[static_cast<std::size_t>(current)].accepting) {
+      best = static_cast<std::ptrdiff_t>(i + 1);
+    }
+  }
+  return best;
 }
 
 bool Regex::full_match(std::string_view input) const {
   return longest_prefix_match(input) == static_cast<std::ptrdiff_t>(input.size());
 }
 
-std::ptrdiff_t Regex::longest_prefix_match(std::string_view input) const {
-  std::vector<std::int32_t> current;
-  std::vector<std::uint8_t> mark(states_.size(), 0);
-  add_closure(start_, current, mark);
+std::size_t Regex::dfa_state_count() const { return dfa_ ? dfa_->states.size() : 0; }
 
-  std::ptrdiff_t best = -1;
-  auto is_accepting = [&](const std::vector<std::int32_t>& set) {
-    return std::find(set.begin(), set.end(), accept_) != set.end();
-  };
-  if (is_accepting(current)) best = 0;
+std::string Regex::required_prefix() const {
+  // Walk forward while every surviving NFA thread agrees on the next literal
+  // byte: the closure must not accept yet, and its consuming states must all
+  // be the same single character.
+  NfaScratch& arena = scratch_arena();
+  std::string prefix;
+  std::vector<std::int32_t> closure;
+  std::uint32_t generation = arena.begin(states_.size());
+  add_closure(start_, closure, arena.stamp, generation);
 
   std::vector<std::int32_t> next;
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const unsigned char c = static_cast<unsigned char>(input[i]);
-    next.clear();
-    std::fill(mark.begin(), mark.end(), 0);
-    for (std::int32_t id : current) {
+  while (true) {
+    if (arena.stamp[static_cast<std::size_t>(accept_)] == generation) return prefix;
+    char required = 0;
+    bool have_required = false;
+    for (std::int32_t id : closure) {
       const State& s = states_[static_cast<std::size_t>(id)];
-      bool consume = false;
-      switch (s.kind) {
-        case State::Kind::kChar: consume = (static_cast<unsigned char>(s.ch) == c); break;
-        case State::Kind::kAny: consume = true; break;
-        case State::Kind::kClass: consume = class_sets_[s.cls][c] != 0; break;
-        case State::Kind::kNone: break;
-      }
-      if (consume && s.next >= 0) add_closure(s.next, next, mark);
+      if (s.kind == State::Kind::kNone) continue;
+      if (s.kind != State::Kind::kChar) return prefix;  // '.'/class: not literal
+      if (have_required && s.ch != required) return prefix;
+      required = s.ch;
+      have_required = true;
     }
-    if (next.empty()) return best;
-    current.swap(next);
-    if (is_accepting(current)) best = static_cast<std::ptrdiff_t>(i + 1);
+    if (!have_required) return prefix;  // dead end (matches nothing further)
+    generation = arena.bump();
+    if (!step_nfa(closure, static_cast<unsigned char>(required), next, arena.stamp, generation)) {
+      return prefix;
+    }
+    prefix += required;
+    closure.swap(next);
   }
-  return best;
 }
 
 std::string Regex::escape(std::string_view literal) {

@@ -47,7 +47,7 @@ TEST(LooxyEngine, PrefetchesEmbeddedUrlsAndServesThem) {
   http::Response feed_resp;
   feed_resp.body = R"({"thumb":"https://img.example/t?cid=a"})";
 
-  EXPECT_FALSE(looxy.on_client_request("u", feed, 0).served.has_value());
+  EXPECT_EQ(looxy.on_client_request("u", feed, 0).served, nullptr);
   looxy.on_origin_response("u", feed, feed_resp, 0);
   auto jobs = looxy.take_prefetches("u", 0);
   ASSERT_EQ(jobs.size(), 1u);
@@ -59,7 +59,7 @@ TEST(LooxyEngine, PrefetchesEmbeddedUrlsAndServesThem) {
   looxy.on_prefetch_response("u", jobs[0], img, 10, 20.0);
 
   const auto decision = looxy.on_client_request("u", get_request("https://img.example/t?cid=a"), 20);
-  ASSERT_TRUE(decision.served.has_value());
+  ASSERT_NE(decision.served, nullptr);
   EXPECT_EQ(decision.served->opaque_payload, kilobytes(40));
   EXPECT_EQ(looxy.stats().cache_hits, 1u);
 }
@@ -152,7 +152,7 @@ TEST(StaticOnlyEngine, PrefetchesFullyConcreteSignatures) {
   resp.body = "pong";
   engine.on_prefetch_response("u", jobs[0], resp, 0, 1.0);
   const auto decision = engine.on_client_request("u", jobs[0].request, 1);
-  ASSERT_TRUE(decision.served.has_value());
+  ASSERT_NE(decision.served, nullptr);
   EXPECT_EQ(decision.served->body, "pong");
 }
 

@@ -147,5 +147,23 @@ TEST_F(MultiAppFixture, AbsorbRejectsDuplicates) {
   EXPECT_THROW(dup.absorb(combined_.subset_for_app(wish_.package)), InvalidArgumentError);
 }
 
+TEST_F(MultiAppFixture, IndexedDispatchAgreesWithLinearScan) {
+  // 238 signatures across two apps: the dispatch index must pick exactly the
+  // signature the linear scan would, with and without app filtering.
+  std::vector<http::Request> probes{feed_request(wish_), feed_request(geek_),
+                                    detail_request(wish_, "u"), detail_request(geek_, "u")};
+  http::Request miss;
+  miss.method = "GET";
+  miss.uri = http::Uri::parse("https://nowhere.example/none");
+  probes.push_back(miss);
+  for (const http::Request& req : probes) {
+    EXPECT_EQ(combined_.match_request(req), combined_.match_request_linear(req))
+        << req.uri.host << req.uri.path;
+    const std::string app = config_.app_for_host(req.uri.host);
+    EXPECT_EQ(combined_.match_request(req, app), combined_.match_request_linear(req, app))
+        << req.uri.host << req.uri.path;
+  }
+}
+
 }  // namespace
 }  // namespace appx::core

@@ -4,6 +4,7 @@
 #include "pattern/regex.hpp"
 #include "pattern/template.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace appx::pattern {
 namespace {
@@ -165,6 +166,83 @@ TEST(Regex, NoCatastrophicBacktracking) {
   EXPECT_FALSE(re.full_match(input));  // returns quickly
   input += 'b';
   EXPECT_TRUE(re.full_match(input));
+}
+
+// --- lazy DFA ---------------------------------------------------------------------
+
+// Edge cases that historically diverge between DFA caches and NFA references.
+
+TEST(Regex, DfaEmptyAlternationBranches) {
+  for (const char* pattern : {"(|a)b", "a(b|)", "(|)", "(a||b)c"}) {
+    const Regex re(pattern);
+    for (const char* input : {"", "a", "b", "ab", "ac", "bc", "c", "abc"}) {
+      EXPECT_EQ(re.longest_prefix_match(input), re.longest_prefix_match_nfa(input))
+          << "pattern '" << pattern << "' input '" << input << "'";
+    }
+  }
+}
+
+TEST(Regex, DfaNegatedClasses) {
+  const Regex re("[^/?]+");
+  EXPECT_TRUE(re.full_match("segment"));
+  EXPECT_FALSE(re.full_match("seg/ment"));
+  EXPECT_FALSE(re.full_match(""));
+  EXPECT_EQ(re.longest_prefix_match("abc/def"), 3);
+  EXPECT_EQ(re.longest_prefix_match_nfa("abc/def"), 3);
+  // Negation covers the full byte range, including high bytes.
+  EXPECT_TRUE(re.full_match("\xc3\xa9"));
+}
+
+TEST(Regex, DfaDotStarAffixes) {
+  const Regex re(".*/api/get-feed");
+  EXPECT_TRUE(re.full_match("https://api.wish.example/api/get-feed"));
+  EXPECT_TRUE(re.full_match("/api/get-feed"));
+  EXPECT_FALSE(re.full_match("/api/get-feed/extra"));
+  const Regex suffix("cid=.*");
+  EXPECT_EQ(suffix.longest_prefix_match("cid=0c99f"), 9);
+  EXPECT_EQ(suffix.longest_prefix_match("cid"), -1);
+  // ".*" both sides: any containing string matches whole.
+  const Regex both(".*feed.*");
+  EXPECT_TRUE(both.full_match("xxfeedyy"));
+  EXPECT_FALSE(both.full_match("xxfeexy"));
+}
+
+TEST(Regex, DfaStatesAreCachedAcrossMatches) {
+  const Regex re(".*/api/tab/[0-9]+/content");
+  EXPECT_EQ(re.dfa_state_count(), 0u);  // cold until the first match
+  EXPECT_TRUE(re.full_match("https://x/api/tab/7/content"));
+  const std::size_t after_first = re.dfa_state_count();
+  EXPECT_GT(after_first, 0u);
+  // A repeat of the same input discovers no new states.
+  EXPECT_TRUE(re.full_match("https://x/api/tab/7/content"));
+  EXPECT_EQ(re.dfa_state_count(), after_first);
+}
+
+TEST(Regex, DfaCacheBlowupFallsBackToNfa) {
+  // (a|b)*a(a|b)^13 needs 2^14 DFA states — far past the cache cap. Results
+  // must still be exact via the NFA fallback.
+  std::string pattern = "(a|b)*a";
+  for (int i = 0; i < 13; ++i) pattern += "(a|b)";
+  const Regex re(pattern);
+  Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const std::size_t n = 10 + rng.index(10);
+    for (std::size_t i = 0; i < n; ++i) input += (rng.chance(0.5) ? 'a' : 'b');
+    ASSERT_EQ(re.longest_prefix_match(input), re.longest_prefix_match_nfa(input)) << input;
+  }
+  EXPECT_LE(re.dfa_state_count(), 512u);  // cap held
+}
+
+TEST(Regex, RequiredPrefix) {
+  EXPECT_EQ(Regex("/product/get").required_prefix(), "/product/get");
+  EXPECT_EQ(Regex("/api/v[0-9]+").required_prefix(), "/api/v");
+  EXPECT_EQ(Regex("/img(/small)?").required_prefix(), "/img");
+  EXPECT_EQ(Regex("(0|-1)").required_prefix(), "");
+  EXPECT_EQ(Regex(".*").required_prefix(), "");
+  EXPECT_EQ(Regex("").required_prefix(), "");
+  EXPECT_EQ(Regex("a+b").required_prefix(), "a");  // 'a' required, count open
+  EXPECT_EQ(Regex("\\.well-known").required_prefix(), ".well-known");
 }
 
 // --- FieldTemplate ---------------------------------------------------------------

@@ -245,6 +245,39 @@ TEST_P(RegexProperty, AgreesWithReferenceMatcher) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RegexProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// The lazy DFA (longest_prefix_match) and the Thompson-NFA simulation
+// (longest_prefix_match_nfa) must agree byte-for-byte on every pattern/input
+// pair: the DFA is a cache of the NFA's subset construction, nothing more.
+// 10 seeds x 25 patterns x 8 inputs >= 2000 randomized pairs.
+class RegexDfaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegexDfaProperty, DfaAgreesWithNfaSimulation) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const auto ast = random_ast(rng, 4);
+    const std::string pattern_text = render(*ast);
+    const pattern::Regex re(pattern_text);
+
+    for (int s = 0; s < 8; ++s) {
+      // Mix AST-derived matches (often long) with uniform noise so both
+      // accepting and rejecting DFA paths are exercised, cold and warm.
+      const std::string input =
+          (s % 2 == 0) ? sample_match(*ast, rng) + random_input(rng, 4) : random_input(rng, 12);
+      const std::ptrdiff_t nfa = re.longest_prefix_match_nfa(input);
+      const std::ptrdiff_t dfa = re.longest_prefix_match(input);
+      ASSERT_EQ(dfa, nfa) << "pattern '" << pattern_text << "' input '" << input << "'";
+
+      // A cold copy (empty DFA cache) must also agree.
+      const pattern::Regex cold(re);
+      ASSERT_EQ(cold.longest_prefix_match(input), nfa)
+          << "cold pattern '" << pattern_text << "' input '" << input << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexDfaProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808, 909, 1010));
+
 // --- random JSON round-trips -----------------------------------------------------------
 
 json::Value random_json(Rng& rng, int depth) {

@@ -23,22 +23,26 @@ TEST(PrefetchCache, HitMissExpiry) {
   PrefetchCache cache;
   PrefetchCache::Lookup lookup;
 
-  EXPECT_FALSE(cache.get("k", 0, &lookup).has_value());
+  EXPECT_EQ(cache.get("k", 0, &lookup), nullptr);
   EXPECT_EQ(lookup, PrefetchCache::Lookup::kMiss);
 
   PrefetchCache::Entry entry;
-  entry.response.body = "data";
+  entry.set_response([] {
+    http::Response r;
+    r.body = "data";
+    return r;
+  }());
   entry.fetched_at = 0;
   entry.expires_at = 100;
   cache.put("k", entry);
 
-  EXPECT_TRUE(cache.get("k", 50, &lookup).has_value());
+  EXPECT_NE(cache.get("k", 50, &lookup), nullptr);
   EXPECT_EQ(lookup, PrefetchCache::Lookup::kHit);
 
-  EXPECT_FALSE(cache.get("k", 100, &lookup).has_value());
+  EXPECT_EQ(cache.get("k", 100, &lookup), nullptr);
   EXPECT_EQ(lookup, PrefetchCache::Lookup::kExpired);
   // The expired entry is gone: a second lookup is a plain miss.
-  EXPECT_FALSE(cache.get("k", 100, &lookup).has_value());
+  EXPECT_EQ(cache.get("k", 100, &lookup), nullptr);
   EXPECT_EQ(lookup, PrefetchCache::Lookup::kMiss);
 }
 
@@ -46,7 +50,7 @@ TEST(PrefetchCache, NoExpiryEntryLivesForever) {
   PrefetchCache cache;
   PrefetchCache::Entry entry;
   cache.put("k", entry);
-  EXPECT_TRUE(cache.get("k", 1'000'000'000'000).has_value());
+  EXPECT_NE(cache.get("k", 1'000'000'000'000), nullptr);
 }
 
 TEST(PrefetchCache, ContainsRespectsExpiry) {
@@ -75,10 +79,18 @@ TEST(PrefetchCache, UsedCountsUniqueEntries) {
 TEST(PrefetchCache, PutOverwrites) {
   PrefetchCache cache;
   PrefetchCache::Entry e1;
-  e1.response.body = "old";
+  e1.set_response([] {
+    http::Response r;
+    r.body = "old";
+    return r;
+  }());
   cache.put("k", e1);
   PrefetchCache::Entry e2;
-  e2.response.body = "new";
+  e2.set_response([] {
+    http::Response r;
+    r.body = "new";
+    return r;
+  }());
   cache.put("k", e2);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.get("k", 0)->body, "new");
@@ -183,7 +195,7 @@ class ProxyTest : public ::testing::Test {
                                  const http::Response& origin_response, SimTime now,
                                  bool* served_from_cache = nullptr) {
     const auto decision = engine_->on_client_request(user, req, now);
-    if (served_from_cache != nullptr) *served_from_cache = decision.served.has_value();
+    if (served_from_cache != nullptr) *served_from_cache = decision.served != nullptr;
     if (decision.served) return *decision.served;
     engine_->on_origin_response(user, req, origin_response, now);
     drain_prefetches(user, now);
@@ -377,7 +389,7 @@ TEST_F(ProxyTest, ChainedPrefetchReachesSecondHop) {
 TEST_F(ProxyTest, FailedPrefetchNotCached) {
   run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
   const auto decision = engine_->on_client_request("u1", make_product_request("a"), 1);
-  ASSERT_FALSE(decision.served.has_value());
+  ASSERT_EQ(decision.served, nullptr);
   // The sibling instance ("b") becomes prefetchable; fail its prefetch.
   engine_->on_origin_response("u1", make_product_request("a"), make_product_response("m", 1), 1);
   auto jobs = engine_->take_prefetches("u1", 1);

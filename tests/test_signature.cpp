@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include "core/signature.hpp"
+#include "core/signature_index.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "wish_fixture.hpp"
 
 namespace appx::core {
@@ -267,6 +269,127 @@ TEST(SignatureSet, SerializationRoundTrip) {
 TEST(SignatureSet, DeserializeRejectsGarbage) {
   std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
   EXPECT_THROW(SignatureSet::deserialize(garbage), ParseError);
+}
+
+// --- SignatureIndex (dispatch fast path) -------------------------------------------
+
+TEST(SignatureIndex, KeyExtractsMethodAndLiteralPrefixes) {
+  const auto key = SignatureIndex::key_for(testfix::make_product_signature());
+  EXPECT_EQ(key.method, "POST");
+  EXPECT_EQ(key.path_prefix, "/product/get");
+  EXPECT_EQ(key.host_prefix, "");  // host is a hole: no literal prefix
+}
+
+TEST(SignatureIndex, AgreesWithLinearScanOnWishFixture) {
+  const auto set = testfix::make_wish_set();
+  std::vector<http::Request> probes{testfix::make_feed_request(),
+                                    testfix::make_product_request("1"),
+                                    testfix::make_product_request("2", /*with_credit=*/true)};
+  http::Request unknown;
+  unknown.uri = http::Uri::parse("https://elsewhere.com/nothing");
+  probes.push_back(unknown);
+  http::Request wrong_method = testfix::make_feed_request();
+  wrong_method.method = "DELETE";
+  probes.push_back(wrong_method);
+
+  for (const http::Request& req : probes) {
+    EXPECT_EQ(set.match_request(req), set.match_request_linear(req)) << req.uri.path;
+    EXPECT_EQ(set.match_request(req, "com.wish.test"),
+              set.match_request_linear(req, "com.wish.test"))
+        << req.uri.path;
+    EXPECT_EQ(set.match_request(req, "com.other.app"),
+              set.match_request_linear(req, "com.other.app"))
+        << req.uri.path;
+  }
+}
+
+TEST(SignatureIndex, PrunesCandidatesByMethodAndPath) {
+  const auto set = testfix::make_wish_set();
+  // The product request is POST /product/get: of the four signatures only
+  // wish.product (POST, "/product/get") survives the prefilter — wish.related
+  // is POST too but parks under "/related/get".
+  const auto candidates = set.index().candidates(testfix::make_product_request("1"));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->label, "wish.product");
+  // An alien path reaches no trie node with entries.
+  http::Request unknown;
+  unknown.method = "POST";
+  unknown.uri = http::Uri::parse("https://wish.com/unrelated");
+  EXPECT_TRUE(set.index().candidates(unknown).empty());
+}
+
+TEST(SignatureIndex, RebuiltAfterAdd) {
+  auto set = testfix::make_wish_set();
+  http::Request req;
+  req.method = "GET";
+  req.uri = http::Uri::parse("https://wish.com/new/endpoint");
+  EXPECT_EQ(set.match_request(req), nullptr);  // builds the index
+
+  TransactionSignature late;
+  late.app = "com.wish.test";
+  late.label = "wish.late";
+  late.request.method = "GET";
+  late.request.scheme = pattern::FieldTemplate::literal("https");
+  late.request.host = pattern::FieldTemplate::hole("h");
+  late.request.path = pattern::FieldTemplate::literal("/new/endpoint");
+  set.add(late);
+
+  const auto* found = set.match_request(req);  // index must cover the new signature
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->label, "wish.late");
+}
+
+TEST(SignatureIndex, FirstMatchOrderPreservedAmongOverlaps) {
+  // Two signatures that both match the same request: the index must return
+  // the earlier-inserted one, exactly like the linear scan.
+  SignatureSet set;
+  TransactionSignature wide;
+  wide.app = "a";
+  wide.label = "wide";
+  wide.request.method = "GET";
+  wide.request.scheme = pattern::FieldTemplate::literal("https");
+  wide.request.host = pattern::FieldTemplate::hole("h");
+  wide.request.path = pattern::FieldTemplate::parse("/api/{rest}");
+  set.add(wide);
+  TransactionSignature narrow;
+  narrow.app = "a";
+  narrow.label = "narrow";
+  narrow.request.method = "GET";
+  narrow.request.scheme = pattern::FieldTemplate::literal("https");
+  narrow.request.host = pattern::FieldTemplate::hole("h");
+  narrow.request.path = pattern::FieldTemplate::literal("/api/feed");
+  set.add(narrow);
+
+  http::Request req;
+  req.method = "GET";
+  req.uri = http::Uri::parse("https://x.example/api/feed");
+  const auto* indexed = set.match_request(req);
+  const auto* linear = set.match_request_linear(req);
+  ASSERT_NE(indexed, nullptr);
+  EXPECT_EQ(indexed, linear);
+  EXPECT_EQ(indexed->label, "wide");
+}
+
+TEST(SignatureIndex, RandomizedAgreementWithLinearScan) {
+  const auto set = testfix::make_wish_set();
+  Rng rng(7);
+  const char* methods[] = {"GET", "POST", "DELETE"};
+  const char* paths[] = {"/api/get-feed", "/product/get",  "/img",    "/related/get",
+                         "/api/get-fee",  "/product/getx", "/imgoo",  "/",
+                         "",              "/api",          "/related"};
+  for (int round = 0; round < 500; ++round) {
+    http::Request req;
+    req.method = methods[rng.index(3)];
+    std::string path(paths[rng.index(11)]);
+    if (rng.chance(0.2)) path += "/extra";
+    req.uri = http::Uri::parse("https://wish.com" + path + "?offset=0&count=30");
+    if (rng.chance(0.5)) {
+      req.headers.set("Cookie", "c");
+      req.headers.set("User-Agent", "ua");
+    }
+    ASSERT_EQ(set.match_request(req), set.match_request_linear(req))
+        << req.method << " " << req.uri.path;
+  }
 }
 
 }  // namespace
