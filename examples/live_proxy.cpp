@@ -81,8 +81,14 @@ int main() {
   core::AppxProxy engine(&signatures, &config, 42);
   net::LiveProxyServer::UpstreamMap upstreams;
   for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
-  net::LiveProxyServer proxy(&engine, std::move(upstreams));
-  std::cout << "acceleration proxy on 127.0.0.1:" << proxy.port() << "\n\n";
+  net::LiveProxyOptions options;  // bounded runtime: deadlines + worker pool
+  options.connect_timeout = seconds(2);
+  options.request_deadline = seconds(5);
+  options.prefetch_workers = 4;
+  net::LiveProxyServer proxy(&engine, std::move(upstreams), 0, options);
+  std::cout << "acceleration proxy on 127.0.0.1:" << proxy.port() << " ("
+            << proxy.options().prefetch_workers << " prefetch workers, "
+            << to_ms(proxy.options().request_deadline) << " ms upstream deadline)\n\n";
 
   // The "phone": one keep-alive connection through the proxy.
   net::TcpStream stream = net::TcpStream::connect("127.0.0.1", proxy.port());
@@ -118,6 +124,10 @@ int main() {
   const auto& stats = engine.engine().stats();
   std::cout << "\nproxy: " << stats.prefetches_issued << " prefetches issued, "
             << stats.cache_hits << " cache hits, " << stats.forwarded << " forwarded\n"
+            << "bounds: " << stats.evicted_lru << " LRU evictions, "
+            << stats.evicted_expired << " TTL evictions, " << stats.prefetches_dropped
+            << " prefetches dropped (queue drops: " << proxy.prefetch_jobs_dropped()
+            << ")\n"
             << "(the first detail is a miss that teaches the proxy the run-time values;\n"
             << " every further item is served from the prefetch cache)\n";
 

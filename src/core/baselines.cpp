@@ -111,7 +111,7 @@ void LooxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (expiration_) entry.expires_at = now + *expiration_;
-  state.cache.put(job.cache_key, std::move(entry));
+  state.cache.put(job.cache_key, std::move(entry), now);
 }
 
 std::vector<PrefetchJob> LooxyEngine::take_prefetches(const std::string& user, SimTime now) {
@@ -180,7 +180,7 @@ void StaticOnlyEngine::on_prefetch_response(const std::string& user, const Prefe
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (expiration_) entry.expires_at = now + *expiration_;
-  it->second->cache.put(job.cache_key, std::move(entry));
+  it->second->cache.put(job.cache_key, std::move(entry), now);
 }
 
 std::vector<PrefetchJob> StaticOnlyEngine::take_prefetches(const std::string& user,

@@ -39,6 +39,15 @@ class ProxyLike {
   virtual void on_prefetch_response(const std::string& user, const PrefetchJob& job,
                                     const http::Response& response, SimTime now,
                                     double response_time_ms) = 0;
+  // A taken prefetch job was abandoned without a response (queue overflow,
+  // shutdown). Engines tracking outstanding windows must release the slot
+  // here; the default is a no-op for engines without such bookkeeping.
+  virtual void on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
+                                   SimTime now) {
+    (void)user;
+    (void)job;
+    (void)now;
+  }
   virtual std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) = 0;
   virtual const ProxyStats& stats() const = 0;
 };
@@ -61,6 +70,10 @@ class AppxProxy final : public ProxyLike {
                             const http::Response& response, SimTime now,
                             double response_time_ms) override {
     engine_.on_prefetch_response(user, job, response, now, response_time_ms);
+  }
+  void on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
+                           SimTime now) override {
+    engine_.on_prefetch_dropped(user, job, now);
   }
   std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override {
     return engine_.take_prefetches(user, now);

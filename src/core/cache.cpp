@@ -2,9 +2,62 @@
 
 namespace appx::core {
 
-void PrefetchCache::put(std::string key, Entry entry) {
+void PrefetchCache::count_eviction(bool was_expired) {
+  if (was_expired) {
+    ++evicted_expired_;
+    if (sink_expired_ != nullptr) ++*sink_expired_;
+  } else {
+    ++evicted_lru_;
+    if (sink_lru_ != nullptr) ++*sink_lru_;
+  }
+}
+
+void PrefetchCache::erase_node(LruList::iterator it, bool count_as_expired) {
+  count_eviction(count_as_expired);
+  bytes_ -= it->charged;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void PrefetchCache::enforce_limits(SimTime now) {
+  const auto over = [&] {
+    return (limits_.max_entries > 0 && index_.size() > limits_.max_entries) ||
+           (limits_.max_bytes > 0 && bytes_ > limits_.max_bytes);
+  };
+  if (!over()) return;
+  // Prefer reclaiming dead weight before punishing live entries.
+  sweep(now);
+  while (over() && !lru_.empty()) {
+    erase_node(std::prev(lru_.end()), /*count_as_expired=*/false);
+  }
+}
+
+void PrefetchCache::set_limits(Limits limits) {
+  limits_ = limits;
+  enforce_limits(0);
+}
+
+void PrefetchCache::put(std::string key, Entry entry, SimTime now) {
   ++inserted_;
-  entries_[std::move(key)] = std::move(entry);
+  if (++puts_since_sweep_ >= kSweepInterval) {
+    puts_since_sweep_ = 0;
+    sweep(now);
+  }
+  const Bytes charged = entry.response->wire_size();
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Overwrite in place and promote; not an eviction.
+    LruList::iterator node = it->second;
+    bytes_ += charged - node->charged;
+    node->charged = charged;
+    node->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, node);
+  } else {
+    lru_.push_front(Node{std::move(key), std::move(entry), charged});
+    index_[lru_.front().key] = lru_.begin();
+    bytes_ += charged;
+  }
+  enforce_limits(now);
 }
 
 std::shared_ptr<const http::Response> PrefetchCache::get(std::string_view key, SimTime now,
@@ -12,34 +65,60 @@ std::shared_ptr<const http::Response> PrefetchCache::get(std::string_view key, S
   const auto set_result = [&](Lookup r) {
     if (result != nullptr) *result = r;
   };
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
     set_result(Lookup::kMiss);
     return nullptr;
   }
-  Entry& entry = it->second;
-  if (entry.expires_at && now >= *entry.expires_at) {
-    entries_.erase(it);
+  LruList::iterator node = it->second;
+  if (expired(node->entry, now)) {
+    erase_node(node, /*count_as_expired=*/true);
     set_result(Lookup::kExpired);
     return nullptr;
   }
-  if (!entry.used) {
-    entry.used = true;
+  if (!node->entry.used) {
+    node->entry.used = true;
     ++used_unique_;
   }
+  lru_.splice(lru_.begin(), lru_, node);  // promote to most-recently-used
   set_result(Lookup::kHit);
-  return entry.response;
+  return node->entry.response;
+}
+
+bool PrefetchCache::contains(std::string_view key, SimTime now) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (expired(it->second->entry, now)) {
+    erase_node(it->second, /*count_as_expired=*/true);
+    return false;
+  }
+  return true;
 }
 
 bool PrefetchCache::contains(std::string_view key, SimTime now) const {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
-  const Entry& entry = it->second;
-  return !(entry.expires_at && now >= *entry.expires_at);
+  const auto it = index_.find(key);
+  return it != index_.end() && !expired(it->second->entry, now);
+}
+
+std::size_t PrefetchCache::sweep(SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const auto next = std::next(it);
+    if (expired(it->entry, now)) {
+      erase_node(it, /*count_as_expired=*/true);
+      ++removed;
+    }
+    it = next;
+  }
+  return removed;
 }
 
 std::size_t PrefetchCache::entries_used() const { return used_unique_; }
 
-void PrefetchCache::clear() { entries_.clear(); }
+void PrefetchCache::clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
 
 }  // namespace appx::core

@@ -1,12 +1,22 @@
-// Prefetched-response cache with expiry (paper §4.5).
+// Prefetched-response cache with expiry (paper §4.5) and bounded footprint.
 //
 // Keys are canonical request identities (http::Request::cache_key): the proxy
 // serves a prefetched response only when the client's request is *identical*
 // to the prefetched one — URI, query string, headers and body (R3: never
 // alter app behaviour). Entries expire per the configuration's
 // expiration_time; expired entries are misses and are dropped on lookup.
+//
+// The cache is bounded two ways (§5's "bounded prefetch aggressiveness"):
+//   * max_entries / max_bytes caps enforced by LRU eviction on insert, so a
+//     long-lived user can never grow a cache without limit;
+//   * TTL expiry, applied lazily on lookup and in bulk by a periodic sweep
+//     that runs every kSweepInterval inserts (entries whose key is never
+//     looked up again would otherwise survive forever).
+// Evictions are counted per cause (LRU vs expired) and can additionally be
+// routed to external counters (the engine-wide ProxyStats).
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,11 +32,17 @@ class PrefetchCache {
  public:
   enum class Lookup { kHit, kMiss, kExpired };
 
+  // Bounds on the cache footprint; 0 = unlimited.
+  struct Limits {
+    std::size_t max_entries = 0;
+    Bytes max_bytes = 0;
+  };
+
   struct Entry {
     // Shared so a hit hands out the stored response without copying the body
     // (responses can be hundreds of KB); the pointer stays valid even if the
-    // entry is later overwritten or expired. Never null, so a kHit lookup
-    // always returns a usable response.
+    // entry is later overwritten, expired or evicted. Never null, so a kHit
+    // lookup always returns a usable response.
     std::shared_ptr<const http::Response> response =
         std::make_shared<const http::Response>();
     std::string sig_id;
@@ -39,27 +55,78 @@ class PrefetchCache {
     }
   };
 
-  // Insert or overwrite (a fresher prefetch replaces the old response).
-  void put(std::string key, Entry entry);
+  PrefetchCache() = default;
+  explicit PrefetchCache(Limits limits) : limits_(limits) {}
+
+  // Tightening the limits evicts immediately.
+  void set_limits(Limits limits);
+  const Limits& limits() const { return limits_; }
+
+  // Additionally route eviction counts into external counters (may be null).
+  void set_eviction_counters(std::size_t* lru, std::size_t* expired) {
+    sink_lru_ = lru;
+    sink_expired_ = expired;
+  }
+
+  // Insert or overwrite (a fresher prefetch replaces the old response). The
+  // new entry becomes most-recently-used; LRU entries are evicted until the
+  // cache is back within its limits (expired entries are reaped first).
+  void put(std::string key, Entry entry, SimTime now = 0);
 
   // Exact-match lookup. Expired entries are erased and reported as kExpired.
-  // On a hit the entry is marked used and the stored response returned
-  // (shared, not copied); null on miss/expiry.
+  // On a hit the entry is marked used, promoted to most-recently-used, and
+  // the stored response returned (shared, not copied); null on miss/expiry.
   std::shared_ptr<const http::Response> get(std::string_view key, SimTime now,
                                             Lookup* result = nullptr);
 
+  // Erasing form: an expired entry found here is dropped immediately (it must
+  // not distort byte accounting until an exact-key get happens to find it).
+  bool contains(std::string_view key, SimTime now);
+  // Pure query for const contexts; reports expired entries as absent but
+  // cannot erase them.
   bool contains(std::string_view key, SimTime now) const;
 
-  std::size_t size() const { return entries_.size(); }
+  // Drop every expired entry now. Returns the number of entries removed.
+  std::size_t sweep(SimTime now);
+
+  std::size_t size() const { return index_.size(); }
+  Bytes bytes() const { return bytes_; }
   std::size_t entries_inserted() const { return inserted_; }
   std::size_t entries_used() const;
+  std::size_t evicted_lru() const { return evicted_lru_; }
+  std::size_t evicted_expired() const { return evicted_expired_; }
 
   void clear();
 
  private:
-  std::map<std::string, Entry, std::less<>> entries_;
+  struct Node {
+    std::string key;
+    Entry entry;
+    Bytes charged = 0;  // wire size accounted against max_bytes
+  };
+  using LruList = std::list<Node>;  // front = most recently used
+
+  static bool expired(const Entry& entry, SimTime now) {
+    return entry.expires_at && now >= *entry.expires_at;
+  }
+  void erase_node(LruList::iterator it, bool count_as_expired);
+  void enforce_limits(SimTime now);
+  void count_eviction(bool was_expired);
+
+  // Bulk-expire cadence: one sweep per this many put() calls.
+  static constexpr std::size_t kSweepInterval = 64;
+
+  Limits limits_;
+  LruList lru_;
+  std::map<std::string, LruList::iterator, std::less<>> index_;
+  Bytes bytes_ = 0;
   std::size_t inserted_ = 0;
   std::size_t used_unique_ = 0;
+  std::size_t evicted_lru_ = 0;
+  std::size_t evicted_expired_ = 0;
+  std::size_t puts_since_sweep_ = 0;
+  std::size_t* sink_lru_ = nullptr;
+  std::size_t* sink_expired_ = nullptr;
 };
 
 }  // namespace appx::core

@@ -140,6 +140,11 @@ std::string ProxyConfig::to_json() const {
       data_budget ? json::Value(static_cast<std::int64_t>(*data_budget)) : json::Value(nullptr);
   global["max_outstanding_prefetches"] =
       static_cast<std::int64_t>(max_outstanding_prefetches);
+  global["cache_max_entries"] = static_cast<std::int64_t>(cache_max_entries);
+  global["cache_max_bytes"] = static_cast<std::int64_t>(cache_max_bytes);
+  global["max_users"] = static_cast<std::int64_t>(max_users);
+  global["user_idle_timeout_ms"] =
+      user_idle_timeout ? json::Value(to_ms(*user_idle_timeout)) : json::Value(nullptr);
   global["scheduler_time_weight"] = scheduler_time_weight;
   global["scheduler_hit_weight"] = scheduler_hit_weight;
   if (!host_apps.empty()) {
@@ -199,6 +204,19 @@ ProxyConfig ProxyConfig::from_json(std::string_view text) {
     }
     if (const json::Value* v = global->find("max_outstanding_prefetches")) {
       config.max_outstanding_prefetches = static_cast<std::size_t>(v->as_int());
+    }
+    if (const json::Value* v = global->find("cache_max_entries")) {
+      config.cache_max_entries = static_cast<std::size_t>(v->as_int());
+    }
+    if (const json::Value* v = global->find("cache_max_bytes")) {
+      config.cache_max_bytes = static_cast<Bytes>(v->as_int());
+    }
+    if (const json::Value* v = global->find("max_users")) {
+      config.max_users = static_cast<std::size_t>(v->as_int());
+    }
+    if (const json::Value* v = global->find("user_idle_timeout_ms")) {
+      config.user_idle_timeout =
+          v->is_null() ? std::nullopt : std::optional<Duration>(milliseconds(v->as_double()));
     }
     if (const json::Value* v = global->find("scheduler_time_weight")) {
       config.scheduler_time_weight = v->as_double();

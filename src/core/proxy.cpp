@@ -16,18 +16,55 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
   ignored_headers_ = config->all_added_header_names();
 }
 
-ProxyEngine::UserState& ProxyEngine::user_state(const std::string& user) {
+ProxyEngine::UserState& ProxyEngine::user_state(const std::string& user, SimTime now) {
   auto it = users_.find(user);
   if (it == users_.end()) {
     it = users_.emplace(user, std::make_unique<UserState>(signatures_, *config_)).first;
+    it->second->cache.set_eviction_counters(&stats_.evicted_lru, &stats_.evicted_expired);
+    // New arrivals pay the bookkeeping cost: reap idle users (and enforce the
+    // hard cap) only when the user set actually grows, keeping the hot
+    // request path O(log n).
+    evict_idle_users(now, user);
   }
+  it->second->last_active = now;
   return *it->second;
+}
+
+void ProxyEngine::evict_idle_users(SimTime now, const std::string& keep) {
+  if (config_->user_idle_timeout) {
+    for (auto it = users_.begin(); it != users_.end();) {
+      if (it->first != keep && now - it->second->last_active >= *config_->user_idle_timeout) {
+        it = users_.erase(it);
+        ++stats_.users_evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Still above the cap (a burst of genuinely active users): evict the
+  // least-recently-active regardless of the idle timeout so users_ stays
+  // bounded no matter the workload.
+  while (config_->max_users > 0 && users_.size() > config_->max_users) {
+    auto victim = users_.end();
+    for (auto it = users_.begin(); it != users_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == users_.end() || it->second->last_active < victim->second->last_active) {
+        victim = it;
+      }
+    }
+    if (victim == users_.end()) break;  // only `keep` is left
+    users_.erase(victim);
+    ++stats_.users_evicted;
+  }
 }
 
 ClientDecision ProxyEngine::on_client_request(const std::string& user,
                                               const http::Request& request, SimTime now) {
   ++stats_.client_requests;
-  UserState& state = user_state(user);
+  UserState& state = user_state(user, now);
+  // New client activity opens a fresh prefetch generation: keys evicted since
+  // their last prefetch become eligible again.
+  state.prefetched_generation.clear();
 
   const std::string key = request.cache_key(ignored_headers_);
   PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
@@ -56,7 +93,7 @@ ClientDecision ProxyEngine::on_client_request(const std::string& user,
 
 void ProxyEngine::on_origin_response(const std::string& user, const http::Request& request,
                                      const http::Response& response, SimTime now) {
-  UserState& state = user_state(user);
+  UserState& state = user_state(user, now);
   stats_.bytes_origin_to_proxy += response.wire_size();
   state.forwarding.erase(request.cache_key(ignored_headers_));
 
@@ -66,7 +103,7 @@ void ProxyEngine::on_origin_response(const std::string& user, const http::Reques
 void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
                                        const http::Response& response, SimTime now,
                                        double response_time_ms) {
-  UserState& state = user_state(user);
+  UserState& state = user_state(user, now);
   state.scheduler.on_completed();
   state.inflight.erase(job.cache_key);
   ++stats_.prefetch_responses;
@@ -86,11 +123,19 @@ void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
   if (const auto expiry = config_->expiration(job.sig_id)) entry.expires_at = now + *expiry;
-  state.cache.put(job.cache_key, std::move(entry));
+  state.cache.put(job.cache_key, std::move(entry), now);
 
   // Chained prefetching: treat the prefetched transaction as an observed one
   // so successors of this signature can become ready in turn.
   admit_prefetches(state, state.learning.observe(job.request, response), now);
+}
+
+void ProxyEngine::on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
+                                      SimTime now) {
+  UserState& state = user_state(user, now);
+  state.scheduler.on_dropped();
+  state.inflight.erase(job.cache_key);
+  ++stats_.prefetches_dropped;
 }
 
 void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready,
@@ -136,6 +181,13 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
       ++stats_.skipped_duplicate;
       continue;
     }
+    if (!state.prefetched_generation.insert(job.cache_key).second) {
+      // Already attempted since the last client request; re-admitting (after
+      // an eviction under cache pressure) would let cyclic dependency chains
+      // prefetch without end.
+      ++stats_.skipped_refetch;
+      continue;
+    }
     state.inflight.insert(job.cache_key);
     job.request = std::move(rp.request);
     for (const auto& [name, value] : config_->added_headers(sig_id)) {
@@ -147,8 +199,7 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
 }
 
 std::vector<PrefetchJob> ProxyEngine::take_prefetches(const std::string& user, SimTime now) {
-  (void)now;
-  UserState& state = user_state(user);
+  UserState& state = user_state(user, now);
   std::vector<PrefetchJob> jobs;
   while (auto job = state.scheduler.dequeue()) {
     job->user = user;

@@ -42,7 +42,13 @@ struct ProxyStats {
   std::size_t skipped_condition = 0;
   std::size_t skipped_budget = 0;
   std::size_t skipped_duplicate = 0;  // already cached and fresh
+  std::size_t skipped_refetch = 0;    // already prefetched this client generation
   std::size_t forward_cached = 0;     // forwarded responses kept in the cache
+  std::size_t prefetches_dropped = 0;  // issued jobs abandoned by the caller
+  // Resource-bound enforcement (cache caps, TTL sweeps, idle-user eviction).
+  std::size_t evicted_lru = 0;      // cache entries evicted by the LRU bound
+  std::size_t evicted_expired = 0;  // cache entries reaped by TTL
+  std::size_t users_evicted = 0;    // idle user contexts evicted
   // Data accounting (proxy<->server direction; paper §6.2 data usage).
   Bytes bytes_origin_to_proxy = 0;  // forwarded responses
   Bytes bytes_prefetched = 0;       // prefetch responses
@@ -84,6 +90,12 @@ class ProxyEngine {
                             const http::Response& response, SimTime now,
                             double response_time_ms);
 
+  // A prefetch we issued will never get a response (dropped on queue
+  // overflow, a torn-down connection, or an error path that skips
+  // on_prefetch_response). Releases the job's outstanding-window slot and
+  // in-flight key so prefetching is not silently throttled by the leak.
+  void on_prefetch_dropped(const std::string& user, const PrefetchJob& job, SimTime now);
+
   // Prefetch jobs to put on the wire now (priority order, bounded by the
   // outstanding window). Call after any of the events above.
   std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now);
@@ -100,20 +112,29 @@ class ProxyEngine {
   struct UserState {
     UserState(const SignatureSet* signatures, const ProxyConfig& config)
         : learning(signatures, &config.host_apps),
+          cache(PrefetchCache::Limits{config.cache_max_entries, config.cache_max_bytes}),
           scheduler(PrefetchScheduler::Weights{config.scheduler_time_weight,
                                                config.scheduler_hit_weight},
                     config.max_outstanding_prefetches) {}
     LearningEngine learning;
     PrefetchCache cache;
     PrefetchScheduler scheduler;
+    SimTime last_active = 0;        // for idle-user eviction
     Bytes prefetch_bytes_used = 0;  // against config.data_budget
     std::set<std::string> inflight;  // cache keys with an outstanding prefetch
     // Cache keys of client requests currently being forwarded: prefetching
     // these would duplicate bytes already on their way to the proxy.
     std::set<std::string> forwarding;
+    // Cache keys already prefetched since the user's last client request.
+    // Anti-thrash guard for the bounded cache: once eviction can remove a
+    // freshly prefetched entry, chained learning would otherwise re-admit it
+    // at once, and a cyclic dependency graph would prefetch forever. One
+    // attempt per key per client "generation" keeps every chain finite.
+    std::set<std::string> prefetched_generation;
   };
 
-  UserState& user_state(const std::string& user);
+  UserState& user_state(const std::string& user, SimTime now);
+  void evict_idle_users(SimTime now, const std::string& keep);
   void admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready, SimTime now);
 
   const SignatureSet* signatures_;

@@ -47,6 +47,12 @@ std::optional<PrefetchJob> PrefetchScheduler::dequeue() {
 
 void PrefetchScheduler::on_completed() {
   if (outstanding_ > 0) --outstanding_;
+  ++completed_;
+}
+
+void PrefetchScheduler::on_dropped() {
+  if (outstanding_ > 0) --outstanding_;
+  ++dropped_;
 }
 
 }  // namespace appx::core

@@ -65,16 +65,26 @@ class PrefetchScheduler {
   // Highest-priority job if the outstanding window has room.
   std::optional<PrefetchJob> dequeue();
 
-  void on_completed();  // a previously dequeued job finished
+  // Every dequeued job must be resolved exactly once: on_completed() when its
+  // response arrived, on_dropped() when the caller abandoned it (queue
+  // overflow, connection teardown, an error path that skips the response).
+  // A job left unresolved would hold its outstanding-window slot forever and
+  // silently throttle prefetching to zero.
+  void on_completed();
+  void on_dropped();
 
   std::size_t queued() const { return queue_.size(); }
   std::size_t outstanding() const { return outstanding_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t dropped() const { return dropped_; }
   void set_max_outstanding(std::size_t n) { max_outstanding_ = n; }
 
  private:
   Weights weights_;
   std::size_t max_outstanding_;
   std::size_t outstanding_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t dropped_ = 0;
   // Kept sorted by priority (descending) at insertion; ties broken FIFO.
   std::vector<PrefetchJob> queue_;
   std::uint64_t seq_ = 0;

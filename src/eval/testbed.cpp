@@ -84,6 +84,15 @@ core::ProxyEngine& Testbed::proxy() {
 
 void Testbed::pump_prefetches(const std::string& user) {
   for (core::PrefetchJob& job : engine_->take_prefetches(user, sim_.now())) {
+    ++prefetches_taken_;
+    if (config_.drop_every_nth_prefetch > 0 &&
+        prefetches_taken_ % config_.drop_every_nth_prefetch == 0) {
+      // Simulated shedding: the job is abandoned before it reaches the
+      // origin; the engine must release its outstanding slot.
+      ++prefetches_dropped_;
+      engine_->on_prefetch_dropped(user, job, sim_.now());
+      continue;
+    }
     const SimTime started = sim_.now();
     forward_to_origin(job.request, [this, user, job, started](http::Response response) {
       engine_->on_prefetch_response(user, job, response, sim_.now(),

@@ -44,6 +44,10 @@ struct TestbedConfig {
   std::uint64_t seed = 1;
   // Uniform +-fraction noise on origin processing delays (load variance).
   double origin_proc_jitter = 0.2;
+  // Fault injection: drop every Nth taken prefetch job (reported to the
+  // engine via on_prefetch_dropped) instead of forwarding it to the origin.
+  // 0 = never drop. Exercises the outstanding-window release path.
+  std::size_t drop_every_nth_prefetch = 0;
 };
 
 // A request observed on the proxy's client side (for coverage analysis).
@@ -78,6 +82,9 @@ class Testbed {
 
   const std::vector<ObservedRequest>& observed_requests() const { return observed_; }
 
+  // Prefetch jobs shed by drop_every_nth_prefetch fault injection.
+  std::size_t prefetches_dropped() const { return prefetches_dropped_; }
+
   // Called with every completed prefetch (verification phase hooks in here).
   std::function<void(const core::PrefetchJob&, const http::Response&)> on_prefetch_response;
 
@@ -100,6 +107,8 @@ class Testbed {
   std::map<std::string, std::unique_ptr<sim::Channel>> origin_channels_;
   std::map<std::string, std::unique_ptr<apps::AppClient>> clients_;
   std::vector<ObservedRequest> observed_;
+  std::size_t prefetches_taken_ = 0;
+  std::size_t prefetches_dropped_ = 0;
   Rng proc_rng_{0xabcd1234};
 };
 

@@ -1,6 +1,7 @@
 #include "net/http_io.hpp"
 
-#include "util/error.hpp"
+#include <string_view>
+
 #include "util/strings.hpp"
 
 namespace appx::net {
@@ -26,18 +27,42 @@ std::size_t content_length_of(std::string_view head) {
 std::optional<std::string> HttpReader::read_message() {
   char chunk[4096];
   while (true) {
-    const std::size_t head_end = buffer_.find("\r\n\r\n");
-    if (head_end != std::string::npos) {
-      const std::size_t body_len = content_length_of(std::string_view(buffer_).substr(0, head_end));
+    const std::string_view pending = std::string_view(buffer_).substr(consumed_);
+    const std::size_t head_end = pending.find("\r\n\r\n");
+    if (head_end != std::string_view::npos) {
+      if (limits_.max_head_bytes > 0 && head_end > limits_.max_head_bytes) {
+        throw MessageTooLargeError("http framing: header block exceeds " +
+                                       std::to_string(limits_.max_head_bytes) + " bytes",
+                                   431);
+      }
+      const std::size_t body_len = content_length_of(pending.substr(0, head_end));
+      if (limits_.max_body_bytes > 0 && body_len > limits_.max_body_bytes) {
+        throw MessageTooLargeError("http framing: body of " + std::to_string(body_len) +
+                                       " bytes exceeds " +
+                                       std::to_string(limits_.max_body_bytes) + " bytes",
+                                   413);
+      }
       const std::size_t total = head_end + 4 + body_len;
-      if (buffer_.size() >= total) {
-        std::string message = buffer_.substr(0, total);
-        buffer_.erase(0, total);
+      if (pending.size() >= total) {
+        std::string message(pending.substr(0, total));
+        consumed_ += total;
+        // Periodic compaction: erase the consumed prefix only once it is
+        // large, so a burst of pipelined messages is drained in O(bytes).
+        if (consumed_ >= kCompactThreshold || consumed_ >= buffer_.size()) {
+          buffer_.erase(0, consumed_);
+          consumed_ = 0;
+        }
         return message;
       }
+    } else if (limits_.max_head_bytes > 0 && pending.size() > limits_.max_head_bytes) {
+      // No blank line within the permitted head size: reject before the
+      // buffer can grow without bound.
+      throw MessageTooLargeError("http framing: header block exceeds " +
+                                     std::to_string(limits_.max_head_bytes) + " bytes",
+                                 431);
     }
     if (eof_) {
-      if (buffer_.empty()) return std::nullopt;
+      if (pending.empty()) return std::nullopt;
       throw ParseError("http framing: connection closed mid-message");
     }
     const std::size_t n = stream_->read_some(chunk, sizeof chunk);

@@ -2,32 +2,65 @@
 // and writing for the live proxy/origin servers.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "http/message.hpp"
 #include "net/socket.hpp"
+#include "util/error.hpp"
 
 namespace appx::net {
 
+// A peer sent a message exceeding the reader's configured size bounds. The
+// suggested status lets servers answer before closing: 431 (Request Header
+// Fields Too Large) for an oversized head, 413 (Payload Too Large) for an
+// oversized body.
+class MessageTooLargeError : public ParseError {
+ public:
+  MessageTooLargeError(const std::string& what, int suggested_status)
+      : ParseError(what), suggested_status_(suggested_status) {}
+  int suggested_status() const { return suggested_status_; }
+
+ private:
+  int suggested_status_;
+};
+
+// Bounds on a single message accepted off the wire; 0 = unlimited. Without
+// them a misbehaving peer could grow the connection buffer without bound by
+// streaming an endless header block or declaring a huge Content-Length.
+struct ReaderLimits {
+  std::size_t max_head_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
 // Incremental reader for one connection; handles pipelined messages by
-// buffering the residue between calls.
+// buffering the residue between calls. Consumed bytes are tracked by an
+// offset cursor and compacted periodically, so draining a large pipelined
+// burst costs O(bytes) instead of O(bytes^2).
 class HttpReader {
  public:
-  explicit HttpReader(TcpStream* stream) : stream_(stream) {}
+  explicit HttpReader(TcpStream* stream, ReaderLimits limits = {})
+      : stream_(stream), limits_(limits) {}
 
   // Read one complete request. nullopt on orderly EOF at a message boundary;
-  // throws ParseError on malformed framing, Error on transport failure.
+  // throws ParseError on malformed framing (MessageTooLargeError when a size
+  // bound is exceeded), Error on transport failure.
   std::optional<http::Request> read_request();
   // Same for responses.
   std::optional<http::Response> read_response();
 
  private:
+  // Compact the buffer once enough consumed bytes have accumulated.
+  static constexpr std::size_t kCompactThreshold = 64 * 1024;
+
   // Raw wire text of one message, or nullopt on clean EOF.
   std::optional<std::string> read_message();
 
   TcpStream* stream_;
+  ReaderLimits limits_;
   std::string buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already returned as messages
   bool eof_ = false;
 };
 

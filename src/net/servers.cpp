@@ -3,6 +3,10 @@
 #include <sys/socket.h>
 
 #include <chrono>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace {
 // Registers a connection fd for the server's stop() to shut down; removes it
@@ -31,12 +35,66 @@ void shutdown_all(std::mutex& mutex, std::set<int>& fds) {
   const std::lock_guard<std::mutex> lock(mutex);
   for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
 }
+
+appx::http::Response status_response(int status, std::string body) {
+  appx::http::Response resp;
+  resp.status = status;
+  resp.reason = std::string(appx::http::reason_phrase(status));
+  resp.body = std::move(body);
+  return resp;
+}
+
+// Deliver a rejection even though the peer may still have unread bytes in
+// flight: closing with unread input makes the kernel RST the connection,
+// which can discard the response before the peer reads it. Write, half-close,
+// then drain the remainder (bounded) so the FIN carries the status cleanly.
+void reject_connection(appx::net::TcpStream& stream, int status) {
+  try {
+    appx::net::write_response(stream, status_response(status, ""));
+    stream.shutdown_write();
+    stream.set_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(500));
+    char sink[4096];
+    while (stream.read_some(sink, sizeof sink) > 0) {
+    }
+  } catch (const appx::Error&) {
+    // Best-effort; peer may be gone.
+  }
+}
 }  // namespace
 
-#include "util/error.hpp"
-#include "util/log.hpp"
-
 namespace appx::net {
+
+// --- ThreadReaper ---------------------------------------------------------------------
+
+void ThreadReaper::reap_locked() {
+  for (const std::uint64_t id : finished_) {
+    const auto it = threads_.find(id);
+    if (it == threads_.end()) continue;  // already taken by join_all
+    if (it->second.joinable()) it->second.join();
+    threads_.erase(it);
+  }
+  finished_.clear();
+}
+
+std::size_t ThreadReaper::live() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reap_locked();
+  return threads_.size();
+}
+
+void ThreadReaper::join_all() {
+  // Join outside the lock: running threads must be able to take mutex_ to
+  // record their completion while we wait on them.
+  std::map<std::uint64_t, std::thread> taken;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    taken.swap(threads_);
+    finished_.clear();
+  }
+  for (auto& [id, thread] : taken) {
+    if (thread.joinable()) thread.join();
+  }
+}
 
 // --- LiveOriginServer ----------------------------------------------------------------
 
@@ -53,25 +111,16 @@ void LiveOriginServer::stop() {
   listener_.close();
   shutdown_all(conns_mutex_, conn_fds_);
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
-  {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    workers.swap(threads_);
-  }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
-  }
+  conn_threads_.join_all();
 }
 
 void LiveOriginServer::accept_loop() {
   while (!stopping_.load()) {
     TcpStream stream = listener_.accept();
     if (!stream.valid()) return;  // listener closed
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads_.emplace_back(
-        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
-          serve_connection(std::move(*s));
-        });
+    conn_threads_.spawn([this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
+      serve_connection(std::move(*s));
+    });
   }
 }
 
@@ -88,6 +137,9 @@ void LiveOriginServer::serve_connection(TcpStream stream) {
       write_response(stream, response);
       ++served_;
     }
+  } catch (const MessageTooLargeError& e) {
+    log_debug("net.origin") << "oversized message: " << e.what();
+    reject_connection(stream, e.suggested_status());
   } catch (const Error& e) {
     log_debug("net.origin") << "connection ended: " << e.what();
   }
@@ -96,11 +148,18 @@ void LiveOriginServer::serve_connection(TcpStream stream) {
 // --- LiveProxyServer ------------------------------------------------------------------
 
 LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
-                                 std::uint16_t port)
-    : engine_(engine), upstreams_(std::move(upstreams)), listener_(port) {
+                                 std::uint16_t port, LiveProxyOptions options)
+    : engine_(engine),
+      upstreams_(std::move(upstreams)),
+      options_(options),
+      listener_(port) {
   if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
   acceptor_ = std::thread([this] { accept_loop(); });
-  prefetcher_ = std::thread([this] { prefetch_loop(); });
+  const std::size_t workers = options_.prefetch_workers > 0 ? options_.prefetch_workers : 1;
+  prefetchers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    prefetchers_.emplace_back([this] { prefetch_worker(); });
+  }
 }
 
 LiveProxyServer::~LiveProxyServer() { stop(); }
@@ -108,18 +167,28 @@ LiveProxyServer::~LiveProxyServer() { stop(); }
 void LiveProxyServer::stop() {
   if (stopping_.exchange(true)) return;
   listener_.close();
+  // Shutting down every registered fd (client connections AND in-flight
+  // upstream fetches) unblocks all I/O immediately.
   shutdown_all(conns_mutex_, conn_fds_);
   queue_cv_.notify_all();
   idle_cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
-  if (prefetcher_.joinable()) prefetcher_.join();
-  std::vector<std::thread> workers;
-  {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    workers.swap(threads_);
-  }
-  for (std::thread& t : workers) {
+  for (std::thread& t : prefetchers_) {
     if (t.joinable()) t.join();
+  }
+  conn_threads_.join_all();
+  // Resolve jobs still queued at shutdown so the engine's outstanding
+  // windows balance even if it is inspected (or reused) after stop().
+  std::deque<core::PrefetchJob> leftover;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(prefetch_queue_);
+  }
+  if (!leftover.empty()) {
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    for (core::PrefetchJob& job : leftover) {
+      engine_->on_prefetch_dropped(job.user, job, now());
+    }
   }
 }
 
@@ -133,29 +202,43 @@ void LiveProxyServer::accept_loop() {
   while (!stopping_.load()) {
     TcpStream stream = listener_.accept();
     if (!stream.valid()) return;
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads_.emplace_back(
-        [this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
-          serve_connection(std::move(*s));
-        });
+    conn_threads_.spawn([this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
+      serve_connection(std::move(*s));
+    });
   }
 }
 
 http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
   const auto it = upstreams_.find(request.uri.host);
   if (it == upstreams_.end()) {
-    http::Response resp;
-    resp.status = 502;
-    resp.reason = std::string(http::reason_phrase(502));
-    resp.body = R"({"error":"no upstream for host"})";
-    return resp;
+    return status_response(502, R"({"error":"no upstream for host"})");
   }
-  TcpStream upstream = TcpStream::connect("127.0.0.1", it->second);
-  write_request(upstream, request);
-  HttpReader reader(&upstream);
-  auto response = reader.read_response();
-  if (!response) throw Error("upstream closed without responding");
-  return *response;
+  if (stopping_.load()) {
+    return status_response(502, R"({"error":"proxy shutting down"})");
+  }
+  try {
+    TcpStream upstream = TcpStream::connect("127.0.0.1", it->second, options_.connect_timeout);
+    // Register the upstream fd so stop() can cut a fetch short.
+    const ConnGuard guard(conns_mutex_, conn_fds_, upstream.fd());
+    if (options_.request_deadline > 0) {
+      upstream.set_deadline(std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.request_deadline));
+    }
+    upstream.set_read_timeout(options_.io_timeout);
+    upstream.set_write_timeout(options_.io_timeout);
+    write_request(upstream, request);
+    HttpReader reader(&upstream);
+    auto response = reader.read_response();
+    if (!response) throw Error("upstream closed without responding");
+    return *response;
+  } catch (const TimeoutError& e) {
+    // A dead or wedged origin degrades to 504 instead of hanging the thread.
+    log_warn("net.proxy") << "upstream timeout: " << e.what();
+    return status_response(504, R"({"error":"upstream timeout"})");
+  } catch (const Error& e) {
+    log_warn("net.proxy") << "upstream error: " << e.what();
+    return status_response(502, R"({"error":"upstream error"})");
+  }
 }
 
 void LiveProxyServer::serve_connection(TcpStream stream) {
@@ -164,7 +247,7 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
   // shared id). A production front end would key on client address.
   const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
   try {
-    HttpReader reader(&stream);
+    HttpReader reader(&stream, options_.reader_limits);
     while (auto request = reader.read_request()) {
       const std::string user = request->headers.get("X-Appx-User").value_or("default");
       http::Request upstream_request = *request;
@@ -198,6 +281,9 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
       response.headers.set("X-Appx-Cache", "miss");
       write_response(stream, response);
     }
+  } catch (const MessageTooLargeError& e) {
+    log_debug("net.proxy") << "oversized message: " << e.what();
+    reject_connection(stream, e.suggested_status());
   } catch (const Error& e) {
     log_debug("net.proxy") << "connection ended: " << e.what();
   }
@@ -210,56 +296,75 @@ void LiveProxyServer::enqueue_prefetches(const std::string& user) {
     jobs = engine_->take_prefetches(user, now());
   }
   if (jobs.empty()) return;
+  std::vector<core::PrefetchJob> dropped;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     for (core::PrefetchJob& job : jobs) {
       job.user = user;
       prefetch_queue_.push_back(std::move(job));
     }
+    // Bounded queue: shed the oldest jobs first (they are the most likely to
+    // be stale by the time a worker would reach them).
+    while (options_.max_prefetch_queue > 0 &&
+           prefetch_queue_.size() > options_.max_prefetch_queue) {
+      dropped.push_back(std::move(prefetch_queue_.front()));
+      prefetch_queue_.pop_front();
+    }
   }
-  queue_cv_.notify_one();
+  queue_cv_.notify_all();
+  if (!dropped.empty()) {
+    queue_dropped_ += dropped.size();
+    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    for (core::PrefetchJob& job : dropped) {
+      engine_->on_prefetch_dropped(job.user, job, now());
+    }
+  }
 }
 
-void LiveProxyServer::prefetch_loop() {
+std::deque<core::PrefetchJob>::iterator LiveProxyServer::next_job_locked() {
+  for (auto it = prefetch_queue_.begin(); it != prefetch_queue_.end(); ++it) {
+    if (busy_users_.find(it->user) == busy_users_.end()) return it;
+  }
+  return prefetch_queue_.end();
+}
+
+void LiveProxyServer::prefetch_worker() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
   while (true) {
-    core::PrefetchJob job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_.load() || !prefetch_queue_.empty(); });
-      if (stopping_.load()) return;
-      job = std::move(prefetch_queue_.front());
-      prefetch_queue_.pop_front();
-      prefetch_busy_ = true;
-    }
+    queue_cv_.wait(lock, [this] {
+      return stopping_.load() || next_job_locked() != prefetch_queue_.end();
+    });
+    if (stopping_.load()) return;
+    const auto it = next_job_locked();
+    core::PrefetchJob job = std::move(*it);
+    prefetch_queue_.erase(it);
+    busy_users_.insert(job.user);
+    ++prefetch_active_;
+    lock.unlock();
 
     const SimTime started = now();
-    http::Response response;
-    try {
-      response = fetch_upstream(job.request);
-    } catch (const Error& e) {
-      log_warn("net.proxy") << "prefetch failed: " << e.what();
-      response.status = 504;
-      response.reason = std::string(http::reason_phrase(504));
-    }
+    const http::Response response = fetch_upstream(job.request);
     {
-      const std::lock_guard<std::mutex> lock(engine_mutex_);
+      const std::lock_guard<std::mutex> elock(engine_mutex_);
       engine_->on_prefetch_response(job.user, job, response, now(),
                                     to_ms(now() - started));
     }
     enqueue_prefetches(job.user);  // chained prefetching
 
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
-      prefetch_busy_ = false;
-      if (prefetch_queue_.empty()) idle_cv_.notify_all();
-    }
+    lock.lock();
+    busy_users_.erase(job.user);
+    --prefetch_active_;
+    if (prefetch_queue_.empty() && prefetch_active_ == 0) idle_cv_.notify_all();
+    // Releasing this user may make its next queued job eligible for another
+    // worker that went to sleep while the user was busy.
+    queue_cv_.notify_all();
   }
 }
 
 void LiveProxyServer::drain_prefetches() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   idle_cv_.wait(lock, [this] {
-    return stopping_.load() || (prefetch_queue_.empty() && !prefetch_busy_);
+    return stopping_.load() || (prefetch_queue_.empty() && prefetch_active_ == 0);
   });
 }
 

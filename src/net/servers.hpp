@@ -8,20 +8,32 @@
 //     keep-alive, one thread per connection.
 //   * LiveProxyServer — accepts client connections, serves exact matches
 //     from the engine's cache (tagging them "X-Appx-Cache: hit"), forwards
-//     misses upstream, and runs dynamic learning + prefetching on a
-//     dedicated worker thread (paper §5: "we assign different worker threads
-//     to handle dynamic learning and prefetching").
+//     misses upstream, and runs dynamic learning + prefetching on a pool of
+//     worker threads (paper §5: "we assign different worker threads to
+//     handle dynamic learning and prefetching").
 //
 // Engine access is serialised by a mutex; network I/O never holds it.
+//
+// Liveness and resource bounds:
+//   * Upstream fetches carry connect/read/write timeouts and a per-request
+//     deadline; a dead origin degrades to a 504 instead of hanging a thread.
+//   * Prefetching runs on N workers over a shared bounded queue. Jobs for
+//     the same user are processed in order and never concurrently (chained
+//     prefetches stay causal), but one slow upstream no longer head-of-line
+//     blocks every other user's prefetching. Queue overflow drops the oldest
+//     job (reported to the engine so its outstanding window is released).
+//   * Connection-handler threads are reaped as connections close instead of
+//     accumulating until stop().
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <map>
-#include <set>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +46,39 @@
 
 namespace appx::net {
 
+// Owns one std::thread per live connection and joins finished ones as new
+// work arrives, so a long-lived server does not accumulate a dead thread
+// handle per connection served.
+class ThreadReaper {
+ public:
+  template <typename Fn>
+  void spawn(Fn fn) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reap_locked();
+    const std::uint64_t id = next_id_++;
+    threads_.emplace(id, std::thread([this, id, fn = std::move(fn)]() mutable {
+      fn();
+      const std::lock_guard<std::mutex> done_lock(mutex_);
+      finished_.push_back(id);
+    }));
+  }
+
+  // Number of still-running threads (reaps finished ones first).
+  std::size_t live();
+
+  // Join everything, running or finished. Callers must first unblock the
+  // threads (close listeners / shut down connections).
+  void join_all();
+
+ private:
+  void reap_locked();
+
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::thread> threads_;
+  std::vector<std::uint64_t> finished_;  // ids awaiting join
+  std::uint64_t next_id_ = 0;
+};
+
 class LiveOriginServer {
  public:
   // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving immediately.
@@ -45,6 +90,8 @@ class LiveOriginServer {
 
   std::uint16_t port() const { return listener_.port(); }
   std::size_t requests_served() const { return served_.load(); }
+  // Live connection-handler threads (finished ones are reaped).
+  std::size_t connection_threads() { return conn_threads_.live(); }
   void stop();
 
  private:
@@ -56,11 +103,25 @@ class LiveOriginServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> served_{0};
   std::mutex origin_mutex_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
+  ThreadReaper conn_threads_;
   std::mutex conns_mutex_;
   std::set<int> conn_fds_;  // live connections, shut down on stop()
   std::thread acceptor_;
+};
+
+// Runtime bounds for the live proxy; 0 disables the corresponding bound.
+struct LiveProxyOptions {
+  // Upstream (proxy->origin) I/O bounds. A fetch that cannot complete within
+  // request_deadline resolves as a 504 instead of blocking its thread.
+  Duration connect_timeout = seconds(5);
+  Duration io_timeout = seconds(10);       // per upstream read/write
+  Duration request_deadline = seconds(15); // whole upstream fetch
+  // Prefetch execution: worker pool size and queue bound (overflow drops the
+  // oldest queued job and reports it to the engine).
+  std::size_t prefetch_workers = 4;
+  std::size_t max_prefetch_queue = 256;
+  // Per-message size bounds on client connections (431/413 beyond them).
+  ReaderLimits reader_limits;
 };
 
 class LiveProxyServer {
@@ -69,28 +130,39 @@ class LiveProxyServer {
   using UpstreamMap = std::map<std::string, std::uint16_t>;
 
   // `engine` must outlive the server (any ProxyLike: APPx or a baseline).
-  LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams, std::uint16_t port = 0);
+  LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams, std::uint16_t port = 0,
+                  LiveProxyOptions options = {});
   ~LiveProxyServer();
   LiveProxyServer(const LiveProxyServer&) = delete;
   LiveProxyServer& operator=(const LiveProxyServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
+  const LiveProxyOptions& options() const { return options_; }
   void stop();
 
   // Blocks until the prefetch queue is empty and no prefetch is in flight
   // (used by tests and demos to observe a settled cache).
   void drain_prefetches();
 
+  // Live connection-handler threads (finished ones are reaped).
+  std::size_t connection_threads() { return conn_threads_.live(); }
+  // Prefetch jobs dropped by queue overflow.
+  std::size_t prefetch_jobs_dropped() const { return queue_dropped_.load(); }
+
  private:
   void accept_loop();
   void serve_connection(TcpStream stream);
-  void prefetch_loop();
+  void prefetch_worker();
   void enqueue_prefetches(const std::string& user);
+  // Oldest queued job whose user is not being worked on (per-user ordering),
+  // or end() when no job is eligible. Call with queue_mutex_ held.
+  std::deque<core::PrefetchJob>::iterator next_job_locked();
   http::Response fetch_upstream(const http::Request& request);
   SimTime now() const;
 
   core::ProxyLike* engine_;
   UpstreamMap upstreams_;
+  LiveProxyOptions options_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
 
@@ -100,14 +172,15 @@ class LiveProxyServer {
   std::condition_variable queue_cv_;
   std::condition_variable idle_cv_;
   std::deque<core::PrefetchJob> prefetch_queue_;
-  bool prefetch_busy_ = false;
+  std::set<std::string> busy_users_;   // users with a job being processed
+  std::size_t prefetch_active_ = 0;    // jobs currently being processed
+  std::atomic<std::size_t> queue_dropped_{0};
 
-  std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
+  ThreadReaper conn_threads_;
   std::mutex conns_mutex_;
   std::set<int> conn_fds_;  // live connections, shut down on stop()
   std::thread acceptor_;
-  std::thread prefetcher_;
+  std::vector<std::thread> prefetchers_;
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 

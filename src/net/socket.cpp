@@ -1,10 +1,13 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,9 +19,50 @@
 namespace appx::net {
 
 namespace {
+
 [[noreturn]] void fail_errno(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
 }
+
+timeval to_timeval(Duration timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout % 1'000'000);
+  // SO_RCVTIMEO/SO_SNDTIMEO treat {0,0} as "no timeout"; a positive
+  // sub-microsecond remainder must still wait at least a tick.
+  if (timeout > 0 && tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
+// Non-blocking connect bounded by `timeout`.
+bool connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen, Duration timeout) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  bool ok = false;
+  if (::connect(fd, addr, addrlen) == 0) {
+    ok = true;
+  } else if (errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout / 1000);
+    const int rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+    if (rc == 0) {
+      errno = ETIMEDOUT;
+    } else if (rc > 0) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0) {
+        ok = true;
+      } else {
+        errno = err != 0 ? err : errno;
+      }
+    }
+  }
+  const int saved_errno = errno;
+  ::fcntl(fd, F_SETFL, flags);  // restore blocking mode
+  errno = saved_errno;
+  return ok;
+}
+
 }  // namespace
 
 Fd::~Fd() { reset(); }
@@ -40,7 +84,7 @@ void Fd::reset() {
   }
 }
 
-TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port, Duration timeout) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -52,32 +96,73 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
   }
   Fd fd;
   std::string last_error = "no addresses";
+  bool timed_out = false;
   for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
     Fd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
     if (!candidate.valid()) {
       last_error = std::strerror(errno);
       continue;
     }
-    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+    const bool connected =
+        timeout > 0 ? connect_with_timeout(candidate.get(), ai->ai_addr, ai->ai_addrlen, timeout)
+                    : ::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0;
+    if (connected) {
       fd = std::move(candidate);
       break;
     }
+    timed_out = errno == ETIMEDOUT;
     last_error = std::strerror(errno);
   }
   ::freeaddrinfo(results);
-  if (!fd.valid()) throw Error("connect to " + host + ":" + service + " failed: " + last_error);
+  if (!fd.valid()) {
+    const std::string what = "connect to " + host + ":" + service + " failed: " + last_error;
+    if (timed_out) throw TimeoutError(what);
+    throw Error(what);
+  }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return TcpStream(std::move(fd));
 }
 
+void TcpStream::set_read_timeout(Duration timeout) { read_timeout_ = timeout; }
+
+void TcpStream::set_write_timeout(Duration timeout) { write_timeout_ = timeout; }
+
+Duration TcpStream::effective_timeout(Duration per_op) const {
+  if (!deadline_) return per_op;
+  const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+                             *deadline_ - std::chrono::steady_clock::now())
+                             .count();
+  if (remaining <= 0) throw TimeoutError("socket deadline exceeded");
+  if (per_op <= 0) return remaining;
+  return remaining < per_op ? remaining : per_op;
+}
+
+void TcpStream::apply_recv_timeout(Duration timeout) {
+  if (timeout == applied_recv_timeout_) return;
+  const timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  applied_recv_timeout_ = timeout;
+}
+
+void TcpStream::apply_send_timeout(Duration timeout) {
+  if (timeout == applied_send_timeout_) return;
+  const timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  applied_send_timeout_ = timeout;
+}
+
 void TcpStream::write_all(std::string_view data) {
   std::size_t written = 0;
   while (written < data.size()) {
+    apply_send_timeout(effective_timeout(write_timeout_));
     const ssize_t n =
         ::send(fd_.get(), data.data() + written, data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("send: timed out");
+      }
       fail_errno("send");
     }
     if (n == 0) throw Error("send: connection closed");
@@ -87,9 +172,13 @@ void TcpStream::write_all(std::string_view data) {
 
 std::size_t TcpStream::read_some(char* buffer, std::size_t max) {
   while (true) {
+    apply_recv_timeout(effective_timeout(read_timeout_));
     const ssize_t n = ::recv(fd_.get(), buffer, max, 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TimeoutError("recv: timed out");
+    }
     fail_errno("recv");
   }
 }

@@ -4,12 +4,22 @@
 // is transport-agnostic; this module is the real-wire front end: blocking
 // TCP with full-write/handled-partial-read semantics, errors surfaced as
 // appx::Error, file descriptors owned by RAII handles.
+//
+// Liveness: every blocking operation can be bounded. connect() takes an
+// optional timeout (non-blocking connect + poll); streams support per-op
+// read/write timeouts (SO_RCVTIMEO/SO_SNDTIMEO) and an absolute deadline
+// that caps all subsequent I/O on the stream. An exceeded bound surfaces as
+// appx::TimeoutError, so a dead peer can never wedge a thread forever.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+
+#include "util/units.hpp"
 
 namespace appx::net {
 
@@ -38,12 +48,30 @@ class TcpStream {
   explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
 
   // Connect to host:port (numeric or resolvable); throws appx::Error.
-  static TcpStream connect(const std::string& host, std::uint16_t port);
+  // timeout > 0 bounds the connection attempt (TimeoutError on expiry);
+  // 0 = block indefinitely.
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           Duration timeout = 0);
 
-  // Write the whole buffer; throws on error/EOF.
+  // Per-operation I/O bounds; 0 = none. Apply to every subsequent
+  // write_all/read_some call, which throws TimeoutError when the peer stays
+  // silent (or unwritable) that long.
+  void set_read_timeout(Duration timeout);
+  void set_write_timeout(Duration timeout);
+
+  // Absolute deadline capping ALL subsequent I/O on this stream: each call's
+  // effective timeout is the tighter of the per-op timeout and the time left
+  // until the deadline; once past it, I/O throws TimeoutError immediately.
+  // Implements per-request deadlines (a slow-but-not-silent peer cannot
+  // stretch a request forever by trickling bytes).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) { deadline_ = deadline; }
+  void clear_deadline() { deadline_.reset(); }
+
+  // Write the whole buffer; throws on error/EOF, TimeoutError on deadline.
   void write_all(std::string_view data);
 
-  // Read up to `max` bytes; returns 0 on orderly EOF; throws on error.
+  // Read up to `max` bytes; returns 0 on orderly EOF; throws on error,
+  // TimeoutError on deadline.
   std::size_t read_some(char* buffer, std::size_t max);
 
   // Shut down the write side (half-close).
@@ -53,7 +81,19 @@ class TcpStream {
   int fd() const { return fd_.get(); }
 
  private:
+  // Remaining budget for one read/write; throws TimeoutError if the deadline
+  // has already passed. 0 = unbounded.
+  Duration effective_timeout(Duration per_op) const;
+  void apply_recv_timeout(Duration timeout);
+  void apply_send_timeout(Duration timeout);
+
   Fd fd_;
+  Duration read_timeout_ = 0;
+  Duration write_timeout_ = 0;
+  // Last values actually set on the socket, to skip redundant setsockopts.
+  Duration applied_recv_timeout_ = 0;
+  Duration applied_send_timeout_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
 
 // A listening TCP socket on 127.0.0.1.

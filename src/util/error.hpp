@@ -21,6 +21,12 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+// An I/O operation exceeded its configured deadline (socket timeouts).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 // A lookup for a key/id/path that does not exist.
 class NotFoundError : public Error {
  public:

@@ -201,6 +201,30 @@ TEST(ProxyConfig, HostAppsRoutingAndRoundTrip) {
   EXPECT_EQ(back.host_apps, config.host_apps);
 }
 
+TEST(ProxyConfig, ResourceBoundsRoundTrip) {
+  ProxyConfig config;
+  config.cache_max_entries = 123;
+  config.cache_max_bytes = kilobytes(512);
+  config.max_users = 77;
+  config.user_idle_timeout = minutes(5);
+  const ProxyConfig back = ProxyConfig::from_json(config.to_json());
+  EXPECT_EQ(back.cache_max_entries, 123u);
+  EXPECT_EQ(back.cache_max_bytes, kilobytes(512));
+  EXPECT_EQ(back.max_users, 77u);
+  EXPECT_EQ(back.user_idle_timeout, minutes(5));
+
+  // Unbounded (disabled) settings survive the trip too.
+  config.cache_max_entries = 0;
+  config.cache_max_bytes = 0;
+  config.max_users = 0;
+  config.user_idle_timeout = std::nullopt;
+  const ProxyConfig unbounded = ProxyConfig::from_json(config.to_json());
+  EXPECT_EQ(unbounded.cache_max_entries, 0u);
+  EXPECT_EQ(unbounded.cache_max_bytes, 0);
+  EXPECT_EQ(unbounded.max_users, 0u);
+  EXPECT_FALSE(unbounded.user_idle_timeout.has_value());
+}
+
 TEST(ProxyConfig, SchedulerWeightsRoundTrip) {
   ProxyConfig config;
   config.scheduler_time_weight = 0;

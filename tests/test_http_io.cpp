@@ -2,6 +2,7 @@
 // framing, and clean EOF behaviour — exercised over real loopback sockets.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "net/http_io.hpp"
@@ -92,6 +93,120 @@ TEST(HttpIo, MessageWithoutBodyNeedsNoContentLength) {
   ASSERT_TRUE(request.has_value());
   EXPECT_EQ(request->uri.host, "h.example");
   EXPECT_TRUE(request->body.empty());
+}
+
+TEST(HttpIo, OversizedHeaderBlockIs431) {
+  Pipe pipe;
+  ReaderLimits limits;
+  limits.max_head_bytes = 256;
+  // An endless header stream: must be rejected once the bound is crossed,
+  // not buffered forever.
+  std::thread writer([&] {
+    try {
+      pipe.client.write_all("GET / HTTP/1.1\r\n");
+      for (int i = 0; i < 64; ++i) {
+        pipe.client.write_all("X-Padding-" + std::to_string(i) + ": " +
+                              std::string(64, 'p') + "\r\n");
+      }
+      pipe.client.shutdown_write();
+    } catch (const Error&) {
+      // Reader may tear the connection down first.
+    }
+  });
+  HttpReader reader(&pipe.server, limits);
+  try {
+    reader.read_request();
+    FAIL() << "oversized head must throw";
+  } catch (const MessageTooLargeError& e) {
+    EXPECT_EQ(e.suggested_status(), 431);
+  }
+  pipe.server = TcpStream(Fd{});  // close our end so the writer unblocks
+  writer.join();
+}
+
+TEST(HttpIo, OversizedDeclaredBodyIs413) {
+  Pipe pipe;
+  ReaderLimits limits;
+  limits.max_body_bytes = 1024;
+  // The declared length alone must reject the message: the reader never
+  // tries to buffer the (possibly huge) body.
+  pipe.client.write_all("POST /x HTTP/1.1\r\nContent-Length: 5000000\r\n\r\n");
+  HttpReader reader(&pipe.server, limits);
+  try {
+    reader.read_request();
+    FAIL() << "oversized body must throw";
+  } catch (const MessageTooLargeError& e) {
+    EXPECT_EQ(e.suggested_status(), 413);
+  }
+}
+
+TEST(HttpIo, BodyAtTheLimitIsAccepted) {
+  Pipe pipe;
+  ReaderLimits limits;
+  limits.max_body_bytes = 1024;
+  http::Response resp;
+  resp.body = std::string(1024, 'b');
+  write_response(pipe.client, resp);
+  HttpReader reader(&pipe.server, limits);
+  const auto received = reader.read_response();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->body.size(), 1024u);
+}
+
+TEST(HttpIo, LongPipelinedBurstDrainsThroughCompaction) {
+  Pipe pipe;
+  // Enough pipelined messages to push the consumed-byte cursor past the
+  // compaction threshold several times over.
+  constexpr int kMessages = 600;
+  std::thread writer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      http::Request req;
+      req.method = "POST";
+      req.uri = http::Uri::parse("https://h.example/msg");
+      req.uri.add_query_param("i", std::to_string(i));
+      req.body = std::string(256, 'q');
+      write_request(pipe.client, req);
+    }
+    pipe.client.shutdown_write();
+  });
+  HttpReader reader(&pipe.server);
+  int seen = 0;
+  while (auto request = reader.read_request()) {
+    EXPECT_EQ(request->uri.query_param("i").value(), std::to_string(seen));
+    EXPECT_EQ(request->body.size(), 256u);
+    ++seen;
+  }
+  writer.join();
+  EXPECT_EQ(seen, kMessages);
+}
+
+TEST(HttpIo, ReadTimeoutOnSilentPeerThrows) {
+  Pipe pipe;
+  pipe.server.set_read_timeout(milliseconds(50));
+  HttpReader reader(&pipe.server);
+  // The client never writes: the read must give up instead of blocking
+  // forever.
+  EXPECT_THROW(reader.read_request(), TimeoutError);
+}
+
+TEST(HttpIo, DeadlineCapsSlowTrickle) {
+  Pipe pipe;
+  pipe.server.set_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(100));
+  std::thread writer([&] {
+    try {
+      // Trickle forever: each write renews a per-op timer, but the absolute
+      // deadline still cuts the request off.
+      for (int i = 0; i < 100; ++i) {
+        pipe.client.write_all("X");
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    } catch (const Error&) {
+    }
+  });
+  HttpReader reader(&pipe.server);
+  EXPECT_THROW(reader.read_request(), TimeoutError);
+  pipe.server = TcpStream(Fd{});
+  writer.join();
 }
 
 TEST(HttpIo, RoundTripThroughRealSocketsPreservesEverything) {

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <thread>
+#include <vector>
+
 #include "analysis/analyzer.hpp"
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
@@ -34,6 +38,110 @@ class TestClient {
   HttpReader reader_;
   std::string user_;
 };
+
+// An upstream that accepts connections and then never answers: the classic
+// hung origin. Held connections stay open until the test ends.
+class BlackHole {
+ public:
+  BlackHole() : listener_(0) {
+    acceptor_ = std::thread([this] {
+      while (true) {
+        TcpStream stream = listener_.accept();
+        if (!stream.valid()) return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        held_.push_back(std::move(stream));
+      }
+    });
+  }
+  ~BlackHole() {
+    listener_.close();
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<TcpStream> held_;
+};
+
+// An origin that serves everything except detail lookups for items other
+// than `allowed_cid`: those it swallows and never answers (a selectively
+// hung backend). The client path stays healthy — only the proxy's
+// sibling-item prefetches hit the hang.
+class SelectiveHangOrigin {
+ public:
+  SelectiveHangOrigin(apps::OriginServer* origin, std::string allowed_cid)
+      : origin_(origin), allowed_cid_(std::move(allowed_cid)), listener_(0) {
+    acceptor_ = std::thread([this] {
+      while (true) {
+        TcpStream stream = listener_.accept();
+        if (!stream.valid()) return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handlers_.emplace_back([this](TcpStream s) { serve(std::move(s)); },
+                               std::move(stream));
+      }
+    });
+  }
+  ~SelectiveHangOrigin() {
+    listener_.close();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::thread> handlers;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handlers.swap(handlers_);
+    }
+    for (std::thread& t : handlers) t.join();
+  }
+  std::uint16_t port() const { return listener_.port(); }
+  std::size_t hung_requests() const { return hung_.load(); }
+
+ private:
+  void serve(TcpStream stream) {
+    try {
+      HttpReader reader(&stream);
+      while (auto request = reader.read_request()) {
+        if (should_hang(*request)) {
+          ++hung_;
+          // Swallow the request: the next read blocks until the proxy gives
+          // up at its deadline and closes the connection.
+          continue;
+        }
+        http::Response response;
+        {
+          const std::lock_guard<std::mutex> lock(origin_mutex_);
+          response = origin_->serve(*request);
+        }
+        write_response(stream, response);
+      }
+    } catch (const Error&) {
+      // Connection torn down mid-read at proxy deadline or test end.
+    }
+  }
+
+  bool should_hang(const http::Request& request) const {
+    if (request.uri.path != "/product/get") return false;
+    for (const auto& [name, value] : request.form_fields()) {
+      if (name == "cid") return value != allowed_cid_;
+    }
+    return true;
+  }
+
+  apps::OriginServer* origin_;
+  std::string allowed_cid_;
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::mutex origin_mutex_;
+  std::vector<std::thread> handlers_;
+  std::atomic<std::size_t> hung_{0};
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 TEST(LiveOrigin, ServesOverRealSockets) {
   const apps::AppSpec spec = apps::make_wish();
@@ -236,6 +344,146 @@ TEST_F(LiveProxyTest, ConcurrentClients) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   proxy_server_->drain_prefetches();
+}
+
+TEST_F(LiveProxyTest, FinishedConnectionThreadsAreReaped) {
+  for (int i = 0; i < 5; ++i) {
+    TestClient client(proxy_server_->port(), "u" + std::to_string(i));
+    EXPECT_TRUE(client.send(feed_request()).ok());
+  }  // each client disconnects here
+  // Handler threads need a beat to observe the EOF and finish.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((proxy_server_->connection_threads() > 0 ||
+          origin_server_.connection_threads() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(proxy_server_->connection_threads(), 0u);
+  EXPECT_EQ(origin_server_.connection_threads(), 0u);
+}
+
+TEST_F(LiveProxyTest, OversizedRequestHeadIs431) {
+  LiveProxyOptions options;
+  options.reader_limits.max_head_bytes = 512;
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) {
+    upstreams[ep.host] = origin_server_.port();
+  }
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, options);
+
+  TcpStream stream = TcpStream::connect("127.0.0.1", proxy.port());
+  http::Request req = feed_request();
+  req.headers.set("X-Huge", std::string(2048, 'h'));
+  write_request(stream, req);
+  HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 431);
+  proxy.stop();
+}
+
+TEST(LiveOrigin, OversizedRequestHeadIs431) {
+  const apps::AppSpec spec = apps::make_wish();
+  apps::OriginServer origin(&spec);
+  LiveOriginServer server(&origin);
+  TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+  // Double the default 64 KiB head limit: the server must drain the unread
+  // remainder before closing, or the RST would discard the 431 off the wire.
+  stream.write_all("GET / HTTP/1.1\r\nX-Huge: " + std::string(128 * 1024, 'h') + "\r\n\r\n");
+  HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(LiveProxyTest, HungUpstreamDegradesTo504WithinDeadline) {
+  BlackHole hole;
+  LiveProxyOptions options;
+  options.connect_timeout = seconds(2);
+  options.io_timeout = milliseconds(200);
+  options.request_deadline = milliseconds(400);
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) upstreams[ep.host] = hole.port();
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, options);
+
+  TestClient client(proxy.port(), "uh");
+  const auto started = std::chrono::steady_clock::now();
+  const auto response = client.send(feed_request());
+  EXPECT_EQ(response.status, 504);
+  // Bounded by the request deadline, not a wedged thread (generous margin
+  // for slow machines).
+  EXPECT_LT(ms_since(started), 5000.0);
+  // The proxy survives and keeps answering.
+  EXPECT_EQ(client.send(feed_request()).status, 504);
+  proxy.stop();
+}
+
+TEST_F(LiveProxyTest, HungPrefetchUpstreamDoesNotWedgeOtherUsers) {
+  // The origin answers client traffic (feed, detail for item 0) but hangs on
+  // detail lookups for every other item — exactly what the proxy's
+  // sibling-item prefetches request. Those must resolve as 504 failures
+  // within the deadline while client traffic and other users keep flowing.
+  SelectiveHangOrigin hang(&origin_, feed_item_id(0));
+  LiveProxyOptions options;
+  options.connect_timeout = seconds(2);
+  options.io_timeout = milliseconds(100);
+  options.request_deadline = milliseconds(150);
+  options.prefetch_workers = 2;
+  options.max_prefetch_queue = 8;  // shed most of the doomed sibling jobs
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) upstreams[ep.host] = hang.port();
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, options);
+
+  // u1 kicks off prefetching; its sibling-detail prefetches hang.
+  TestClient u1(proxy.port(), "u1");
+  ASSERT_TRUE(u1.send(feed_request()).ok());
+  ASSERT_TRUE(u1.send(detail_request(0)).ok());
+
+  // While those prefetches time out in the background, a second user's
+  // client-path requests stay fast.
+  const auto started = std::chrono::steady_clock::now();
+  TestClient u2(proxy.port(), "u2");
+  EXPECT_TRUE(u2.send(feed_request()).ok());
+  EXPECT_TRUE(u2.send(detail_request(0)).ok());
+  EXPECT_LT(ms_since(started), 5000.0);
+
+  proxy.drain_prefetches();
+  const auto& stats = adapter_->engine().stats();
+  // The hang was actually exercised...
+  EXPECT_GT(hang.hung_requests(), 0u);
+  // ...and surfaced as deadline 504s -> prefetch failures, not wedges.
+  EXPECT_GT(stats.prefetch_failures, 0u);
+  // The bounded queue shed overflow, and every shed job was reported back.
+  EXPECT_GT(proxy.prefetch_jobs_dropped(), 0u);
+  EXPECT_EQ(stats.prefetches_dropped, proxy.prefetch_jobs_dropped());
+  // Every issued job was resolved exactly once: completed or dropped.
+  EXPECT_EQ(stats.prefetch_responses + stats.prefetches_dropped, stats.prefetches_issued);
+  // And the proxy still serves after the storm.
+  EXPECT_TRUE(u1.send(feed_request()).ok());
+  proxy.stop();
+}
+
+TEST_F(LiveProxyTest, PrefetchQueueOverflowDropsOldestAndBalances) {
+  LiveProxyOptions options;
+  options.prefetch_workers = 1;
+  options.max_prefetch_queue = 2;
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) {
+    upstreams[ep.host] = origin_server_.port();
+  }
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, options);
+
+  TestClient client(proxy.port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  ASSERT_TRUE(client.send(detail_request(0)).ok());  // fans out ~30 jobs
+  proxy.drain_prefetches();
+
+  const auto& stats = adapter_->engine().stats();
+  EXPECT_GT(proxy.prefetch_jobs_dropped(), 0u);
+  EXPECT_EQ(stats.prefetches_dropped, proxy.prefetch_jobs_dropped());
+  // Every issued job was resolved exactly once: completed or dropped.
+  EXPECT_EQ(stats.prefetch_responses + stats.prefetches_dropped, stats.prefetches_issued);
+  proxy.stop();
 }
 
 }  // namespace

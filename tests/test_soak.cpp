@@ -2,6 +2,10 @@
 // checking the bookkeeping identities that must hold regardless of workload.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
+#include "core/cache.hpp"
 #include "eval/experiments.hpp"
 #include "fuzz/fuzzer.hpp"
 
@@ -85,6 +89,64 @@ TEST(Soak, DeterministicAcrossRuns) {
   EXPECT_EQ(a.proxy_stats.prefetches_issued, b.proxy_stats.prefetches_issued);
   ASSERT_EQ(a.main_latency_ms.count(), b.main_latency_ms.count());
   EXPECT_DOUBLE_EQ(a.main_latency_ms.median(), b.main_latency_ms.median());
+}
+
+TEST(Soak, CacheStaysWithinBoundsUnderMixedChurn) {
+  // 10k mixed puts — overwrites, varied body sizes, a third with short TTLs,
+  // interleaved lookups and sweeps — against tight limits. The caps must hold
+  // at every single step and both eviction causes must fire.
+  const core::PrefetchCache::Limits limits{128, kilobytes(256)};
+  core::PrefetchCache cache(limits);
+  std::mt19937_64 rng(20260805);
+  SimTime now = 0;
+  for (int i = 0; i < 10000; ++i) {
+    now += milliseconds(5);
+    core::PrefetchCache::Entry entry;
+    http::Response resp;
+    resp.body = std::string(100 + rng() % 7900, 'x');
+    entry.set_response(std::move(resp));
+    entry.fetched_at = now;
+    if (rng() % 3 == 0) entry.expires_at = now + milliseconds(50 + rng() % 500);
+    cache.put("key-" + std::to_string(rng() % 400), std::move(entry), now);
+
+    ASSERT_LE(cache.size(), limits.max_entries);
+    ASSERT_LE(cache.bytes(), limits.max_bytes);
+
+    if (i % 7 == 0) cache.get("key-" + std::to_string(rng() % 400), now);
+    if (i % 1000 == 0) cache.sweep(now);
+  }
+  EXPECT_EQ(cache.entries_inserted(), 10000u);
+  EXPECT_GT(cache.evicted_lru(), 0u);
+  EXPECT_GT(cache.evicted_expired(), 0u);
+}
+
+TEST(Soak, InjectedPrefetchDropsBalanceAndDoNotStall) {
+  const AnalyzedApp app = analyze_app(apps::make_geek());
+  TestbedConfig config;
+  config.prefetch_enabled = true;
+  config.proxy_config = deployment_config(app);
+  config.drop_every_nth_prefetch = 3;  // every third issued job vanishes
+  Testbed bed(&app.spec, &app.analysis.signatures, config);
+
+  fuzz::FuzzParams params;
+  params.duration = minutes(20);
+  params.seed = 77;
+  fuzz::Fuzzer fuzzer(&bed.client_for("droppy"), &bed.sim(), params);
+  bool finished = false;
+  fuzzer.start([&](const fuzz::FuzzStats&) { finished = true; });
+  bed.sim().run();
+  ASSERT_TRUE(finished);
+
+  const core::ProxyStats& stats = bed.proxy().stats();
+  EXPECT_GT(bed.prefetches_dropped(), 0u);
+  EXPECT_EQ(stats.prefetches_dropped, bed.prefetches_dropped());
+  // Every issued job resolved exactly once: completed or dropped.
+  EXPECT_EQ(stats.prefetches_issued, stats.prefetch_responses + stats.prefetches_dropped);
+  // Dropped jobs release their window slots, so prefetching keeps making
+  // progress instead of starving behind leaked slots.
+  EXPECT_GT(stats.prefetch_responses, 100u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.client_requests, stats.cache_hits + stats.forwarded);
 }
 
 }  // namespace
