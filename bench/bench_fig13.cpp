@@ -11,7 +11,7 @@ int main() {
   std::cout << "=== Figure 13: main-interaction latency, Orig vs APPx ===\n\n";
 
   eval::TablePrinter table({"App", "Setup", "Total (ms)", "Network (ms)", "Processing (ms)",
-                            "Reduction"});
+                            "p50 (ms)", "p95 (ms)", "p99 (ms)", "Reduction"});
   for (const eval::AnalyzedApp& app : eval::analyze_all_apps()) {
     eval::TestbedConfig orig;
     orig.prefetch_enabled = false;
@@ -24,10 +24,14 @@ int main() {
 
     table.add_row({app.spec.name, "Orig", eval::TablePrinter::fmt(base.total_ms),
                    eval::TablePrinter::fmt(base.network_ms),
-                   eval::TablePrinter::fmt(base.processing_ms), ""});
+                   eval::TablePrinter::fmt(base.processing_ms),
+                   eval::TablePrinter::fmt(base.p50_ms), eval::TablePrinter::fmt(base.p95_ms),
+                   eval::TablePrinter::fmt(base.p99_ms), ""});
     table.add_row({"", "APPx", eval::TablePrinter::fmt(fast.total_ms),
                    eval::TablePrinter::fmt(fast.network_ms),
                    eval::TablePrinter::fmt(fast.processing_ms),
+                   eval::TablePrinter::fmt(fast.p50_ms), eval::TablePrinter::fmt(fast.p95_ms),
+                   eval::TablePrinter::fmt(fast.p99_ms),
                    eval::TablePrinter::pct(1.0 - fast.total_ms / base.total_ms)});
     std::cout << "." << std::flush;
   }

@@ -121,6 +121,29 @@ int main() {
   }
   table.print(std::cout);
 
+  // Monitoring: the same connection can scrape the admin endpoint — the
+  // Prometheus text a real deployment would poll.
+  {
+    http::Request scrape;
+    scrape.method = "GET";
+    scrape.uri.path = "/appx/metrics";
+    net::write_request(stream, scrape);
+    const auto metrics = reader.read_response();
+    std::cout << "\nGET /appx/metrics (" << metrics->body.size() << " bytes):\n";
+    std::size_t shown = 0;
+    std::size_t pos = 0;
+    while (shown < 12 && pos < metrics->body.size()) {
+      const auto eol = metrics->body.find('\n', pos);
+      const std::string line = metrics->body.substr(pos, eol - pos);
+      pos = eol == std::string::npos ? metrics->body.size() : eol + 1;
+      if (line.empty() || line[0] == '#') continue;
+      std::cout << "  " << line << "\n";
+      ++shown;
+    }
+    std::cout << "  ... (full scrape: curl http://127.0.0.1:" << proxy.port()
+              << "/appx/metrics)\n";
+  }
+
   const auto& stats = engine.engine().stats();
   std::cout << "\nproxy: " << stats.prefetches_issued << " prefetches issued, "
             << stats.cache_hits << " cache hits, " << stats.forwarded << " forwarded\n"

@@ -50,6 +50,9 @@ class ProxyLike {
   }
   virtual std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) = 0;
   virtual const ProxyStats& stats() const = 0;
+  // Metrics registry behind stats(), when the engine has one. Baselines that
+  // keep a plain ProxyStats return nullptr.
+  virtual obs::MetricsRegistry* metrics() { return nullptr; }
 };
 
 // Adapter: the real APPx engine behind the ProxyLike interface.
@@ -79,6 +82,7 @@ class AppxProxy final : public ProxyLike {
     return engine_.take_prefetches(user, now);
   }
   const ProxyStats& stats() const override { return engine_.stats(); }
+  obs::MetricsRegistry* metrics() override { return &engine_.metrics(); }
 
   ProxyEngine& engine() { return engine_; }
   const ProxyEngine& engine() const { return engine_; }

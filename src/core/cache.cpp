@@ -2,19 +2,46 @@
 
 namespace appx::core {
 
+PrefetchCache::~PrefetchCache() {
+  // Give back this cache's share of the shared gauges.
+  gauge_entries(-static_cast<std::int64_t>(index_.size()));
+  gauge_bytes(-bytes_);
+}
+
+void PrefetchCache::bind_metrics(const Metrics& metrics) {
+  // Remove the old binding's contribution before adding to the new one.
+  gauge_entries(-static_cast<std::int64_t>(index_.size()));
+  gauge_bytes(-bytes_);
+  metrics_ = metrics;
+  gauge_entries(static_cast<std::int64_t>(index_.size()));
+  gauge_bytes(bytes_);
+}
+
+void PrefetchCache::gauge_entries(std::int64_t delta) {
+  if (metrics_.entries != nullptr && delta != 0) metrics_.entries->add(delta);
+}
+
+void PrefetchCache::gauge_bytes(Bytes delta) {
+  if (metrics_.bytes != nullptr && delta != 0) metrics_.bytes->add(delta);
+}
+
 void PrefetchCache::count_eviction(bool was_expired) {
   if (was_expired) {
     ++evicted_expired_;
     if (sink_expired_ != nullptr) ++*sink_expired_;
+    if (metrics_.evicted_expired != nullptr) metrics_.evicted_expired->inc();
   } else {
     ++evicted_lru_;
     if (sink_lru_ != nullptr) ++*sink_lru_;
+    if (metrics_.evicted_lru != nullptr) metrics_.evicted_lru->inc();
   }
 }
 
 void PrefetchCache::erase_node(LruList::iterator it, bool count_as_expired) {
   count_eviction(count_as_expired);
   bytes_ -= it->charged;
+  gauge_entries(-1);
+  gauge_bytes(-it->charged);
   index_.erase(it->key);
   lru_.erase(it);
 }
@@ -49,6 +76,7 @@ void PrefetchCache::put(std::string key, Entry entry, SimTime now) {
     // Overwrite in place and promote; not an eviction.
     LruList::iterator node = it->second;
     bytes_ += charged - node->charged;
+    gauge_bytes(charged - node->charged);
     node->charged = charged;
     node->entry = std::move(entry);
     lru_.splice(lru_.begin(), lru_, node);
@@ -56,6 +84,8 @@ void PrefetchCache::put(std::string key, Entry entry, SimTime now) {
     lru_.push_front(Node{std::move(key), std::move(entry), charged});
     index_[lru_.front().key] = lru_.begin();
     bytes_ += charged;
+    gauge_entries(1);
+    gauge_bytes(charged);
   }
   enforce_limits(now);
 }
@@ -116,6 +146,8 @@ std::size_t PrefetchCache::sweep(SimTime now) {
 std::size_t PrefetchCache::entries_used() const { return used_unique_; }
 
 void PrefetchCache::clear() {
+  gauge_entries(-static_cast<std::int64_t>(index_.size()));
+  gauge_bytes(-bytes_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

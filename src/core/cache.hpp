@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "http/message.hpp"
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace appx::core {
@@ -55,8 +56,21 @@ class PrefetchCache {
     }
   };
 
+  // Registry metrics fed by the cache. The gauges are shared across caches
+  // (the engine owns one per metric, every per-user cache delta-updates
+  // them); a cache subtracts its remaining footprint on destruction.
+  struct Metrics {
+    obs::Counter* evicted_lru = nullptr;
+    obs::Counter* evicted_expired = nullptr;
+    obs::Gauge* entries = nullptr;  // live entries across all bound caches
+    obs::Gauge* bytes = nullptr;    // live bytes across all bound caches
+  };
+
   PrefetchCache() = default;
   explicit PrefetchCache(Limits limits) : limits_(limits) {}
+  ~PrefetchCache();
+  PrefetchCache(const PrefetchCache&) = delete;
+  PrefetchCache& operator=(const PrefetchCache&) = delete;
 
   // Tightening the limits evicts immediately.
   void set_limits(Limits limits);
@@ -67,6 +81,10 @@ class PrefetchCache {
     sink_lru_ = lru;
     sink_expired_ = expired;
   }
+
+  // Bind registry metrics; current size/bytes are added to the gauges
+  // immediately so a mid-life bind stays consistent.
+  void bind_metrics(const Metrics& metrics);
 
   // Insert or overwrite (a fresher prefetch replaces the old response). The
   // new entry becomes most-recently-used; LRU entries are evicted until the
@@ -112,6 +130,9 @@ class PrefetchCache {
   void erase_node(LruList::iterator it, bool count_as_expired);
   void enforce_limits(SimTime now);
   void count_eviction(bool was_expired);
+  // Gauge deltas; no-ops while unbound.
+  void gauge_entries(std::int64_t delta);
+  void gauge_bytes(Bytes delta);
 
   // Bulk-expire cadence: one sweep per this many put() calls.
   static constexpr std::size_t kSweepInterval = 64;
@@ -127,6 +148,7 @@ class PrefetchCache {
   std::size_t puts_since_sweep_ = 0;
   std::size_t* sink_lru_ = nullptr;
   std::size_t* sink_expired_ = nullptr;
+  Metrics metrics_;
 };
 
 }  // namespace appx::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/signature_index.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -14,13 +15,64 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
   if (signatures == nullptr) throw InvalidArgumentError("ProxyEngine: null signature set");
   if (config == nullptr) throw InvalidArgumentError("ProxyEngine: null config");
   ignored_headers_ = config->all_added_header_names();
+
+  inst_.client_requests = &registry_.counter("appx_proxy_client_requests_total");
+  inst_.cache_hits = &registry_.counter("appx_proxy_cache_hits_total");
+  inst_.cache_expired = &registry_.counter("appx_proxy_cache_expired_total");
+  inst_.forwarded = &registry_.counter("appx_proxy_forwarded_total");
+  inst_.prefetches_issued = &registry_.counter("appx_prefetch_issued_total");
+  inst_.prefetch_responses = &registry_.counter("appx_prefetch_responses_total");
+  inst_.prefetch_failures = &registry_.counter("appx_prefetch_failures_total");
+  const auto skipped = [&](const char* reason) {
+    return &registry_.counter(
+        obs::labeled("appx_prefetch_skipped_total", {{"reason", reason}}));
+  };
+  inst_.skipped_disabled = skipped("disabled");
+  inst_.skipped_probability = skipped("probability");
+  inst_.skipped_condition = skipped("condition");
+  inst_.skipped_budget = skipped("budget");
+  inst_.skipped_duplicate = skipped("duplicate");
+  inst_.skipped_refetch = skipped("refetch");
+  inst_.forward_cached = &registry_.counter("appx_proxy_forward_cached_total");
+  inst_.prefetches_dropped = &registry_.counter("appx_prefetch_dropped_total");
+  inst_.evicted_lru =
+      &registry_.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "lru"}}));
+  inst_.evicted_expired =
+      &registry_.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "expired"}}));
+  inst_.users_evicted = &registry_.counter("appx_proxy_users_evicted_total");
+  inst_.bytes_origin_to_proxy = &registry_.counter("appx_proxy_origin_bytes_total");
+  inst_.bytes_prefetched = &registry_.counter("appx_prefetch_bytes_total");
+  inst_.bytes_served_from_cache = &registry_.counter("appx_proxy_cache_served_bytes_total");
+  inst_.cache_entries = &registry_.gauge("appx_cache_entries");
+  inst_.cache_bytes = &registry_.gauge("appx_cache_bytes");
+  inst_.users = &registry_.gauge("appx_proxy_users");
+  inst_.prefetch_queued = &registry_.gauge("appx_prefetch_queue_depth");
+  inst_.prefetch_outstanding = &registry_.gauge("appx_prefetch_outstanding");
+  inst_.prefetch_response_time_us = &registry_.histogram("appx_prefetch_response_time_us");
+
+  sig_stats_.bind_registry(&registry_);
+
+  // Build the dispatch index now: export callbacks may sample its totals from
+  // a scrape thread, and a lazy build on first match() would race with it.
+  const SignatureIndex& index = signatures_->index();
+  (void)index;
+  registry_.gauge_callback("appx_sigindex_lookups_total",
+                           [this] { return signatures_->index().totals().lookups; });
+  registry_.gauge_callback("appx_sigindex_candidates_total",
+                           [this] { return signatures_->index().totals().candidates; });
+  registry_.gauge_callback("appx_sigindex_confirmed_total",
+                           [this] { return signatures_->index().totals().confirmed; });
 }
 
 ProxyEngine::UserState& ProxyEngine::user_state(const std::string& user, SimTime now) {
   auto it = users_.find(user);
   if (it == users_.end()) {
     it = users_.emplace(user, std::make_unique<UserState>(signatures_, *config_)).first;
-    it->second->cache.set_eviction_counters(&stats_.evicted_lru, &stats_.evicted_expired);
+    it->second->cache.bind_metrics(PrefetchCache::Metrics{
+        inst_.evicted_lru, inst_.evicted_expired, inst_.cache_entries, inst_.cache_bytes});
+    it->second->scheduler.bind_metrics(
+        PrefetchScheduler::Metrics{inst_.prefetch_queued, inst_.prefetch_outstanding});
+    inst_.users->set(static_cast<std::int64_t>(users_.size()));
     // New arrivals pay the bookkeeping cost: reap idle users (and enforce the
     // hard cap) only when the user set actually grows, keeping the hot
     // request path O(log n).
@@ -35,7 +87,7 @@ void ProxyEngine::evict_idle_users(SimTime now, const std::string& keep) {
     for (auto it = users_.begin(); it != users_.end();) {
       if (it->first != keep && now - it->second->last_active >= *config_->user_idle_timeout) {
         it = users_.erase(it);
-        ++stats_.users_evicted;
+        inst_.users_evicted->inc();
       } else {
         ++it;
       }
@@ -54,13 +106,14 @@ void ProxyEngine::evict_idle_users(SimTime now, const std::string& keep) {
     }
     if (victim == users_.end()) break;  // only `keep` is left
     users_.erase(victim);
-    ++stats_.users_evicted;
+    inst_.users_evicted->inc();
   }
+  inst_.users->set(static_cast<std::int64_t>(users_.size()));
 }
 
 ClientDecision ProxyEngine::on_client_request(const std::string& user,
                                               const http::Request& request, SimTime now) {
-  ++stats_.client_requests;
+  inst_.client_requests->inc();
   UserState& state = user_state(user, now);
   // New client activity opens a fresh prefetch generation: keys evicted since
   // their last prefetch become eligible again.
@@ -80,13 +133,13 @@ ClientDecision ProxyEngine::on_client_request(const std::string& user,
 
   ClientDecision decision;
   if (lookup == PrefetchCache::Lookup::kHit) {
-    ++stats_.cache_hits;
-    stats_.bytes_served_from_cache += cached->wire_size();
+    inst_.cache_hits->inc();
+    inst_.bytes_served_from_cache->add(cached->wire_size());
     decision.served = std::move(cached);  // shares the cache entry, no body copy
     return decision;
   }
-  if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
-  ++stats_.forwarded;
+  if (lookup == PrefetchCache::Lookup::kExpired) inst_.cache_expired->inc();
+  inst_.forwarded->inc();
   state.forwarding.insert(key);
   return decision;
 }
@@ -94,7 +147,7 @@ ClientDecision ProxyEngine::on_client_request(const std::string& user,
 void ProxyEngine::on_origin_response(const std::string& user, const http::Request& request,
                                      const http::Response& response, SimTime now) {
   UserState& state = user_state(user, now);
-  stats_.bytes_origin_to_proxy += response.wire_size();
+  inst_.bytes_origin_to_proxy->add(response.wire_size());
   state.forwarding.erase(request.cache_key(ignored_headers_));
 
   admit_prefetches(state, state.learning.observe(request, response), now);
@@ -106,13 +159,14 @@ void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
   UserState& state = user_state(user, now);
   state.scheduler.on_completed();
   state.inflight.erase(job.cache_key);
-  ++stats_.prefetch_responses;
-  stats_.bytes_prefetched += response.wire_size();
+  inst_.prefetch_responses->inc();
+  inst_.bytes_prefetched->add(response.wire_size());
+  inst_.prefetch_response_time_us->record(static_cast<std::int64_t>(response_time_ms * 1000.0));
   state.prefetch_bytes_used += response.wire_size();
   sig_stats_.record_response_time(job.sig_id, response_time_ms);
 
   if (!response.ok()) {
-    ++stats_.prefetch_failures;
+    inst_.prefetch_failures->inc();
     log_debug("proxy") << "prefetch for " << job.sig_id << " failed with status "
                        << response.status;
     return;
@@ -135,7 +189,7 @@ void ProxyEngine::on_prefetch_dropped(const std::string& user, const PrefetchJob
   UserState& state = user_state(user, now);
   state.scheduler.on_dropped();
   state.inflight.erase(job.cache_key);
-  ++stats_.prefetches_dropped;
+  inst_.prefetches_dropped->inc();
 }
 
 void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready,
@@ -144,7 +198,7 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
     const std::string& sig_id = rp.signature->id;
 
     if (!config_->prefetch_enabled(sig_id)) {
-      ++stats_.skipped_disabled;
+      inst_.skipped_disabled->inc();
       continue;
     }
     if (const auto* conditions = config_->conditions(sig_id)) {
@@ -152,12 +206,12 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
           conditions->begin(), conditions->end(),
           [&](const FieldCondition& c) { return c.evaluate(rp.predecessor_body); });
       if (!pass) {
-        ++stats_.skipped_condition;
+        inst_.skipped_condition->inc();
         continue;
       }
     }
     if (config_->data_budget && state.prefetch_bytes_used >= *config_->data_budget) {
-      ++stats_.skipped_budget;
+      inst_.skipped_budget->inc();
       continue;
     }
 
@@ -172,20 +226,20 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
       const std::uint64_t h = hash_combine(fnv1a(job.cache_key), seed_);
       const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
       if (coin >= probability) {
-        ++stats_.skipped_probability;
+        inst_.skipped_probability->inc();
         continue;
       }
     }
     if (state.cache.contains(job.cache_key, now) || state.inflight.contains(job.cache_key) ||
         state.forwarding.contains(job.cache_key)) {
-      ++stats_.skipped_duplicate;
+      inst_.skipped_duplicate->inc();
       continue;
     }
     if (!state.prefetched_generation.insert(job.cache_key).second) {
       // Already attempted since the last client request; re-admitting (after
       // an eviction under cache pressure) would let cyclic dependency chains
       // prefetch without end.
-      ++stats_.skipped_refetch;
+      inst_.skipped_refetch->inc();
       continue;
     }
     state.inflight.insert(job.cache_key);
@@ -203,10 +257,43 @@ std::vector<PrefetchJob> ProxyEngine::take_prefetches(const std::string& user, S
   std::vector<PrefetchJob> jobs;
   while (auto job = state.scheduler.dequeue()) {
     job->user = user;
-    ++stats_.prefetches_issued;
+    inst_.prefetches_issued->inc();
     jobs.push_back(std::move(*job));
   }
   return jobs;
+}
+
+const ProxyStats& ProxyEngine::stats() const {
+  // Refresh the compatibility view in place: old references observe the
+  // update on the next stats() call.
+  const auto count = [](const obs::Counter* c) {
+    return static_cast<std::size_t>(c->value());
+  };
+  ProxyStats& s = stats_view_;
+  s.client_requests = count(inst_.client_requests);
+  s.cache_hits = count(inst_.cache_hits);
+  s.cache_expired = count(inst_.cache_expired);
+  s.forwarded = count(inst_.forwarded);
+  s.prefetches_issued = count(inst_.prefetches_issued);
+  s.prefetch_responses = count(inst_.prefetch_responses);
+  s.prefetch_failures = count(inst_.prefetch_failures);
+  s.skipped_disabled = count(inst_.skipped_disabled);
+  s.skipped_probability = count(inst_.skipped_probability);
+  s.skipped_condition = count(inst_.skipped_condition);
+  s.skipped_budget = count(inst_.skipped_budget);
+  s.skipped_duplicate = count(inst_.skipped_duplicate);
+  s.skipped_refetch = count(inst_.skipped_refetch);
+  s.forward_cached = count(inst_.forward_cached);
+  s.prefetches_dropped = count(inst_.prefetches_dropped);
+  s.evicted_lru = count(inst_.evicted_lru);
+  s.evicted_expired = count(inst_.evicted_expired);
+  s.users_evicted = count(inst_.users_evicted);
+  s.bytes_origin_to_proxy = inst_.bytes_origin_to_proxy->value();
+  s.bytes_prefetched = inst_.bytes_prefetched->value();
+  s.bytes_served_from_cache = inst_.bytes_served_from_cache->value();
+  s.cache_entries = static_cast<std::size_t>(inst_.cache_entries->value());
+  s.cache_bytes = inst_.cache_bytes->value();
+  return stats_view_;
 }
 
 const LearningEngine* ProxyEngine::learning_for(const std::string& user) const {

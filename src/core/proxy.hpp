@@ -22,6 +22,7 @@
 #include "core/learning.hpp"
 #include "core/scheduler.hpp"
 #include "core/signature.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -53,8 +54,9 @@ struct ProxyStats {
   Bytes bytes_origin_to_proxy = 0;  // forwarded responses
   Bytes bytes_prefetched = 0;       // prefetch responses
   Bytes bytes_served_from_cache = 0;
-
-  std::size_t prefetched_entries() const { return prefetches_issued; }
+  // Live cache footprint across all users (gauges, not monotonic).
+  std::size_t cache_entries = 0;
+  Bytes cache_bytes = 0;
 };
 
 // What to do with a client request.
@@ -102,8 +104,19 @@ class ProxyEngine {
 
   // --- introspection ----------------------------------------------------------
 
-  const ProxyStats& stats() const { return stats_; }
+  // Compatibility snapshot of the metrics registry. Repeated calls refresh
+  // the same object, so a held reference stays valid and re-reads the
+  // registry on the next stats() call.
+  const ProxyStats& stats() const;
   const SignatureStats& signature_stats() const { return sig_stats_; }
+
+  // The registry behind stats(): every ProxyStats field plus per-signature
+  // breakdowns, latency histograms and signature-index effectiveness. Safe to
+  // export from another thread (all metric updates are atomic), but metrics
+  // derived from engine structures (user count gauge) are only as fresh as
+  // the last engine event.
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
   const LearningEngine* learning_for(const std::string& user) const;
   const PrefetchCache* cache_for(const std::string& user) const;
   std::size_t user_count() const { return users_.size(); }
@@ -137,14 +150,51 @@ class ProxyEngine {
   void evict_idle_users(SimTime now, const std::string& keep);
   void admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready, SimTime now);
 
+  // Registry metrics resolved once at construction; hot paths bump these
+  // pointers and never touch the registry lock.
+  struct Instruments {
+    obs::Counter* client_requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_expired = nullptr;
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* prefetches_issued = nullptr;
+    obs::Counter* prefetch_responses = nullptr;
+    obs::Counter* prefetch_failures = nullptr;
+    obs::Counter* skipped_disabled = nullptr;
+    obs::Counter* skipped_probability = nullptr;
+    obs::Counter* skipped_condition = nullptr;
+    obs::Counter* skipped_budget = nullptr;
+    obs::Counter* skipped_duplicate = nullptr;
+    obs::Counter* skipped_refetch = nullptr;
+    obs::Counter* forward_cached = nullptr;
+    obs::Counter* prefetches_dropped = nullptr;
+    obs::Counter* evicted_lru = nullptr;
+    obs::Counter* evicted_expired = nullptr;
+    obs::Counter* users_evicted = nullptr;
+    obs::Counter* bytes_origin_to_proxy = nullptr;
+    obs::Counter* bytes_prefetched = nullptr;
+    obs::Counter* bytes_served_from_cache = nullptr;
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+    obs::Gauge* users = nullptr;
+    obs::Gauge* prefetch_queued = nullptr;
+    obs::Gauge* prefetch_outstanding = nullptr;
+    obs::Histogram* prefetch_response_time_us = nullptr;
+  };
+
   const SignatureSet* signatures_;
   const ProxyConfig* config_;
   std::vector<std::string> ignored_headers_;  // config add_header names
   std::uint64_t seed_;
   Rng rng_;
+  // The registry must outlive users_: per-user caches and schedulers hold
+  // raw pointers into it and give back their gauge contributions on
+  // destruction.
+  obs::MetricsRegistry registry_;
+  Instruments inst_;
   std::map<std::string, std::unique_ptr<UserState>> users_;
   SignatureStats sig_stats_;
-  ProxyStats stats_;
+  mutable ProxyStats stats_view_;
 };
 
 }  // namespace appx::core

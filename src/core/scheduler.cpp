@@ -4,12 +4,43 @@
 
 namespace appx::core {
 
+void SignatureStats::bind_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  // Signatures already seen resolve their metrics on next use.
+  for (auto& entry : per_sig_) {
+    entry.second.response_time_us = nullptr;
+    entry.second.lookups = nullptr;
+    entry.second.lookup_hits = nullptr;
+  }
+}
+
+SignatureStats::PerSig& SignatureStats::sig(std::string_view sig_id) {
+  PerSig& per = per_sig_[std::string(sig_id)];
+  if (registry_ != nullptr && per.lookups == nullptr) {
+    const obs::Labels labels{{"sig", std::string(sig_id)}};
+    per.response_time_us =
+        &registry_->histogram(obs::labeled("appx_signature_response_time_us", labels));
+    per.lookups = &registry_->counter(obs::labeled("appx_signature_lookups_total", labels));
+    per.lookup_hits = &registry_->counter(obs::labeled("appx_signature_hits_total", labels));
+  }
+  return per;
+}
+
 void SignatureStats::record_response_time(std::string_view sig_id, double ms) {
-  per_sig_[std::string(sig_id)].response_time.add(ms);
+  PerSig& per = sig(sig_id);
+  per.response_time.add(ms);
+  if (per.response_time_us != nullptr) {
+    per.response_time_us->record(static_cast<std::int64_t>(ms * 1000.0));
+  }
 }
 
 void SignatureStats::record_lookup(std::string_view sig_id, bool hit) {
-  per_sig_[std::string(sig_id)].hits.record(hit);
+  PerSig& per = sig(sig_id);
+  per.hits.record(hit);
+  if (per.lookups != nullptr) {
+    per.lookups->inc();
+    if (hit) per.lookup_hits->inc();
+  }
 }
 
 double SignatureStats::avg_response_time_ms(std::string_view sig_id) const {
@@ -27,6 +58,19 @@ double SignatureStats::hit_rate(std::string_view sig_id) const {
 PrefetchScheduler::PrefetchScheduler(Weights weights, std::size_t max_outstanding)
     : weights_(weights), max_outstanding_(max_outstanding) {}
 
+PrefetchScheduler::~PrefetchScheduler() {
+  gauge_add(metrics_.queued, -static_cast<std::int64_t>(queue_.size()));
+  gauge_add(metrics_.outstanding, -static_cast<std::int64_t>(outstanding_));
+}
+
+void PrefetchScheduler::bind_metrics(const Metrics& metrics) {
+  gauge_add(metrics_.queued, -static_cast<std::int64_t>(queue_.size()));
+  gauge_add(metrics_.outstanding, -static_cast<std::int64_t>(outstanding_));
+  metrics_ = metrics;
+  gauge_add(metrics_.queued, static_cast<std::int64_t>(queue_.size()));
+  gauge_add(metrics_.outstanding, static_cast<std::int64_t>(outstanding_));
+}
+
 void PrefetchScheduler::enqueue(PrefetchJob job, const SignatureStats& stats) {
   job.priority = weights_.time_weight * stats.avg_response_time_ms(job.sig_id) +
                  weights_.hit_weight * stats.hit_rate(job.sig_id);
@@ -35,6 +79,7 @@ void PrefetchScheduler::enqueue(PrefetchJob job, const SignatureStats& stats) {
     return other.priority < job.priority;
   });
   queue_.insert(pos, std::move(job));
+  gauge_add(metrics_.queued, 1);
 }
 
 std::optional<PrefetchJob> PrefetchScheduler::dequeue() {
@@ -42,16 +87,24 @@ std::optional<PrefetchJob> PrefetchScheduler::dequeue() {
   PrefetchJob job = std::move(queue_.front());
   queue_.erase(queue_.begin());
   ++outstanding_;
+  gauge_add(metrics_.queued, -1);
+  gauge_add(metrics_.outstanding, 1);
   return job;
 }
 
 void PrefetchScheduler::on_completed() {
-  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_ > 0) {
+    --outstanding_;
+    gauge_add(metrics_.outstanding, -1);
+  }
   ++completed_;
 }
 
 void PrefetchScheduler::on_dropped() {
-  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_ > 0) {
+    --outstanding_;
+    gauge_add(metrics_.outstanding, -1);
+  }
   ++dropped_;
 }
 

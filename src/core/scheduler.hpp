@@ -15,6 +15,7 @@
 
 #include "http/message.hpp"
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -33,6 +34,12 @@ struct PrefetchJob {
 // Per-signature response time / hit-rate statistics shared by all users.
 class SignatureStats {
  public:
+  // Mirror per-signature breakdowns into a registry: each signature gets
+  // appx_signature_response_time_us{sig="..."} (histogram),
+  // appx_signature_lookups_total{sig="..."} and
+  // appx_signature_hits_total{sig="..."}. Registry must outlive this object.
+  void bind_registry(obs::MetricsRegistry* registry);
+
   void record_response_time(std::string_view sig_id, double ms);
   void record_lookup(std::string_view sig_id, bool hit);
 
@@ -43,8 +50,15 @@ class SignatureStats {
   struct PerSig {
     RunningAverage response_time{0.3};
     RatioTracker hits;
+    // Resolved once per signature when a registry is bound.
+    obs::Histogram* response_time_us = nullptr;
+    obs::Counter* lookups = nullptr;
+    obs::Counter* lookup_hits = nullptr;
   };
+  PerSig& sig(std::string_view sig_id);
+
   std::map<std::string, PerSig, std::less<>> per_sig_;
+  obs::MetricsRegistry* registry_ = nullptr;
 };
 
 class PrefetchScheduler {
@@ -56,8 +70,20 @@ class PrefetchScheduler {
     double hit_weight = 200.0;
   };
 
+  // Queue-depth gauges shared by every per-user scheduler; a scheduler
+  // subtracts its remaining contribution on destruction.
+  struct Metrics {
+    obs::Gauge* queued = nullptr;
+    obs::Gauge* outstanding = nullptr;
+  };
+
   explicit PrefetchScheduler(Weights weights = Weights{1.0, 200.0},
                              std::size_t max_outstanding = 32);
+  ~PrefetchScheduler();
+  PrefetchScheduler(const PrefetchScheduler&) = delete;
+  PrefetchScheduler& operator=(const PrefetchScheduler&) = delete;
+
+  void bind_metrics(const Metrics& metrics);
 
   // Compute the job's priority from current stats and queue it.
   void enqueue(PrefetchJob job, const SignatureStats& stats);
@@ -80,7 +106,12 @@ class PrefetchScheduler {
   void set_max_outstanding(std::size_t n) { max_outstanding_ = n; }
 
  private:
+  void gauge_add(obs::Gauge* gauge, std::int64_t delta) {
+    if (gauge != nullptr && delta != 0) gauge->add(delta);
+  }
+
   Weights weights_;
+  Metrics metrics_;
   std::size_t max_outstanding_;
   std::size_t outstanding_ = 0;
   std::size_t completed_ = 0;

@@ -98,11 +98,17 @@ const TransactionSignature* SignatureIndex::match(const http::Request& request,
   thread_local std::vector<std::uint32_t> candidates;
   candidates.clear();
   collect(request, candidates);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  candidates_.fetch_add(static_cast<std::int64_t>(candidates.size()),
+                        std::memory_order_relaxed);
   for (std::uint32_t idx : candidates) {
     const Entry& entry = entries_[idx];
     if (!app.empty() && entry.sig->app != app) continue;
     if (!std::string_view(request.uri.host).starts_with(entry.host_prefix)) continue;
-    if (entry.sig->match(request)) return entry.sig;
+    if (entry.sig->match(request)) {
+      confirmed_.fetch_add(1, std::memory_order_relaxed);
+      return entry.sig;
+    }
   }
   return nullptr;
 }

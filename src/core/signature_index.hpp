@@ -25,6 +25,7 @@
 // rebuilt after the set changes (SignatureSet does this lazily).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -54,6 +55,20 @@ class SignatureIndex {
 
   std::size_t size() const { return entries_.size(); }
 
+  // Cumulative prefilter effectiveness, safe to read from any thread (the
+  // counters are relaxed atomics; totals may be mutually skewed by in-flight
+  // lookups but each is individually exact).
+  struct Totals {
+    std::int64_t lookups = 0;     // match() calls
+    std::int64_t candidates = 0;  // signatures surviving the prefilter
+    std::int64_t confirmed = 0;   // lookups that returned a signature
+  };
+  Totals totals() const {
+    return Totals{lookups_.load(std::memory_order_relaxed),
+                  candidates_.load(std::memory_order_relaxed),
+                  confirmed_.load(std::memory_order_relaxed)};
+  }
+
   // The prefilter key computed for one signature (test hook).
   struct Key {
     std::string method;
@@ -81,6 +96,10 @@ class SignatureIndex {
   std::vector<Entry> entries_;                    // insertion order
   std::map<std::string, std::int32_t> method_roots_;  // method -> trie root
   std::vector<TrieNode> nodes_;                   // shared pool, all tries
+  // match() is logically const; instrumentation rides along as atomics.
+  mutable std::atomic<std::int64_t> lookups_{0};
+  mutable std::atomic<std::int64_t> candidates_{0};
+  mutable std::atomic<std::int64_t> confirmed_{0};
 };
 
 }  // namespace appx::core

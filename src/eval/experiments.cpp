@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "apps/compiler.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -57,15 +58,22 @@ apps::InteractionResult run_to_completion(Testbed& bed, const std::string& user,
 
 Breakdown to_breakdown(const std::vector<apps::InteractionResult>& results) {
   Breakdown out;
+  obs::Histogram total_us;
   for (const apps::InteractionResult& r : results) {
     out.total_ms += to_ms(r.total);
     out.network_ms += to_ms(r.network);
     out.processing_ms += to_ms(r.processing);
+    total_us.record(r.total);  // Duration is already microseconds
   }
   const double n = std::max<std::size_t>(results.size(), 1);
   out.total_ms /= n;
   out.network_ms /= n;
   out.processing_ms /= n;
+  if (total_us.count() > 0) {
+    out.p50_ms = to_ms(total_us.quantile(0.50));
+    out.p95_ms = to_ms(total_us.quantile(0.95));
+    out.p99_ms = to_ms(total_us.quantile(0.99));
+  }
   out.runs = results.size();
   return out;
 }

@@ -41,6 +41,11 @@ struct Breakdown {
   double total_ms = 0;
   double network_ms = 0;
   double processing_ms = 0;
+  // Distribution of per-run total latency, from an obs::Histogram over the
+  // measured runs (paper reports CDFs, not just means).
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
   std::size_t runs = 0;
 };
 

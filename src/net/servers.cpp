@@ -44,6 +44,24 @@ appx::http::Response status_response(int status, std::string body) {
   return resp;
 }
 
+// Shared admin surface: /appx/metrics (Prometheus text), /appx/metrics.json.
+bool is_admin_path(const std::string& path) { return path.rfind("/appx/", 0) == 0; }
+
+appx::http::Response metrics_response(const appx::obs::MetricsRegistry& registry,
+                                      const std::string& path) {
+  if (path == "/appx/metrics") {
+    appx::http::Response resp = status_response(200, registry.to_prometheus());
+    resp.headers.set("Content-Type", "text/plain; version=0.0.4");
+    return resp;
+  }
+  if (path == "/appx/metrics.json") {
+    appx::http::Response resp = status_response(200, registry.to_json().dump(2));
+    resp.headers.set("Content-Type", "application/json");
+    return resp;
+  }
+  return status_response(404, R"({"error":"unknown admin endpoint"})");
+}
+
 // Deliver a rejection even though the peer may still have unread bytes in
 // flight: closing with unread input makes the kernel RST the connection,
 // which can discard the response before the peer reads it. Write, half-close,
@@ -101,6 +119,8 @@ void ThreadReaper::join_all() {
 LiveOriginServer::LiveOriginServer(apps::OriginServer* origin, std::uint16_t port)
     : origin_(origin), listener_(port) {
   if (origin == nullptr) throw InvalidArgumentError("LiveOriginServer: null origin");
+  requests_total_ = &registry_.counter("appx_origin_requests_total");
+  serve_us_ = &registry_.histogram("appx_origin_serve_us");
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -129,11 +149,20 @@ void LiveOriginServer::serve_connection(TcpStream stream) {
   try {
     HttpReader reader(&stream);
     while (auto request = reader.read_request()) {
+      if (is_admin_path(request->uri.path)) {
+        write_response(stream, metrics_response(registry_, request->uri.path));
+        continue;
+      }
+      requests_total_->inc();
+      const auto started = std::chrono::steady_clock::now();
       http::Response response;
       {
         const std::lock_guard<std::mutex> lock(origin_mutex_);
         response = origin_->serve(*request);
       }
+      serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count());
       write_response(stream, response);
       ++served_;
     }
@@ -151,9 +180,26 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
                                  std::uint16_t port, LiveProxyOptions options)
     : engine_(engine),
       upstreams_(std::move(upstreams)),
-      options_(options),
-      listener_(port) {
+      options_(std::move(options)),
+      listener_(port),
+      traces_(options_.trace_ring_capacity) {
   if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
+  // One scrape shows everything: transport-level metrics land in the engine's
+  // registry when it has one, next to the engine's own counters.
+  registry_ = engine_->metrics();
+  if (registry_ == nullptr) registry_ = &own_registry_;
+  client_hit_us_ =
+      &registry_->histogram(obs::labeled("appx_client_latency_us", {{"path", "hit"}}));
+  client_miss_us_ =
+      &registry_->histogram(obs::labeled("appx_client_latency_us", {{"path", "miss"}}));
+  prefetch_fetch_us_ = &registry_->histogram("appx_prefetch_fetch_us");
+  admin_requests_ = &registry_->counter("appx_admin_requests_total");
+  queue_dropped_total_ = &registry_->counter("appx_proxy_queue_dropped_total");
+  queue_depth_ = &registry_->gauge("appx_proxy_prefetch_queue");
+  if (!options_.metrics_snapshot_path.empty()) {
+    snapshot_writer_ = std::make_unique<obs::SnapshotWriter>(
+        registry_, options_.metrics_snapshot_path, options_.metrics_snapshot_interval);
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
   const std::size_t workers = options_.prefetch_workers > 0 ? options_.prefetch_workers : 1;
   prefetchers_.reserve(workers);
@@ -166,6 +212,10 @@ LiveProxyServer::~LiveProxyServer() { stop(); }
 
 void LiveProxyServer::stop() {
   if (stopping_.exchange(true)) return;
+  if (snapshot_writer_) {
+    snapshot_writer_->write_now();  // final state, not up to 1 interval stale
+    snapshot_writer_->stop();
+  }
   listener_.close();
   // Shutting down every registered fd (client connections AND in-flight
   // upstream fetches) unblocks all I/O immediately.
@@ -241,6 +291,16 @@ http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
   }
 }
 
+http::Response LiveProxyServer::handle_admin(const http::Request& request) {
+  admin_requests_->inc();
+  if (request.uri.path == "/appx/trace") {
+    http::Response resp = status_response(200, traces_.to_json().dump(2));
+    resp.headers.set("Content-Type", "application/json");
+    return resp;
+  }
+  return metrics_response(*registry_, request.uri.path);
+}
+
 void LiveProxyServer::serve_connection(TcpStream stream) {
   // One logical user per connection source; for the loopback demo each
   // client identifies itself with an X-Appx-User header (falling back to a
@@ -249,6 +309,22 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
   try {
     HttpReader reader(&stream, options_.reader_limits);
     while (auto request = reader.read_request()) {
+      const SimTime received = now();
+      // Admin requests (metrics scrapes, trace dumps) bypass the engine:
+      // they must not create user state or perturb learning.
+      if (is_admin_path(request->uri.path)) {
+        obs::RequestTrace trace;
+        trace.user = "-";
+        trace.method = request->method;
+        trace.target = request->uri.path;
+        trace.outcome = "admin";
+        trace.start_us = received;
+        write_response(stream, handle_admin(*request));
+        trace.end_us = now();
+        traces_.push(std::move(trace));
+        continue;
+      }
+
       const std::string user = request->headers.get("X-Appx-User").value_or("default");
       http::Request upstream_request = *request;
       upstream_request.headers.remove("X-Appx-User");
@@ -257,29 +333,53 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
       // normalise to https for signature matching and cache identity.
       if (upstream_request.uri.scheme.empty()) upstream_request.uri.scheme = "https";
 
+      obs::RequestTrace trace;
+      trace.user = user;
+      trace.method = request->method;
+      trace.target = request->uri.path;
+      trace.start_us = received;
+
       core::ClientDecision decision;
       {
         const std::lock_guard<std::mutex> lock(engine_mutex_);
         decision = engine_->on_client_request(user, upstream_request, now());
       }
+      trace.add_span("decide", received, now());
       if (decision.served) {
         // The served response is shared with the proxy's cache; take a local
         // copy to annotate without mutating the cached entry.
         http::Response served = *decision.served;
         served.headers.set("X-Appx-Cache", "hit");
+        const SimTime respond_start = now();
         write_response(stream, served);
+        trace.add_span("respond", respond_start, now());
+        trace.outcome = "hit";
+        trace.end_us = now();
+        client_hit_us_->record(trace.end_us - received);
+        traces_.push(std::move(trace));
         enqueue_prefetches(user);
         continue;
       }
 
+      const SimTime fetch_start = now();
       http::Response response = fetch_upstream(upstream_request);
+      trace.add_span("forward", fetch_start, now(),
+                     "status=" + std::to_string(response.status));
+      const SimTime learn_start = now();
       {
         const std::lock_guard<std::mutex> lock(engine_mutex_);
         engine_->on_origin_response(user, upstream_request, response, now());
       }
+      trace.add_span("learn", learn_start, now());
       enqueue_prefetches(user);
       response.headers.set("X-Appx-Cache", "miss");
+      const SimTime respond_start = now();
       write_response(stream, response);
+      trace.add_span("respond", respond_start, now());
+      trace.outcome = response.status >= 500 ? "error" : "miss";
+      trace.end_us = now();
+      client_miss_us_->record(trace.end_us - received);
+      traces_.push(std::move(trace));
     }
   } catch (const MessageTooLargeError& e) {
     log_debug("net.proxy") << "oversized message: " << e.what();
@@ -310,10 +410,12 @@ void LiveProxyServer::enqueue_prefetches(const std::string& user) {
       dropped.push_back(std::move(prefetch_queue_.front()));
       prefetch_queue_.pop_front();
     }
+    queue_depth_->set(static_cast<std::int64_t>(prefetch_queue_.size()));
   }
   queue_cv_.notify_all();
   if (!dropped.empty()) {
     queue_dropped_ += dropped.size();
+    queue_dropped_total_->add(static_cast<std::int64_t>(dropped.size()));
     const std::lock_guard<std::mutex> lock(engine_mutex_);
     for (core::PrefetchJob& job : dropped) {
       engine_->on_prefetch_dropped(job.user, job, now());
@@ -338,17 +440,30 @@ void LiveProxyServer::prefetch_worker() {
     const auto it = next_job_locked();
     core::PrefetchJob job = std::move(*it);
     prefetch_queue_.erase(it);
+    queue_depth_->set(static_cast<std::int64_t>(prefetch_queue_.size()));
     busy_users_.insert(job.user);
     ++prefetch_active_;
     lock.unlock();
 
+    obs::RequestTrace trace;
+    trace.user = job.user;
+    trace.method = job.request.method;
+    trace.target = job.request.uri.path;
+    trace.outcome = "prefetch";
+    trace.start_us = now();
     const SimTime started = now();
     const http::Response response = fetch_upstream(job.request);
+    const SimTime fetched = now();
+    prefetch_fetch_us_->record(fetched - started);
+    trace.add_span("fetch", started, fetched, "sig=" + job.sig_id);
     {
       const std::lock_guard<std::mutex> elock(engine_mutex_);
       engine_->on_prefetch_response(job.user, job, response, now(),
                                     to_ms(now() - started));
     }
+    trace.add_span("learn", fetched, now());
+    trace.end_us = now();
+    traces_.push(std::move(trace));
     enqueue_prefetches(job.user);  // chained prefetching
 
     lock.lock();

@@ -43,6 +43,9 @@
 #include "core/proxy.hpp"
 #include "net/http_io.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 
 namespace appx::net {
 
@@ -92,6 +95,9 @@ class LiveOriginServer {
   std::size_t requests_served() const { return served_.load(); }
   // Live connection-handler threads (finished ones are reaped).
   std::size_t connection_threads() { return conn_threads_.live(); }
+  // Origin-side metrics (request count, serve-time histogram); also served
+  // over HTTP at /appx/metrics[.json].
+  const obs::MetricsRegistry& metrics() const { return registry_; }
   void stop();
 
  private:
@@ -103,6 +109,9 @@ class LiveOriginServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> served_{0};
   std::mutex origin_mutex_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Histogram* serve_us_ = nullptr;
   ThreadReaper conn_threads_;
   std::mutex conns_mutex_;
   std::set<int> conn_fds_;  // live connections, shut down on stop()
@@ -122,6 +131,11 @@ struct LiveProxyOptions {
   std::size_t max_prefetch_queue = 256;
   // Per-message size bounds on client connections (431/413 beyond them).
   ReaderLimits reader_limits;
+  // Observability: capacity of the request-trace ring served at /appx/trace,
+  // and optional periodic JSON metrics snapshots (empty path disables).
+  std::size_t trace_ring_capacity = 128;
+  std::string metrics_snapshot_path;
+  Duration metrics_snapshot_interval = seconds(10);
 };
 
 class LiveProxyServer {
@@ -149,9 +163,18 @@ class LiveProxyServer {
   // Prefetch jobs dropped by queue overflow.
   std::size_t prefetch_jobs_dropped() const { return queue_dropped_.load(); }
 
+  // The registry scraped at /appx/metrics: the engine's own registry when it
+  // has one (AppxProxy), otherwise a server-local registry holding just the
+  // transport-level metrics.
+  obs::MetricsRegistry& metrics() { return *registry_; }
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+  // Recent per-request traces, also served at /appx/trace.
+  const obs::TraceRing& traces() const { return traces_; }
+
  private:
   void accept_loop();
   void serve_connection(TcpStream stream);
+  http::Response handle_admin(const http::Request& request);
   void prefetch_worker();
   void enqueue_prefetches(const std::string& user);
   // Oldest queued job whose user is not being worked on (per-user ordering),
@@ -167,6 +190,19 @@ class LiveProxyServer {
   std::atomic<bool> stopping_{false};
 
   std::mutex engine_mutex_;
+
+  // Transport-level observability. own_registry_ backs registry_ only for
+  // engines without one; metric pointers are resolved once in the ctor.
+  obs::MetricsRegistry own_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Histogram* client_hit_us_ = nullptr;   // receive -> respond, cache hits
+  obs::Histogram* client_miss_us_ = nullptr;  // receive -> respond, forwards
+  obs::Histogram* prefetch_fetch_us_ = nullptr;  // upstream fetch, prefetch path
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* queue_dropped_total_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::TraceRing traces_{128};
+  std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,313 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace appx::obs {
+
+namespace {
+
+// Stable per-thread stripe slot, shared by every Counter instance.
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void update_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- Counter --------------------------------------------------------------------------
+
+void Counter::add(std::int64_t delta) {
+  cells_[thread_stripe() % kStripes].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const Cell& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+// --- Histogram ------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < kSub) return value < 0 ? 0 : static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  const int octave = msb - kSubBits + 1;
+  const std::int64_t sub = (value >> (msb - kSubBits)) & (kSub - 1);
+  return static_cast<std::size_t>(octave) * kSub + static_cast<std::size_t>(sub);
+}
+
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_bounds(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSub)) {
+    const auto lo = static_cast<std::int64_t>(index);
+    return {lo, lo + 1};
+  }
+  const int octave = static_cast<int>(index) / kSub;
+  const std::int64_t sub = static_cast<std::int64_t>(index) % kSub;
+  const std::int64_t width = std::int64_t{1} << (octave - 1);
+  const std::int64_t lo = (kSub + sub) << (octave - 1);
+  // The topmost bucket's upper bound would be 2^63; saturate instead.
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t hi = (lo > kMax - width) ? kMax : lo + width;
+  return {lo, hi};
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  update_min(min_, value);
+  update_max(max_, value);
+}
+
+std::int64_t Histogram::min() const {
+  const std::int64_t v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::max() ? 0 : v;
+}
+
+std::int64_t Histogram::max() const {
+  const std::int64_t v = max_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::min() ? 0 : v;
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  // Snapshot the buckets once so the rank and the walk agree even while
+  // other threads keep recording.
+  std::array<std::uint64_t, kBucketCount> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += snap[i];
+    if (seen >= rank) {
+      const auto [lo, hi] = bucket_bounds(i);
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    update_min(min_, other.min());
+    update_max(max_, other.max());
+  }
+}
+
+// --- naming ---------------------------------------------------------------------------
+
+namespace {
+
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Splits a stored name into (base, labels-without-braces).
+std::pair<std::string_view, std::string_view> split_name(std::string_view full) {
+  const auto brace = full.find('{');
+  if (brace == std::string_view::npos) return {full, {}};
+  std::string_view labels = full.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {full.substr(0, brace), labels};
+}
+
+}  // namespace
+
+std::string labeled(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  std::string out(name);
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// --- MetricsRegistry ------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::gauge_callback(std::string_view name,
+                                     std::function<std::int64_t()> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second->value();
+  const auto cb = callbacks_.find(name);
+  return cb == callbacks_.end() ? 0 : cb->second();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::string_view last_base;
+
+  const auto type_line = [&](std::string_view full, std::string_view type) {
+    const auto [base, labels] = split_name(full);
+    (void)labels;
+    if (base != last_base) {
+      out << "# TYPE " << base << ' ' << type << '\n';
+      last_base = base;
+    }
+  };
+
+  for (const auto& [name, counter] : counters_) {
+    type_line(name, "counter");
+    out << name << ' ' << counter->value() << '\n';
+  }
+  last_base = {};
+  for (const auto& [name, gauge] : gauges_) {
+    type_line(name, "gauge");
+    out << name << ' ' << gauge->value() << '\n';
+  }
+  last_base = {};
+  for (const auto& [name, fn] : callbacks_) {
+    type_line(name, "gauge");
+    out << name << ' ' << fn() << '\n';
+  }
+  last_base = {};
+  for (const auto& [name, hist] : histograms_) {
+    type_line(name, "summary");
+    const auto [base, labels] = split_name(name);
+    const auto with_quantile = [&, base = base, labels = labels](double q) {
+      std::ostringstream n;
+      n << base << '{' << labels << (labels.empty() ? "" : ",") << "quantile=\"" << q
+        << "\"}";
+      return n.str();
+    };
+    const auto suffixed = [&, base = base, labels = labels](std::string_view suffix) {
+      std::ostringstream n;
+      n << base << suffix;
+      if (!labels.empty()) n << '{' << labels << '}';
+      return n.str();
+    };
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+      out << with_quantile(q) << ' ' << hist->quantile(q) << '\n';
+    }
+    out << suffixed("_sum") << ' ' << hist->sum() << '\n';
+    out << suffixed("_count") << ' ' << hist->count() << '\n';
+  }
+  return out.str();
+}
+
+json::Value MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) counters[name] = counter->value();
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+  for (const auto& [name, fn] : callbacks_) gauges[name] = fn();
+  json::Object histograms;
+  for (const auto& [name, hist] : histograms_) {
+    json::Object h;
+    h["count"] = hist->count();
+    h["sum"] = hist->sum();
+    h["min"] = hist->min();
+    h["max"] = hist->max();
+    h["mean"] = hist->mean();
+    h["p50"] = hist->quantile(0.5);
+    h["p90"] = hist->quantile(0.9);
+    h["p95"] = hist->quantile(0.95);
+    h["p99"] = hist->quantile(0.99);
+    histograms[name] = std::move(h);
+  }
+  json::Object root;
+  root["counters"] = std::move(counters);
+  root["gauges"] = std::move(gauges);
+  root["histograms"] = std::move(histograms);
+  return json::Value(std::move(root));
+}
+
+}  // namespace appx::obs

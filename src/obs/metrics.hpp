@@ -1,0 +1,145 @@
+// Observability: thread-safe metrics registry (paper §6 methodology).
+//
+// The paper's evaluation is distributional — per-transaction latency CDFs
+// (Fig. 13–15), hit ratios (Table 2), data usage (Table 3) — so the runtime
+// needs first-class counters, gauges and latency histograms, scrapeable from
+// a live proxy. This module provides:
+//
+//   * Counter   — monotonic, lock-free; increments land on striped cells
+//                 (one per thread slot) so concurrent hot paths never share
+//                 a cache line. value() sums the stripes.
+//   * Gauge     — a settable/delta-updated level (cache entries, queue depth).
+//   * Histogram — fixed-memory log-linear buckets: 16 linear sub-buckets per
+//                 power-of-two octave, so any recorded value lands in a
+//                 bucket whose width is at most 1/16 of its lower bound
+//                 (quantile estimates carry ≤ 6.25% relative error). All
+//                 updates are relaxed atomics; record() is a handful of bit
+//                 ops plus four uncontended atomic RMWs. Histograms merge.
+//   * MetricsRegistry — named metrics with stable addresses; callers resolve
+//                 a metric once and keep the pointer (the hot path never
+//                 touches the registry lock). Exports Prometheus text
+//                 (histograms as quantile summaries) and JSON.
+//
+// Naming scheme (DESIGN.md §5e): appx_<subsystem>_<what>[_total|_us|_bytes],
+// labels rendered into the stored name via labeled(): name{k="v",...}.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace appx::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1);
+  void inc() { add(1); }
+  std::int64_t value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  static constexpr std::size_t kStripes = 8;
+  std::array<Cell, kStripes> cells_;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void sub(std::int64_t delta) { add(-delta); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log-linear histogram over non-negative int64 values (negative values are
+// clamped to 0). Unit-agnostic; the proxy records microseconds.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;             // 16 sub-buckets per octave
+  static constexpr std::int64_t kSub = 1 << kSubBits;
+  // Values 0..15 map to buckets 0..15; each further octave [2^n, 2^(n+1))
+  // adds 16 buckets. 63-bit values end at octave 59.
+  static constexpr std::size_t kBucketCount = 960;
+
+  void record(std::int64_t value);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const;  // 0 when empty
+  double mean() const;
+
+  // q in [0,1]. Returns the midpoint of the bucket holding the q-th order
+  // statistic: exact for values < 16, ≤ 6.25% relative error beyond.
+  std::int64_t quantile(double q) const;
+
+  // Adds `other`'s recordings into this histogram (bucket-exact).
+  void merge(const Histogram& other);
+
+  // Bucket geometry (exposed for property tests).
+  static std::size_t bucket_index(std::int64_t value);
+  // [lo, hi) of bucket `index`.
+  static std::pair<std::int64_t, std::int64_t> bucket_bounds(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+// "name" + labels -> `name{k1="v1",k2="v2"}` with Prometheus label escaping.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+std::string labeled(std::string_view name, const Labels& labels);
+
+class MetricsRegistry {
+ public:
+  // Resolve-or-create by full (possibly labeled) name. Returned references
+  // are stable for the registry's lifetime; resolve once, keep the pointer.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // A gauge whose value is sampled at export time (for monotonic state that
+  // already lives in someone else's atomics, e.g. the signature index).
+  // The callback must stay valid for the registry's lifetime and must be
+  // safe to call from any thread.
+  void gauge_callback(std::string_view name, std::function<std::int64_t()> fn);
+
+  // Test/tooling reads; 0 / nullptr when the metric does not exist.
+  std::int64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  // Prometheus text exposition (counters/gauges verbatim, histograms as
+  // quantile summaries with _sum/_count).
+  std::string to_prometheus() const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  //  min, max, mean, p50, p90, p95, p99}}}
+  json::Value to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<std::int64_t()>, std::less<>> callbacks_;
+};
+
+}  // namespace appx::obs

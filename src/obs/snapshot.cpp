@@ -1,0 +1,68 @@
+#include "obs/snapshot.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace appx::obs {
+
+SnapshotWriter::SnapshotWriter(const MetricsRegistry* registry, std::string path,
+                               Duration interval)
+    : registry_(registry), path_(std::move(path)), interval_(interval) {
+  if (registry == nullptr) throw InvalidArgumentError("SnapshotWriter: null registry");
+  if (path_.empty()) throw InvalidArgumentError("SnapshotWriter: empty path");
+  if (interval_ <= 0) throw InvalidArgumentError("SnapshotWriter: non-positive interval");
+  thread_ = std::thread([this] { run(); });
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SnapshotWriter::write_now() {
+  const std::string temp = path_ + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      log_warn("obs.snapshot") << "cannot open " << temp;
+      return false;
+    }
+    out << registry_->to_json().dump(2) << '\n';
+    if (!out) {
+      log_warn("obs.snapshot") << "short write to " << temp;
+      return false;
+    }
+  }
+  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+    log_warn("obs.snapshot") << "rename " << temp << " -> " << path_ << " failed";
+    return false;
+  }
+  ++written_;
+  return true;
+}
+
+void SnapshotWriter::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, std::chrono::microseconds(interval_),
+                     [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    write_now();
+    lock.lock();
+  }
+}
+
+}  // namespace appx::obs

@@ -1,0 +1,51 @@
+// Observability: periodic metrics snapshots to disk.
+//
+// A SnapshotWriter serialises a MetricsRegistry to JSON on a fixed cadence
+// (write-to-temp + rename, so readers never observe a torn file). Useful for
+// post-mortem analysis of a proxy that was never scraped, and as the
+// file-based sibling of the /appx/metrics endpoint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
+namespace appx::obs {
+
+class SnapshotWriter {
+ public:
+  // `registry` must outlive the writer. Starts the background thread
+  // immediately; the first snapshot is written after `interval`.
+  SnapshotWriter(const MetricsRegistry* registry, std::string path, Duration interval);
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // Write one snapshot now (also used by the background loop). Returns false
+  // when the file could not be written.
+  bool write_now();
+
+  void stop();
+
+  std::size_t snapshots_written() const { return written_.load(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void run();
+
+  const MetricsRegistry* registry_;
+  const std::string path_;
+  const Duration interval_;
+  std::atomic<std::size_t> written_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace appx::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace appx::obs {
+
+json::Value TraceSpan::to_json() const {
+  json::Object out;
+  out["name"] = name;
+  out["start_us"] = start_us;
+  out["end_us"] = end_us;
+  out["duration_us"] = end_us - start_us;
+  if (!detail.empty()) out["detail"] = detail;
+  return json::Value(std::move(out));
+}
+
+void RequestTrace::add_span(std::string name, SimTime start_us_, SimTime end_us_,
+                            std::string detail) {
+  spans.push_back(TraceSpan{std::move(name), start_us_, end_us_, std::move(detail)});
+}
+
+json::Value RequestTrace::to_json() const {
+  json::Object out;
+  out["id"] = static_cast<std::int64_t>(id);
+  out["user"] = user;
+  out["method"] = method;
+  out["target"] = target;
+  out["outcome"] = outcome;
+  out["start_us"] = start_us;
+  out["end_us"] = end_us;
+  out["duration_us"] = end_us - start_us;
+  json::Array span_array;
+  span_array.reserve(spans.size());
+  for (const TraceSpan& span : spans) span_array.push_back(span.to_json());
+  out["spans"] = std::move(span_array);
+  return json::Value(std::move(out));
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint64_t TraceRing::push(RequestTrace trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trace.id = next_id_++;
+  ++recorded_;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return next_id_ - 1;
+}
+
+std::vector<RequestTrace> TraceRing::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TraceRing::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRing::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+json::Value TraceRing::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::Object out;
+  out["capacity"] = static_cast<std::int64_t>(capacity_);
+  out["recorded"] = static_cast<std::int64_t>(recorded_);
+  json::Array traces;
+  traces.reserve(ring_.size());
+  for (const RequestTrace& trace : ring_) traces.push_back(trace.to_json());
+  out["traces"] = std::move(traces);
+  return json::Value(std::move(out));
+}
+
+}  // namespace appx::obs

@@ -1,0 +1,73 @@
+// Observability: lightweight per-request lifecycle tracing.
+//
+// A RequestTrace records the spans of one proxied transaction — receive →
+// signature match + cache lookup → forward or serve → respond — plus the
+// background prefetch fetches the live proxy issues. Completed traces land
+// in a bounded ring buffer (oldest evicted first), dumpable as JSON from the
+// /appx/trace admin endpoint. Recording is mutex-guarded and happens once
+// per request, off the byte-level hot path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/units.hpp"
+
+namespace appx::obs {
+
+struct TraceSpan {
+  std::string name;      // "decide", "upstream", "learn", "respond", ...
+  SimTime start_us = 0;  // on the owner's monotonic clock
+  SimTime end_us = 0;
+  std::string detail;    // optional annotation ("hit", "status 504", ...)
+
+  json::Value to_json() const;
+};
+
+struct RequestTrace {
+  std::uint64_t id = 0;  // assigned by the ring on push
+  std::string user;
+  std::string method;
+  std::string target;     // host + path of the traced request
+  std::string outcome;    // "hit" | "miss" | "prefetch" | "admin" | "error"
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+  std::vector<TraceSpan> spans;
+
+  // Convenience: append a span covering [start, end].
+  void add_span(std::string name, SimTime start_us_, SimTime end_us_,
+                std::string detail = {});
+
+  json::Value to_json() const;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256);
+
+  // Stamps the trace with the next id and appends it; evicts the oldest
+  // trace when full. Returns the assigned id.
+  std::uint64_t push(RequestTrace trace);
+
+  std::vector<RequestTrace> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // Total traces ever pushed (>= size()).
+  std::uint64_t recorded() const;
+
+  // {"capacity": N, "recorded": M, "traces": [...]}
+  json::Value to_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t recorded_ = 0;
+  std::deque<RequestTrace> ring_;  // back = newest
+};
+
+}  // namespace appx::obs

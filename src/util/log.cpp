@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -9,6 +10,7 @@ namespace appx {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+Logger::Sink g_sink;  // guarded by g_mutex; empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,16 +22,51 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::chrono::steady_clock::time_point process_epoch() {
+  // First touch wins; function-local static makes the race-free init explicit.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 }  // namespace
 
 LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Logger::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+int Logger::thread_id() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::int64_t Logger::elapsed_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               process_epoch())
+      .count();
+}
+
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
   if (level < Logger::level() || message.empty()) return;
+  const std::int64_t us = elapsed_us();
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%8.3f] [T%02d] [%s] ",
+                static_cast<double>(us) / 1e6, thread_id(), level_name(level));
+  std::string line = prefix;
+  line += component;
+  line += ": ";
+  line += message;
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace appx

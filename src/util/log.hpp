@@ -3,8 +3,17 @@
 // The proxy and the analysis pipeline log at Debug/Info; experiments run with
 // the level raised to Warn so measurement loops stay quiet. The logger is a
 // process-wide sink by design (it is configuration, not data flow).
+//
+// Thread safety: write() formats each record into a single line —
+// `[<seconds-since-start>] [T<dense thread id>] [LEVEL] component: message` —
+// and delivers it to the sink under one process-wide mutex, so concurrent
+// connection handlers and prefetch workers never interleave output.
+// Timestamps come from the monotonic clock (steady since process start), so
+// log ordering survives wall-clock adjustments.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,8 +23,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
+  // Receives one fully formatted line (no trailing newline) per record.
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static LogLevel level();
   static void set_level(LogLevel level);
+
+  // Redirect output (tests, file capture); a null sink restores stderr. The
+  // sink is invoked with the logger's mutex held: keep it fast and never log
+  // from inside it.
+  static void set_sink(Sink sink);
+
+  // Small dense id of the calling thread (1, 2, ... in first-log order);
+  // stable for the thread's lifetime. Exposed for tests.
+  static int thread_id();
+
+  // Microseconds on the monotonic clock since the logger was first touched.
+  static std::int64_t elapsed_us();
 
   // Emit one line at the given level (no-op if below the current level).
   static void write(LogLevel level, const std::string& component, const std::string& message);

@@ -5,7 +5,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -484,6 +487,130 @@ TEST_F(LiveProxyTest, PrefetchQueueOverflowDropsOldestAndBalances) {
   // Every issued job was resolved exactly once: completed or dropped.
   EXPECT_EQ(stats.prefetch_responses + stats.prefetches_dropped, stats.prefetches_issued);
   proxy.stop();
+}
+
+// --- /appx/* admin endpoints --------------------------------------------------
+
+// Prometheus text -> {metric name (with labels) -> value} for non-comment lines.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> values;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "unparsable exposition line: " << line;
+      continue;
+    }
+    values[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return values;
+}
+
+http::Request admin_request(const std::string& path) {
+  http::Request req;
+  req.method = "GET";
+  req.uri = http::Uri::parse("http://proxy.local" + path);
+  return req;
+}
+
+TEST_F(LiveProxyTest, MetricsEndpointExportsBalancedCounters) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  ASSERT_TRUE(client.send(detail_request(0)).ok());  // miss; fans out prefetches
+  proxy_server_->drain_prefetches();
+  ASSERT_EQ(client.send(detail_request(1)).headers.get("X-Appx-Cache").value(), "hit");
+
+  const auto scrape = client.send(admin_request("/appx/metrics"));
+  ASSERT_EQ(scrape.status, 200);
+  EXPECT_EQ(scrape.headers.get("Content-Type").value_or(""), "text/plain; version=0.0.4");
+  const auto metrics = parse_prometheus(scrape.body);
+
+  // The exposition agrees with the engine's own view.
+  const auto& stats = adapter_->engine().stats();
+  EXPECT_EQ(metrics.at("appx_proxy_client_requests_total"),
+            static_cast<double>(stats.client_requests));
+  EXPECT_EQ(metrics.at("appx_proxy_cache_hits_total"), static_cast<double>(stats.cache_hits));
+  EXPECT_EQ(metrics.at("appx_prefetch_issued_total"),
+            static_cast<double>(stats.prefetches_issued));
+  EXPECT_GE(metrics.at("appx_proxy_client_requests_total"), 3.0);
+  EXPECT_GE(metrics.at("appx_proxy_cache_hits_total"), 1.0);
+  EXPECT_GT(metrics.at("appx_cache_entries"), 0.0);
+
+  // Prefetch accounting balances: every issued job completed or was dropped.
+  EXPECT_EQ(metrics.at("appx_prefetch_responses_total") +
+                metrics.at("appx_prefetch_dropped_total"),
+            metrics.at("appx_prefetch_issued_total"));
+
+  // Client latency histograms saw both paths.
+  EXPECT_GE(metrics.at("appx_client_latency_us_count{path=\"hit\"}"), 1.0);
+  EXPECT_GE(metrics.at("appx_client_latency_us_count{path=\"miss\"}"), 2.0);
+}
+
+TEST_F(LiveProxyTest, MetricsJsonEndpointParses) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+
+  const auto scrape = client.send(admin_request("/appx/metrics.json"));
+  ASSERT_EQ(scrape.status, 200);
+  EXPECT_EQ(scrape.headers.get("Content-Type").value_or(""), "application/json");
+  const json::Value parsed = json::parse(scrape.body);
+  EXPECT_EQ(parsed.at("counters").at("appx_proxy_client_requests_total").as_int(),
+            static_cast<std::int64_t>(adapter_->engine().stats().client_requests));
+  ASSERT_NE(parsed.at("histograms").find("appx_client_latency_us{path=\"miss\"}"), nullptr);
+}
+
+TEST_F(LiveProxyTest, TraceEndpointRecordsLifecycles) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  ASSERT_TRUE(client.send(detail_request(0)).ok());
+  proxy_server_->drain_prefetches();
+  ASSERT_TRUE(client.send(detail_request(1)).ok());
+
+  const auto dump = client.send(admin_request("/appx/trace"));
+  ASSERT_EQ(dump.status, 200);
+  const json::Value parsed = json::parse(dump.body);
+  EXPECT_GE(parsed.at("recorded").as_int(), 3);
+  std::set<std::string> outcomes;
+  for (const json::Value& trace : parsed.at("traces").as_array()) {
+    outcomes.insert(trace.at("outcome").as_string());
+    EXPECT_GE(trace.at("end_us").as_int(), trace.at("start_us").as_int());
+  }
+  EXPECT_TRUE(outcomes.count("miss")) << dump.body.substr(0, 400);
+  EXPECT_TRUE(outcomes.count("hit"));
+  EXPECT_TRUE(outcomes.count("prefetch"));
+}
+
+TEST_F(LiveProxyTest, UnknownAdminPathIs404AndSkipsEngine) {
+  TestClient client(proxy_server_->port(), "ghost-user");
+  const auto response = client.send(admin_request("/appx/nope"));
+  EXPECT_EQ(response.status, 404);
+  // Admin requests bypass the engine: no user state was created.
+  EXPECT_EQ(adapter_->engine().stats().client_requests, 0u);
+  EXPECT_EQ(adapter_->engine().metrics().gauge_value("appx_proxy_users"), 0);
+}
+
+TEST(LiveOrigin, MetricsEndpointCountsServes) {
+  apps::AppSpec spec = apps::make_wish();
+  apps::OriginServer origin(&spec);
+  LiveOriginServer server(&origin);
+  TestClient client(server.port(), "u1");
+
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://" + spec.endpoint("feed").host + "/api/get-feed");
+  req.uri.add_query_param("offset", "0");
+  req.uri.add_query_param("count", "30");
+  req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+  ASSERT_TRUE(client.send(req).ok());
+
+  const auto scrape = client.send(admin_request("/appx/metrics"));
+  ASSERT_EQ(scrape.status, 200);
+  const auto metrics = parse_prometheus(scrape.body);
+  EXPECT_EQ(metrics.at("appx_origin_requests_total"), 1.0);
+  EXPECT_GE(metrics.at("appx_origin_serve_us_count"), 1.0);
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,372 @@
+// Unit tests for the obs subsystem: counters, gauges, log-linear histograms,
+// the metrics registry and its exports, the trace ring, and snapshots.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace appx {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+// --- Counter / Gauge ---------------------------------------------------------
+
+TEST(ObsCounter, AddAccumulatesAcrossStripes) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncs);
+}
+
+TEST(ObsGauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+}
+
+// --- Histogram bucket geometry (property tests) ------------------------------
+
+TEST(ObsHistogram, BucketBoundsContainTheValue) {
+  Rng rng(0xB0CA);
+  for (int i = 0; i < 20000; ++i) {
+    // Exercise every octave: random bit width, then random value of that width.
+    const int bits = static_cast<int>(rng.uniform_int(0, 62));
+    const std::int64_t value =
+        static_cast<std::int64_t>(rng.next_u64() & ((std::uint64_t{1} << bits) | ((std::uint64_t{1} << bits) - 1)));
+    const std::size_t index = Histogram::bucket_index(value);
+    ASSERT_LT(index, Histogram::kBucketCount);
+    const auto [lo, hi] = Histogram::bucket_bounds(index);
+    EXPECT_LE(lo, value) << "value=" << value << " index=" << index;
+    EXPECT_GT(hi, value) << "value=" << value << " index=" << index;
+  }
+}
+
+TEST(ObsHistogram, BucketWidthBoundsRelativeError) {
+  // Each octave splits into 16 linear sub-buckets, so for values >= 16 the
+  // bucket width is at most lo/8 -> midpoint is within 6.25% of any member.
+  Rng rng(0xE44);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t value =
+        static_cast<std::int64_t>((rng.next_u64() >> 1) >> (rng.next_u64() % 48)) | 16;
+    const auto [lo, hi] = Histogram::bucket_bounds(Histogram::bucket_index(value));
+    ASSERT_GT(lo, 0);
+    EXPECT_LE(static_cast<double>(hi - lo), static_cast<double>(lo) / 8.0 + 1e-9)
+        << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(ObsHistogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 16; ++v) h.record(v);
+  for (std::int64_t v = 0; v < 16; ++v) {
+    const auto [lo, hi] = Histogram::bucket_bounds(Histogram::bucket_index(v));
+    EXPECT_EQ(lo, v);
+    EXPECT_EQ(hi, v + 1);
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 15);
+}
+
+TEST(ObsHistogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(ObsHistogram, QuantileWithinRelativeErrorBound) {
+  // Uniform 1..100000: every quantile of the recorded set is known exactly;
+  // the histogram estimate must land within 6.25% of it.
+  Histogram h;
+  constexpr std::int64_t kN = 100000;
+  for (std::int64_t v = 1; v <= kN; ++v) h.record(v);
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = q * static_cast<double>(kN);
+    const double est = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(est, exact, exact * 0.0625 + 1.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(0.0), h.quantile(0.0));  // does not crash at the edges
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.999));
+}
+
+TEST(ObsHistogram, CountSumMeanMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(30);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.sum(), 40);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(ObsHistogram, MergeMatchesSingleHistogram) {
+  Histogram a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.next_u64() % 1000000);
+    ((i % 2) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepExactCountAndSum) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::int64_t v = 1 + t;
+      for (int i = 0; i < kRecords; ++i) {
+        h.record(v % 4096);
+        v = v * 31 + 7;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kRecords);
+  EXPECT_LT(h.max(), 4096);
+  EXPECT_GE(h.min(), 0);
+}
+
+// --- labeled() ---------------------------------------------------------------
+
+TEST(ObsLabeled, RendersSortedStableNames) {
+  EXPECT_EQ(obs::labeled("appx_x_total", {}), "appx_x_total");
+  EXPECT_EQ(obs::labeled("appx_x_total", {{"reason", "dup"}}),
+            "appx_x_total{reason=\"dup\"}");
+  EXPECT_EQ(obs::labeled("appx_x_total", {{"a", "1"}, {"b", "2"}}),
+            "appx_x_total{a=\"1\",b=\"2\"}");
+}
+
+TEST(ObsLabeled, EscapesQuotesAndBackslashes) {
+  const std::string name = obs::labeled("appx_sig", {{"sig", "GET \"a\\b\""}});
+  EXPECT_EQ(name, "appx_sig{sig=\"GET \\\"a\\\\b\\\"\"}");
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(ObsRegistry, ResolvesStableAddresses) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("appx_a_total");
+  Counter& c2 = reg.counter("appx_a_total");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(reg.counter_value("appx_a_total"), 3);
+  EXPECT_EQ(reg.counter_value("appx_missing_total"), 0);
+  reg.gauge("appx_g").set(9);
+  EXPECT_EQ(reg.gauge_value("appx_g"), 9);
+  EXPECT_EQ(reg.find_histogram("appx_h_us"), nullptr);
+  reg.histogram("appx_h_us").record(5);
+  ASSERT_NE(reg.find_histogram("appx_h_us"), nullptr);
+  EXPECT_EQ(reg.find_histogram("appx_h_us")->count(), 1);
+}
+
+TEST(ObsRegistry, GaugeCallbackSampledAtExport) {
+  MetricsRegistry reg;
+  std::int64_t level = 17;
+  reg.gauge_callback("appx_cb", [&level] { return level; });
+  EXPECT_EQ(reg.gauge_value("appx_cb"), 17);
+  level = 99;
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("appx_cb 99"), std::string::npos) << text;
+}
+
+TEST(ObsRegistry, PrometheusExportShape) {
+  MetricsRegistry reg;
+  reg.counter("appx_req_total").add(5);
+  reg.counter(obs::labeled("appx_skip_total", {{"reason", "dup"}})).add(2);
+  reg.gauge("appx_depth").set(3);
+  auto& h = reg.histogram("appx_lat_us");
+  for (int i = 1; i <= 100; ++i) h.record(i * 100);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE appx_req_total counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("appx_req_total 5"), std::string::npos);
+  EXPECT_NE(text.find("appx_skip_total{reason=\"dup\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE appx_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("appx_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("appx_lat_us_count 100"), std::string::npos);
+  EXPECT_NE(text.find("appx_lat_us{quantile=\"0.99\"}"), std::string::npos);
+  // Every non-comment line is `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(ObsRegistry, JsonExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("appx_req_total").add(7);
+  reg.gauge("appx_depth").set(2);
+  auto& h = reg.histogram("appx_lat_us");
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const json::Value parsed = json::parse(reg.to_json().dump());
+  EXPECT_EQ(parsed.at("counters").at("appx_req_total").as_int(), 7);
+  EXPECT_EQ(parsed.at("gauges").at("appx_depth").as_int(), 2);
+  const json::Value& hist = parsed.at("histograms").at("appx_lat_us");
+  EXPECT_EQ(hist.at("count").as_int(), 1000);
+  EXPECT_GT(hist.at("p99").as_double(), hist.at("p50").as_double());
+  EXPECT_GE(hist.at("max").as_int(), hist.at("p99").as_int());
+}
+
+TEST(ObsRegistry, ConcurrentResolveAndRecord) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("appx_shared_total");
+      obs::Histogram& h = reg.histogram("appx_shared_us");
+      for (int i = 0; i < 5000; ++i) {
+        c.inc();
+        h.record(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("appx_shared_total"), kThreads * 5000);
+  EXPECT_EQ(reg.find_histogram("appx_shared_us")->count(), kThreads * 5000);
+}
+
+// --- TraceRing ---------------------------------------------------------------
+
+obs::RequestTrace make_trace(const std::string& target) {
+  obs::RequestTrace t;
+  t.user = "u1";
+  t.method = "GET";
+  t.target = target;
+  t.outcome = "hit";
+  t.start_us = 100;
+  t.end_us = 400;
+  t.add_span("decide", 100, 150, "hit");
+  t.add_span("respond", 150, 400);
+  return t;
+}
+
+TEST(ObsTraceRing, AssignsMonotonicIds) {
+  obs::TraceRing ring(8);
+  EXPECT_EQ(ring.push(make_trace("/a")), 1u);
+  EXPECT_EQ(ring.push(make_trace("/b")), 2u);
+  const auto traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id, 1u);
+  EXPECT_EQ(traces[1].target, "/b");
+}
+
+TEST(ObsTraceRing, EvictsOldestWhenFull) {
+  obs::TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(make_trace("/t" + std::to_string(i)));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  const auto traces = ring.snapshot();
+  EXPECT_EQ(traces.front().target, "/t6");  // 6,7,8,9 survive
+  EXPECT_EQ(traces.back().target, "/t9");
+}
+
+TEST(ObsTraceRing, JsonDumpParses) {
+  obs::TraceRing ring(4);
+  ring.push(make_trace("/feed"));
+  const json::Value parsed = json::parse(ring.to_json().dump(2));
+  EXPECT_EQ(parsed.at("capacity").as_int(), 4);
+  EXPECT_EQ(parsed.at("recorded").as_int(), 1);
+  const json::Value& trace = parsed.at("traces").at(std::size_t{0});
+  EXPECT_EQ(trace.at("target").as_string(), "/feed");
+  EXPECT_EQ(trace.at("outcome").as_string(), "hit");
+  EXPECT_EQ(trace.at("spans").size(), 2u);
+  EXPECT_EQ(trace.at("spans").at(std::size_t{0}).at("name").as_string(), "decide");
+}
+
+TEST(ObsTraceRing, ConcurrentPushesAllRecorded) {
+  obs::TraceRing ring(64);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kEach; ++i) ring.push(make_trace("/x"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kThreads) * kEach);
+  EXPECT_EQ(ring.size(), 64u);
+}
+
+// --- SnapshotWriter ----------------------------------------------------------
+
+TEST(ObsSnapshot, WriteNowProducesParsableFile) {
+  MetricsRegistry reg;
+  reg.counter("appx_req_total").add(11);
+  const std::string path = ::testing::TempDir() + "appx_obs_snapshot_test.json";
+  {
+    obs::SnapshotWriter writer(&reg, path, minutes(10));
+    ASSERT_TRUE(writer.write_now());
+    EXPECT_EQ(writer.snapshots_written(), 1u);
+    writer.stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value parsed = json::parse(buffer.str());
+  EXPECT_EQ(parsed.at("counters").at("appx_req_total").as_int(), 11);
+  std::remove(path.c_str());
+}
+
+TEST(ObsSnapshot, WriteFailsOnBadPath) {
+  MetricsRegistry reg;
+  obs::SnapshotWriter writer(&reg, "/nonexistent-dir/appx.json", minutes(10));
+  EXPECT_FALSE(writer.write_now());
+  writer.stop();
+}
+
+}  // namespace
+}  // namespace appx

@@ -573,13 +573,44 @@ TEST_F(ProxyTest, ExpiredEntryIsReprefetchedOnNextObservation) {
 TEST_F(ProxyTest, StatsDataAccounting) {
   run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  // stats() refreshes a shared snapshot: a held reference re-reads the
+  // registry on the next stats() call.
   const auto& stats = engine_->stats();
   EXPECT_GT(stats.bytes_origin_to_proxy, 0);
   EXPECT_GT(stats.bytes_prefetched, 0);
   bool hit = false;
   run_transaction("u1", make_product_request("b"), make_product_response("m", 1), 2, &hit);
   ASSERT_TRUE(hit);
+  engine_->stats();
   EXPECT_GT(stats.bytes_served_from_cache, 0);
+}
+
+TEST_F(ProxyTest, CacheEntriesGaugeTracksRealOccupancy) {
+  config_.user_idle_timeout = seconds(30);
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b", "c"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  const PrefetchCache* u1_cache = engine_->cache_for("u1");
+  ASSERT_NE(u1_cache, nullptr);
+  ASSERT_GT(u1_cache->size(), 0u);
+  // The gauge reports live cache occupancy, not the number of prefetches ever
+  // issued (the old `prefetched_entries` misnomer).
+  EXPECT_EQ(engine_->stats().cache_entries, u1_cache->size());
+  EXPECT_EQ(engine_->stats().cache_bytes, u1_cache->bytes());
+  EXPECT_EQ(engine_->metrics().gauge_value("appx_cache_entries"),
+            static_cast<std::int64_t>(u1_cache->size()));
+
+  // A second user's cache adds to the same aggregate gauge.
+  run_transaction("u2", make_feed_request(), make_feed_response({"a", "b", "c"}), 2);
+  run_transaction("u2", make_product_request("a"), make_product_response("m", 1), 3);
+  const PrefetchCache* u2_cache = engine_->cache_for("u2");
+  ASSERT_NE(u2_cache, nullptr);
+  EXPECT_EQ(engine_->stats().cache_entries, u1_cache->size() + u2_cache->size());
+
+  // A new arrival sweeps idle users; their whole footprint leaves the gauge.
+  run_transaction("u3", make_feed_request(), make_feed_response({"a"}), minutes(10));
+  EXPECT_EQ(engine_->cache_for("u1"), nullptr);
+  EXPECT_EQ(engine_->cache_for("u2"), nullptr);
+  EXPECT_EQ(engine_->stats().cache_entries, engine_->cache_for("u3")->size());
 }
 
 TEST_F(ProxyTest, DroppedPrefetchReleasesOutstandingWindow) {

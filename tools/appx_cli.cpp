@@ -8,6 +8,8 @@
 //   appx verify <app>                      run the §4.3 verification phase;
 //                                          prints the initial Fig. 9 config
 //   appx demo <app>                        live loopback proxy demo (sockets)
+//   appx stats <host:port> [--json]        scrape a live proxy's /appx/metrics
+//                                          and pretty-print it
 //
 // <app> is one of: wish geek doordash purpleocean postmates.
 #include <chrono>
@@ -22,7 +24,10 @@
 #include "eval/report.hpp"
 #include "eval/verification.hpp"
 #include "ir/disasm.hpp"
+#include "json/json.hpp"
+#include "net/http_io.hpp"
 #include "net/servers.hpp"
+#include "net/socket.hpp"
 #include "util/byte_io.hpp"
 #include "util/error.hpp"
 
@@ -38,6 +43,7 @@ int usage() {
                "[--no-alias]\n"
                "  appx verify <app>\n"
                "  appx demo <app>\n"
+               "  appx stats <host:port> [--json]\n"
                "apps: wish geek doordash purpleocean postmates\n";
   return 2;
 }
@@ -156,6 +162,68 @@ int cmd_demo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Scrape a live proxy's admin endpoint and pretty-print the registry.
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  bool raw_json = false;
+  if (args.size() == 2) {
+    if (args[1] != "--json") return usage();
+    raw_json = true;
+  }
+  const auto colon = args[0].rfind(':');
+  if (colon == std::string::npos) return usage();
+  const std::string host = args[0].substr(0, colon);
+  const int port = std::stoi(args[0].substr(colon + 1));
+
+  net::TcpStream stream = net::TcpStream::connect(host, static_cast<std::uint16_t>(port),
+                                                  seconds(5));
+  stream.set_read_timeout(seconds(10));
+  stream.set_write_timeout(seconds(10));
+  http::Request request;
+  request.method = "GET";
+  request.uri.path = "/appx/metrics.json";
+  request.headers.set("Host", args[0]);
+  net::write_request(stream, request);
+  net::HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  if (!response || response->status != 200) {
+    std::cerr << "appx stats: scrape failed"
+              << (response ? " (status " + std::to_string(response->status) + ")" : "")
+              << "\n";
+    return 1;
+  }
+  if (raw_json) {
+    std::cout << response->body << "\n";
+    return 0;
+  }
+
+  const json::Value root = json::parse(response->body);
+  const auto fmt_int = [](std::int64_t v) { return std::to_string(v); };
+
+  eval::TablePrinter counters({"Counter", "Value"});
+  for (const auto& [name, value] : root.as_object().at("counters").as_object()) {
+    counters.add_row({name, fmt_int(value.as_int())});
+  }
+  eval::TablePrinter gauges({"Gauge", "Value"});
+  for (const auto& [name, value] : root.as_object().at("gauges").as_object()) {
+    gauges.add_row({name, fmt_int(value.as_int())});
+  }
+  eval::TablePrinter hists({"Histogram", "Count", "Mean", "p50", "p95", "p99", "Max"});
+  for (const auto& [name, value] : root.as_object().at("histograms").as_object()) {
+    const json::Object& h = value.as_object();
+    hists.add_row({name, fmt_int(h.at("count").as_int()),
+                   eval::TablePrinter::fmt(h.at("mean").as_double(), 1),
+                   fmt_int(h.at("p50").as_int()), fmt_int(h.at("p95").as_int()),
+                   fmt_int(h.at("p99").as_int()), fmt_int(h.at("max").as_int())});
+  }
+  counters.print(std::cout);
+  std::cout << "\n";
+  gauges.print(std::cout);
+  std::cout << "\n";
+  hists.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +236,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "demo") return cmd_demo(args);
+    if (command == "stats") return cmd_stats(args);
   } catch (const appx::Error& e) {
     std::cerr << "appx: " << e.what() << "\n";
     return 1;
