@@ -14,6 +14,7 @@
 #include "analysis/analyzer.hpp"
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
+#include "core/sharded_proxy.hpp"
 #include "eval/report.hpp"
 #include "net/servers.hpp"
 #include "util/byte_io.hpp"
@@ -78,15 +79,19 @@ int main() {
 
   core::ProxyConfig config;
   config.default_expiration = minutes(30);
-  core::AppxProxy engine(&signatures, &config, 42);
-  net::LiveProxyServer::UpstreamMap upstreams;
-  for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
-  net::LiveProxyOptions options;  // bounded runtime: deadlines + worker pool
+  // One knob surface for the whole stack: engine seed/shards and the
+  // server's transport bounds all live in core::EngineOptions.
+  core::EngineOptions options;
+  options.seed = 42;
   options.connect_timeout = seconds(2);
   options.request_deadline = seconds(5);
   options.prefetch_workers = 4;
+  core::ShardedProxyEngine engine(&signatures, &config, options);
+  net::LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
   net::LiveProxyServer proxy(&engine, std::move(upstreams), 0, options);
   std::cout << "acceleration proxy on 127.0.0.1:" << proxy.port() << " ("
+            << engine.shard_count() << " shards, "
             << proxy.options().prefetch_workers << " prefetch workers, "
             << to_ms(proxy.options().request_deadline) << " ms upstream deadline)\n\n";
 
@@ -144,7 +149,7 @@ int main() {
               << "/appx/metrics)\n";
   }
 
-  const auto& stats = engine.engine().stats();
+  const auto& stats = engine.stats();
   std::cout << "\nproxy: " << stats.prefetches_issued << " prefetches issued, "
             << stats.cache_hits << " cache hits, " << stats.forwarded << " forwarded\n"
             << "bounds: " << stats.evicted_lru << " LRU evictions, "

@@ -60,6 +60,7 @@ http::Response OriginServer::serve(const http::Request& request) const {
     for (const auto& [name, value] : request.form_fields()) {
       if (name == "nonce") nonce = value;
     }
+    const std::lock_guard<std::mutex> nonce_lock(nonce_mutex_);
     if (nonce.empty() || !seen_nonces_.insert(nonce).second) {
       http::Response resp;
       resp.status = 403;

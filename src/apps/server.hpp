@@ -8,7 +8,9 @@
 // relies on to filter bad prefetch signatures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <optional>
 #include <string>
@@ -40,12 +42,14 @@ class OriginServer {
   // the endpoint is seedless. Exposed for tests.
   static std::optional<std::string> seed_of(const EndpointSpec& ep, const http::Request& request);
 
-  std::size_t requests_served() const { return served_; }
+  std::size_t requests_served() const { return served_.load(std::memory_order_relaxed); }
 
  private:
   const AppSpec* spec_;
   std::uint64_t epoch_ = 0;
-  mutable std::size_t served_ = 0;
+  // serve() is called concurrently by LiveOriginServer's connection threads.
+  mutable std::atomic<std::size_t> served_{0};
+  mutable std::mutex nonce_mutex_;
   mutable std::set<std::string> seen_nonces_;
 };
 

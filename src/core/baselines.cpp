@@ -4,8 +4,123 @@
 
 #include "core/learning.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace appx::core {
+
+// --- BaselineEngine -------------------------------------------------------------------
+
+BaselineEngine::BaselineEngine(std::optional<Duration> expiration) : expiration_(expiration) {}
+
+void BaselineEngine::seed_user(UserState& state, std::vector<PrefetchJob>* out) {
+  (void)state;
+  (void)out;
+}
+
+void BaselineEngine::learn(UserState& state, const http::Request& request,
+                           const http::Response& response, SimTime now,
+                           std::vector<PrefetchJob>* out) {
+  (void)state;
+  (void)request;
+  (void)response;
+  (void)now;
+  (void)out;
+}
+
+UserId BaselineEngine::resolve_user(std::string_view user, SimTime now) {
+  (void)now;
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    it = users_.emplace(std::string(user), std::make_unique<UserState>()).first;
+    it->second->id = UserId(std::make_shared<const std::string>(user), fnv1a(user),
+                            /*shard=*/0, /*slot=*/0, /*generation=*/0);
+  }
+  return it->second->id;
+}
+
+BaselineEngine::UserState& BaselineEngine::state_for(UserId& id, SimTime now) {
+  if (!id.valid()) throw InvalidArgumentError("BaselineEngine: unresolved UserId");
+  const auto it = users_.find(id.name());
+  if (it != users_.end()) return *it->second;
+  // Baselines never evict users, so a valid id normally stays resolvable;
+  // re-intern defensively for ids minted before a hypothetical reset.
+  id = resolve_user(id.name(), now);
+  return *users_.find(id.name())->second;
+}
+
+void BaselineEngine::issue(UserState& state, std::vector<PrefetchJob> jobs, Decision* out) {
+  for (PrefetchJob& job : jobs) {
+    job.user = state.id.name();
+    job.uid = state.id;
+    ++stats_.prefetches_issued;
+    out->prefetches.push_back(std::move(job));
+  }
+}
+
+void BaselineEngine::seed_once(UserState& state, Decision* out) {
+  if (state.seeded) return;
+  state.seeded = true;
+  std::vector<PrefetchJob> jobs;
+  seed_user(state, &jobs);
+  issue(state, std::move(jobs), out);
+}
+
+void BaselineEngine::on_request(UserId& user, const http::Request& request, SimTime now,
+                                Decision* out) {
+  ++stats_.client_requests;
+  UserState& state = state_for(user, now);
+  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
+  auto cached = state.cache.get(request.cache_key(), now, &lookup);
+  if (lookup == PrefetchCache::Lookup::kHit) {
+    ++stats_.cache_hits;
+    stats_.bytes_served_from_cache += cached->wire_size();
+    out->served = std::move(cached);
+  } else {
+    if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
+    ++stats_.forwarded;
+  }
+  seed_once(state, out);
+}
+
+void BaselineEngine::on_response(UserId& user, const http::Request& request,
+                                 const http::Response& response, SimTime now, Decision* out) {
+  UserState& state = state_for(user, now);
+  stats_.bytes_origin_to_proxy += response.wire_size();
+  std::vector<PrefetchJob> jobs;
+  learn(state, request, response, now, &jobs);
+  issue(state, std::move(jobs), out);
+  seed_once(state, out);
+}
+
+void BaselineEngine::on_prefetch_response(UserId& user, const PrefetchJob& job,
+                                          const http::Response& response, SimTime now,
+                                          double response_time_ms, Decision* out) {
+  (void)response_time_ms;
+  (void)out;
+  UserState& state = state_for(user, now);
+  stats_.bytes_prefetched += response.wire_size();
+  if (!response.ok()) {
+    ++stats_.prefetch_failures;
+    return;
+  }
+  ++stats_.prefetch_responses;
+  PrefetchCache::Entry entry;
+  entry.set_response(response);
+  entry.sig_id = job.sig_id;
+  entry.fetched_at = now;
+  if (expiration_) entry.expires_at = now + *expiration_;
+  state.cache.put(job.cache_key, std::move(entry), now);
+}
+
+void BaselineEngine::on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) {
+  (void)job;
+  state_for(user, now);
+  ++stats_.prefetches_dropped;
+}
+
+void BaselineEngine::pump(UserId& user, SimTime now, Decision* out) {
+  seed_once(state_for(user, now), out);
+}
 
 // --- URL extraction -----------------------------------------------------------------
 
@@ -44,44 +159,17 @@ std::vector<std::string> extract_urls(std::string_view body) {
 
 // --- LooxyEngine ----------------------------------------------------------------------
 
-LooxyEngine::LooxyEngine(std::optional<Duration> expiration) : expiration_(expiration) {}
+LooxyEngine::LooxyEngine(std::optional<Duration> expiration) : BaselineEngine(expiration) {}
 
-LooxyEngine::UserState& LooxyEngine::user_state(const std::string& user) {
-  auto it = users_.find(user);
-  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
-  return *it->second;
-}
-
-ClientDecision LooxyEngine::on_client_request(const std::string& user,
-                                              const http::Request& request, SimTime now) {
-  ++stats_.client_requests;
-  UserState& state = user_state(user);
-  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
-  auto cached = state.cache.get(request.cache_key(), now, &lookup);
-  ClientDecision decision;
-  if (lookup == PrefetchCache::Lookup::kHit) {
-    ++stats_.cache_hits;
-    stats_.bytes_served_from_cache += cached->wire_size();
-    decision.served = std::move(cached);
-    return decision;
-  }
-  if (lookup == PrefetchCache::Lookup::kExpired) ++stats_.cache_expired;
-  ++stats_.forwarded;
-  return decision;
-}
-
-void LooxyEngine::on_origin_response(const std::string& user, const http::Request& request,
-                                     const http::Response& response, SimTime now) {
+void LooxyEngine::learn(UserState& state, const http::Request& request,
+                        const http::Response& response, SimTime now,
+                        std::vector<PrefetchJob>* out) {
   (void)request;
-  (void)now;
-  UserState& state = user_state(user);
-  stats_.bytes_origin_to_proxy += response.wire_size();
   if (!response.ok() || response.body.empty()) return;
 
   for (const std::string& url : extract_urls(response.body)) {
     if (!state.inflight.insert(url).second) continue;  // already handled
     PrefetchJob job;
-    job.user = user;
     job.sig_id = "looxy.url";
     try {
       job.request.method = "GET";
@@ -91,43 +179,15 @@ void LooxyEngine::on_origin_response(const std::string& user, const http::Reques
     }
     job.cache_key = job.request.cache_key();
     if (state.cache.contains(job.cache_key, now)) continue;
-    state.pending.push_back(std::move(job));
+    out->push_back(std::move(job));
   }
-}
-
-void LooxyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                                       const http::Response& response, SimTime now,
-                                       double response_time_ms) {
-  (void)response_time_ms;
-  UserState& state = user_state(user);
-  ++stats_.prefetch_responses;
-  stats_.bytes_prefetched += response.wire_size();
-  if (!response.ok()) {
-    ++stats_.prefetch_failures;
-    return;
-  }
-  PrefetchCache::Entry entry;
-  entry.set_response(response);
-  entry.sig_id = job.sig_id;
-  entry.fetched_at = now;
-  if (expiration_) entry.expires_at = now + *expiration_;
-  state.cache.put(job.cache_key, std::move(entry), now);
-}
-
-std::vector<PrefetchJob> LooxyEngine::take_prefetches(const std::string& user, SimTime now) {
-  (void)now;
-  UserState& state = user_state(user);
-  std::vector<PrefetchJob> jobs = std::move(state.pending);
-  state.pending.clear();
-  stats_.prefetches_issued += jobs.size();
-  return jobs;
 }
 
 // --- StaticOnlyEngine --------------------------------------------------------------------
 
 StaticOnlyEngine::StaticOnlyEngine(const SignatureSet* signatures,
                                    std::optional<Duration> expiration)
-    : signatures_(signatures), expiration_(expiration) {
+    : BaselineEngine(expiration), signatures_(signatures) {
   if (signatures == nullptr) throw InvalidArgumentError("StaticOnlyEngine: null signatures");
   // A request is statically complete when an instance with NO bindings at all
   // is ready: no dependency holes, no run-time holes (PALOMA's requirement
@@ -138,70 +198,16 @@ StaticOnlyEngine::StaticOnlyEngine(const SignatureSet* signatures,
   }
 }
 
-ClientDecision StaticOnlyEngine::on_client_request(const std::string& user,
-                                                   const http::Request& request, SimTime now) {
-  ++stats_.client_requests;
-  auto it = users_.find(user);
-  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
-  PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
-  auto cached = it->second->cache.get(request.cache_key(), now, &lookup);
-  ClientDecision decision;
-  if (lookup == PrefetchCache::Lookup::kHit) {
-    ++stats_.cache_hits;
-    decision.served = std::move(cached);
-    return decision;
-  }
-  ++stats_.forwarded;
-  return decision;
-}
-
-void StaticOnlyEngine::on_origin_response(const std::string& user, const http::Request& request,
-                                          const http::Response& response, SimTime now) {
-  (void)user;
-  (void)request;
-  (void)now;
-  stats_.bytes_origin_to_proxy += response.wire_size();
-}
-
-void StaticOnlyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                                            const http::Response& response, SimTime now,
-                                            double response_time_ms) {
-  (void)response_time_ms;
-  auto it = users_.find(user);
-  if (it == users_.end()) return;
-  ++stats_.prefetch_responses;
-  stats_.bytes_prefetched += response.wire_size();
-  if (!response.ok()) {
-    ++stats_.prefetch_failures;
-    return;
-  }
-  PrefetchCache::Entry entry;
-  entry.set_response(response);
-  entry.sig_id = job.sig_id;
-  entry.fetched_at = now;
-  if (expiration_) entry.expires_at = now + *expiration_;
-  it->second->cache.put(job.cache_key, std::move(entry), now);
-}
-
-std::vector<PrefetchJob> StaticOnlyEngine::take_prefetches(const std::string& user,
-                                                           SimTime now) {
-  (void)now;
-  auto it = users_.find(user);
-  if (it == users_.end()) it = users_.emplace(user, std::make_unique<UserState>()).first;
-  if (it->second->seeded) return {};
-  it->second->seeded = true;
-  std::vector<PrefetchJob> jobs;
+void StaticOnlyEngine::seed_user(UserState& state, std::vector<PrefetchJob>* out) {
+  (void)state;
   for (const http::Request& request : complete_) {
     PrefetchJob job;
-    job.user = user;
     const TransactionSignature* sig = signatures_->match_request(request);
     job.sig_id = sig != nullptr ? sig->id : "static";
     job.request = request;
     job.cache_key = request.cache_key();
-    jobs.push_back(std::move(job));
+    out->push_back(std::move(job));
   }
-  stats_.prefetches_issued += jobs.size();
-  return jobs;
 }
 
 }  // namespace appx::core

@@ -14,146 +14,108 @@
 // real signature carries run-time holes (cookies, hosts, versions), so this
 // degenerates to no prefetching at all — the quantitative form of the
 // paper's §7 argument against static-only reconstruction.
+//
+// Both share BaselineEngine: the per-user state map, exact-match cache
+// serving, and ProxyStats accounting live once here; a concrete baseline
+// only supplies its prediction strategy via the seed_user()/learn() hooks.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cache.hpp"
-#include "core/proxy.hpp"
+#include "core/session.hpp"
 #include "core/signature.hpp"
 
 namespace appx::core {
 
-// Shared shape of the proxy engines so the testbed can host any of them.
-class ProxyLike {
+// Per-user cache-serving engine skeleton behind the session API. Not
+// thread-safe (baselines are evaluation vehicles, not production runtimes).
+class BaselineEngine : public ProxyLike {
  public:
-  virtual ~ProxyLike() = default;
-  virtual ClientDecision on_client_request(const std::string& user,
-                                           const http::Request& request, SimTime now) = 0;
-  virtual void on_origin_response(const std::string& user, const http::Request& request,
-                                  const http::Response& response, SimTime now) = 0;
-  virtual void on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                                    const http::Response& response, SimTime now,
-                                    double response_time_ms) = 0;
-  // A taken prefetch job was abandoned without a response (queue overflow,
-  // shutdown). Engines tracking outstanding windows must release the slot
-  // here; the default is a no-op for engines without such bookkeeping.
-  virtual void on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
-                                   SimTime now) {
-    (void)user;
-    (void)job;
-    (void)now;
-  }
-  virtual std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) = 0;
-  virtual const ProxyStats& stats() const = 0;
-  // Metrics registry behind stats(), when the engine has one. Baselines that
-  // keep a plain ProxyStats return nullptr.
-  virtual obs::MetricsRegistry* metrics() { return nullptr; }
-};
+  using ProxyLike::on_prefetch_response;
+  using ProxyLike::on_prefetch_dropped;
 
-// Adapter: the real APPx engine behind the ProxyLike interface.
-class AppxProxy final : public ProxyLike {
- public:
-  AppxProxy(const SignatureSet* signatures, const ProxyConfig* config, std::uint64_t seed)
-      : engine_(signatures, config, seed) {}
-
-  ClientDecision on_client_request(const std::string& user, const http::Request& request,
-                                   SimTime now) override {
-    return engine_.on_client_request(user, request, now);
-  }
-  void on_origin_response(const std::string& user, const http::Request& request,
-                          const http::Response& response, SimTime now) override {
-    engine_.on_origin_response(user, request, response, now);
-  }
-  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+  UserId resolve_user(std::string_view user, SimTime now) override;
+  void on_request(UserId& user, const http::Request& request, SimTime now,
+                  Decision* out) override;
+  void on_response(UserId& user, const http::Request& request, const http::Response& response,
+                   SimTime now, Decision* out) override;
+  void on_prefetch_response(UserId& user, const PrefetchJob& job,
                             const http::Response& response, SimTime now,
-                            double response_time_ms) override {
-    engine_.on_prefetch_response(user, job, response, now, response_time_ms);
-  }
-  void on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
-                           SimTime now) override {
-    engine_.on_prefetch_dropped(user, job, now);
-  }
-  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override {
-    return engine_.take_prefetches(user, now);
-  }
-  const ProxyStats& stats() const override { return engine_.stats(); }
-  obs::MetricsRegistry* metrics() override { return &engine_.metrics(); }
+                            double response_time_ms, Decision* out) override;
+  // Baselines track no outstanding window; a dropped job needs no bookkeeping.
+  void on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) override;
+  void pump(UserId& user, SimTime now, Decision* out) override;
+  const ProxyStats& stats() const override { return stats_; }
 
-  ProxyEngine& engine() { return engine_; }
-  const ProxyEngine& engine() const { return engine_; }
+ protected:
+  explicit BaselineEngine(std::optional<Duration> expiration);
+
+  struct UserState {
+    UserId id;
+    PrefetchCache cache;
+    std::set<std::string> inflight;  // cache keys already handled
+    bool seeded = false;             // seed_user() emitted for this user
+  };
+
+  // --- strategy hooks -------------------------------------------------------
+
+  // Jobs to issue once on first contact with a user (static prediction).
+  virtual void seed_user(UserState& state, std::vector<PrefetchJob>* out);
+  // Learn from a forwarded origin response (dynamic prediction).
+  virtual void learn(UserState& state, const http::Request& request,
+                     const http::Response& response, SimTime now,
+                     std::vector<PrefetchJob>* out);
+
+  // Stamp identity, count the jobs as issued and move them onto the Decision.
+  void issue(UserState& state, std::vector<PrefetchJob> jobs, Decision* out);
+
+  UserState& state_for(UserId& id, SimTime now);
+
+  std::optional<Duration> expiration_;
+  ProxyStats stats_;
 
  private:
-  ProxyEngine engine_;
+  void seed_once(UserState& state, Decision* out);
+
+  std::map<std::string, std::unique_ptr<UserState>, std::less<>> users_;
 };
 
 // Extract the absolute http(s) URLs embedded in a response body.
 std::vector<std::string> extract_urls(std::string_view body);
 
-class LooxyEngine final : public ProxyLike {
+class LooxyEngine final : public BaselineEngine {
  public:
   // expiration: freshness window for prefetched responses (Looxy caches too).
   explicit LooxyEngine(std::optional<Duration> expiration = minutes(30));
 
-  ClientDecision on_client_request(const std::string& user, const http::Request& request,
-                                   SimTime now) override;
-  void on_origin_response(const std::string& user, const http::Request& request,
-                          const http::Response& response, SimTime now) override;
-  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                            const http::Response& response, SimTime now,
-                            double response_time_ms) override;
-  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override;
-  const ProxyStats& stats() const override { return stats_; }
-
  private:
-  struct UserState {
-    PrefetchCache cache;
-    std::set<std::string> inflight;  // URLs already being prefetched
-    std::vector<PrefetchJob> pending;
-  };
-  UserState& user_state(const std::string& user);
-
-  std::optional<Duration> expiration_;
-  std::map<std::string, std::unique_ptr<UserState>> users_;
-  ProxyStats stats_;
+  void learn(UserState& state, const http::Request& request, const http::Response& response,
+             SimTime now, std::vector<PrefetchJob>* out) override;
 };
 
 // PALOMA-flavoured baseline: emits, once per user, the prefetch requests that
 // are fully concrete in the signature set (no holes anywhere). Serves exact
 // matches like the others.
-class StaticOnlyEngine final : public ProxyLike {
+class StaticOnlyEngine final : public BaselineEngine {
  public:
   explicit StaticOnlyEngine(const SignatureSet* signatures,
                             std::optional<Duration> expiration = minutes(30));
-
-  ClientDecision on_client_request(const std::string& user, const http::Request& request,
-                                   SimTime now) override;
-  void on_origin_response(const std::string& user, const http::Request& request,
-                          const http::Response& response, SimTime now) override;
-  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                            const http::Response& response, SimTime now,
-                            double response_time_ms) override;
-  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now) override;
-  const ProxyStats& stats() const override { return stats_; }
 
   // Requests reconstructible from static analysis alone.
   std::size_t statically_complete() const { return complete_.size(); }
 
  private:
-  struct UserState {
-    PrefetchCache cache;
-    bool seeded = false;
-  };
+  void seed_user(UserState& state, std::vector<PrefetchJob>* out) override;
 
   const SignatureSet* signatures_;
-  std::optional<Duration> expiration_;
   std::vector<http::Request> complete_;
-  std::map<std::string, std::unique_ptr<UserState>> users_;
-  ProxyStats stats_;
 };
 
 }  // namespace appx::core

@@ -11,21 +11,38 @@ namespace appx::core {
 
 ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
                          std::uint64_t seed)
-    : signatures_(signatures), config_(config), seed_(seed), rng_(seed) {
+    : ProxyEngine(signatures, config,
+                  [&] {
+                    if (config == nullptr) throw InvalidArgumentError("ProxyEngine: null config");
+                    EngineOptions options = EngineOptions::from_config(*config);
+                    options.seed = seed;
+                    return options;
+                  }()) {}
+
+ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
+                         EngineOptions options, obs::MetricsRegistry* registry,
+                         std::uint32_t shard_index)
+    : signatures_(signatures),
+      config_(config),
+      options_(std::move(options)),
+      shard_index_(shard_index),
+      seed_(options_.seed),
+      registry_(registry != nullptr ? registry : &own_registry_) {
   if (signatures == nullptr) throw InvalidArgumentError("ProxyEngine: null signature set");
   if (config == nullptr) throw InvalidArgumentError("ProxyEngine: null config");
+  options_.validate().throw_if_error();
   ignored_headers_ = config->all_added_header_names();
 
-  inst_.client_requests = &registry_.counter("appx_proxy_client_requests_total");
-  inst_.cache_hits = &registry_.counter("appx_proxy_cache_hits_total");
-  inst_.cache_expired = &registry_.counter("appx_proxy_cache_expired_total");
-  inst_.forwarded = &registry_.counter("appx_proxy_forwarded_total");
-  inst_.prefetches_issued = &registry_.counter("appx_prefetch_issued_total");
-  inst_.prefetch_responses = &registry_.counter("appx_prefetch_responses_total");
-  inst_.prefetch_failures = &registry_.counter("appx_prefetch_failures_total");
+  obs::MetricsRegistry& reg = *registry_;
+  inst_.client_requests = &reg.counter("appx_proxy_client_requests_total");
+  inst_.cache_hits = &reg.counter("appx_proxy_cache_hits_total");
+  inst_.cache_expired = &reg.counter("appx_proxy_cache_expired_total");
+  inst_.forwarded = &reg.counter("appx_proxy_forwarded_total");
+  inst_.prefetches_issued = &reg.counter("appx_prefetch_issued_total");
+  inst_.prefetch_responses = &reg.counter("appx_prefetch_responses_total");
+  inst_.prefetch_failures = &reg.counter("appx_prefetch_failures_total");
   const auto skipped = [&](const char* reason) {
-    return &registry_.counter(
-        obs::labeled("appx_prefetch_skipped_total", {{"reason", reason}}));
+    return &reg.counter(obs::labeled("appx_prefetch_skipped_total", {{"reason", reason}}));
   };
   inst_.skipped_disabled = skipped("disabled");
   inst_.skipped_probability = skipped("probability");
@@ -33,61 +50,105 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
   inst_.skipped_budget = skipped("budget");
   inst_.skipped_duplicate = skipped("duplicate");
   inst_.skipped_refetch = skipped("refetch");
-  inst_.forward_cached = &registry_.counter("appx_proxy_forward_cached_total");
-  inst_.prefetches_dropped = &registry_.counter("appx_prefetch_dropped_total");
+  inst_.forward_cached = &reg.counter("appx_proxy_forward_cached_total");
+  inst_.prefetches_dropped = &reg.counter("appx_prefetch_dropped_total");
   inst_.evicted_lru =
-      &registry_.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "lru"}}));
+      &reg.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "lru"}}));
   inst_.evicted_expired =
-      &registry_.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "expired"}}));
-  inst_.users_evicted = &registry_.counter("appx_proxy_users_evicted_total");
-  inst_.bytes_origin_to_proxy = &registry_.counter("appx_proxy_origin_bytes_total");
-  inst_.bytes_prefetched = &registry_.counter("appx_prefetch_bytes_total");
-  inst_.bytes_served_from_cache = &registry_.counter("appx_proxy_cache_served_bytes_total");
-  inst_.cache_entries = &registry_.gauge("appx_cache_entries");
-  inst_.cache_bytes = &registry_.gauge("appx_cache_bytes");
-  inst_.users = &registry_.gauge("appx_proxy_users");
-  inst_.prefetch_queued = &registry_.gauge("appx_prefetch_queue_depth");
-  inst_.prefetch_outstanding = &registry_.gauge("appx_prefetch_outstanding");
-  inst_.prefetch_response_time_us = &registry_.histogram("appx_prefetch_response_time_us");
+      &reg.counter(obs::labeled("appx_cache_evicted_total", {{"cause", "expired"}}));
+  inst_.users_evicted = &reg.counter("appx_proxy_users_evicted_total");
+  inst_.bytes_origin_to_proxy = &reg.counter("appx_proxy_origin_bytes_total");
+  inst_.bytes_prefetched = &reg.counter("appx_prefetch_bytes_total");
+  inst_.bytes_served_from_cache = &reg.counter("appx_proxy_cache_served_bytes_total");
+  inst_.cache_entries = &reg.gauge("appx_cache_entries");
+  inst_.cache_bytes = &reg.gauge("appx_cache_bytes");
+  inst_.users = &reg.gauge("appx_proxy_users");
+  inst_.prefetch_queued = &reg.gauge("appx_prefetch_queue_depth");
+  inst_.prefetch_outstanding = &reg.gauge("appx_prefetch_outstanding");
+  inst_.prefetch_response_time_us = &reg.histogram("appx_prefetch_response_time_us");
 
-  sig_stats_.bind_registry(&registry_);
+  sig_stats_.bind_registry(registry_);
 
   // Build the dispatch index now: export callbacks may sample its totals from
   // a scrape thread, and a lazy build on first match() would race with it.
   const SignatureIndex& index = signatures_->index();
   (void)index;
-  registry_.gauge_callback("appx_sigindex_lookups_total",
-                           [this] { return signatures_->index().totals().lookups; });
-  registry_.gauge_callback("appx_sigindex_candidates_total",
-                           [this] { return signatures_->index().totals().candidates; });
-  registry_.gauge_callback("appx_sigindex_confirmed_total",
-                           [this] { return signatures_->index().totals().confirmed; });
+  // Shards sharing a registry each register these callbacks against their own
+  // signature-set copy (last registration wins); a ShardedProxyEngine then
+  // overwrites them with fleet-wide sums.
+  reg.gauge_callback("appx_sigindex_lookups_total",
+                     [this] { return signatures_->index().totals().lookups; });
+  reg.gauge_callback("appx_sigindex_candidates_total",
+                     [this] { return signatures_->index().totals().candidates; });
+  reg.gauge_callback("appx_sigindex_confirmed_total",
+                     [this] { return signatures_->index().totals().confirmed; });
 }
 
-ProxyEngine::UserState& ProxyEngine::user_state(const std::string& user, SimTime now) {
-  auto it = users_.find(user);
-  if (it == users_.end()) {
-    it = users_.emplace(user, std::make_unique<UserState>(signatures_, *config_)).first;
-    it->second->cache.bind_metrics(PrefetchCache::Metrics{
-        inst_.evicted_lru, inst_.evicted_expired, inst_.cache_entries, inst_.cache_bytes});
-    it->second->scheduler.bind_metrics(
-        PrefetchScheduler::Metrics{inst_.prefetch_queued, inst_.prefetch_outstanding});
-    inst_.users->set(static_cast<std::int64_t>(users_.size()));
-    // New arrivals pay the bookkeeping cost: reap idle users (and enforce the
-    // hard cap) only when the user set actually grows, keeping the hot
-    // request path O(log n).
-    evict_idle_users(now, user);
+UserId ProxyEngine::resolve_user(std::string_view user, SimTime now) {
+  const auto it = users_.find(user);
+  if (it != users_.end()) {
+    UserState& state = *slots_[it->second].state;
+    state.last_active = now;
+    return state.id;
   }
-  it->second->last_active = now;
-  return *it->second;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.state = std::make_unique<UserState>(signatures_, *config_, options_);
+  s.state->cache.bind_metrics(PrefetchCache::Metrics{
+      inst_.evicted_lru, inst_.evicted_expired, inst_.cache_entries, inst_.cache_bytes});
+  s.state->scheduler.bind_metrics(
+      PrefetchScheduler::Metrics{inst_.prefetch_queued, inst_.prefetch_outstanding});
+  s.state->last_active = now;
+  s.state->id = UserId(std::make_shared<const std::string>(user), fnv1a(user), shard_index_,
+                       slot, s.generation);
+  users_.emplace(std::string(user), slot);
+  // Delta, not set(): shards sharing a registry sum their populations.
+  inst_.users->add(1);
+  // New arrivals pay the bookkeeping cost: reap idle users (and enforce the
+  // hard cap) only when the user set actually grows, keeping the hot
+  // request path O(log n).
+  evict_idle_users(now, slot);
+  return s.state->id;
 }
 
-void ProxyEngine::evict_idle_users(SimTime now, const std::string& keep) {
-  if (config_->user_idle_timeout) {
+ProxyEngine::UserState& ProxyEngine::state_for(UserId& id, SimTime now) {
+  if (!id.valid()) throw InvalidArgumentError("ProxyEngine: unresolved UserId");
+  if (id.slot() < slots_.size() && slots_[id.slot()].generation == id.generation() &&
+      slots_[id.slot()].state != nullptr) {
+    UserState& state = *slots_[id.slot()].state;
+    state.last_active = now;
+    return state;
+  }
+  // The user was evicted after the caller minted its id (idle sweep or the
+  // max_users cap): re-intern under a fresh slot/generation and repair the
+  // caller's handle in place.
+  id = resolve_user(id.name(), now);
+  return *slots_[id.slot()].state;
+}
+
+void ProxyEngine::release_slot(std::uint32_t slot) {
+  slots_[slot].state.reset();
+  ++slots_[slot].generation;  // invalidate outstanding UserIds for this slot
+  free_slots_.push_back(slot);
+  inst_.users->sub(1);
+  inst_.users_evicted->inc();
+}
+
+void ProxyEngine::evict_idle_users(SimTime now, std::uint32_t keep_slot) {
+  if (options_.user_idle_timeout) {
     for (auto it = users_.begin(); it != users_.end();) {
-      if (it->first != keep && now - it->second->last_active >= *config_->user_idle_timeout) {
+      const std::uint32_t slot = it->second;
+      if (slot != keep_slot &&
+          now - slots_[slot].state->last_active >= *options_.user_idle_timeout) {
+        release_slot(slot);
         it = users_.erase(it);
-        inst_.users_evicted->inc();
       } else {
         ++it;
       }
@@ -96,25 +157,34 @@ void ProxyEngine::evict_idle_users(SimTime now, const std::string& keep) {
   // Still above the cap (a burst of genuinely active users): evict the
   // least-recently-active regardless of the idle timeout so users_ stays
   // bounded no matter the workload.
-  while (config_->max_users > 0 && users_.size() > config_->max_users) {
+  while (options_.max_users > 0 && users_.size() > options_.max_users) {
     auto victim = users_.end();
     for (auto it = users_.begin(); it != users_.end(); ++it) {
-      if (it->first == keep) continue;
-      if (victim == users_.end() || it->second->last_active < victim->second->last_active) {
+      if (it->second == keep_slot) continue;
+      if (victim == users_.end() ||
+          slots_[it->second].state->last_active < slots_[victim->second].state->last_active) {
         victim = it;
       }
     }
-    if (victim == users_.end()) break;  // only `keep` is left
+    if (victim == users_.end()) break;  // only the new arrival is left
+    release_slot(victim->second);
     users_.erase(victim);
-    inst_.users_evicted->inc();
   }
-  inst_.users->set(static_cast<std::int64_t>(users_.size()));
 }
 
-ClientDecision ProxyEngine::on_client_request(const std::string& user,
-                                              const http::Request& request, SimTime now) {
+void ProxyEngine::drain_scheduler(UserState& state, Decision* out) {
+  while (auto job = state.scheduler.dequeue()) {
+    job->user = state.id.name();
+    job->uid = state.id;
+    inst_.prefetches_issued->inc();
+    out->prefetches.push_back(std::move(*job));
+  }
+}
+
+void ProxyEngine::on_request(UserId& user, const http::Request& request, SimTime now,
+                             Decision* out) {
   inst_.client_requests->inc();
-  UserState& state = user_state(user, now);
+  UserState& state = state_for(user, now);
   // New client activity opens a fresh prefetch generation: keys evicted since
   // their last prefetch become eligible again.
   state.prefetched_generation.clear();
@@ -131,46 +201,49 @@ ClientDecision ProxyEngine::on_client_request(const std::string& user,
     sig_stats_.record_lookup(sig->id, lookup == PrefetchCache::Lookup::kHit);
   }
 
-  ClientDecision decision;
   if (lookup == PrefetchCache::Lookup::kHit) {
     inst_.cache_hits->inc();
     inst_.bytes_served_from_cache->add(cached->wire_size());
-    decision.served = std::move(cached);  // shares the cache entry, no body copy
-    return decision;
+    out->served = std::move(cached);  // shares the cache entry, no body copy
+  } else {
+    if (lookup == PrefetchCache::Lookup::kExpired) inst_.cache_expired->inc();
+    inst_.forwarded->inc();
+    state.forwarding.insert(key);
   }
-  if (lookup == PrefetchCache::Lookup::kExpired) inst_.cache_expired->inc();
-  inst_.forwarded->inc();
-  state.forwarding.insert(key);
-  return decision;
+  drain_scheduler(state, out);
 }
 
-void ProxyEngine::on_origin_response(const std::string& user, const http::Request& request,
-                                     const http::Response& response, SimTime now) {
-  UserState& state = user_state(user, now);
+void ProxyEngine::on_response(UserId& user, const http::Request& request,
+                              const http::Response& response, SimTime now, Decision* out) {
+  UserState& state = state_for(user, now);
   inst_.bytes_origin_to_proxy->add(response.wire_size());
   state.forwarding.erase(request.cache_key(ignored_headers_));
 
   admit_prefetches(state, state.learning.observe(request, response), now);
+  drain_scheduler(state, out);
 }
 
-void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJob& job,
+void ProxyEngine::on_prefetch_response(UserId& user, const PrefetchJob& job,
                                        const http::Response& response, SimTime now,
-                                       double response_time_ms) {
-  UserState& state = user_state(user, now);
+                                       double response_time_ms, Decision* out) {
+  UserState& state = state_for(user, now);
   state.scheduler.on_completed();
   state.inflight.erase(job.cache_key);
-  inst_.prefetch_responses->inc();
   inst_.bytes_prefetched->add(response.wire_size());
   inst_.prefetch_response_time_us->record(static_cast<std::int64_t>(response_time_ms * 1000.0));
   state.prefetch_bytes_used += response.wire_size();
   sig_stats_.record_response_time(job.sig_id, response_time_ms);
 
   if (!response.ok()) {
+    // Failures are NOT counted as responses: fleet-wide the accounting is
+    // prefetch_responses + prefetch_failures + prefetches_dropped == issued.
     inst_.prefetch_failures->inc();
     log_debug("proxy") << "prefetch for " << job.sig_id << " failed with status "
                        << response.status;
+    drain_scheduler(state, out);
     return;
   }
+  inst_.prefetch_responses->inc();
 
   PrefetchCache::Entry entry;
   entry.set_response(response);
@@ -182,14 +255,18 @@ void ProxyEngine::on_prefetch_response(const std::string& user, const PrefetchJo
   // Chained prefetching: treat the prefetched transaction as an observed one
   // so successors of this signature can become ready in turn.
   admit_prefetches(state, state.learning.observe(job.request, response), now);
+  drain_scheduler(state, out);
 }
 
-void ProxyEngine::on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
-                                      SimTime now) {
-  UserState& state = user_state(user, now);
+void ProxyEngine::on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) {
+  UserState& state = state_for(user, now);
   state.scheduler.on_dropped();
   state.inflight.erase(job.cache_key);
   inst_.prefetches_dropped->inc();
+}
+
+void ProxyEngine::pump(UserId& user, SimTime now, Decision* out) {
+  drain_scheduler(state_for(user, now), out);
 }
 
 void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready,
@@ -252,17 +329,6 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
   }
 }
 
-std::vector<PrefetchJob> ProxyEngine::take_prefetches(const std::string& user, SimTime now) {
-  UserState& state = user_state(user, now);
-  std::vector<PrefetchJob> jobs;
-  while (auto job = state.scheduler.dequeue()) {
-    job->user = user;
-    inst_.prefetches_issued->inc();
-    jobs.push_back(std::move(*job));
-  }
-  return jobs;
-}
-
 const ProxyStats& ProxyEngine::stats() const {
   // Refresh the compatibility view in place: old references observe the
   // update on the next stats() call.
@@ -298,12 +364,12 @@ const ProxyStats& ProxyEngine::stats() const {
 
 const LearningEngine* ProxyEngine::learning_for(const std::string& user) const {
   const auto it = users_.find(user);
-  return it == users_.end() ? nullptr : &it->second->learning;
+  return it == users_.end() ? nullptr : &slots_[it->second].state->learning;
 }
 
 const PrefetchCache* ProxyEngine::cache_for(const std::string& user) const {
   const auto it = users_.find(user);
-  return it == users_.end() ? nullptr : &it->second->cache;
+  return it == users_.end() ? nullptr : &slots_[it->second].state->cache;
 }
 
 }  // namespace appx::core

@@ -1,13 +1,19 @@
-// The acceleration proxy engine (paper §4.5, Fig. 10).
+// The acceleration proxy engine (paper §4.5, Fig. 10) — one shard.
 //
 // Transport-agnostic: the engine consumes observed events (client request,
-// origin response, prefetch response) and emits decisions (serve-from-cache
-// or forward; a set of prefetch jobs to issue). The simulator — or a real
-// socket front end — owns the wire.
+// origin response, prefetch response) through the session API (core/session
+// .hpp) and fills Decisions (serve-from-cache or forward; prefetch jobs to
+// issue). The simulator — or a real socket front end — owns the wire.
 //
 // Per-user isolation: prefetched responses and learned run-time state are
 // never shared across users (paper §2/§5: "prefetched responses are not
 // shared across users, and the prototype distinguishes users by IP").
+//
+// A ProxyEngine is NOT thread-safe; it is either driven single-threaded or
+// wrapped as one shard of a ShardedProxyEngine (core/sharded_proxy.hpp),
+// which gives each shard its own mutex. User state lives in a slot table so
+// a resolved UserId routes events in O(1); evicting a user recycles its slot
+// under a bumped generation (see core/user_id.hpp).
 #pragma once
 
 #include <map>
@@ -15,120 +21,87 @@
 #include <set>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cache.hpp"
 #include "core/config.hpp"
+#include "core/engine_options.hpp"
 #include "core/learning.hpp"
 #include "core/scheduler.hpp"
+#include "core/session.hpp"
 #include "core/signature.hpp"
 #include "obs/metrics.hpp"
-#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace appx::core {
 
-struct ProxyStats {
-  // Client-facing.
-  std::size_t client_requests = 0;
-  std::size_t cache_hits = 0;
-  std::size_t cache_expired = 0;
-  std::size_t forwarded = 0;
-  // Prefetching.
-  std::size_t prefetches_issued = 0;
-  std::size_t prefetch_responses = 0;
-  std::size_t prefetch_failures = 0;  // non-2xx prefetch responses
-  std::size_t skipped_disabled = 0;
-  std::size_t skipped_probability = 0;
-  std::size_t skipped_condition = 0;
-  std::size_t skipped_budget = 0;
-  std::size_t skipped_duplicate = 0;  // already cached and fresh
-  std::size_t skipped_refetch = 0;    // already prefetched this client generation
-  std::size_t forward_cached = 0;     // forwarded responses kept in the cache
-  std::size_t prefetches_dropped = 0;  // issued jobs abandoned by the caller
-  // Resource-bound enforcement (cache caps, TTL sweeps, idle-user eviction).
-  std::size_t evicted_lru = 0;      // cache entries evicted by the LRU bound
-  std::size_t evicted_expired = 0;  // cache entries reaped by TTL
-  std::size_t users_evicted = 0;    // idle user contexts evicted
-  // Data accounting (proxy<->server direction; paper §6.2 data usage).
-  Bytes bytes_origin_to_proxy = 0;  // forwarded responses
-  Bytes bytes_prefetched = 0;       // prefetch responses
-  Bytes bytes_served_from_cache = 0;
-  // Live cache footprint across all users (gauges, not monotonic).
-  std::size_t cache_entries = 0;
-  Bytes cache_bytes = 0;
-};
-
-// What to do with a client request.
-struct ClientDecision {
-  // Set when the proxy serves from cache; otherwise forward to origin. The
-  // response is shared with the cache entry rather than copied (bodies can
-  // be hundreds of KB) and stays valid however long the caller holds it.
-  std::shared_ptr<const http::Response> served;
-};
-
-class ProxyEngine {
+class ProxyEngine final : public ProxyLike {
  public:
-  // `signatures` and `config` must outlive the engine.
+  // `signatures` and `config` must outlive the engine. Runtime caps are
+  // snapshotted from `config` via EngineOptions::from_config.
   ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
               std::uint64_t seed = 1);
+  // Full control: explicit options (validated here), optionally a shared
+  // metrics registry (a ShardedProxyEngine passes one registry to all its
+  // shards; metric updates are deltas, so contributions aggregate) and this
+  // engine's shard index (stamped into minted UserIds).
+  ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
+              EngineOptions options, obs::MetricsRegistry* registry = nullptr,
+              std::uint32_t shard_index = 0);
 
-  // --- events ---------------------------------------------------------------
+  // The string-keyed shims share names with the session overloads below;
+  // re-expose them (they are hidden by the overrides otherwise).
+  using ProxyLike::on_prefetch_response;
+  using ProxyLike::on_prefetch_dropped;
 
-  // A client request arrived. Returns the cached response on an exact,
-  // unexpired match; otherwise the caller forwards to the origin.
-  ClientDecision on_client_request(const std::string& user, const http::Request& request,
-                                   SimTime now);
+  // --- session API (see core/session.hpp for contracts) ---------------------
 
-  // The origin answered a forwarded client request. Runs dynamic learning;
-  // afterwards call take_prefetches() for jobs that became issuable.
-  void on_origin_response(const std::string& user, const http::Request& request,
-                          const http::Response& response, SimTime now);
-
-  // A prefetch we issued completed. Caches the response and runs learning on
-  // it (chained prefetching: a prefetched predecessor can ready further
-  // successors, Fig. 3(c)).
-  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
+  UserId resolve_user(std::string_view user, SimTime now) override;
+  void on_request(UserId& user, const http::Request& request, SimTime now,
+                  Decision* out) override;
+  void on_response(UserId& user, const http::Request& request, const http::Response& response,
+                   SimTime now, Decision* out) override;
+  void on_prefetch_response(UserId& user, const PrefetchJob& job,
                             const http::Response& response, SimTime now,
-                            double response_time_ms);
+                            double response_time_ms, Decision* out) override;
+  void on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) override;
+  void pump(UserId& user, SimTime now, Decision* out) override;
 
-  // A prefetch we issued will never get a response (dropped on queue
-  // overflow, a torn-down connection, or an error path that skips
-  // on_prefetch_response). Releases the job's outstanding-window slot and
-  // in-flight key so prefetching is not silently throttled by the leak.
-  void on_prefetch_dropped(const std::string& user, const PrefetchJob& job, SimTime now);
-
-  // Prefetch jobs to put on the wire now (priority order, bounded by the
-  // outstanding window). Call after any of the events above.
-  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now);
-
-  // --- introspection ----------------------------------------------------------
+  // --- introspection --------------------------------------------------------
 
   // Compatibility snapshot of the metrics registry. Repeated calls refresh
   // the same object, so a held reference stays valid and re-reads the
   // registry on the next stats() call.
-  const ProxyStats& stats() const;
+  const ProxyStats& stats() const override;
   const SignatureStats& signature_stats() const { return sig_stats_; }
 
   // The registry behind stats(): every ProxyStats field plus per-signature
   // breakdowns, latency histograms and signature-index effectiveness. Safe to
   // export from another thread (all metric updates are atomic), but metrics
   // derived from engine structures (user count gauge) are only as fresh as
-  // the last engine event.
-  obs::MetricsRegistry& metrics() { return registry_; }
-  const obs::MetricsRegistry& metrics() const { return registry_; }
+  // the last engine event. Shared with sibling shards when the engine was
+  // constructed with an external registry.
+  obs::MetricsRegistry* metrics() override { return registry_; }
+  const obs::MetricsRegistry* metrics() const { return registry_; }
+
+  const EngineOptions& options() const { return options_; }
   const LearningEngine* learning_for(const std::string& user) const;
   const PrefetchCache* cache_for(const std::string& user) const;
+  // Users resident in THIS shard. Fleet-wide counts come from the
+  // appx_proxy_users registry gauge, which every shard maintains by delta.
   std::size_t user_count() const { return users_.size(); }
 
  private:
   struct UserState {
-    UserState(const SignatureSet* signatures, const ProxyConfig& config)
+    UserState(const SignatureSet* signatures, const ProxyConfig& config,
+              const EngineOptions& options)
         : learning(signatures, &config.host_apps),
-          cache(PrefetchCache::Limits{config.cache_max_entries, config.cache_max_bytes}),
-          scheduler(PrefetchScheduler::Weights{config.scheduler_time_weight,
-                                               config.scheduler_hit_weight},
-                    config.max_outstanding_prefetches) {}
+          cache(PrefetchCache::Limits{options.cache_max_entries, options.cache_max_bytes}),
+          scheduler(PrefetchScheduler::Weights{options.scheduler_time_weight,
+                                               options.scheduler_hit_weight},
+                    options.max_outstanding_prefetches) {}
+    UserId id;  // the handle minted for this user (name, shard, slot, gen)
     LearningEngine learning;
     PrefetchCache cache;
     PrefetchScheduler scheduler;
@@ -146,12 +119,25 @@ class ProxyEngine {
     std::set<std::string> prefetched_generation;
   };
 
-  UserState& user_state(const std::string& user, SimTime now);
-  void evict_idle_users(SimTime now, const std::string& keep);
+  // Slot table: UserIds index into it directly; the generation distinguishes
+  // the current occupant from stale handles to an evicted predecessor.
+  struct Slot {
+    std::uint32_t generation = 0;
+    std::unique_ptr<UserState> state;
+  };
+
+  // State for a resolved id, touching last_active. Re-interns (and updates
+  // `id`) when the user was evicted since the id was minted.
+  UserState& state_for(UserId& id, SimTime now);
+  void release_slot(std::uint32_t slot);
+  void evict_idle_users(SimTime now, std::uint32_t keep_slot);
   void admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready, SimTime now);
+  // Move issuable jobs off the scheduler onto the Decision, stamping identity.
+  void drain_scheduler(UserState& state, Decision* out);
 
   // Registry metrics resolved once at construction; hot paths bump these
-  // pointers and never touch the registry lock.
+  // pointers and never touch the registry lock. All updates are increments /
+  // deltas so shards sharing one registry aggregate instead of clobbering.
   struct Instruments {
     obs::Counter* client_requests = nullptr;
     obs::Counter* cache_hits = nullptr;
@@ -184,15 +170,19 @@ class ProxyEngine {
 
   const SignatureSet* signatures_;
   const ProxyConfig* config_;
+  EngineOptions options_;
   std::vector<std::string> ignored_headers_;  // config add_header names
+  std::uint32_t shard_index_ = 0;
   std::uint64_t seed_;
-  Rng rng_;
-  // The registry must outlive users_: per-user caches and schedulers hold
-  // raw pointers into it and give back their gauge contributions on
-  // destruction.
-  obs::MetricsRegistry registry_;
+  // Backs registry_ when no external registry was supplied. Must outlive
+  // slots_: per-user caches and schedulers hold raw pointers into the
+  // registry and give back their gauge contributions on destruction.
+  obs::MetricsRegistry own_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   Instruments inst_;
-  std::map<std::string, std::unique_ptr<UserState>> users_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::map<std::string, std::uint32_t, std::less<>> users_;  // name -> slot
   SignatureStats sig_stats_;
   mutable ProxyStats stats_view_;
 };

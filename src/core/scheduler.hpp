@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/user_id.hpp"
 #include "http/message.hpp"
 #include "json/json.hpp"
 #include "obs/metrics.hpp"
@@ -23,7 +24,8 @@ namespace appx::core {
 
 // A prefetch the proxy has decided to issue.
 struct PrefetchJob {
-  std::string user;
+  std::string user;  // display name; uid is the routing identity
+  UserId uid;        // set when the issuing engine resolved the user
   std::string sig_id;
   http::Request request;
   std::string cache_key;  // canonical identity, computed before add_headers

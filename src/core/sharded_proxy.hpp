@@ -1,0 +1,105 @@
+// Sharded proxy runtime: N independent ProxyEngines behind one session API.
+//
+// The paper keeps all run-time state per user (§2/§5), which makes the
+// engine embarrassingly shardable: a user's every event touches only its own
+// learning/cache/scheduler state. ShardedProxyEngine exploits that —
+//
+//   * users are assigned to shards by fnv1a(user) % shard_count (stable, so
+//     a UserId's shard never changes);
+//   * each shard is a full ProxyEngine with its own mutex, its own user
+//     slot table, its own deep copy of the signature set (the pattern
+//     layer's lazy match caches are unsynchronised by contract) and a
+//     probability-coin stream seeded seed ^ shard;
+//   * all shards contribute deltas into ONE shared obs::MetricsRegistry, so
+//     /appx/metrics, stats() aggregation and the prefetch-accounting
+//     invariant (responses + failures + dropped == issued) hold fleet-wide.
+//
+// Events for users on different shards proceed in parallel; the per-shard
+// lock is held only for the engine event itself (microseconds), never for
+// network I/O. thread_safe() is true: front ends drive sessions from many
+// threads with no global engine lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine_options.hpp"
+#include "core/proxy.hpp"
+#include "core/session.hpp"
+#include "obs/metrics.hpp"
+
+namespace appx::core {
+
+class ShardedProxyEngine final : public ProxyLike {
+ public:
+  // `signatures` and `config` must outlive the engine. options.shards == 0
+  // picks hardware_concurrency (min 1). Throws on invalid options.
+  ShardedProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
+                     EngineOptions options = {});
+
+  using ProxyLike::on_prefetch_response;
+  using ProxyLike::on_prefetch_dropped;
+
+  // --- session API (thread-safe; see core/session.hpp) ----------------------
+
+  UserId resolve_user(std::string_view user, SimTime now) override;
+  void on_request(UserId& user, const http::Request& request, SimTime now,
+                  Decision* out) override;
+  void on_response(UserId& user, const http::Request& request, const http::Response& response,
+                   SimTime now, Decision* out) override;
+  void on_prefetch_response(UserId& user, const PrefetchJob& job,
+                            const http::Response& response, SimTime now,
+                            double response_time_ms, Decision* out) override;
+  void on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) override;
+  void pump(UserId& user, SimTime now, Decision* out) override;
+  bool thread_safe() const override { return true; }
+
+  // --- introspection --------------------------------------------------------
+
+  // Fleet-wide stats: every shard's instruments point into the shared
+  // registry, so any shard's compatibility view reads the aggregated totals.
+  const ProxyStats& stats() const override { return shards_.front()->engine->stats(); }
+  obs::MetricsRegistry* metrics() override { return &registry_; }
+  const obs::MetricsRegistry* metrics() const { return &registry_; }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  // Direct access to one shard (tests, stats drill-down). NOT synchronised;
+  // use only while no other thread drives the engine.
+  ProxyEngine& shard(std::size_t i) { return *shards_[i]->engine; }
+  const ProxyEngine& shard(std::size_t i) const { return *shards_[i]->engine; }
+  // Which shard owns this user name.
+  std::size_t shard_index_for(std::string_view user) const;
+
+  // Users resident across all shards, read from the shared registry gauge
+  // every shard maintains by delta (safe concurrently with engine events;
+  // users_.size() of individual shards would race with their locks).
+  std::size_t user_count() const;
+
+  // Per-user drill-down, routed to the owning shard under its lock.
+  const LearningEngine* learning_for(const std::string& user) const;
+  const PrefetchCache* cache_for(const std::string& user) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    // Per-shard deep copy of the signature set: the pattern layer's lazy
+    // match caches are unsynchronised, so sharing one set across
+    // concurrently-matching shards would race. Declared before engine (the
+    // engine holds a pointer into it).
+    SignatureSet signatures;
+    std::unique_ptr<ProxyEngine> engine;
+  };
+
+  Shard& shard_for(const UserId& id) const;
+
+  // Declared before shards_: shard engines and their per-user state hold
+  // pointers into the registry and deposit gauge deltas on destruction.
+  obs::MetricsRegistry registry_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace appx::core

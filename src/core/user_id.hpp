@@ -1,0 +1,56 @@
+// Interned user identity for the session-oriented engine API.
+//
+// The paper keys all proxy state by user (§2/§5: prefetched responses are
+// never shared across users). The legacy API passed `const std::string&
+// user` into every event, which meant a map lookup — and, behind a sharded
+// runtime, a hash — per event. A UserId is minted once per connection by
+// ProxyLike::resolve_user and then routes events in O(1):
+//
+//   * shard()      — which shard of a ShardedProxyEngine owns the user
+//                    (stable: hash(user) % shard_count).
+//   * slot()       — index into the owning engine's slot table.
+//   * generation() — guards against slot reuse: when an idle user is evicted
+//                    its slot is recycled under a bumped generation, so a
+//                    stale handle never touches another user's state. Engine
+//                    event entry points take `UserId&` and transparently
+//                    re-intern a stale handle (the caller's copy is updated).
+//
+// The interned name is shared, not copied, so UserId is cheap to copy and a
+// prefetch job can carry its user identity across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace appx::core {
+
+class UserId {
+ public:
+  UserId() = default;  // invalid until minted by resolve_user()
+
+  // Minted by engines only; callers obtain ids via ProxyLike::resolve_user.
+  UserId(std::shared_ptr<const std::string> name, std::uint64_t hash, std::uint32_t shard,
+         std::uint32_t slot, std::uint32_t generation)
+      : name_(std::move(name)), hash_(hash), shard_(shard), slot_(slot),
+        generation_(generation) {}
+
+  bool valid() const { return name_ != nullptr; }
+  // The user's wire identity (e.g. the X-Appx-User header). Valid ids only.
+  const std::string& name() const { return *name_; }
+  // Stable FNV-1a hash of name(); identical across shard layouts.
+  std::uint64_t hash() const { return hash_; }
+  std::uint32_t shard() const { return shard_; }
+  std::uint32_t slot() const { return slot_; }
+  std::uint32_t generation() const { return generation_; }
+
+ private:
+  std::shared_ptr<const std::string> name_;
+  std::uint64_t hash_ = 0;
+  std::uint32_t shard_ = 0;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace appx::core

@@ -16,7 +16,8 @@ Testbed::Testbed(const apps::AppSpec* app, const core::SignatureSet* signatures,
   }
   switch (config_.proxy_kind) {
     case ProxyKind::kAppx: {
-      auto appx = std::make_unique<core::AppxProxy>(signatures, &effective_config_, config_.seed);
+      auto appx =
+          std::make_unique<core::ProxyEngine>(signatures, &effective_config_, config_.seed);
       appx_ = appx.get();
       engine_ = std::move(appx);
       break;
@@ -79,26 +80,39 @@ void Testbed::forward_to_origin(const http::Request& request,
 
 core::ProxyEngine& Testbed::proxy() {
   if (appx_ == nullptr) throw InvalidStateError("Testbed: not running the APPx engine");
-  return appx_->engine();
+  return *appx_;
 }
 
-void Testbed::pump_prefetches(const std::string& user) {
-  for (core::PrefetchJob& job : engine_->take_prefetches(user, sim_.now())) {
+core::Session& Testbed::session_for(const std::string& user) {
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(user, engine_->session(user, sim_.now())).first;
+  }
+  return it->second;
+}
+
+void Testbed::dispatch_prefetches(std::vector<core::PrefetchJob> jobs) {
+  for (core::PrefetchJob& job : jobs) {
     ++prefetches_taken_;
     if (config_.drop_every_nth_prefetch > 0 &&
         prefetches_taken_ % config_.drop_every_nth_prefetch == 0) {
       // Simulated shedding: the job is abandoned before it reaches the
-      // origin; the engine must release its outstanding slot.
+      // origin; the engine must release its outstanding slot. The freed
+      // window slot may make a queued job issuable — pump picks it up.
       ++prefetches_dropped_;
-      engine_->on_prefetch_dropped(user, job, sim_.now());
+      engine_->on_prefetch_dropped(job.uid, job, sim_.now());
+      core::Decision freed;
+      engine_->pump(job.uid, sim_.now(), &freed);
+      dispatch_prefetches(std::move(freed.prefetches));
       continue;
     }
     const SimTime started = sim_.now();
-    forward_to_origin(job.request, [this, user, job, started](http::Response response) {
-      engine_->on_prefetch_response(user, job, response, sim_.now(),
-                                    to_ms(sim_.now() - started));
+    forward_to_origin(job.request, [this, job, started](http::Response response) mutable {
+      core::Decision chained;
+      engine_->on_prefetch_response(job.uid, job, response, sim_.now(),
+                                    to_ms(sim_.now() - started), &chained);
       if (on_prefetch_response) on_prefetch_response(job, response);
-      pump_prefetches(user);
+      dispatch_prefetches(std::move(chained.prefetches));
     });
   }
 }
@@ -108,7 +122,7 @@ apps::AppClient::Transport Testbed::transport_for(const std::string& user) {
     observed_.push_back({user, sim_.now(), request});
     client_channel_->up().send(request.wire_size(), [this, user, request,
                                                      cb = std::move(cb)]() mutable {
-      const auto decision = engine_->on_client_request(user, request, sim_.now());
+      auto decision = session_for(user).on_request(request, sim_.now());
       if (decision.served) {
         // Hold the shared cache entry across the simulated downlink instead
         // of copying the response body.
@@ -116,13 +130,14 @@ apps::AppClient::Transport Testbed::transport_for(const std::string& user) {
                                      [cb = std::move(cb), served = decision.served] {
                                        cb(*served);
                                      });
-        pump_prefetches(user);
+        dispatch_prefetches(std::move(decision.prefetches));
         return;
       }
+      dispatch_prefetches(std::move(decision.prefetches));
       forward_to_origin(request, [this, user, request,
                                   cb = std::move(cb)](http::Response response) mutable {
-        engine_->on_origin_response(user, request, response, sim_.now());
-        pump_prefetches(user);
+        auto learned = session_for(user).on_response(request, response, sim_.now());
+        dispatch_prefetches(std::move(learned.prefetches));
         client_channel_->down().send(response.wire_size(),
                                      [cb = std::move(cb), response] { cb(response); });
       });

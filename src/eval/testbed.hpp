@@ -23,6 +23,7 @@
 #include "apps/spec.hpp"
 #include "core/baselines.hpp"
 #include "core/proxy.hpp"
+#include "core/session.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -92,7 +93,10 @@ class Testbed {
   apps::AppClient::Transport transport_for(const std::string& user);
   void forward_to_origin(const http::Request& request,
                          std::function<void(http::Response)> deliver);
-  void pump_prefetches(const std::string& user);
+  // Issue (or fault-inject-drop) the jobs an engine event surfaced; completed
+  // prefetches feed their follow-up Decisions back through here (chaining).
+  void dispatch_prefetches(std::vector<core::PrefetchJob> jobs);
+  core::Session& session_for(const std::string& user);
   sim::Channel& origin_channel(const std::string& host);
   http::Response serve_with_epoch(const http::Request& request);
 
@@ -102,9 +106,10 @@ class Testbed {
   apps::OriginServer origin_;
   core::ProxyConfig effective_config_;
   std::unique_ptr<core::ProxyLike> engine_;
-  core::AppxProxy* appx_ = nullptr;  // non-null in kAppx mode
+  core::ProxyEngine* appx_ = nullptr;  // non-null in kAppx mode
   std::unique_ptr<sim::Channel> client_channel_;
   std::map<std::string, std::unique_ptr<sim::Channel>> origin_channels_;
+  std::map<std::string, core::Session> sessions_;  // resolved once per user
   std::map<std::string, std::unique_ptr<apps::AppClient>> clients_;
   std::vector<ObservedRequest> observed_;
   std::size_t prefetches_taken_ = 0;

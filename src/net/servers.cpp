@@ -184,6 +184,7 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
       listener_(port),
       traces_(options_.trace_ring_capacity) {
   if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
+  options_.validate().throw_if_error();
   // One scrape shows everything: transport-level metrics land in the engine's
   // registry when it has one, next to the engine's own counters.
   registry_ = engine_->metrics();
@@ -201,11 +202,18 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
         registry_, options_.metrics_snapshot_path, options_.metrics_snapshot_interval);
   }
   acceptor_ = std::thread([this] { accept_loop(); });
-  const std::size_t workers = options_.prefetch_workers > 0 ? options_.prefetch_workers : 1;
-  prefetchers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+  prefetchers_.reserve(options_.prefetch_workers);
+  for (std::size_t i = 0; i < options_.prefetch_workers; ++i) {
     prefetchers_.emplace_back([this] { prefetch_worker(); });
   }
+}
+
+std::unique_lock<std::mutex> LiveProxyServer::engine_guard() {
+  // A thread-safe engine (the sharded runtime) synchronises itself per shard;
+  // funnelling its events through one server mutex would serialise exactly
+  // the work sharding parallelised. Hand back an empty guard instead.
+  if (engine_->thread_safe()) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(engine_mutex_);
 }
 
 LiveProxyServer::~LiveProxyServer() { stop(); }
@@ -235,9 +243,9 @@ void LiveProxyServer::stop() {
     leftover.swap(prefetch_queue_);
   }
   if (!leftover.empty()) {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const auto guard = engine_guard();
     for (core::PrefetchJob& job : leftover) {
-      engine_->on_prefetch_dropped(job.user, job, now());
+      engine_->on_prefetch_dropped(job.uid, job, now());
     }
   }
 }
@@ -305,9 +313,16 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
   // One logical user per connection source; for the loopback demo each
   // client identifies itself with an X-Appx-User header (falling back to a
   // shared id). A production front end would key on client address.
+  //
+  // The user is resolved into a core::Session once per (connection, user)
+  // pair; subsequent requests reuse the interned UserId so steady-state
+  // events skip the name lookup (and, on the sharded runtime, go straight
+  // to the owning shard).
   const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
+  std::map<std::string, core::Session, std::less<>> sessions;
   try {
-    HttpReader reader(&stream, options_.reader_limits);
+    HttpReader reader(&stream, ReaderLimits{options_.reader_limits.max_head_bytes,
+                                            options_.reader_limits.max_body_bytes});
     while (auto request = reader.read_request()) {
       const SimTime received = now();
       // Admin requests (metrics scrapes, trace dumps) bypass the engine:
@@ -339,10 +354,17 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
       trace.target = request->uri.path;
       trace.start_us = received;
 
-      core::ClientDecision decision;
+      auto session_it = sessions.find(user);
+      if (session_it == sessions.end()) {
+        const auto resolve_guard = engine_guard();
+        session_it = sessions.emplace(user, engine_->session(user, now())).first;
+      }
+      core::Session& session = session_it->second;
+
+      core::Decision decision;
       {
-        const std::lock_guard<std::mutex> lock(engine_mutex_);
-        decision = engine_->on_client_request(user, upstream_request, now());
+        const auto guard = engine_guard();
+        decision = session.on_request(upstream_request, now());
       }
       trace.add_span("decide", received, now());
       if (decision.served) {
@@ -357,21 +379,23 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
         trace.end_us = now();
         client_hit_us_->record(trace.end_us - received);
         traces_.push(std::move(trace));
-        enqueue_prefetches(user);
+        enqueue_jobs(std::move(decision.prefetches));
         continue;
       }
+      enqueue_jobs(std::move(decision.prefetches));
 
       const SimTime fetch_start = now();
       http::Response response = fetch_upstream(upstream_request);
       trace.add_span("forward", fetch_start, now(),
                      "status=" + std::to_string(response.status));
       const SimTime learn_start = now();
+      core::Decision learned;
       {
-        const std::lock_guard<std::mutex> lock(engine_mutex_);
-        engine_->on_origin_response(user, upstream_request, response, now());
+        const auto guard = engine_guard();
+        learned = session.on_response(upstream_request, response, now());
       }
       trace.add_span("learn", learn_start, now());
-      enqueue_prefetches(user);
+      enqueue_jobs(std::move(learned.prefetches));
       response.headers.set("X-Appx-Cache", "miss");
       const SimTime respond_start = now();
       write_response(stream, response);
@@ -389,18 +413,12 @@ void LiveProxyServer::serve_connection(TcpStream stream) {
   }
 }
 
-void LiveProxyServer::enqueue_prefetches(const std::string& user) {
-  std::vector<core::PrefetchJob> jobs;
-  {
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
-    jobs = engine_->take_prefetches(user, now());
-  }
+void LiveProxyServer::enqueue_jobs(std::vector<core::PrefetchJob> jobs) {
   if (jobs.empty()) return;
   std::vector<core::PrefetchJob> dropped;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     for (core::PrefetchJob& job : jobs) {
-      job.user = user;
       prefetch_queue_.push_back(std::move(job));
     }
     // Bounded queue: shed the oldest jobs first (they are the most likely to
@@ -416,9 +434,9 @@ void LiveProxyServer::enqueue_prefetches(const std::string& user) {
   if (!dropped.empty()) {
     queue_dropped_ += dropped.size();
     queue_dropped_total_->add(static_cast<std::int64_t>(dropped.size()));
-    const std::lock_guard<std::mutex> lock(engine_mutex_);
+    const auto guard = engine_guard();
     for (core::PrefetchJob& job : dropped) {
-      engine_->on_prefetch_dropped(job.user, job, now());
+      engine_->on_prefetch_dropped(job.uid, job, now());
     }
   }
 }
@@ -456,15 +474,16 @@ void LiveProxyServer::prefetch_worker() {
     const SimTime fetched = now();
     prefetch_fetch_us_->record(fetched - started);
     trace.add_span("fetch", started, fetched, "sig=" + job.sig_id);
+    core::Decision chained;
     {
-      const std::lock_guard<std::mutex> elock(engine_mutex_);
-      engine_->on_prefetch_response(job.user, job, response, now(),
-                                    to_ms(now() - started));
+      const auto guard = engine_guard();
+      engine_->on_prefetch_response(job.uid, job, response, now(),
+                                    to_ms(now() - started), &chained);
     }
     trace.add_span("learn", fetched, now());
     trace.end_us = now();
     traces_.push(std::move(trace));
-    enqueue_prefetches(job.user);  // chained prefetching
+    enqueue_jobs(std::move(chained.prefetches));  // chained prefetching
 
     lock.lock();
     busy_users_.erase(job.user);

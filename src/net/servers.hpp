@@ -12,7 +12,12 @@
 //     worker threads (paper §5: "we assign different worker threads to
 //     handle dynamic learning and prefetching").
 //
-// Engine access is serialised by a mutex; network I/O never holds it.
+// Engine access goes through the session API: each connection resolves its
+// user once into a core::Session and every event completes in one call that
+// also carries the prefetch jobs to enqueue. When the engine is thread-safe
+// (ShardedProxyEngine) events run with no server-side lock at all — shards
+// synchronise themselves; a single-shard or baseline engine is serialised by
+// one server mutex as before. Network I/O never holds any engine lock.
 //
 // Liveness and resource bounds:
 //   * Upstream fetches carry connect/read/write timeouts and a per-request
@@ -39,8 +44,9 @@
 #include <vector>
 
 #include "apps/server.hpp"
-#include "core/baselines.hpp"
+#include "core/engine_options.hpp"
 #include "core/proxy.hpp"
+#include "core/session.hpp"
 #include "net/http_io.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -118,32 +124,19 @@ class LiveOriginServer {
   std::thread acceptor_;
 };
 
-// Runtime bounds for the live proxy; 0 disables the corresponding bound.
-struct LiveProxyOptions {
-  // Upstream (proxy->origin) I/O bounds. A fetch that cannot complete within
-  // request_deadline resolves as a 504 instead of blocking its thread.
-  Duration connect_timeout = seconds(5);
-  Duration io_timeout = seconds(10);       // per upstream read/write
-  Duration request_deadline = seconds(15); // whole upstream fetch
-  // Prefetch execution: worker pool size and queue bound (overflow drops the
-  // oldest queued job and reports it to the engine).
-  std::size_t prefetch_workers = 4;
-  std::size_t max_prefetch_queue = 256;
-  // Per-message size bounds on client connections (431/413 beyond them).
-  ReaderLimits reader_limits;
-  // Observability: capacity of the request-trace ring served at /appx/trace,
-  // and optional periodic JSON metrics snapshots (empty path disables).
-  std::size_t trace_ring_capacity = 128;
-  std::string metrics_snapshot_path;
-  Duration metrics_snapshot_interval = seconds(10);
-};
+// Deprecated alias: live-proxy runtime bounds are the transport/runtime
+// section of core::EngineOptions (one knob surface for the whole stack; see
+// core/engine_options.hpp). Will be removed after one release.
+using LiveProxyOptions = core::EngineOptions;
 
 class LiveProxyServer {
  public:
   // Routes upstream connections by request host: host -> 127.0.0.1:port.
   using UpstreamMap = std::map<std::string, std::uint16_t>;
 
-  // `engine` must outlive the server (any ProxyLike: APPx or a baseline).
+  // `engine` must outlive the server (any ProxyLike: the sharded APPx
+  // runtime, a single-shard engine, or a baseline). Throws InvalidArgument
+  // when options.validate() fails — bad bounds are rejected, never clamped.
   LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams, std::uint16_t port = 0,
                   LiveProxyOptions options = {});
   ~LiveProxyServer();
@@ -164,8 +157,8 @@ class LiveProxyServer {
   std::size_t prefetch_jobs_dropped() const { return queue_dropped_.load(); }
 
   // The registry scraped at /appx/metrics: the engine's own registry when it
-  // has one (AppxProxy), otherwise a server-local registry holding just the
-  // transport-level metrics.
+  // has one (ProxyEngine / ShardedProxyEngine), otherwise a server-local
+  // registry holding just the transport-level metrics.
   obs::MetricsRegistry& metrics() { return *registry_; }
   const obs::MetricsRegistry& metrics() const { return *registry_; }
   // Recent per-request traces, also served at /appx/trace.
@@ -176,7 +169,13 @@ class LiveProxyServer {
   void serve_connection(TcpStream stream);
   http::Response handle_admin(const http::Request& request);
   void prefetch_worker();
-  void enqueue_prefetches(const std::string& user);
+  // Queue the jobs an engine event decided to issue; overflow drops the
+  // oldest queued job back into the engine (outstanding window released).
+  void enqueue_jobs(std::vector<core::PrefetchJob> jobs);
+  // Serialises engine access for engines that need it; returns an unlocked
+  // (empty) guard when the engine synchronises itself (ShardedProxyEngine),
+  // so shard-parallel events never funnel through one server mutex.
+  std::unique_lock<std::mutex> engine_guard();
   // Oldest queued job whose user is not being worked on (per-user ordering),
   // or end() when no job is eligible. Call with queue_mutex_ held.
   std::deque<core::PrefetchJob>::iterator next_job_locked();
@@ -189,7 +188,7 @@ class LiveProxyServer {
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex engine_mutex_;
+  std::mutex engine_mutex_;  // unused when engine_->thread_safe()
 
   // Transport-level observability. own_registry_ backs registry_ only for
   // engines without one; metric pointers are resolved once in the ctor.

@@ -67,21 +67,19 @@ bool connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen, Durat
 
 Fd::~Fd() { reset(); }
 
-Fd::Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Fd::Fd(Fd&& other) noexcept : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)) {}
 
 Fd& Fd::operator=(Fd&& other) noexcept {
   if (this != &other) {
     reset();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed), std::memory_order_relaxed);
   }
   return *this;
 }
 
 void Fd::reset() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
 }
 
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port, Duration timeout) {

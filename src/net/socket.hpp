@@ -23,7 +23,10 @@
 
 namespace appx::net {
 
-// Owning file-descriptor handle.
+// Owning file-descriptor handle. The descriptor is stored atomically so the
+// close-to-wake shutdown idiom (one thread reset()s a listener while the
+// accept thread blocks on it) is a defined cross-thread hand-off; ownership
+// transfer (move) is still single-threaded only.
 class Fd {
  public:
   Fd() = default;
@@ -34,12 +37,12 @@ class Fd {
   Fd(Fd&& other) noexcept;
   Fd& operator=(Fd&& other) noexcept;
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_.load(std::memory_order_relaxed); }
+  bool valid() const { return get() >= 0; }
   void reset();  // close now
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 // A connected TCP stream.

@@ -45,4 +45,33 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+namespace util {
+
+// Value-typed error for validation paths that should report, not throw: a
+// default-constructed Error means success, failure() carries a message.
+// Callers that do want an exception chain with throw_if_error().
+class [[nodiscard]] Error {
+ public:
+  Error() = default;  // success
+  static Error failure(std::string message) {
+    Error e;
+    e.message_ = std::move(message);
+    if (e.message_.empty()) e.message_ = "unspecified error";
+    return e;
+  }
+
+  bool ok() const { return message_.empty(); }
+  explicit operator bool() const { return !ok(); }  // true when an error is set
+  const std::string& message() const { return message_; }
+
+  void throw_if_error() const {
+    if (!ok()) throw InvalidArgumentError(message_);
+  }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace util
+
 }  // namespace appx

@@ -15,6 +15,7 @@
 #include "analysis/analyzer.hpp"
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
+#include "core/sharded_proxy.hpp"
 #include "net/servers.hpp"
 #include "util/error.hpp"
 
@@ -201,7 +202,12 @@ class LiveProxyTest : public ::testing::Test {
         origin_(&spec_),
         origin_server_(&origin_) {
     config_.default_expiration = minutes(30);
-    adapter_ = std::make_unique<core::AppxProxy>(&analysis_.signatures, &config_, 3);
+    // The sharded runtime exactly as deployed: thread-safe, so the live
+    // server drives shard-parallel sessions with no global engine lock.
+    core::EngineOptions engine_options;
+    engine_options.seed = 3;
+    adapter_ = std::make_unique<core::ShardedProxyEngine>(&analysis_.signatures, &config_,
+                                                          engine_options);
     // Every app host resolves to the single loopback origin.
     LiveProxyServer::UpstreamMap upstreams;
     for (const apps::EndpointSpec& ep : spec_.endpoints) {
@@ -262,7 +268,7 @@ class LiveProxyTest : public ::testing::Test {
   apps::OriginServer origin_;
   LiveOriginServer origin_server_;
   core::ProxyConfig config_;
-  std::unique_ptr<core::AppxProxy> adapter_;
+  std::unique_ptr<core::ShardedProxyEngine> adapter_;
   std::unique_ptr<LiveProxyServer> proxy_server_;
 };
 
@@ -451,7 +457,7 @@ TEST_F(LiveProxyTest, HungPrefetchUpstreamDoesNotWedgeOtherUsers) {
   EXPECT_LT(ms_since(started), 5000.0);
 
   proxy.drain_prefetches();
-  const auto& stats = adapter_->engine().stats();
+  const auto& stats = adapter_->stats();
   // The hang was actually exercised...
   EXPECT_GT(hang.hung_requests(), 0u);
   // ...and surfaced as deadline 504s -> prefetch failures, not wedges.
@@ -459,8 +465,9 @@ TEST_F(LiveProxyTest, HungPrefetchUpstreamDoesNotWedgeOtherUsers) {
   // The bounded queue shed overflow, and every shed job was reported back.
   EXPECT_GT(proxy.prefetch_jobs_dropped(), 0u);
   EXPECT_EQ(stats.prefetches_dropped, proxy.prefetch_jobs_dropped());
-  // Every issued job was resolved exactly once: completed or dropped.
-  EXPECT_EQ(stats.prefetch_responses + stats.prefetches_dropped, stats.prefetches_issued);
+  // Every issued job was resolved exactly once: succeeded, failed or dropped.
+  EXPECT_EQ(stats.prefetch_responses + stats.prefetch_failures + stats.prefetches_dropped,
+            stats.prefetches_issued);
   // And the proxy still serves after the storm.
   EXPECT_TRUE(u1.send(feed_request()).ok());
   proxy.stop();
@@ -481,11 +488,12 @@ TEST_F(LiveProxyTest, PrefetchQueueOverflowDropsOldestAndBalances) {
   ASSERT_TRUE(client.send(detail_request(0)).ok());  // fans out ~30 jobs
   proxy.drain_prefetches();
 
-  const auto& stats = adapter_->engine().stats();
+  const auto& stats = adapter_->stats();
   EXPECT_GT(proxy.prefetch_jobs_dropped(), 0u);
   EXPECT_EQ(stats.prefetches_dropped, proxy.prefetch_jobs_dropped());
-  // Every issued job was resolved exactly once: completed or dropped.
-  EXPECT_EQ(stats.prefetch_responses + stats.prefetches_dropped, stats.prefetches_issued);
+  // Every issued job was resolved exactly once: succeeded, failed or dropped.
+  EXPECT_EQ(stats.prefetch_responses + stats.prefetch_failures + stats.prefetches_dropped,
+            stats.prefetches_issued);
   proxy.stop();
 }
 
@@ -528,7 +536,7 @@ TEST_F(LiveProxyTest, MetricsEndpointExportsBalancedCounters) {
   const auto metrics = parse_prometheus(scrape.body);
 
   // The exposition agrees with the engine's own view.
-  const auto& stats = adapter_->engine().stats();
+  const auto& stats = adapter_->stats();
   EXPECT_EQ(metrics.at("appx_proxy_client_requests_total"),
             static_cast<double>(stats.client_requests));
   EXPECT_EQ(metrics.at("appx_proxy_cache_hits_total"), static_cast<double>(stats.cache_hits));
@@ -538,8 +546,10 @@ TEST_F(LiveProxyTest, MetricsEndpointExportsBalancedCounters) {
   EXPECT_GE(metrics.at("appx_proxy_cache_hits_total"), 1.0);
   EXPECT_GT(metrics.at("appx_cache_entries"), 0.0);
 
-  // Prefetch accounting balances: every issued job completed or was dropped.
+  // Prefetch accounting balances fleet-wide (across every shard): each
+  // issued job succeeded, failed, or was dropped — exactly once.
   EXPECT_EQ(metrics.at("appx_prefetch_responses_total") +
+                metrics.at("appx_prefetch_failures_total") +
                 metrics.at("appx_prefetch_dropped_total"),
             metrics.at("appx_prefetch_issued_total"));
 
@@ -557,7 +567,7 @@ TEST_F(LiveProxyTest, MetricsJsonEndpointParses) {
   EXPECT_EQ(scrape.headers.get("Content-Type").value_or(""), "application/json");
   const json::Value parsed = json::parse(scrape.body);
   EXPECT_EQ(parsed.at("counters").at("appx_proxy_client_requests_total").as_int(),
-            static_cast<std::int64_t>(adapter_->engine().stats().client_requests));
+            static_cast<std::int64_t>(adapter_->stats().client_requests));
   ASSERT_NE(parsed.at("histograms").find("appx_client_latency_us{path=\"miss\"}"), nullptr);
 }
 
@@ -587,8 +597,9 @@ TEST_F(LiveProxyTest, UnknownAdminPathIs404AndSkipsEngine) {
   const auto response = client.send(admin_request("/appx/nope"));
   EXPECT_EQ(response.status, 404);
   // Admin requests bypass the engine: no user state was created.
-  EXPECT_EQ(adapter_->engine().stats().client_requests, 0u);
-  EXPECT_EQ(adapter_->engine().metrics().gauge_value("appx_proxy_users"), 0);
+  EXPECT_EQ(adapter_->stats().client_requests, 0u);
+  EXPECT_EQ(adapter_->metrics()->gauge_value("appx_proxy_users"), 0);
+  EXPECT_EQ(adapter_->user_count(), 0u);
 }
 
 TEST(LiveOrigin, MetricsEndpointCountsServes) {

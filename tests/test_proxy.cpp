@@ -322,6 +322,10 @@ class ProxyTest : public ::testing::Test {
     engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7);
   }
 
+  // Runtime caps are snapshotted into EngineOptions at construction; tests
+  // that tighten them must rebuild the engine for the change to apply.
+  void remake_engine() { engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7); }
+
   // Drive a full transaction through the proxy as the simulator would:
   // client request -> (cache | origin) -> prefetch jobs -> prefetch responses.
   http::Response run_transaction(const std::string& user, const http::Request& req,
@@ -587,6 +591,7 @@ TEST_F(ProxyTest, StatsDataAccounting) {
 
 TEST_F(ProxyTest, CacheEntriesGaugeTracksRealOccupancy) {
   config_.user_idle_timeout = seconds(30);
+  remake_engine();
   run_transaction("u1", make_feed_request(), make_feed_response({"a", "b", "c"}), 0);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
   const PrefetchCache* u1_cache = engine_->cache_for("u1");
@@ -596,7 +601,7 @@ TEST_F(ProxyTest, CacheEntriesGaugeTracksRealOccupancy) {
   // issued (the old `prefetched_entries` misnomer).
   EXPECT_EQ(engine_->stats().cache_entries, u1_cache->size());
   EXPECT_EQ(engine_->stats().cache_bytes, u1_cache->bytes());
-  EXPECT_EQ(engine_->metrics().gauge_value("appx_cache_entries"),
+  EXPECT_EQ(engine_->metrics()->gauge_value("appx_cache_entries"),
             static_cast<std::int64_t>(u1_cache->size()));
 
   // A second user's cache adds to the same aggregate gauge.
@@ -615,6 +620,7 @@ TEST_F(ProxyTest, CacheEntriesGaugeTracksRealOccupancy) {
 
 TEST_F(ProxyTest, DroppedPrefetchReleasesOutstandingWindow) {
   config_.max_outstanding_prefetches = 1;
+  remake_engine();
   engine_->on_client_request("u1", make_feed_request(), 0);
   engine_->on_origin_response("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
   engine_->on_client_request("u1", make_product_request("a"), 1);
@@ -631,6 +637,7 @@ TEST_F(ProxyTest, DroppedPrefetchReleasesOutstandingWindow) {
 
 TEST_F(ProxyTest, IdleUsersAreEvicted) {
   config_.user_idle_timeout = seconds(30);
+  remake_engine();
   run_transaction("u1", make_feed_request(), make_feed_response({"a"}), 0);
   EXPECT_EQ(engine_->user_count(), 1u);
   // u2 shows up long after u1 went quiet: u1's per-user state is reaped.
@@ -643,6 +650,7 @@ TEST_F(ProxyTest, IdleUsersAreEvicted) {
 
 TEST_F(ProxyTest, ActiveUserSurvivesIdleSweep) {
   config_.user_idle_timeout = seconds(30);
+  remake_engine();
   run_transaction("u1", make_feed_request(), make_feed_response({"a"}), 0);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), seconds(25));
   // u1 was active 25 s ago: under the 30 s timeout, so it stays.
@@ -654,6 +662,7 @@ TEST_F(ProxyTest, ActiveUserSurvivesIdleSweep) {
 TEST_F(ProxyTest, UserCapEvictsLeastRecentlyActive) {
   config_.user_idle_timeout = std::nullopt;  // isolate the hard cap
   config_.max_users = 2;
+  remake_engine();
   run_transaction("u1", make_feed_request(), make_feed_response({"a"}), 0);
   run_transaction("u2", make_feed_request(), make_feed_response({"a"}), 1000);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 2000);
@@ -668,6 +677,7 @@ TEST_F(ProxyTest, UserCapEvictsLeastRecentlyActive) {
 
 TEST_F(ProxyTest, EvictedKeyNotReprefetchedWithinGeneration) {
   config_.cache_max_entries = 1;  // every insert evicts the previous entry
+  remake_engine();
   run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
   EXPECT_GT(engine_->stats().evicted_lru, 0u);
@@ -683,6 +693,7 @@ TEST_F(ProxyTest, EvictedKeyNotReprefetchedWithinGeneration) {
 
 TEST_F(ProxyTest, PerUserCacheHonoursConfiguredBounds) {
   config_.cache_max_entries = 4;
+  remake_engine();
   run_transaction("u1", make_feed_request(),
                   make_feed_response({"a", "b", "c", "d", "e", "f", "g", "h"}), 0);
   run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);

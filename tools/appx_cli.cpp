@@ -21,6 +21,7 @@
 #include "analysis/analyzer.hpp"
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
+#include "core/sharded_proxy.hpp"
 #include "eval/report.hpp"
 #include "eval/verification.hpp"
 #include "ir/disasm.hpp"
@@ -144,7 +145,9 @@ int cmd_demo(const std::vector<std::string>& args) {
   net::LiveOriginServer origin_server(&origin);
   core::ProxyConfig config;
   config.default_expiration = minutes(30);
-  core::AppxProxy engine(&analysis.signatures, &config, 1);
+  // The sharded runtime: one shard per hardware thread, no global engine
+  // lock between the proxy's connection threads.
+  core::ShardedProxyEngine engine(&analysis.signatures, &config);
   net::LiveProxyServer::UpstreamMap upstreams;
   for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
   net::LiveProxyServer proxy(&engine, std::move(upstreams));
@@ -156,7 +159,7 @@ int cmd_demo(const std::vector<std::string>& args) {
   std::getline(std::cin, line);
   proxy.stop();
   origin_server.stop();
-  const auto& stats = engine.engine().stats();
+  const auto& stats = engine.stats();
   std::cout << "served " << stats.client_requests << " requests, " << stats.cache_hits
             << " from cache, " << stats.prefetches_issued << " prefetches\n";
   return 0;
