@@ -47,7 +47,10 @@ class OriginServer {
  private:
   const AppSpec* spec_;
   std::uint64_t epoch_ = 0;
-  // serve() is called concurrently by LiveOriginServer's connection threads.
+  // serve() is called concurrently by LiveOriginServer's event-loop threads
+  // with no external lock: served_ is atomic, the nonce set has its own
+  // mutex, and everything else is read-only after construction (epoch_
+  // changes only between test phases, never during live serving).
   mutable std::atomic<std::size_t> served_{0};
   mutable std::mutex nonce_mutex_;
   mutable std::set<std::string> seen_nonces_;

@@ -30,6 +30,15 @@ util::Error EngineOptions::validate() const {
   if (prefetch_workers == 0) {
     return util::Error::failure("EngineOptions.prefetch_workers must be >= 1");
   }
+  if (conn_idle_timeout < 0) {
+    return util::Error::failure(
+        "EngineOptions.conn_idle_timeout must be >= 0 (0 disables the idle timer)");
+  }
+  if (upstream_idle_timeout < 0) {
+    return util::Error::failure(
+        "EngineOptions.upstream_idle_timeout must be >= 0 (0 = pooled connections never "
+        "age out)");
+  }
   if (reader_limits.max_head_bytes == 0) {
     return util::Error::failure("EngineOptions.reader_limits.max_head_bytes must be >= 1");
   }

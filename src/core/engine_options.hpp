@@ -61,6 +61,22 @@ struct EngineOptions {
   // drops the oldest queued job and reports it to the engine; 0 = unbounded).
   std::size_t prefetch_workers = 4;
   std::size_t max_prefetch_queue = 256;
+  // Event-loop runtime (DESIGN.md §5g). loop_threads reactor threads share
+  // the accept load via SO_REUSEPORT (0 = hardware_concurrency); each runs
+  // one epoll loop driving non-blocking client connections. Engine events and
+  // blocking upstream fetches run on request_workers threads off the loops
+  // (0 = max(4, 2 * hardware_concurrency) — they block on origin I/O, so they
+  // outnumber the loops).
+  std::size_t loop_threads = 0;
+  std::size_t request_workers = 0;
+  // A client connection idle (or dribbling an incomplete request — slow
+  // loris) this long is closed. 0 disables the idle timer.
+  Duration conn_idle_timeout = seconds(60);
+  // Upstream keep-alive pool: at most this many idle connections are parked
+  // per origin host (0 disables pooling — every fetch reconnects), each
+  // health-checked on reuse and discarded after upstream_idle_timeout.
+  std::size_t upstream_pool_per_host = 8;
+  Duration upstream_idle_timeout = seconds(30);
   // Per-message size bounds on client connections (431/413 beyond them).
   // Mirrors net::ReaderLimits without a core->net dependency.
   struct ReaderBounds {

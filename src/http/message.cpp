@@ -127,7 +127,7 @@ void write_headers(const Headers& headers, std::string& out) {
 
 // --- Request -------------------------------------------------------------------
 
-std::string Request::serialize() const {
+std::string Request::serialize_head() const {
   std::string out = method;
   out += ' ';
   out += uri.path_and_query();
@@ -140,6 +140,11 @@ std::string Request::serialize() const {
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string Request::serialize() const {
+  std::string out = serialize_head();
   out += body;
   return out;
 }
@@ -205,7 +210,7 @@ std::string Request::cache_key(const std::vector<std::string>& ignored_headers) 
 
 // --- Response ------------------------------------------------------------------
 
-std::string Response::serialize() const {
+std::string Response::serialize_head() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
   write_headers(headers, out);
   if (!body.empty() && !headers.has("Content-Length")) {
@@ -215,6 +220,11 @@ std::string Response::serialize() const {
     out += std::string(kOpaqueHeader) + ": " + std::to_string(opaque_payload) + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = serialize_head();
   out += body;
   return out;
 }

@@ -53,6 +53,10 @@ struct Request {
 
   // Full request line + headers + body in HTTP/1.1 wire form.
   std::string serialize() const;
+  // The wire head only: request line + headers + blank line. The message on
+  // the wire is serialize_head() followed by `body`; writers batch the two
+  // as one iovec instead of concatenating (no body copy).
+  std::string serialize_head() const;
   static Request parse(std::string_view wire);
 
   // Total simulated size on the wire.
@@ -79,6 +83,8 @@ struct Response {
   bool ok() const { return status >= 200 && status < 300; }
 
   std::string serialize() const;
+  // Status line + headers + blank line; the full message is this + `body`.
+  std::string serialize_head() const;
   static Response parse(std::string_view wire);
 
   Bytes wire_size() const;

@@ -1,0 +1,204 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace appx::net {
+
+namespace {
+[[noreturn]] void fail_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Stable per-thread address used to answer on_loop_thread() without
+// std::thread::id comparisons in a hot path.
+const void* this_thread_marker() {
+  static thread_local char marker;
+  return &marker;
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) fail_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    fail_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    fail_errno("epoll_ctl(wakeup)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  // Destroy undelivered tasks outside the lock: their destructors may release
+  // connection handles whose teardown is arbitrary user code.
+  std::vector<Task> leftover;
+  {
+    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    leftover.swap(tasks_);
+  }
+  leftover.clear();
+  handlers_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::on_loop_thread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) == this_thread_marker();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::post(Task task) {
+  {
+    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  pending_tasks_.fetch_add(1, std::memory_order_relaxed);
+  wake();
+}
+
+void EventLoop::drain_tasks() {
+  std::vector<Task> batch;
+  {
+    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    batch.swap(tasks_);
+  }
+  for (Task& task : batch) {
+    pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  auto handler = std::make_shared<Handler>();
+  handler->events = events;
+  handler->callback = std::move(callback);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail_errno("epoll_ctl(add)");
+  handlers_[fd] = std::move(handler);
+  fd_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  if (it->second->events == events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail_errno("epoll_ctl(mod)");
+  it->second->events = events;
+}
+
+void EventLoop::del_fd(int fd) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // The fd may already be closed (kernel removed it from the set); ignore.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(it);
+  fd_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t EventLoop::add_timer(TimePoint when, Task task) {
+  const std::uint64_t id = next_timer_id_++;
+  timer_heap_.push(TimerEntry{when, id});
+  timer_tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  // Lazy cancellation: the heap entry stays and is skipped when popped.
+  timer_tasks_.erase(id);
+}
+
+int EventLoop::next_timeout_ms() const {
+  // Walk past cancelled heads without popping (const context); the run loop
+  // pops them for real in fire_due_timers.
+  if (timer_tasks_.empty()) return -1;
+  auto heap = timer_heap_;  // cancelled entries are rare; copy is small
+  while (!heap.empty() && timer_tasks_.find(heap.top().id) == timer_tasks_.end()) {
+    heap.pop();
+  }
+  if (heap.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::milliseconds>(heap.top().when - now).count();
+  if (delta <= 0) return 0;
+  return static_cast<int>(delta > 60'000 ? 60'000 : delta);
+}
+
+void EventLoop::fire_due_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timer_heap_.empty() && timer_heap_.top().when <= now) {
+    const TimerEntry entry = timer_heap_.top();
+    timer_heap_.pop();
+    const auto it = timer_tasks_.find(entry.id);
+    if (it == timer_tasks_.end()) continue;  // cancelled
+    Task task = std::move(it->second);
+    timer_tasks_.erase(it);
+    task();
+  }
+}
+
+void EventLoop::run() {
+  loop_thread_id_.store(this_thread_marker(), std::memory_order_relaxed);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    drain_tasks();
+    fire_due_timers();
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof counter) > 0) {
+        }
+        continue;
+      }
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // removed by an earlier callback
+      // Keep the handler alive across the call: the callback may del_fd
+      // (closing a connection closes its own registration).
+      const std::shared_ptr<Handler> handler = it->second;
+      handler->callback(events[i].events);
+    }
+  }
+  // Final drain: tasks queued alongside the stop (e.g. a close-all) run;
+  // anything posted later is destroyed by the destructor instead.
+  drain_tasks();
+  loop_thread_id_.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace appx::net

@@ -1,0 +1,122 @@
+// Single-threaded epoll reactor: the core of the event-driven network
+// runtime (DESIGN.md §5g).
+//
+// One EventLoop owns one epoll instance and runs on one thread. It
+// multiplexes three event sources:
+//
+//   * file descriptors — add_fd/mod_fd/del_fd register a callback invoked
+//     with the ready-event mask. Handlers are reference-counted internally,
+//     so a callback may del_fd its own descriptor (or another handler's)
+//     mid-dispatch without use-after-free.
+//   * timers — a min-heap of deadlines with lazy cancellation, driving the
+//     idle/slow-loris timeouts of the live servers. Firing and cancelling
+//     are loop-thread-only and O(log n).
+//   * cross-thread tasks — post() enqueues a closure from any thread and
+//     wakes the loop via an eventfd. This is the only cross-thread entry
+//     point: worker threads finish engine/upstream work off the loop and
+//     post the completion back, so no fd or timer state ever needs a lock.
+//
+// Lifecycle: run() blocks until stop(); tasks already queued when stop() is
+// observed still run (a close-all posted together with stop is guaranteed to
+// execute), while tasks posted after the final drain are destroyed, not run,
+// when the loop is destructed — their captured resources (connection
+// handles) release through RAII.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace appx::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Runs the loop on the calling thread until stop(). Dispatches fd events,
+  // fires due timers, and drains posted tasks each iteration.
+  void run();
+
+  // Thread-safe. Wakes the loop; run() returns after draining the tasks that
+  // were queued when the stop was observed.
+  void stop();
+
+  // Thread-safe. Enqueues `task` to run on the loop thread.
+  void post(Task task);
+
+  // --- fd watching (loop thread only) ---------------------------------------
+
+  // Register `fd` for the epoll `events` mask (EPOLLIN/EPOLLOUT/...).
+  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+  // Change the event mask of a registered fd.
+  void mod_fd(int fd, std::uint32_t events);
+  // Deregister. Safe to call from inside the fd's own callback.
+  void del_fd(int fd);
+
+  // --- timers (loop thread only) --------------------------------------------
+
+  // Schedule `task` at `when`; returns an id for cancel_timer. Timers are
+  // one-shot; re-arm from the callback for periodic behaviour.
+  std::uint64_t add_timer(TimePoint when, Task task);
+  void cancel_timer(std::uint64_t id);
+
+  // --- introspection --------------------------------------------------------
+
+  // Registered fds (excluding the internal wakeup fd). Readable from any
+  // thread (observability gauges); exact only on the loop thread.
+  std::size_t fd_count() const { return fd_count_.load(std::memory_order_relaxed); }
+  // Tasks posted but not yet run. Cross-thread approximate.
+  std::size_t pending_tasks() const { return pending_tasks_.load(std::memory_order_relaxed); }
+  // True when called on the thread currently inside run().
+  bool on_loop_thread() const;
+
+ private:
+  struct Handler {
+    std::uint32_t events = 0;
+    FdCallback callback;
+  };
+  struct TimerEntry {
+    TimePoint when;
+    std::uint64_t id;
+    bool operator>(const TimerEntry& other) const {
+      return when > other.when || (when == other.when && id > other.id);
+    }
+  };
+
+  void wake();
+  void drain_tasks();
+  void fire_due_timers();
+  // Milliseconds until the next live timer, -1 when none.
+  int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> fd_count_{0};
+  std::atomic<std::size_t> pending_tasks_{0};
+  std::atomic<const void*> loop_thread_id_{nullptr};
+
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+
+  std::mutex tasks_mutex_;
+  std::vector<Task> tasks_;
+
+  std::uint64_t next_timer_id_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timer_heap_;
+  std::unordered_map<std::uint64_t, Task> timer_tasks_;
+};
+
+}  // namespace appx::net

@@ -24,45 +24,65 @@ std::size_t content_length_of(std::string_view head) {
 
 }  // namespace
 
-std::optional<std::string> HttpReader::read_message() {
-  char chunk[4096];
-  while (true) {
-    const std::string_view pending = std::string_view(buffer_).substr(consumed_);
-    const std::size_t head_end = pending.find("\r\n\r\n");
-    if (head_end != std::string_view::npos) {
-      if (limits_.max_head_bytes > 0 && head_end > limits_.max_head_bytes) {
-        throw MessageTooLargeError("http framing: header block exceeds " +
-                                       std::to_string(limits_.max_head_bytes) + " bytes",
-                                   431);
-      }
-      const std::size_t body_len = content_length_of(pending.substr(0, head_end));
-      if (limits_.max_body_bytes > 0 && body_len > limits_.max_body_bytes) {
-        throw MessageTooLargeError("http framing: body of " + std::to_string(body_len) +
-                                       " bytes exceeds " +
-                                       std::to_string(limits_.max_body_bytes) + " bytes",
-                                   413);
-      }
-      const std::size_t total = head_end + 4 + body_len;
-      if (pending.size() >= total) {
-        std::string message(pending.substr(0, total));
-        consumed_ += total;
-        // Periodic compaction: erase the consumed prefix only once it is
-        // large, so a burst of pipelined messages is drained in O(bytes).
-        if (consumed_ >= kCompactThreshold || consumed_ >= buffer_.size()) {
-          buffer_.erase(0, consumed_);
-          consumed_ = 0;
-        }
-        return message;
-      }
-    } else if (limits_.max_head_bytes > 0 && pending.size() > limits_.max_head_bytes) {
+// --- HttpParser ----------------------------------------------------------------------
+
+void HttpParser::append(const char* data, std::size_t n) {
+  // Compact before growing: erase the consumed prefix once it is large (or
+  // the buffer is fully drained — a free clear() that keeps the capacity, so
+  // a keep-alive connection reuses one allocation across all its messages).
+  // Never between next_message() and the caller parsing the view.
+  if (consumed_ > 0 && (consumed_ >= kCompactThreshold || consumed_ == buffer_.size())) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+std::optional<std::string_view> HttpParser::next_message() {
+  const std::string_view pending = std::string_view(buffer_).substr(consumed_);
+  const std::size_t head_end = pending.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (limits_.max_head_bytes > 0 && pending.size() > limits_.max_head_bytes) {
       // No blank line within the permitted head size: reject before the
       // buffer can grow without bound.
       throw MessageTooLargeError("http framing: header block exceeds " +
                                      std::to_string(limits_.max_head_bytes) + " bytes",
                                  431);
     }
+    return std::nullopt;
+  }
+  if (limits_.max_head_bytes > 0 && head_end > limits_.max_head_bytes) {
+    throw MessageTooLargeError("http framing: header block exceeds " +
+                                   std::to_string(limits_.max_head_bytes) + " bytes",
+                               431);
+  }
+  const std::size_t body_len = content_length_of(pending.substr(0, head_end));
+  if (limits_.max_body_bytes > 0 && body_len > limits_.max_body_bytes) {
+    throw MessageTooLargeError("http framing: body of " + std::to_string(body_len) +
+                                   " bytes exceeds " + std::to_string(limits_.max_body_bytes) +
+                                   " bytes",
+                               413);
+  }
+  const std::size_t total = head_end + 4 + body_len;
+  if (pending.size() < total) return std::nullopt;
+  const std::size_t start = consumed_;
+  consumed_ += total;
+  return std::string_view(buffer_).substr(start, total);
+}
+
+void HttpParser::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+// --- HttpReader ----------------------------------------------------------------------
+
+std::optional<std::string_view> HttpReader::read_message() {
+  char chunk[4096];
+  while (true) {
+    if (const auto message = parser_.next_message()) return message;
     if (eof_) {
-      if (pending.empty()) return std::nullopt;
+      if (parser_.pending_bytes() == 0) return std::nullopt;
       throw ParseError("http framing: connection closed mid-message");
     }
     const std::size_t n = stream_->read_some(chunk, sizeof chunk);
@@ -70,7 +90,7 @@ std::optional<std::string> HttpReader::read_message() {
       eof_ = true;
       continue;
     }
-    buffer_.append(chunk, n);
+    parser_.append(chunk, n);
   }
 }
 
@@ -87,11 +107,11 @@ std::optional<http::Response> HttpReader::read_response() {
 }
 
 void write_request(TcpStream& stream, const http::Request& request) {
-  stream.write_all(request.serialize());
+  stream.writev_all(request.serialize_head(), request.body);
 }
 
 void write_response(TcpStream& stream, const http::Response& response) {
-  stream.write_all(response.serialize());
+  stream.writev_all(response.serialize_head(), response.body);
 }
 
 }  // namespace appx::net

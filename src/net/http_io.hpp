@@ -1,10 +1,24 @@
-// HTTP/1.1 framing over TCP streams: Content-Length based message reading
-// and writing for the live proxy/origin servers.
+// HTTP/1.1 framing: Content-Length based message parsing and writing for the
+// live proxy/origin servers.
+//
+// The framing core is HttpParser, a push-based incremental parser: callers
+// append() whatever bytes the transport produced and poll next_message() for
+// complete messages. It backs both front ends:
+//
+//   * the epoll reactor feeds it from non-blocking reads (a connection's
+//     parser persists across keep-alive requests, so the scratch buffer is
+//     reused instead of reallocated per message), and
+//   * HttpReader wraps it behind the original blocking pull API for clients,
+//     tests and upstream fetches.
+//
+// next_message() returns a view into the parser's buffer (no per-message
+// copy); the view stays valid until the next append()/next_message() call.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "http/message.hpp"
 #include "net/socket.hpp"
@@ -34,14 +48,47 @@ struct ReaderLimits {
   std::size_t max_body_bytes = 8 * 1024 * 1024;
 };
 
-// Incremental reader for one connection; handles pipelined messages by
-// buffering the residue between calls. Consumed bytes are tracked by an
-// offset cursor and compacted periodically, so draining a large pipelined
-// burst costs O(bytes) instead of O(bytes^2).
+// Incremental HTTP/1.1 message framer for one connection. Handles pipelined
+// messages by tracking a consumed-offset cursor compacted periodically, so
+// draining a large pipelined burst costs O(bytes) instead of O(bytes^2), and
+// one buffer serves every keep-alive message on the connection.
+class HttpParser {
+ public:
+  explicit HttpParser(ReaderLimits limits = {}) : limits_(limits) {}
+
+  // Feed bytes read off the wire. Invalidates the last next_message() view.
+  void append(const char* data, std::size_t n);
+
+  // The next complete message's wire text, or nullopt when more bytes are
+  // needed. The view is valid until the next append()/next_message() call.
+  // Throws MessageTooLargeError when a size bound is exceeded, ParseError on
+  // malformed framing.
+  std::optional<std::string_view> next_message();
+
+  // Bytes buffered but not yet returned as a message (a partial message, or
+  // complete pipelined messages not yet polled).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+  // Forget all buffered state (connection reuse for a new peer).
+  void reset();
+
+  const ReaderLimits& limits() const { return limits_; }
+
+ private:
+  // Compact the buffer once enough consumed bytes have accumulated.
+  static constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+  ReaderLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already returned as messages
+};
+
+// Blocking pull reader over a TcpStream: the client-side / upstream-side
+// companion of the reactor's push parsing.
 class HttpReader {
  public:
   explicit HttpReader(TcpStream* stream, ReaderLimits limits = {})
-      : stream_(stream), limits_(limits) {}
+      : stream_(stream), parser_(limits) {}
 
   // Read one complete request. nullopt on orderly EOF at a message boundary;
   // throws ParseError on malformed framing (MessageTooLargeError when a size
@@ -50,20 +97,21 @@ class HttpReader {
   // Same for responses.
   std::optional<http::Response> read_response();
 
- private:
-  // Compact the buffer once enough consumed bytes have accumulated.
-  static constexpr std::size_t kCompactThreshold = 64 * 1024;
+  // Bytes received beyond the last returned message. A pooled upstream
+  // connection with pending residue is not safe to reuse (the origin sent
+  // more than one response's worth of bytes).
+  std::size_t pending_bytes() const { return parser_.pending_bytes(); }
 
+ private:
   // Raw wire text of one message, or nullopt on clean EOF.
-  std::optional<std::string> read_message();
+  std::optional<std::string_view> read_message();
 
   TcpStream* stream_;
-  ReaderLimits limits_;
-  std::string buffer_;
-  std::size_t consumed_ = 0;  // bytes of buffer_ already returned as messages
+  HttpParser parser_;
   bool eof_ = false;
 };
 
+// Serialize and send as one iovec batch (head + body, single writev).
 void write_request(TcpStream& stream, const http::Request& request);
 void write_response(TcpStream& stream, const http::Response& response);
 

@@ -1,177 +1,553 @@
 #include "net/servers.hpp"
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
 
+namespace appx::net {
 namespace {
-// Registers a connection fd for the server's stop() to shut down; removes it
-// again when the handling thread finishes.
-class ConnGuard {
- public:
-  ConnGuard(std::mutex& mutex, std::set<int>& fds, int fd)
-      : mutex_(mutex), fds_(fds), fd_(fd) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    fds_.insert(fd_);
-  }
-  ~ConnGuard() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    fds_.erase(fd_);
-  }
-  ConnGuard(const ConnGuard&) = delete;
-  ConnGuard& operator=(const ConnGuard&) = delete;
 
- private:
-  std::mutex& mutex_;
-  std::set<int>& fds_;
-  int fd_;
-};
+constexpr std::size_t kReadChunk = 16 * 1024;
+// Max chunks per sendmsg batch; a response is at most head + body, so 8
+// covers several pipelined responses in one syscall.
+constexpr std::size_t kMaxIov = 8;
+// After rejecting a message (431/413) we half-close and keep draining the
+// peer's in-flight bytes this long so the FIN carries the status cleanly.
+constexpr auto kDiscardDrain = std::chrono::milliseconds(500);
 
-void shutdown_all(std::mutex& mutex, std::set<int>& fds) {
-  const std::lock_guard<std::mutex> lock(mutex);
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+http::Response status_response(int status, std::string body) {
+  http::Response resp;
+  resp.status = status;
+  resp.reason = std::string(http::reason_phrase(status));
+  resp.body = std::move(body);
+  return resp;
 }
 
-appx::http::Response status_response(int status, std::string body) {
-  appx::http::Response resp;
-  resp.status = status;
-  resp.reason = std::string(appx::http::reason_phrase(status));
-  resp.body = std::move(body);
+// Canned upstream-failure responses, built once: the miss path and prefetch
+// workers return copies instead of re-assembling status/reason/body per
+// failure.
+const http::Response& no_upstream_response() {
+  static const http::Response resp = status_response(502, R"({"error":"no upstream for host"})");
+  return resp;
+}
+const http::Response& shutting_down_response() {
+  static const http::Response resp = status_response(502, R"({"error":"proxy shutting down"})");
+  return resp;
+}
+const http::Response& upstream_error_response() {
+  static const http::Response resp = status_response(502, R"({"error":"upstream error"})");
+  return resp;
+}
+const http::Response& upstream_timeout_response() {
+  static const http::Response resp = status_response(504, R"({"error":"upstream timeout"})");
   return resp;
 }
 
 // Shared admin surface: /appx/metrics (Prometheus text), /appx/metrics.json.
 bool is_admin_path(const std::string& path) { return path.rfind("/appx/", 0) == 0; }
 
-appx::http::Response metrics_response(const appx::obs::MetricsRegistry& registry,
-                                      const std::string& path) {
+http::Response metrics_response(const obs::MetricsRegistry& registry, const std::string& path) {
   if (path == "/appx/metrics") {
-    appx::http::Response resp = status_response(200, registry.to_prometheus());
+    http::Response resp = status_response(200, registry.to_prometheus());
     resp.headers.set("Content-Type", "text/plain; version=0.0.4");
     return resp;
   }
   if (path == "/appx/metrics.json") {
-    appx::http::Response resp = status_response(200, registry.to_json().dump(2));
+    http::Response resp = status_response(200, registry.to_json().dump(2));
     resp.headers.set("Content-Type", "application/json");
     return resp;
   }
   return status_response(404, R"({"error":"unknown admin endpoint"})");
 }
 
-// Deliver a rejection even though the peer may still have unread bytes in
-// flight: closing with unread input makes the kernel RST the connection,
-// which can discard the response before the peer reads it. Write, half-close,
-// then drain the remainder (bounded) so the FIN carries the status cleanly.
-void reject_connection(appx::net::TcpStream& stream, int status) {
-  try {
-    appx::net::write_response(stream, status_response(status, ""));
-    stream.shutdown_write();
-    stream.set_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(500));
-    char sink[4096];
-    while (stream.read_some(sink, sizeof sink) > 0) {
-    }
-  } catch (const appx::Error&) {
-    // Best-effort; peer may be gone.
-  }
-}
 }  // namespace
 
-namespace appx::net {
+// --- Conn ----------------------------------------------------------------------------
+//
+// One client connection on one event loop. All state is loop-thread-only
+// except `sessions` (touched only by the single worker owning the in-flight
+// request — `processing_` serializes requests per connection) and complete()
+// (any thread; it serializes the response and posts the hand-off).
+class Conn : public std::enable_shared_from_this<Conn> {
+ public:
+  // Called on the loop thread with each complete parsed request. The sink
+  // must eventually call complete() exactly once per dispatched request.
+  using Dispatch = std::function<void(const std::shared_ptr<Conn>&, http::Request)>;
+  using OnClosed = std::function<void(int fd)>;
 
-// --- ThreadReaper ---------------------------------------------------------------------
+  Conn(EventLoop* loop, TcpStream stream, ReaderLimits limits, Duration idle_timeout,
+       Dispatch dispatch, OnClosed on_closed, obs::Histogram* first_byte_hist)
+      : loop_(loop),
+        stream_(std::move(stream)),
+        parser_(limits),
+        idle_timeout_(idle_timeout),
+        dispatch_(std::move(dispatch)),
+        on_closed_(std::move(on_closed)),
+        first_byte_hist_(first_byte_hist),
+        last_activity_(std::chrono::steady_clock::now()),
+        accepted_(last_activity_) {}
 
-void ThreadReaper::reap_locked() {
-  for (const std::uint64_t id : finished_) {
-    const auto it = threads_.find(id);
-    if (it == threads_.end()) continue;  // already taken by join_all
-    if (it->second.joinable()) it->second.join();
-    threads_.erase(it);
+  int fd() const { return stream_.fd(); }
+
+  // Per-(connection, user) resolved engine sessions (see LiveProxyServer).
+  std::map<std::string, core::Session, std::less<>> sessions;
+
+  // Loop thread: register with the loop and arm the idle timer.
+  void start() {
+    events_ = EPOLLIN;
+    loop_->add_fd(fd(), events_,
+                  [self = shared_from_this()](std::uint32_t ev) { self->on_events(ev); });
+    arm_idle_timer(last_activity_ + std::chrono::microseconds(idle_timeout_));
   }
-  finished_.clear();
+
+  // Any thread: hand back the response for the dispatched request. The
+  // serialization cost is paid on the calling (worker) thread; only the
+  // queue append + flush run on the loop.
+  void complete(http::Response response) {
+    std::string head = response.serialize_head();
+    std::string body = std::move(response.body);
+    if (loop_->on_loop_thread()) {
+      finish_request(std::move(head), std::move(body));
+      return;
+    }
+    loop_->post([self = shared_from_this(), head = std::move(head),
+                 body = std::move(body)]() mutable {
+      self->finish_request(std::move(head), std::move(body));
+    });
+  }
+
+  // Loop thread (server stop path).
+  void close_now() { close(); }
+
+ private:
+  void on_events(std::uint32_t ev) {
+    if ((ev & EPOLLERR) != 0) {
+      close();
+      return;
+    }
+    if ((ev & (EPOLLIN | EPOLLHUP)) != 0) handle_readable();
+    if (!closed_ && (ev & EPOLLOUT) != 0) flush();
+    if (closed_) return;
+    pump();
+    finish_io_round();
+  }
+
+  // Drain the socket until EAGAIN. Bytes feed the parser; in discard mode
+  // (after a 431/413) they are sunk unparsed.
+  void handle_readable() {
+    char buf[kReadChunk];
+    while (!closed_) {
+      const ssize_t n = ::recv(fd(), buf, sizeof buf, 0);
+      if (n > 0) {
+        if (!discarding_) parser_.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        peer_eof_ = true;
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close();
+      return;
+    }
+  }
+
+  // Dispatch buffered complete messages, one in flight at a time. The
+  // in_pump_ guard breaks recursion when an inline dispatch (admin, origin)
+  // completes synchronously: its finish_request() sees the guard and the
+  // outer loop here picks up the next pipelined message instead.
+  void pump() {
+    if (in_pump_ || closed_) return;
+    in_pump_ = true;
+    while (!closed_ && !processing_ && !discarding_) {
+      std::optional<std::string_view> wire;
+      try {
+        wire = parser_.next_message();
+      } catch (const MessageTooLargeError& e) {
+        reject(e.suggested_status());
+        break;
+      } catch (const ParseError& e) {
+        log_debug("net.conn") << "malformed message: " << e.what();
+        close();
+        break;
+      }
+      if (!wire) break;
+      http::Request request;
+      try {
+        request = http::Request::parse(*wire);
+      } catch (const ParseError& e) {
+        log_debug("net.conn") << "malformed request: " << e.what();
+        close();
+        break;
+      }
+      // A complete request is activity; a dribbling partial header (slow
+      // loris) is not, so the idle timer keeps counting across it.
+      touch();
+      processing_ = true;
+      dispatch_(shared_from_this(), std::move(request));
+    }
+    in_pump_ = false;
+  }
+
+  // Queue an error status for an oversized message, then switch to discard
+  // mode: sink the peer's remaining bytes and close after a bounded drain so
+  // the FIN carries the status instead of an RST racing unread input.
+  void reject(int status) {
+    out_.push_back(status_response(status, "").serialize_head());
+    discarding_ = true;
+    parser_.reset();
+    flush();
+  }
+
+  // Loop thread: append the response for the in-flight request and resume
+  // reading/dispatching.
+  void finish_request(std::string head, std::string body) {
+    if (closed_) return;  // connection died while the worker ran; drop
+    processing_ = false;
+    out_.push_back(std::move(head));
+    if (!body.empty()) out_.push_back(std::move(body));
+    touch();
+    flush();
+    if (closed_) return;
+    pump();
+    finish_io_round();
+  }
+
+  // Write as much of the pending queue as the socket accepts, batching
+  // chunks (response head + body, plus any pipelined successors) into one
+  // sendmsg. EAGAIN leaves the rest for EPOLLOUT.
+  void flush() {
+    while (!out_.empty() && !closed_) {
+      struct iovec iov[kMaxIov];
+      std::size_t niov = 0;
+      std::size_t offset = out_off_;
+      for (const std::string& chunk : out_) {
+        if (niov == kMaxIov) break;
+        iov[niov].iov_base = const_cast<char*>(chunk.data() + offset);
+        iov[niov].iov_len = chunk.size() - offset;
+        ++niov;
+        offset = 0;
+      }
+      struct msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = niov;
+      const ssize_t n = ::sendmsg(fd(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        close();
+        return;
+      }
+      if (first_byte_hist_ != nullptr && n > 0) {
+        first_byte_hist_->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     std::chrono::steady_clock::now() - accepted_)
+                                     .count());
+        first_byte_hist_ = nullptr;
+      }
+      std::size_t remaining = static_cast<std::size_t>(n);
+      while (remaining > 0) {
+        std::string& front = out_.front();
+        const std::size_t left = front.size() - out_off_;
+        if (remaining >= left) {
+          remaining -= left;
+          out_off_ = 0;
+          out_.pop_front();
+        } else {
+          out_off_ += remaining;
+          remaining = 0;
+        }
+      }
+    }
+  }
+
+  // End-of-round bookkeeping: progress the discard sequence, close on
+  // drained EOF, and reconcile the epoll mask with what we now want.
+  void finish_io_round() {
+    if (closed_) return;
+    if (discarding_ && out_.empty() && !write_shutdown_) {
+      stream_.shutdown_write();
+      write_shutdown_ = true;
+      drain_timer_ = loop_->add_timer(std::chrono::steady_clock::now() + kDiscardDrain,
+                                      [self = shared_from_this()] { self->close(); });
+    }
+    if (peer_eof_ && out_.empty() && !processing_) {
+      close();
+      return;
+    }
+    update_events();
+  }
+
+  // Reading stops while a request is being processed (kernel socket buffer
+  // backpressures a flooding client, like the blocking runtime did) but
+  // continues in discard mode to drain the rejected message.
+  bool want_read() const {
+    if (peer_eof_) return false;
+    if (discarding_) return true;
+    return !processing_;
+  }
+
+  void update_events() {
+    const std::uint32_t desired =
+        (want_read() ? static_cast<std::uint32_t>(EPOLLIN) : 0U) |
+        (!out_.empty() ? static_cast<std::uint32_t>(EPOLLOUT) : 0U);
+    if (desired == events_) return;
+    events_ = desired;
+    loop_->mod_fd(fd(), desired);
+  }
+
+  void touch() { last_activity_ = std::chrono::steady_clock::now(); }
+
+  void arm_idle_timer(std::chrono::steady_clock::time_point when) {
+    if (idle_timeout_ <= 0) return;
+    idle_timer_ = loop_->add_timer(when, [self = shared_from_this()] { self->on_idle(); });
+  }
+
+  void on_idle() {
+    idle_timer_ = 0;
+    if (closed_) return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto deadline = last_activity_ + std::chrono::microseconds(idle_timeout_);
+    if (processing_) {
+      // A worker owns the request (bounded by the upstream deadline); give
+      // the connection another full period.
+      arm_idle_timer(now + std::chrono::microseconds(idle_timeout_));
+      return;
+    }
+    if (now < deadline) {
+      arm_idle_timer(deadline);  // touched since the timer was armed
+      return;
+    }
+    close();
+  }
+
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    if (idle_timer_ != 0) {
+      loop_->cancel_timer(idle_timer_);
+      idle_timer_ = 0;
+    }
+    if (drain_timer_ != 0) {
+      loop_->cancel_timer(drain_timer_);
+      drain_timer_ = 0;
+    }
+    const int conn_fd = fd();
+    loop_->del_fd(conn_fd);
+    stream_ = TcpStream(Fd{});  // close the descriptor now, not at last ref
+    out_.clear();
+    if (on_closed_) on_closed_(conn_fd);
+  }
+
+  EventLoop* loop_;
+  TcpStream stream_;
+  HttpParser parser_;
+  Duration idle_timeout_;
+  Dispatch dispatch_;
+  OnClosed on_closed_;
+  obs::Histogram* first_byte_hist_;  // nulled after the first recorded write
+
+  std::deque<std::string> out_;
+  std::size_t out_off_ = 0;  // bytes of out_.front() already written
+  std::uint32_t events_ = 0;
+  bool processing_ = false;
+  bool peer_eof_ = false;
+  bool discarding_ = false;
+  bool write_shutdown_ = false;
+  bool closed_ = false;
+  bool in_pump_ = false;
+  std::uint64_t idle_timer_ = 0;
+  std::uint64_t drain_timer_ = 0;
+  std::chrono::steady_clock::time_point last_activity_;
+  std::chrono::steady_clock::time_point accepted_;
+};
+
+namespace {
+
+// Level-triggered accept: drain every pending connection on the shard's
+// listener. make_conn returns null to refuse (server stopping).
+template <typename MakeConn>
+void accept_pending(LoopShard* shard, const MakeConn& make_conn) {
+  while (true) {
+    TcpStream stream = shard->listener->accept_nonblocking();
+    if (!stream.valid()) return;
+    std::shared_ptr<Conn> conn = make_conn(shard, std::move(stream));
+    if (conn == nullptr) continue;
+    shard->conns[conn->fd()] = conn;
+    conn->start();
+  }
 }
 
-std::size_t ThreadReaper::live() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  reap_locked();
-  return threads_.size();
+// Build one SO_REUSEPORT listener per shard on the shared port (the first
+// binds it, possibly ephemeral) and start each shard's loop thread with its
+// listener registered. Returns the bound port.
+template <typename MakeConn>
+std::uint16_t start_shards(std::vector<std::unique_ptr<LoopShard>>& shards,
+                           std::size_t loop_threads, std::uint16_t port, MakeConn make_conn) {
+  if (loop_threads == 0) {
+    loop_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  std::uint16_t bound = port;
+  shards.reserve(loop_threads);
+  for (std::size_t i = 0; i < loop_threads; ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->listener = std::make_unique<TcpListener>(bound, /*reuse_port=*/true);
+    if (i == 0) bound = shard->listener->port();
+    shard->listener->set_nonblocking();
+    shards.push_back(std::move(shard));
+  }
+  for (auto& shard_ptr : shards) {
+    LoopShard* shard = shard_ptr.get();
+    // Registration happens on the loop thread itself (fd/timer state is
+    // loop-thread-only), before run() starts dispatching.
+    shard->thread = std::thread([shard, make_conn] {
+      shard->loop.add_fd(shard->listener->fd(), EPOLLIN, [shard, make_conn](std::uint32_t) {
+        accept_pending(shard, make_conn);
+      });
+      shard->loop.run();
+    });
+  }
+  return bound;
 }
 
-void ThreadReaper::join_all() {
-  // Join outside the lock: running threads must be able to take mutex_ to
-  // record their completion while we wait on them.
-  std::map<std::uint64_t, std::thread> taken;
+// Stop every shard: close the listener and all connections on each loop (the
+// posted task is guaranteed to run in the loop's final drain), then join.
+void stop_shards(std::vector<std::unique_ptr<LoopShard>>& shards) {
+  for (auto& shard_ptr : shards) {
+    LoopShard* shard = shard_ptr.get();
+    shard->loop.post([shard] {
+      if (shard->listener) {
+        shard->loop.del_fd(shard->listener->fd());
+        shard->listener->close();
+      }
+      std::vector<std::shared_ptr<Conn>> conns;
+      conns.reserve(shard->conns.size());
+      for (auto& [fd, conn] : shard->conns) conns.push_back(conn);
+      for (auto& conn : conns) conn->close_now();
+    });
+    shard->loop.stop();
+  }
+  for (auto& shard_ptr : shards) {
+    if (shard_ptr->thread.joinable()) shard_ptr->thread.join();
+  }
+}
+
+}  // namespace
+
+// --- WorkerPool ----------------------------------------------------------------------
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    taken.swap(threads_);
-    finished_.clear();
+    if (stopping_) return;  // dropped; captured resources release via RAII
+    queue_.push_back(std::move(task));
   }
-  for (auto& [id, thread] : taken) {
-    if (thread.joinable()) thread.join();
+  cv_.notify_one();
+}
+
+void WorkerPool::stop() {
+  std::deque<std::function<void()>> discarded;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    discarded.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // `discarded` destructs here, releasing captured connection handles.
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void WorkerPool::worker() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    task = nullptr;  // release captures before sleeping again
+    lock.lock();
   }
 }
 
 // --- LiveOriginServer ----------------------------------------------------------------
 
-LiveOriginServer::LiveOriginServer(apps::OriginServer* origin, std::uint16_t port)
-    : origin_(origin), listener_(port) {
+LiveOriginServer::LiveOriginServer(apps::OriginServer* origin, std::uint16_t port,
+                                   std::size_t loop_threads)
+    : origin_(origin) {
   if (origin == nullptr) throw InvalidArgumentError("LiveOriginServer: null origin");
   requests_total_ = &registry_.counter("appx_origin_requests_total");
   serve_us_ = &registry_.histogram("appx_origin_serve_us");
-  acceptor_ = std::thread([this] { accept_loop(); });
+  conns_gauge_ = &registry_.gauge("appx_origin_open_connections");
+  port_ = start_shards(
+      shards_, loop_threads, port,
+      [this](LoopShard* shard, TcpStream stream) { return make_conn(shard, std::move(stream)); });
 }
 
 LiveOriginServer::~LiveOriginServer() { stop(); }
 
 void LiveOriginServer::stop() {
   if (stopping_.exchange(true)) return;
-  listener_.close();
-  shutdown_all(conns_mutex_, conn_fds_);
-  if (acceptor_.joinable()) acceptor_.join();
-  conn_threads_.join_all();
+  stop_shards(shards_);
 }
 
-void LiveOriginServer::accept_loop() {
-  while (!stopping_.load()) {
-    TcpStream stream = listener_.accept();
-    if (!stream.valid()) return;  // listener closed
-    conn_threads_.spawn([this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
-      serve_connection(std::move(*s));
-    });
+void LiveOriginServer::handle_request(const std::shared_ptr<Conn>& conn, http::Request request) {
+  // Served inline on the loop thread: OriginServer::serve is a pure
+  // internally-synchronized request->response mapping with no blocking I/O.
+  if (is_admin_path(request.uri.path)) {
+    conn->complete(metrics_response(registry_, request.uri.path));
+    return;
   }
+  requests_total_->inc();
+  const auto started = std::chrono::steady_clock::now();
+  http::Response response = origin_->serve(request);
+  serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - started)
+                        .count());
+  ++served_;
+  conn->complete(std::move(response));
 }
 
-void LiveOriginServer::serve_connection(TcpStream stream) {
-  const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
-  try {
-    HttpReader reader(&stream);
-    while (auto request = reader.read_request()) {
-      if (is_admin_path(request->uri.path)) {
-        write_response(stream, metrics_response(registry_, request->uri.path));
-        continue;
-      }
-      requests_total_->inc();
-      const auto started = std::chrono::steady_clock::now();
-      http::Response response;
-      {
-        const std::lock_guard<std::mutex> lock(origin_mutex_);
-        response = origin_->serve(*request);
-      }
-      serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - started)
-                            .count());
-      write_response(stream, response);
-      ++served_;
-    }
-  } catch (const MessageTooLargeError& e) {
-    log_debug("net.origin") << "oversized message: " << e.what();
-    reject_connection(stream, e.suggested_status());
-  } catch (const Error& e) {
-    log_debug("net.origin") << "connection ended: " << e.what();
-  }
+std::shared_ptr<Conn> LiveOriginServer::make_conn(LoopShard* shard, TcpStream stream) {
+  if (stopping_.load()) return nullptr;
+  auto conn = std::make_shared<Conn>(
+      &shard->loop, std::move(stream), ReaderLimits{}, seconds(60),
+      [this](const std::shared_ptr<Conn>& c, http::Request request) {
+        handle_request(c, std::move(request));
+      },
+      [this, shard](int fd) {
+        shard->conns.erase(fd);
+        conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_sub(1) - 1));
+      },
+      /*first_byte_hist=*/nullptr);
+  conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_add(1) + 1));
+  return conn;
 }
 
 // --- LiveProxyServer ------------------------------------------------------------------
@@ -181,7 +557,6 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
     : engine_(engine),
       upstreams_(std::move(upstreams)),
       options_(std::move(options)),
-      listener_(port),
       traces_(options_.trace_ring_capacity) {
   if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
   options_.validate().throw_if_error();
@@ -194,18 +569,54 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
   client_miss_us_ =
       &registry_->histogram(obs::labeled("appx_client_latency_us", {{"path", "miss"}}));
   prefetch_fetch_us_ = &registry_->histogram("appx_prefetch_fetch_us");
+  accept_to_first_byte_us_ = &registry_->histogram("appx_accept_to_first_byte_us");
   admin_requests_ = &registry_->counter("appx_admin_requests_total");
   queue_dropped_total_ = &registry_->counter("appx_proxy_queue_dropped_total");
   queue_depth_ = &registry_->gauge("appx_proxy_prefetch_queue");
+  // Imperative gauge (not a callback): the engine's registry outlives this
+  // server, so a callback capturing `this` would dangle after stop().
+  conns_gauge_ = &registry_->gauge("appx_loop_connections");
   if (!options_.metrics_snapshot_path.empty()) {
     snapshot_writer_ = std::make_unique<obs::SnapshotWriter>(
         registry_, options_.metrics_snapshot_path, options_.metrics_snapshot_interval);
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
+  pool_ = std::make_unique<UpstreamPool>(
+      UpstreamPool::Options{options_.upstream_pool_per_host, options_.upstream_idle_timeout,
+                            options_.connect_timeout},
+      registry_);
+  std::size_t request_workers = options_.request_workers;
+  if (request_workers == 0) {
+    // Request workers block on origin I/O, so they outnumber the loops.
+    request_workers = std::max<std::size_t>(4, 2 * std::thread::hardware_concurrency());
+  }
+  workers_ = std::make_unique<WorkerPool>(request_workers);
+  port_ = start_shards(
+      shards_, options_.loop_threads, port,
+      [this](LoopShard* shard, TcpStream stream) { return make_conn(shard, std::move(stream)); });
   prefetchers_.reserve(options_.prefetch_workers);
   for (std::size_t i = 0; i < options_.prefetch_workers; ++i) {
     prefetchers_.emplace_back([this] { prefetch_worker(); });
   }
+}
+
+LiveProxyServer::~LiveProxyServer() { stop(); }
+
+std::shared_ptr<Conn> LiveProxyServer::make_conn(LoopShard* shard, TcpStream stream) {
+  if (stopping_.load()) return nullptr;
+  auto conn = std::make_shared<Conn>(
+      &shard->loop, std::move(stream),
+      ReaderLimits{options_.reader_limits.max_head_bytes, options_.reader_limits.max_body_bytes},
+      options_.conn_idle_timeout,
+      [this](const std::shared_ptr<Conn>& c, http::Request request) {
+        dispatch(c, std::move(request));
+      },
+      [this, shard](int fd) {
+        shard->conns.erase(fd);
+        conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_sub(1) - 1));
+      },
+      accept_to_first_byte_us_);
+  conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_add(1) + 1));
+  return conn;
 }
 
 std::unique_lock<std::mutex> LiveProxyServer::engine_guard() {
@@ -216,25 +627,22 @@ std::unique_lock<std::mutex> LiveProxyServer::engine_guard() {
   return std::unique_lock<std::mutex>(engine_mutex_);
 }
 
-LiveProxyServer::~LiveProxyServer() { stop(); }
-
 void LiveProxyServer::stop() {
   if (stopping_.exchange(true)) return;
   if (snapshot_writer_) {
     snapshot_writer_->write_now();  // final state, not up to 1 interval stale
     snapshot_writer_->stop();
   }
-  listener_.close();
-  // Shutting down every registered fd (client connections AND in-flight
-  // upstream fetches) unblocks all I/O immediately.
-  shutdown_all(conns_mutex_, conn_fds_);
+  // Unblock in-flight upstream fetches first: workers and prefetchers stuck
+  // reading a wedged origin fail over to canned 502s immediately.
+  pool_->shutdown();
+  stop_shards(shards_);
+  workers_->stop();
   queue_cv_.notify_all();
   idle_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& t : prefetchers_) {
     if (t.joinable()) t.join();
   }
-  conn_threads_.join_all();
   // Resolve jobs still queued at shutdown so the engine's outstanding
   // windows balance even if it is inspected (or reused) after stop().
   std::deque<core::PrefetchJob> leftover;
@@ -256,47 +664,49 @@ SimTime LiveProxyServer::now() const {
       .count();
 }
 
-void LiveProxyServer::accept_loop() {
-  while (!stopping_.load()) {
-    TcpStream stream = listener_.accept();
-    if (!stream.valid()) return;
-    conn_threads_.spawn([this, s = std::make_shared<TcpStream>(std::move(stream))]() mutable {
-      serve_connection(std::move(*s));
-    });
-  }
-}
-
 http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
   const auto it = upstreams_.find(request.uri.host);
-  if (it == upstreams_.end()) {
-    return status_response(502, R"({"error":"no upstream for host"})");
-  }
-  if (stopping_.load()) {
-    return status_response(502, R"({"error":"proxy shutting down"})");
-  }
-  try {
-    TcpStream upstream = TcpStream::connect("127.0.0.1", it->second, options_.connect_timeout);
-    // Register the upstream fd so stop() can cut a fetch short.
-    const ConnGuard guard(conns_mutex_, conn_fds_, upstream.fd());
-    if (options_.request_deadline > 0) {
-      upstream.set_deadline(std::chrono::steady_clock::now() +
-                            std::chrono::microseconds(options_.request_deadline));
+  if (it == upstreams_.end()) return no_upstream_response();
+  if (stopping_.load()) return shutting_down_response();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    UpstreamPool::Lease lease;
+    bool reused = false;
+    try {
+      lease = pool_->acquire("127.0.0.1", it->second, /*force_fresh=*/attempt > 0);
+      reused = lease.reused();
+      TcpStream& upstream = lease.stream();
+      if (options_.request_deadline > 0) {
+        upstream.set_deadline(std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(options_.request_deadline));
+      }
+      upstream.set_read_timeout(options_.io_timeout);
+      upstream.set_write_timeout(options_.io_timeout);
+      write_request(upstream, request);
+      HttpReader reader(&upstream);
+      auto response = reader.read_response();
+      if (!response) throw Error("upstream closed without responding");
+      // Reusable only when the exchange ended exactly at a message boundary.
+      pool_->release(std::move(lease), reader.pending_bytes() == 0);
+      return *response;
+    } catch (const TimeoutError& e) {
+      pool_->release(std::move(lease), false);
+      // A dead or wedged origin degrades to 504 instead of hanging the worker.
+      log_warn("net.proxy") << "upstream timeout: " << e.what();
+      return upstream_timeout_response();
+    } catch (const Error& e) {
+      pool_->release(std::move(lease), false);
+      if (reused && attempt == 0) {
+        // A pooled connection the origin closed under us (the health check
+        // raced its FIN): retry once on a fresh connect, transparently.
+        pool_->note_retry();
+        log_debug("net.proxy") << "stale pooled upstream, retrying fresh: " << e.what();
+        continue;
+      }
+      log_warn("net.proxy") << "upstream error: " << e.what();
+      return upstream_error_response();
     }
-    upstream.set_read_timeout(options_.io_timeout);
-    upstream.set_write_timeout(options_.io_timeout);
-    write_request(upstream, request);
-    HttpReader reader(&upstream);
-    auto response = reader.read_response();
-    if (!response) throw Error("upstream closed without responding");
-    return *response;
-  } catch (const TimeoutError& e) {
-    // A dead or wedged origin degrades to 504 instead of hanging the thread.
-    log_warn("net.proxy") << "upstream timeout: " << e.what();
-    return status_response(504, R"({"error":"upstream timeout"})");
-  } catch (const Error& e) {
-    log_warn("net.proxy") << "upstream error: " << e.what();
-    return status_response(502, R"({"error":"upstream error"})");
   }
+  return upstream_error_response();  // unreachable: attempt 1 always returns
 }
 
 http::Response LiveProxyServer::handle_admin(const http::Request& request) {
@@ -309,108 +719,99 @@ http::Response LiveProxyServer::handle_admin(const http::Request& request) {
   return metrics_response(*registry_, request.uri.path);
 }
 
-void LiveProxyServer::serve_connection(TcpStream stream) {
+void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn, http::Request request) {
+  const SimTime received = now();
+  // Admin requests (metrics scrapes, trace dumps) bypass the engine: they
+  // must not create user state or perturb learning. Served inline — no
+  // blocking work involved.
+  if (is_admin_path(request.uri.path)) {
+    obs::RequestTrace trace;
+    trace.user = "-";
+    trace.method = request.method;
+    trace.target = request.uri.path;
+    trace.outcome = "admin";
+    trace.start_us = received;
+    http::Response resp = handle_admin(request);
+    trace.end_us = now();
+    traces_.push(std::move(trace));
+    conn->complete(std::move(resp));
+    return;
+  }
+  workers_->submit([this, conn, request = std::move(request), received]() mutable {
+    conn->complete(process_request(conn.get(), std::move(request), received));
+  });
+}
+
+http::Response LiveProxyServer::process_request(Conn* conn, http::Request request,
+                                                SimTime received) {
   // One logical user per connection source; for the loopback demo each
   // client identifies itself with an X-Appx-User header (falling back to a
   // shared id). A production front end would key on client address.
   //
   // The user is resolved into a core::Session once per (connection, user)
-  // pair; subsequent requests reuse the interned UserId so steady-state
-  // events skip the name lookup (and, on the sharded runtime, go straight
-  // to the owning shard).
-  const ConnGuard guard(conns_mutex_, conn_fds_, stream.fd());
-  std::map<std::string, core::Session, std::less<>> sessions;
-  try {
-    HttpReader reader(&stream, ReaderLimits{options_.reader_limits.max_head_bytes,
-                                            options_.reader_limits.max_body_bytes});
-    while (auto request = reader.read_request()) {
-      const SimTime received = now();
-      // Admin requests (metrics scrapes, trace dumps) bypass the engine:
-      // they must not create user state or perturb learning.
-      if (is_admin_path(request->uri.path)) {
-        obs::RequestTrace trace;
-        trace.user = "-";
-        trace.method = request->method;
-        trace.target = request->uri.path;
-        trace.outcome = "admin";
-        trace.start_us = received;
-        write_response(stream, handle_admin(*request));
-        trace.end_us = now();
-        traces_.push(std::move(trace));
-        continue;
-      }
+  // pair, cached on the connection; subsequent requests reuse the interned
+  // UserId so steady-state events skip the name lookup (and, on the sharded
+  // runtime, go straight to the owning shard). The cache is safe lock-free:
+  // a connection has at most one request in flight, so one worker touches it
+  // at a time, hand-offs sequenced through the loop.
+  const std::string user = request.headers.get("X-Appx-User").value_or("default");
+  http::Request upstream_request = std::move(request);
+  upstream_request.headers.remove("X-Appx-User");
+  // Origin-form request targets carry no scheme; this front end stands in
+  // for the TLS-terminating proxy of the paper's deployment model, so
+  // normalise to https for signature matching and cache identity.
+  if (upstream_request.uri.scheme.empty()) upstream_request.uri.scheme = "https";
 
-      const std::string user = request->headers.get("X-Appx-User").value_or("default");
-      http::Request upstream_request = *request;
-      upstream_request.headers.remove("X-Appx-User");
-      // Origin-form request targets carry no scheme; this front end stands in
-      // for the TLS-terminating proxy of the paper's deployment model, so
-      // normalise to https for signature matching and cache identity.
-      if (upstream_request.uri.scheme.empty()) upstream_request.uri.scheme = "https";
+  obs::RequestTrace trace;
+  trace.user = user;
+  trace.method = upstream_request.method;
+  trace.target = upstream_request.uri.path;
+  trace.start_us = received;
 
-      obs::RequestTrace trace;
-      trace.user = user;
-      trace.method = request->method;
-      trace.target = request->uri.path;
-      trace.start_us = received;
-
-      auto session_it = sessions.find(user);
-      if (session_it == sessions.end()) {
-        const auto resolve_guard = engine_guard();
-        session_it = sessions.emplace(user, engine_->session(user, now())).first;
-      }
-      core::Session& session = session_it->second;
-
-      core::Decision decision;
-      {
-        const auto guard = engine_guard();
-        decision = session.on_request(upstream_request, now());
-      }
-      trace.add_span("decide", received, now());
-      if (decision.served) {
-        // The served response is shared with the proxy's cache; take a local
-        // copy to annotate without mutating the cached entry.
-        http::Response served = *decision.served;
-        served.headers.set("X-Appx-Cache", "hit");
-        const SimTime respond_start = now();
-        write_response(stream, served);
-        trace.add_span("respond", respond_start, now());
-        trace.outcome = "hit";
-        trace.end_us = now();
-        client_hit_us_->record(trace.end_us - received);
-        traces_.push(std::move(trace));
-        enqueue_jobs(std::move(decision.prefetches));
-        continue;
-      }
-      enqueue_jobs(std::move(decision.prefetches));
-
-      const SimTime fetch_start = now();
-      http::Response response = fetch_upstream(upstream_request);
-      trace.add_span("forward", fetch_start, now(),
-                     "status=" + std::to_string(response.status));
-      const SimTime learn_start = now();
-      core::Decision learned;
-      {
-        const auto guard = engine_guard();
-        learned = session.on_response(upstream_request, response, now());
-      }
-      trace.add_span("learn", learn_start, now());
-      enqueue_jobs(std::move(learned.prefetches));
-      response.headers.set("X-Appx-Cache", "miss");
-      const SimTime respond_start = now();
-      write_response(stream, response);
-      trace.add_span("respond", respond_start, now());
-      trace.outcome = response.status >= 500 ? "error" : "miss";
-      trace.end_us = now();
-      client_miss_us_->record(trace.end_us - received);
-      traces_.push(std::move(trace));
-    }
-  } catch (const MessageTooLargeError& e) {
-    log_debug("net.proxy") << "oversized message: " << e.what();
-    reject_connection(stream, e.suggested_status());
-  } catch (const Error& e) {
-    log_debug("net.proxy") << "connection ended: " << e.what();
+  auto session_it = conn->sessions.find(user);
+  if (session_it == conn->sessions.end()) {
+    const auto resolve_guard = engine_guard();
+    session_it = conn->sessions.emplace(user, engine_->session(user, now())).first;
   }
+  core::Session& session = session_it->second;
+
+  core::Decision decision;
+  {
+    const auto guard = engine_guard();
+    decision = session.on_request(upstream_request, now());
+  }
+  trace.add_span("decide", received, now());
+  if (decision.served) {
+    // The served response is shared with the proxy's cache; take a local
+    // copy to annotate without mutating the cached entry.
+    http::Response served = *decision.served;
+    served.headers.set("X-Appx-Cache", "hit");
+    trace.outcome = "hit";
+    trace.end_us = now();
+    client_hit_us_->record(trace.end_us - received);
+    traces_.push(std::move(trace));
+    enqueue_jobs(std::move(decision.prefetches));
+    return served;
+  }
+  enqueue_jobs(std::move(decision.prefetches));
+
+  const SimTime fetch_start = now();
+  http::Response response = fetch_upstream(upstream_request);
+  trace.add_span("forward", fetch_start, now(), "status=" + std::to_string(response.status));
+  const SimTime learn_start = now();
+  core::Decision learned;
+  {
+    const auto guard = engine_guard();
+    learned = session.on_response(upstream_request, response, now());
+  }
+  trace.add_span("learn", learn_start, now());
+  enqueue_jobs(std::move(learned.prefetches));
+  response.headers.set("X-Appx-Cache", "miss");
+  trace.outcome = response.status >= 500 ? "error" : "miss";
+  trace.end_us = now();
+  client_miss_us_->record(trace.end_us - received);
+  traces_.push(std::move(trace));
+  return response;
 }
 
 void LiveProxyServer::enqueue_jobs(std::vector<core::PrefetchJob> jobs) {
@@ -470,6 +871,8 @@ void LiveProxyServer::prefetch_worker() {
     trace.outcome = "prefetch";
     trace.start_us = now();
     const SimTime started = now();
+    // Shares the keep-alive pool with the miss path: prefetch fan-out rides
+    // warm origin connections instead of causing a connect storm.
     const http::Response response = fetch_upstream(job.request);
     const SimTime fetched = now();
     prefetch_fetch_us_->record(fetched - started);

@@ -1,40 +1,52 @@
-// Live (real-socket) origin server and acceleration proxy.
+// Live (real-socket) origin server and acceleration proxy, on an
+// event-driven runtime (DESIGN.md §5g).
 //
 // The simulator variant of these lives in eval/testbed; this is the same
 // engine on actual TCP connections, mirroring the paper's deployable
 // artefact (their mitmproxy-based prototype):
 //
 //   * LiveOriginServer — serves an apps::OriginServer over HTTP/1.1 with
-//     keep-alive, one thread per connection.
+//     keep-alive.
 //   * LiveProxyServer — accepts client connections, serves exact matches
 //     from the engine's cache (tagging them "X-Appx-Cache: hit"), forwards
 //     misses upstream, and runs dynamic learning + prefetching on a pool of
 //     worker threads (paper §5: "we assign different worker threads to
 //     handle dynamic learning and prefetching").
 //
-// Engine access goes through the session API: each connection resolves its
-// user once into a core::Session and every event completes in one call that
-// also carries the prefetch jobs to enqueue. When the engine is thread-safe
-// (ShardedProxyEngine) events run with no server-side lock at all — shards
-// synchronise themselves; a single-shard or baseline engine is serialised by
-// one server mutex as before. Network I/O never holds any engine lock.
+// Network runtime (replacing the seed's thread-per-connection servers):
+//   * N event-loop threads (EngineOptions.loop_threads, default
+//     hardware_concurrency), each owning one epoll instance and one
+//     SO_REUSEPORT listener on the shared port — the kernel shards accepted
+//     connections across loops, no accept lock, no per-connection thread.
+//   * Each connection is a non-blocking Conn state machine pinned to its
+//     loop: reads feed an incremental HttpParser (one scratch buffer per
+//     connection, reused across keep-alive requests), responses drain
+//     through a pending-write queue flushed with writev (head + body leave
+//     in one syscall), and a timer-heap idle timeout reaps silent or
+//     slow-loris connections.
+//   * Engine events and blocking upstream I/O never run on a loop thread:
+//     complete requests are handed to EngineOptions.request_workers threads
+//     that drive the session API (shard mutexes can block a worker, never a
+//     reactor) and post the finished response back to the owning loop.
+//   * Upstream fetches — miss path and prefetch workers alike — draw
+//     per-host keep-alive connections from an UpstreamPool instead of
+//     reconnecting per fetch; stale pooled sockets are health-checked on
+//     reuse and retried once on a fresh connect when they fail at use.
 //
-// Liveness and resource bounds:
+// Liveness and resource bounds (carried over from the blocking runtime):
 //   * Upstream fetches carry connect/read/write timeouts and a per-request
-//     deadline; a dead origin degrades to a 504 instead of hanging a thread.
-//   * Prefetching runs on N workers over a shared bounded queue. Jobs for
-//     the same user are processed in order and never concurrently (chained
-//     prefetches stay causal), but one slow upstream no longer head-of-line
-//     blocks every other user's prefetching. Queue overflow drops the oldest
-//     job (reported to the engine so its outstanding window is released).
-//   * Connection-handler threads are reaped as connections close instead of
-//     accumulating until stop().
+//     deadline; a dead origin degrades to a 504 instead of hanging a worker.
+//   * Prefetching runs on N workers over a shared bounded queue with
+//     per-user ordering; overflow drops the oldest job back to the engine.
+//   * stop() closes listeners and live connections, unblocks in-flight
+//     upstream fetches via the pool, and joins every thread.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,81 +59,85 @@
 #include "core/engine_options.hpp"
 #include "core/proxy.hpp"
 #include "core/session.hpp"
+#include "net/event_loop.hpp"
 #include "net/http_io.hpp"
 #include "net/socket.hpp"
+#include "net/upstream_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace appx::net {
 
-// Owns one std::thread per live connection and joins finished ones as new
-// work arrives, so a long-lived server does not accumulate a dead thread
-// handle per connection served.
-class ThreadReaper {
+class Conn;
+
+// One reactor thread: an event loop plus its SO_REUSEPORT listener and the
+// connections the kernel sharded onto it. Connections are owned here and
+// never migrate between shards.
+struct LoopShard {
+  EventLoop loop;
+  std::unique_ptr<TcpListener> listener;
+  std::map<int, std::shared_ptr<Conn>> conns;  // loop-thread only
+  std::thread thread;
+};
+
+// A fixed pool of threads running engine events and blocking upstream I/O so
+// the reactors never block. Tasks queued but unstarted at stop() are
+// destroyed, not run (their captured connection handles release via RAII).
+class WorkerPool {
  public:
-  template <typename Fn>
-  void spawn(Fn fn) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    reap_locked();
-    const std::uint64_t id = next_id_++;
-    threads_.emplace(id, std::thread([this, id, fn = std::move(fn)]() mutable {
-      fn();
-      const std::lock_guard<std::mutex> done_lock(mutex_);
-      finished_.push_back(id);
-    }));
-  }
-
-  // Number of still-running threads (reaps finished ones first).
-  std::size_t live();
-
-  // Join everything, running or finished. Callers must first unblock the
-  // threads (close listeners / shut down connections).
-  void join_all();
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+  void submit(std::function<void()> task);
+  void stop();
+  std::size_t queue_depth() const;
 
  private:
-  void reap_locked();
+  void worker();
 
-  std::mutex mutex_;
-  std::map<std::uint64_t, std::thread> threads_;
-  std::vector<std::uint64_t> finished_;  // ids awaiting join
-  std::uint64_t next_id_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
 };
 
 class LiveOriginServer {
  public:
-  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving immediately.
-  // `origin` must outlive the server.
-  LiveOriginServer(apps::OriginServer* origin, std::uint16_t port = 0);
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving immediately on
+  // `loop_threads` reactor threads (0 = hardware_concurrency). `origin` must
+  // outlive the server; apps::OriginServer::serve is internally synchronized,
+  // so loops call it concurrently with no server-wide lock.
+  LiveOriginServer(apps::OriginServer* origin, std::uint16_t port = 0,
+                   std::size_t loop_threads = 0);
   ~LiveOriginServer();
   LiveOriginServer(const LiveOriginServer&) = delete;
   LiveOriginServer& operator=(const LiveOriginServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return port_; }
   std::size_t requests_served() const { return served_.load(); }
-  // Live connection-handler threads (finished ones are reaped).
-  std::size_t connection_threads() { return conn_threads_.live(); }
+  // Currently open client connections across all loops.
+  std::size_t open_connections() const { return open_conns_.load(); }
+  std::size_t loop_thread_count() const { return shards_.size(); }
   // Origin-side metrics (request count, serve-time histogram); also served
   // over HTTP at /appx/metrics[.json].
   const obs::MetricsRegistry& metrics() const { return registry_; }
   void stop();
 
  private:
-  void accept_loop();
-  void serve_connection(TcpStream stream);
+  void handle_request(const std::shared_ptr<Conn>& conn, http::Request request);
+  std::shared_ptr<Conn> make_conn(LoopShard* shard, TcpStream stream);
 
   apps::OriginServer* origin_;
-  TcpListener listener_;
+  std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> served_{0};
-  std::mutex origin_mutex_;
+  std::atomic<std::size_t> open_conns_{0};
   obs::MetricsRegistry registry_;
   obs::Counter* requests_total_ = nullptr;
   obs::Histogram* serve_us_ = nullptr;
-  ThreadReaper conn_threads_;
-  std::mutex conns_mutex_;
-  std::set<int> conn_fds_;  // live connections, shut down on stop()
-  std::thread acceptor_;
+  obs::Gauge* conns_gauge_ = nullptr;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
 };
 
 // Deprecated alias: live-proxy runtime bounds are the transport/runtime
@@ -143,7 +159,7 @@ class LiveProxyServer {
   LiveProxyServer(const LiveProxyServer&) = delete;
   LiveProxyServer& operator=(const LiveProxyServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return port_; }
   const LiveProxyOptions& options() const { return options_; }
   void stop();
 
@@ -151,10 +167,13 @@ class LiveProxyServer {
   // (used by tests and demos to observe a settled cache).
   void drain_prefetches();
 
-  // Live connection-handler threads (finished ones are reaped).
-  std::size_t connection_threads() { return conn_threads_.live(); }
+  // Currently open client connections across all loops.
+  std::size_t open_connections() const { return open_conns_.load(); }
+  std::size_t loop_thread_count() const { return shards_.size(); }
   // Prefetch jobs dropped by queue overflow.
   std::size_t prefetch_jobs_dropped() const { return queue_dropped_.load(); }
+  // The shared origin-side keep-alive pool (reuse/connect/stale counters).
+  const UpstreamPool& upstream_pool() const { return *pool_; }
 
   // The registry scraped at /appx/metrics: the engine's own registry when it
   // has one (ProxyEngine / ShardedProxyEngine), otherwise a server-local
@@ -165,8 +184,12 @@ class LiveProxyServer {
   const obs::TraceRing& traces() const { return traces_; }
 
  private:
-  void accept_loop();
-  void serve_connection(TcpStream stream);
+  // Loop-thread entry: admin requests answered inline, everything else
+  // dispatched to the request workers.
+  void dispatch(const std::shared_ptr<Conn>& conn, http::Request request);
+  std::shared_ptr<Conn> make_conn(LoopShard* shard, TcpStream stream);
+  // Worker-thread body: engine events + upstream fetch for one request.
+  http::Response process_request(Conn* conn, http::Request request, SimTime received);
   http::Response handle_admin(const http::Request& request);
   void prefetch_worker();
   // Queue the jobs an engine event decided to issue; overflow drops the
@@ -179,14 +202,17 @@ class LiveProxyServer {
   // Oldest queued job whose user is not being worked on (per-user ordering),
   // or end() when no job is eligible. Call with queue_mutex_ held.
   std::deque<core::PrefetchJob>::iterator next_job_locked();
+  // Fetch through the keep-alive pool; a reused connection that fails at use
+  // is retried once on a fresh connect. Degrades to canned 502/504.
   http::Response fetch_upstream(const http::Request& request);
   SimTime now() const;
 
   core::ProxyLike* engine_;
   UpstreamMap upstreams_;
   LiveProxyOptions options_;
-  TcpListener listener_;
+  std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> open_conns_{0};
 
   std::mutex engine_mutex_;  // unused when engine_->thread_safe()
 
@@ -197,11 +223,16 @@ class LiveProxyServer {
   obs::Histogram* client_hit_us_ = nullptr;   // receive -> respond, cache hits
   obs::Histogram* client_miss_us_ = nullptr;  // receive -> respond, forwards
   obs::Histogram* prefetch_fetch_us_ = nullptr;  // upstream fetch, prefetch path
+  obs::Histogram* accept_to_first_byte_us_ = nullptr;
   obs::Counter* admin_requests_ = nullptr;
   obs::Counter* queue_dropped_total_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* conns_gauge_ = nullptr;
   obs::TraceRing traces_{128};
   std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
+
+  std::unique_ptr<UpstreamPool> pool_;
+  std::unique_ptr<WorkerPool> workers_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -211,10 +242,7 @@ class LiveProxyServer {
   std::size_t prefetch_active_ = 0;    // jobs currently being processed
   std::atomic<std::size_t> queue_dropped_{0};
 
-  ThreadReaper conn_threads_;
-  std::mutex conns_mutex_;
-  std::set<int> conn_fds_;  // live connections, shut down on stop()
-  std::thread acceptor_;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
   std::vector<std::thread> prefetchers_;
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -181,13 +182,59 @@ std::size_t TcpStream::read_some(char* buffer, std::size_t max) {
   }
 }
 
+void TcpStream::writev_all(std::string_view head, std::string_view body) {
+  std::size_t written = 0;
+  const std::size_t total = head.size() + body.size();
+  while (written < total) {
+    apply_send_timeout(effective_timeout(write_timeout_));
+    iovec iov[2];
+    int iovcnt = 0;
+    if (written < head.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(head.data() + written);
+      iov[iovcnt].iov_len = head.size() - written;
+      ++iovcnt;
+    }
+    const std::size_t body_off = written > head.size() ? written - head.size() : 0;
+    if (body_off < body.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(body.data() + body_off);
+      iov[iovcnt].iov_len = body.size() - body_off;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("sendmsg: timed out");
+      }
+      fail_errno("sendmsg");
+    }
+    if (n == 0) throw Error("sendmsg: connection closed");
+    written += static_cast<std::size_t>(n);
+  }
+}
+
 void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
 
-TcpListener::TcpListener(std::uint16_t port) {
+void TcpStream::set_nonblocking() {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, bool reuse_port) {
   fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd_.valid()) fail_errno("socket");
   const int one = 1;
   ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port) {
+    if (::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      fail_errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -223,18 +270,42 @@ TcpStream TcpListener::accept() {
   }
 }
 
+TcpStream TcpListener::accept_nonblocking() {
+  while (true) {
+    if (closed_.load() || !fd_.valid()) return TcpStream(Fd{});
+    const int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpStream(Fd(client));
+    }
+    if (errno == EINTR) continue;
+    return TcpStream(Fd{});  // EAGAIN (no pending connection) or closed
+  }
+}
+
+void TcpListener::set_nonblocking() {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(listener O_NONBLOCK)");
+  }
+  nonblocking_ = true;
+}
+
 void TcpListener::close() {
-  // A blocked accept() on Linux is NOT unblocked by shutdown()/close() of the
-  // listening socket; wake it with a throwaway loopback connection instead.
   if (closed_.exchange(true)) return;
-  if (fd_.valid()) {
+  if (!fd_.valid()) return;
+  // A blocked accept() on Linux is NOT unblocked by shutdown()/close() of the
+  // listening socket; wake it with a throwaway loopback connection. Event-loop
+  // (non-blocking) listeners never block in accept, so they skip the dance.
+  if (!nonblocking_) {
     try {
       TcpStream::connect("127.0.0.1", port_);
     } catch (const Error&) {
       // Listener already unreachable; accept() will see the closed fd.
     }
-    fd_.reset();
   }
+  fd_.reset();
 }
 
 }  // namespace appx::net

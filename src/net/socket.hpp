@@ -73,6 +73,12 @@ class TcpStream {
   // Write the whole buffer; throws on error/EOF, TimeoutError on deadline.
   void write_all(std::string_view data);
 
+  // Write both buffers as one iovec batch (message head + body) so a full
+  // HTTP message leaves in a single writev() syscall and one TCP segment
+  // where it fits, instead of the multi-write path that concatenated head
+  // and body into a fresh string first. Same bounds semantics as write_all.
+  void writev_all(std::string_view head, std::string_view body);
+
   // Read up to `max` bytes; returns 0 on orderly EOF; throws on error,
   // TimeoutError on deadline.
   std::size_t read_some(char* buffer, std::size_t max);
@@ -82,6 +88,10 @@ class TcpStream {
 
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
+
+  // Switch the socket to non-blocking mode (event-loop ownership). The
+  // blocking helpers above must not be used afterwards.
+  void set_nonblocking();
 
  private:
   // Remaining budget for one read/write; throws TimeoutError if the deadline
@@ -103,7 +113,10 @@ class TcpStream {
 class TcpListener {
  public:
   // Binds to 127.0.0.1:`port` (0 = ephemeral); throws appx::Error.
-  explicit TcpListener(std::uint16_t port);
+  // With `reuse_port`, N listeners may bind the same port (SO_REUSEPORT) and
+  // the kernel shards incoming connections across them — one listener per
+  // event-loop thread, no accept lock (DESIGN.md §5g).
+  explicit TcpListener(std::uint16_t port, bool reuse_port = false);
 
   // The actual bound port (useful with port 0).
   std::uint16_t port() const { return port_; }
@@ -112,12 +125,23 @@ class TcpListener {
   // listener was closed from another thread.
   TcpStream accept();
 
+  // Non-blocking accept for event loops (the listener fd must be registered
+  // for EPOLLIN). Returns an invalid stream when no connection is pending
+  // (EAGAIN) or the listener is closed; accepted streams are non-blocking.
+  TcpStream accept_nonblocking();
+
+  // Switch the listening socket itself to non-blocking mode.
+  void set_nonblocking();
+
   // Unblocks accept() permanently (used for shutdown).
   void close();
+
+  int fd() const { return fd_.get(); }
 
  private:
   Fd fd_;
   std::uint16_t port_ = 0;
+  bool nonblocking_ = false;
   std::atomic<bool> closed_{false};
 };
 

@@ -235,5 +235,85 @@ TEST(HttpIo, RoundTripThroughRealSocketsPreservesEverything) {
   EXPECT_EQ(normalised.cache_key(), req.cache_key());
 }
 
+// --- HttpParser (push API, as driven by the event loop) -----------------------
+
+TEST(HttpParser, ByteByByteFeedYieldsTheMessageExactlyOnce) {
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://h.example/x");
+  req.body = "payload";
+  const std::string wire = req.serialize();
+
+  HttpParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.append(wire.data() + i, 1);
+    EXPECT_FALSE(parser.next_message().has_value()) << "complete at byte " << i;
+  }
+  parser.append(wire.data() + wire.size() - 1, 1);
+  const auto message = parser.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, wire);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  EXPECT_FALSE(parser.next_message().has_value());
+}
+
+TEST(HttpParser, TwoMessagesInOneAppendPollInOrder) {
+  http::Request a;
+  a.uri = http::Uri::parse("https://h.example/first");
+  a.body = "A";
+  http::Request b;
+  b.uri = http::Uri::parse("https://h.example/second");
+  const std::string wire = a.serialize() + b.serialize();
+
+  HttpParser parser;
+  parser.append(wire.data(), wire.size());
+  const auto first = parser.next_message();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(http::Request::parse(*first).uri.path, "/first");
+  const auto second = parser.next_message();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(http::Request::parse(*second).uri.path, "/second");
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(HttpParser, OversizedHeadThrowsBeforeTheTerminatorArrives) {
+  // An endless header block must be rejected as soon as the head bound is
+  // crossed — not only once (never) the blank line shows up; otherwise a
+  // slow-loris peer could grow the buffer without limit.
+  HttpParser parser(ReaderLimits{/*max_head_bytes=*/256, /*max_body_bytes=*/1024});
+  const std::string start = "GET / HTTP/1.1\r\n";
+  parser.append(start.data(), start.size());
+  EXPECT_FALSE(parser.next_message().has_value());
+  const std::string filler = "X-Pad: " + std::string(512, 'p') + "\r\n";  // no terminator yet
+  parser.append(filler.data(), filler.size());
+  EXPECT_THROW(
+      {
+        try {
+          parser.next_message();
+        } catch (const MessageTooLargeError& e) {
+          EXPECT_EQ(e.suggested_status(), 431);
+          throw;
+        }
+      },
+      MessageTooLargeError);
+}
+
+TEST(HttpParser, ResetDropsBufferedPartialState) {
+  HttpParser parser;
+  const std::string partial = "POST /half HTTP/1.1\r\nContent-Length: 100\r\n";
+  parser.append(partial.data(), partial.size());
+  EXPECT_GT(parser.pending_bytes(), 0u);
+  parser.reset();
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  // A fresh complete message parses cleanly after the reset.
+  http::Request req;
+  req.uri = http::Uri::parse("https://h.example/fresh");
+  const std::string wire = req.serialize();
+  parser.append(wire.data(), wire.size());
+  const auto message = parser.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(http::Request::parse(*message).uri.path, "/fresh");
+}
+
 }  // namespace
 }  // namespace appx::net

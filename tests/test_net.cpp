@@ -355,20 +355,22 @@ TEST_F(LiveProxyTest, ConcurrentClients) {
   proxy_server_->drain_prefetches();
 }
 
-TEST_F(LiveProxyTest, FinishedConnectionThreadsAreReaped) {
+TEST_F(LiveProxyTest, ClosedConnectionsAreReleased) {
   for (int i = 0; i < 5; ++i) {
     TestClient client(proxy_server_->port(), "u" + std::to_string(i));
     EXPECT_TRUE(client.send(feed_request()).ok());
   }  // each client disconnects here
-  // Handler threads need a beat to observe the EOF and finish.
+  // The event loops need a beat to observe the EOFs and drop the conns.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while ((proxy_server_->connection_threads() > 0 ||
-          origin_server_.connection_threads() > 0) &&
+  while (proxy_server_->open_connections() > 0 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_EQ(proxy_server_->connection_threads(), 0u);
-  EXPECT_EQ(origin_server_.connection_threads(), 0u);
+  EXPECT_EQ(proxy_server_->open_connections(), 0u);
+  // The origin side may legitimately stay nonzero: the proxy parks keep-alive
+  // upstream connections in its pool. They must be bounded by the pool cap.
+  EXPECT_LE(origin_server_.open_connections(),
+            proxy_server_->options().upstream_pool_per_host);
 }
 
 TEST_F(LiveProxyTest, OversizedRequestHeadIs431) {
@@ -600,6 +602,195 @@ TEST_F(LiveProxyTest, UnknownAdminPathIs404AndSkipsEngine) {
   EXPECT_EQ(adapter_->stats().client_requests, 0u);
   EXPECT_EQ(adapter_->metrics()->gauge_value("appx_proxy_users"), 0);
   EXPECT_EQ(adapter_->user_count(), 0u);
+}
+
+// --- event-loop runtime edge cases --------------------------------------------
+
+TEST_F(LiveProxyTest, SlowLorisConnectionIsClosedByIdleTimer) {
+  LiveProxyOptions options;
+  options.conn_idle_timeout = milliseconds(200);
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) {
+    upstreams[ep.host] = origin_server_.port();
+  }
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, options);
+
+  // Dribble a partial request head and go quiet. Bytes alone are not
+  // "activity" — only complete requests are — so the idle timer must fire
+  // and close the connection even though the peer wrote something.
+  TcpStream stream = TcpStream::connect("127.0.0.1", proxy.port());
+  stream.write_all("POST /api/get-feed HTTP/1.1\r\nHost: slow.example\r\nX-Dribble: ");
+  stream.set_read_timeout(seconds(5));
+  const auto started = std::chrono::steady_clock::now();
+  char buf[64];
+  EXPECT_EQ(stream.read_some(buf, sizeof buf), 0u);  // EOF: server closed
+  EXPECT_LT(ms_since(started), 4000.0);
+  proxy.stop();
+}
+
+TEST_F(LiveProxyTest, PipelinedRequestsInOneSegmentAnswerInOrder) {
+  // Two complete requests in a single TCP segment: the reactor must parse
+  // both out of one read and answer them in order, one at a time.
+  http::Request first = feed_request();
+  first.headers.set("X-Appx-User", "pipeline");
+  http::Request second = detail_request(0);
+  second.headers.set("X-Appx-User", "pipeline");
+  TcpStream stream = TcpStream::connect("127.0.0.1", proxy_server_->port());
+  stream.write_all(first.serialize() + second.serialize());
+
+  HttpReader reader(&stream);
+  const auto feed_response = reader.read_response();
+  ASSERT_TRUE(feed_response.has_value());
+  EXPECT_TRUE(feed_response->ok());
+  EXPECT_EQ(json::Path("data.items[*].id").resolve(json::parse(feed_response->body)).size(),
+            30u);
+  const auto detail_response = reader.read_response();
+  ASSERT_TRUE(detail_response.has_value());
+  EXPECT_TRUE(detail_response->ok());
+  EXPECT_EQ(detail_response->body, origin_.serve(detail_request(0)).body);
+}
+
+// A keep-alive origin that serves exactly one request per connection: the
+// second request on any connection is read and answered with a close instead.
+// Reproduces deterministically the stale-at-use race: the proxy's pooled
+// connection passes the reuse health check (no FIN yet — the origin is just
+// waiting in read), then dies mid-exchange.
+class OneShotOrigin {
+ public:
+  OneShotOrigin() : listener_(0) {
+    acceptor_ = std::thread([this] {
+      while (true) {
+        TcpStream stream = listener_.accept();
+        if (!stream.valid()) return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handlers_.emplace_back([this](TcpStream s) { serve(std::move(s)); },
+                               std::move(stream));
+      }
+    });
+  }
+  ~OneShotOrigin() {
+    listener_.close();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::thread> handlers;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      handlers.swap(handlers_);
+    }
+    for (std::thread& t : handlers) t.join();
+  }
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void serve(TcpStream stream) {
+    try {
+      HttpReader reader(&stream);
+      if (auto request = reader.read_request()) {
+        http::Response resp;
+        resp.status = 200;
+        resp.reason = "OK";
+        resp.body = "{}";
+        write_response(stream, resp);
+      }
+      // Wait for a second request, then close without answering: the pooled
+      // connection fails at use, not at the health check.
+      reader.read_request();
+    } catch (const Error&) {
+    }
+  }
+
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<std::thread> handlers_;
+};
+
+TEST_F(LiveProxyTest, StalePooledUpstreamIsRetriedTransparently) {
+  OneShotOrigin origin;
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) upstreams[ep.host] = origin.port();
+  LiveProxyServer proxy(adapter_.get(), std::move(upstreams), 0, {});
+
+  TestClient client(proxy.port(), "stale-user");
+  // Miss #1: fresh connect; the connection is parked in the pool afterwards.
+  http::Request req = feed_request();
+  req.uri.add_query_param("variant", "a");
+  EXPECT_EQ(client.send(req).status, 200);
+  // Miss #2 reuses the parked connection, which the one-shot origin kills at
+  // use. The fetch must fail over to a fresh connect without the client
+  // seeing anything but a clean 200.
+  http::Request req2 = feed_request();
+  req2.uri.add_query_param("variant", "b");
+  EXPECT_EQ(client.send(req2).status, 200);
+
+  const UpstreamPool& pool = proxy.upstream_pool();
+  EXPECT_GE(pool.reuses(), 1u);
+  EXPECT_EQ(pool.retries(), 1u);
+  EXPECT_EQ(pool.connects(), 2u);  // one per actually-used origin connection
+  proxy.stop();
+}
+
+TEST_F(LiveProxyTest, PoolReusesConnectionAcrossSequentialMisses) {
+  // Sequential unique misses ride ONE warm upstream connection instead of
+  // reconnecting per fetch (the seed behavior this PR replaces).
+  TestClient client(proxy_server_->port(), "pool-user");
+  constexpr int kMisses = 12;
+  for (int i = 0; i < kMisses; ++i) {
+    http::Request req = feed_request();
+    req.uri.add_query_param("unique", std::to_string(i));
+    const auto response = client.send(req);
+    EXPECT_EQ(response.headers.get("X-Appx-Cache").value_or(""), "miss");
+  }
+  proxy_server_->drain_prefetches();
+  const UpstreamPool& pool = proxy_server_->upstream_pool();
+  EXPECT_GE(pool.reuses(), static_cast<std::uint64_t>(kMisses - 1));
+  // Warm-path reuse fraction >= 90%: at most one fresh connect per
+  // concurrently-needed upstream connection (sequential client => 1).
+  EXPECT_GE(static_cast<double>(pool.reuses()) /
+                static_cast<double>(pool.reuses() + pool.connects()),
+            0.9);
+}
+
+TEST_F(LiveProxyTest, StopDuringInFlightRequestsIsPromptAndLeakFree) {
+  // Clients are mid-request against a black-hole upstream when stop() lands:
+  // it must unblock the in-flight fetches (pool shutdown), close every
+  // connection, and join all threads promptly. ASan/TSan verify no fd or
+  // memory leaks and no races.
+  BlackHole hole;
+  LiveProxyOptions options;
+  options.connect_timeout = seconds(2);
+  options.io_timeout = seconds(10);       // deliberately long: stop must cut it
+  options.request_deadline = seconds(10);
+  LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec_.endpoints) upstreams[ep.host] = hole.port();
+  auto proxy = std::make_unique<LiveProxyServer>(adapter_.get(), std::move(upstreams), 0,
+                                                 options);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([port = proxy->port(), i, &finished] {
+      try {
+        TestClient client(port, "victim" + std::to_string(i));
+        http::Request req;
+        req.method = "POST";
+        req.uri = http::Uri::parse("https://api.wish.example/api/get-feed");
+        client.send(req);  // blocks on the black hole until stop()
+      } catch (const Error&) {
+        // Connection cut by stop(): expected.
+      }
+      ++finished;
+    });
+  }
+  // Let the requests reach their upstream fetches.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto started = std::chrono::steady_clock::now();
+  proxy->stop();
+  EXPECT_LT(ms_since(started), 5000.0);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(finished.load(), kClients);
+  EXPECT_EQ(proxy->open_connections(), 0u);
+  proxy.reset();
 }
 
 TEST(LiveOrigin, MetricsEndpointCountsServes) {

@@ -161,9 +161,10 @@ TEST(ObsHistogram, ConcurrentRecordsKeepExactCountAndSum) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&h, t] {
-      std::int64_t v = 1 + t;
+      // Unsigned mixing: the multiply wraps (well-defined), signed would be UB.
+      std::uint64_t v = 1 + static_cast<std::uint64_t>(t);
       for (int i = 0; i < kRecords; ++i) {
-        h.record(v % 4096);
+        h.record(static_cast<std::int64_t>(v % 4096));
         v = v * 31 + 7;
       }
     });
