@@ -9,12 +9,19 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace appx::net {
 
 namespace {
 [[noreturn]] void fail_errno(const char* what) {
   throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Events carry (generation, fd) so a stale event for a recycled fd number is
+// recognisable; see Handler::gen.
+std::uint64_t pack_key(std::uint32_t gen, int fd) {
+  return (static_cast<std::uint64_t>(gen) << 32) | static_cast<std::uint32_t>(fd);
 }
 
 // Stable per-thread address used to answer on_loop_thread() without
@@ -35,7 +42,7 @@ EventLoop::EventLoop() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
+  ev.data.u64 = pack_key(/*gen=*/0, wake_fd_);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
     ::close(wake_fd_);
     ::close(epoll_fd_);
@@ -89,17 +96,24 @@ void EventLoop::drain_tasks() {
   }
   for (Task& task : batch) {
     pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      // A throwing task must not unwind run() and kill the reactor thread.
+      log_error("net.loop") << "posted task threw: " << e.what();
+    }
   }
 }
 
 void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
   auto handler = std::make_shared<Handler>();
   handler->events = events;
+  handler->gen = next_gen_++;
+  if (next_gen_ == 0) next_gen_ = 1;  // keep 0 reserved for the wakeup fd
   handler->callback = std::move(callback);
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = pack_key(handler->gen, fd);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail_errno("epoll_ctl(add)");
   handlers_[fd] = std::move(handler);
   fd_count_.fetch_add(1, std::memory_order_relaxed);
@@ -111,7 +125,7 @@ void EventLoop::mod_fd(int fd, std::uint32_t events) {
   if (it->second->events == events) return;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = pack_key(it->second->gen, fd);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail_errno("epoll_ctl(mod)");
   it->second->events = events;
 }
@@ -137,18 +151,18 @@ void EventLoop::cancel_timer(std::uint64_t id) {
   timer_tasks_.erase(id);
 }
 
-int EventLoop::next_timeout_ms() const {
-  // Walk past cancelled heads without popping (const context); the run loop
-  // pops them for real in fire_due_timers.
-  if (timer_tasks_.empty()) return -1;
-  auto heap = timer_heap_;  // cancelled entries are rare; copy is small
-  while (!heap.empty() && timer_tasks_.find(heap.top().id) == timer_tasks_.end()) {
-    heap.pop();
+int EventLoop::next_timeout_ms() {
+  // Pop lazily-cancelled heads for real: with one idle timer per connection
+  // a heap copy here would be O(n) per epoll_wait wakeup.
+  while (!timer_heap_.empty() &&
+         timer_tasks_.find(timer_heap_.top().id) == timer_tasks_.end()) {
+    timer_heap_.pop();
   }
-  if (heap.empty()) return -1;
+  if (timer_heap_.empty()) return -1;
   const auto now = std::chrono::steady_clock::now();
   const auto delta =
-      std::chrono::duration_cast<std::chrono::milliseconds>(heap.top().when - now).count();
+      std::chrono::duration_cast<std::chrono::milliseconds>(timer_heap_.top().when - now)
+          .count();
   if (delta <= 0) return 0;
   return static_cast<int>(delta > 60'000 ? 60'000 : delta);
 }
@@ -162,7 +176,11 @@ void EventLoop::fire_due_timers() {
     if (it == timer_tasks_.end()) continue;  // cancelled
     Task task = std::move(it->second);
     timer_tasks_.erase(it);
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      log_error("net.loop") << "timer task threw: " << e.what();
+    }
   }
 }
 
@@ -180,7 +198,8 @@ void EventLoop::run() {
       fail_errno("epoll_wait");
     }
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
+      const std::uint64_t key = events[i].data.u64;
+      const int fd = static_cast<int>(key & 0xffffffffULL);
       if (fd == wake_fd_) {
         std::uint64_t counter;
         while (::read(wake_fd_, &counter, sizeof counter) > 0) {
@@ -189,10 +208,18 @@ void EventLoop::run() {
       }
       const auto it = handlers_.find(fd);
       if (it == handlers_.end()) continue;  // removed by an earlier callback
+      // Generation mismatch: the fd closed during this batch and its number
+      // was reused by a new registration (e.g. an accept in the same batch).
+      // The queued event belongs to the dead registration; drop it.
+      if (it->second->gen != static_cast<std::uint32_t>(key >> 32)) continue;
       // Keep the handler alive across the call: the callback may del_fd
       // (closing a connection closes its own registration).
       const std::shared_ptr<Handler> handler = it->second;
-      handler->callback(events[i].events);
+      try {
+        handler->callback(events[i].events);
+      } catch (const std::exception& e) {
+        log_error("net.loop") << "fd callback threw: " << e.what();
+      }
     }
   }
   // Final drain: tasks queued alongside the stop (e.g. a close-all) run;

@@ -86,6 +86,11 @@ class EventLoop {
  private:
   struct Handler {
     std::uint32_t events = 0;
+    // Registration generation, stamped into epoll_data alongside the fd. A
+    // stale event queued for a closed fd whose number was reused within the
+    // same epoll_wait batch carries the old generation and is dropped
+    // instead of being delivered to the new handler.
+    std::uint32_t gen = 0;
     FdCallback callback;
   };
   struct TimerEntry {
@@ -99,8 +104,9 @@ class EventLoop {
   void wake();
   void drain_tasks();
   void fire_due_timers();
-  // Milliseconds until the next live timer, -1 when none.
-  int next_timeout_ms() const;
+  // Milliseconds until the next live timer, -1 when none. Pops lazily
+  // cancelled heap heads in place (loop thread only).
+  int next_timeout_ms();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -110,6 +116,7 @@ class EventLoop {
   std::atomic<const void*> loop_thread_id_{nullptr};
 
   std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::uint32_t next_gen_ = 1;  // 0 is reserved for the wakeup fd
 
   std::mutex tasks_mutex_;
   std::vector<Task> tasks_;

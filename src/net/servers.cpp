@@ -50,6 +50,10 @@ const http::Response& upstream_timeout_response() {
   static const http::Response resp = status_response(504, R"({"error":"upstream timeout"})");
   return resp;
 }
+const http::Response& internal_error_response() {
+  static const http::Response resp = status_response(500, R"({"error":"internal error"})");
+  return resp;
+}
 
 // Shared admin surface: /appx/metrics (Prometheus text), /appx/metrics.json.
 bool is_admin_path(const std::string& path) { return path.rfind("/appx/", 0) == 0; }
@@ -490,7 +494,14 @@ void WorkerPool::worker() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      // Backstop: a leaked exception here would std::terminate the process.
+      // Request handlers catch appx::Error themselves and answer 500; this
+      // keeps the pool alive for anything that still slips through.
+      log_error("net.worker") << "task threw: " << e.what();
+    }
     task = nullptr;  // release captures before sleeping again
     lock.lock();
   }
@@ -526,7 +537,15 @@ void LiveOriginServer::handle_request(const std::shared_ptr<Conn>& conn, http::R
   }
   requests_total_->inc();
   const auto started = std::chrono::steady_clock::now();
-  http::Response response = origin_->serve(request);
+  http::Response response;
+  try {
+    response = origin_->serve(request);
+  } catch (const Error& e) {
+    // A request the app rejects (bad argument, invalid state) fails that one
+    // exchange; an uncaught throw here would unwind the loop thread.
+    log_warn("net.origin") << "serve failed: " << e.what();
+    response = internal_error_response();
+  }
   serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - started)
                         .count());
@@ -653,7 +672,13 @@ void LiveProxyServer::stop() {
   if (!leftover.empty()) {
     const auto guard = engine_guard();
     for (core::PrefetchJob& job : leftover) {
-      engine_->on_prefetch_dropped(job.uid, job, now());
+      try {
+        engine_->on_prefetch_dropped(job.uid, job, now());
+      } catch (const Error& e) {
+        // stop() runs from the destructor; a throwing engine must not
+        // escape it (implicitly noexcept) and terminate.
+        log_warn("net.proxy") << "prefetch drop notification failed: " << e.what();
+      }
     }
   }
 }
@@ -738,7 +763,16 @@ void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn, http::Request 
     return;
   }
   workers_->submit([this, conn, request = std::move(request), received]() mutable {
-    conn->complete(process_request(conn.get(), std::move(request), received));
+    http::Response response;
+    try {
+      response = process_request(conn.get(), std::move(request), received);
+    } catch (const Error& e) {
+      // Engine exceptions (invalid argument/state on a reachable path) fail
+      // the one request as a 500 instead of escaping the worker thread.
+      log_warn("net.proxy") << "request failed: " << e.what();
+      response = internal_error_response();
+    }
+    conn->complete(std::move(response));
   });
 }
 
@@ -837,7 +871,11 @@ void LiveProxyServer::enqueue_jobs(std::vector<core::PrefetchJob> jobs) {
     queue_dropped_total_->add(static_cast<std::int64_t>(dropped.size()));
     const auto guard = engine_guard();
     for (core::PrefetchJob& job : dropped) {
-      engine_->on_prefetch_dropped(job.uid, job, now());
+      try {
+        engine_->on_prefetch_dropped(job.uid, job, now());
+      } catch (const Error& e) {
+        log_warn("net.proxy") << "prefetch drop notification failed: " << e.what();
+      }
     }
   }
 }
@@ -871,19 +909,26 @@ void LiveProxyServer::prefetch_worker() {
     trace.outcome = "prefetch";
     trace.start_us = now();
     const SimTime started = now();
-    // Shares the keep-alive pool with the miss path: prefetch fan-out rides
-    // warm origin connections instead of causing a connect storm.
-    const http::Response response = fetch_upstream(job.request);
-    const SimTime fetched = now();
-    prefetch_fetch_us_->record(fetched - started);
-    trace.add_span("fetch", started, fetched, "sig=" + job.sig_id);
     core::Decision chained;
-    {
-      const auto guard = engine_guard();
-      engine_->on_prefetch_response(job.uid, job, response, now(),
-                                    to_ms(now() - started), &chained);
+    try {
+      // Shares the keep-alive pool with the miss path: prefetch fan-out rides
+      // warm origin connections instead of causing a connect storm.
+      const http::Response response = fetch_upstream(job.request);
+      const SimTime fetched = now();
+      prefetch_fetch_us_->record(fetched - started);
+      trace.add_span("fetch", started, fetched, "sig=" + job.sig_id);
+      {
+        const auto guard = engine_guard();
+        engine_->on_prefetch_response(job.uid, job, response, now(),
+                                      to_ms(now() - started), &chained);
+      }
+      trace.add_span("learn", fetched, now());
+    } catch (const Error& e) {
+      // A throwing engine event loses this one job; the worker (and process)
+      // stay up to serve the rest of the queue.
+      log_warn("net.proxy") << "prefetch failed: " << e.what();
+      trace.outcome = "prefetch_error";
     }
-    trace.add_span("learn", fetched, now());
     trace.end_us = now();
     traces_.push(std::move(trace));
     enqueue_jobs(std::move(chained.prefetches));  // chained prefetching

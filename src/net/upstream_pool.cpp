@@ -21,6 +21,43 @@ UpstreamPool::UpstreamPool(Options options, obs::MetricsRegistry* registry)
 
 UpstreamPool::~UpstreamPool() { shutdown(); }
 
+// --- Lease ---------------------------------------------------------------------------
+
+UpstreamPool::Lease::~Lease() { abandon(); }
+
+UpstreamPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_),
+      stream_(std::move(other.stream_)),
+      key_(std::move(other.key_)),
+      reused_(other.reused_) {
+  other.pool_ = nullptr;
+  other.reused_ = false;
+}
+
+UpstreamPool::Lease& UpstreamPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    abandon();
+    pool_ = other.pool_;
+    stream_ = std::move(other.stream_);
+    key_ = std::move(other.key_);
+    reused_ = other.reused_;
+    other.pool_ = nullptr;
+    other.reused_ = false;
+  }
+  return *this;
+}
+
+void UpstreamPool::Lease::abandon() {
+  if (pool_ != nullptr && stream_.valid()) pool_->forget_lease(stream_.fd());
+  pool_ = nullptr;
+  stream_ = TcpStream(Fd{});  // close now, while the fd is deregistered
+}
+
+void UpstreamPool::forget_lease(int fd) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  leased_fds_.erase(fd);
+}
+
 bool UpstreamPool::healthy(const TcpStream& stream) {
   // A parked connection must be silent: readable means either EOF (origin
   // closed it) or stray bytes (framing desync) — both disqualify.
@@ -72,7 +109,7 @@ UpstreamPool::Lease UpstreamPool::acquire(const std::string& host, std::uint16_t
           lock.unlock();
           reuses_.fetch_add(1, std::memory_order_relaxed);
           if (reuse_total_ != nullptr) reuse_total_->inc();
-          return Lease(std::move(candidate.stream), key, /*reused=*/true);
+          return Lease(this, std::move(candidate.stream), key, /*reused=*/true);
         }
         stale_.fetch_add(1, std::memory_order_relaxed);
         if (stale_total_ != nullptr) stale_total_->inc();
@@ -92,11 +129,12 @@ UpstreamPool::Lease UpstreamPool::acquire(const std::string& host, std::uint16_t
     }
     leased_fds_.insert(stream.fd());
   }
-  return Lease(std::move(stream), key, /*reused=*/false);
+  return Lease(this, std::move(stream), key, /*reused=*/false);
 }
 
 void UpstreamPool::release(Lease lease, bool reusable) {
   if (!lease.valid()) return;
+  lease.pool_ = nullptr;  // deregistered here; the destructor must not re-enter
   const std::lock_guard<std::mutex> lock(mutex_);
   leased_fds_.erase(lease.stream_.fd());
   if (!reusable || options_.max_per_host == 0 || stopping_.load(std::memory_order_acquire)) {

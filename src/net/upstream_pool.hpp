@@ -57,12 +57,16 @@ class UpstreamPool {
   UpstreamPool& operator=(const UpstreamPool&) = delete;
 
   // A borrowed upstream connection. Move-only; must be returned via
-  // release() (or destroyed — which counts as a non-reusable release).
+  // release() (or destroyed — which counts as a non-reusable release: the
+  // destructor unregisters the fd from the pool and closes the connection,
+  // so an abandoned lease never leaves a dangling entry for shutdown() to
+  // ::shutdown() after the fd number has been recycled).
   class Lease {
    public:
     Lease() = default;
-    Lease(Lease&&) noexcept = default;
-    Lease& operator=(Lease&&) noexcept = default;
+    ~Lease();
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
 
     TcpStream& stream() { return stream_; }
     // True when this connection came out of the pool (vs a fresh connect):
@@ -72,8 +76,11 @@ class UpstreamPool {
 
    private:
     friend class UpstreamPool;
-    Lease(TcpStream stream, std::string key, bool reused)
-        : stream_(std::move(stream)), key_(std::move(key)), reused_(reused) {}
+    Lease(UpstreamPool* pool, TcpStream stream, std::string key, bool reused)
+        : pool_(pool), stream_(std::move(stream)), key_(std::move(key)), reused_(reused) {}
+    // Unregister from the pool without parking (destructor / move-assign).
+    void abandon();
+    UpstreamPool* pool_ = nullptr;
     TcpStream stream_{Fd{}};
     std::string key_;
     bool reused_ = false;
@@ -112,6 +119,8 @@ class UpstreamPool {
 
   TcpStream connect_fresh(const std::string& host, std::uint16_t port, const std::string& key);
   void update_idle_gauge_locked();
+  // Drop `fd` from leased_fds_ (a Lease died without release()).
+  void forget_lease(int fd);
 
   Options options_;
   std::atomic<bool> stopping_{false};

@@ -793,6 +793,85 @@ TEST_F(LiveProxyTest, StopDuringInFlightRequestsIsPromptAndLeakFree) {
   proxy.reset();
 }
 
+// An engine whose event entry points all throw — stand-in for the reachable
+// InvalidArgument/InvalidState throws in the real engines. The runtime must
+// convert these into per-request 500s, never let them unwind a worker or
+// loop thread (std::terminate).
+class ThrowingEngine : public core::ProxyLike {
+ public:
+  core::UserId resolve_user(std::string_view user, SimTime) override {
+    return core::UserId(std::make_shared<const std::string>(user), 0, 0, 0, 0);
+  }
+  void on_request(core::UserId&, const http::Request&, SimTime, core::Decision*) override {
+    ++throws_;
+    throw InvalidStateError("engine rejects everything");
+  }
+  void on_response(core::UserId&, const http::Request&, const http::Response&, SimTime,
+                   core::Decision*) override {
+    ++throws_;
+    throw InvalidStateError("engine rejects everything");
+  }
+  void on_prefetch_response(core::UserId&, const core::PrefetchJob&, const http::Response&,
+                            SimTime, double, core::Decision*) override {
+    ++throws_;
+    throw InvalidStateError("engine rejects everything");
+  }
+  void on_prefetch_dropped(core::UserId&, const core::PrefetchJob&, SimTime) override {}
+  bool thread_safe() const override { return true; }
+  const core::ProxyStats& stats() const override { return stats_; }
+
+  std::atomic<int> throws_{0};
+
+ private:
+  core::ProxyStats stats_;
+};
+
+TEST(LiveProxyFaults, ThrowingEngineAnswers500AndServerSurvives) {
+  ThrowingEngine engine;
+  LiveProxyServer proxy(&engine, {});
+  TestClient client(proxy.port(), "u1");
+
+  http::Request req;
+  req.uri = http::Uri::parse("https://any.example/x");
+  const auto first = client.send(req);
+  EXPECT_EQ(first.status, 500);
+  // The worker thread survived the throw: the same keep-alive connection
+  // serves the next request (which throws and 500s again).
+  const auto second = client.send(req);
+  EXPECT_EQ(second.status, 500);
+  EXPECT_GE(engine.throws_.load(), 2);
+  // Admin endpoints bypass the engine and still answer.
+  EXPECT_EQ(client.send(admin_request("/appx/metrics")).status, 200);
+  proxy.stop();
+}
+
+TEST(UpstreamPoolTest, AbandonedLeaseUnregistersItsFd) {
+  const apps::AppSpec spec = apps::make_wish();
+  apps::OriginServer origin(&spec);
+  LiveOriginServer server(&origin);
+
+  UpstreamPool pool(UpstreamPool::Options{});
+  {
+    UpstreamPool::Lease lease = pool.acquire("127.0.0.1", server.port());
+    ASSERT_TRUE(lease.valid());
+  }  // destroyed without release(): must unregister the fd, not leak it
+  EXPECT_EQ(pool.idle_count(), 0u);
+
+  // The abandoned lease's fd number is free again and is typically recycled
+  // by the very next connect. shutdown() must not ::shutdown() the recycled
+  // descriptor out from under its new owner.
+  TestClient bystander(server.port(), "u1");
+  pool.shutdown();
+  http::Request req;
+  req.method = "POST";
+  req.uri = http::Uri::parse("https://" + spec.endpoint("feed").host + "/api/get-feed");
+  req.uri.add_query_param("offset", "0");
+  req.uri.add_query_param("count", "30");
+  req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+  EXPECT_TRUE(bystander.send(req).ok());
+  server.stop();
+}
+
 TEST(LiveOrigin, MetricsEndpointCountsServes) {
   apps::AppSpec spec = apps::make_wish();
   apps::OriginServer origin(&spec);
