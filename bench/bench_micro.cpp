@@ -74,7 +74,7 @@ void BM_JsonParseFeed(benchmark::State& state) {
   req.headers.set("Cookie", "c");
   req.headers.set("User-Agent", "ua");
   req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
-  const std::string body = server.serve(req).body;
+  const std::string body = server.serve(req).body.str();
   state.counters["body_bytes"] = static_cast<double>(body.size());
   for (auto _ : state) {
     benchmark::DoNotOptimize(json::parse(body));

@@ -134,13 +134,14 @@ int main() {
     scrape.uri.path = "/appx/metrics";
     net::write_request(stream, scrape);
     const auto metrics = reader.read_response();
-    std::cout << "\nGET /appx/metrics (" << metrics->body.size() << " bytes):\n";
+    const std::string_view body = metrics->body.view();
+    std::cout << "\nGET /appx/metrics (" << body.size() << " bytes):\n";
     std::size_t shown = 0;
     std::size_t pos = 0;
-    while (shown < 12 && pos < metrics->body.size()) {
-      const auto eol = metrics->body.find('\n', pos);
-      const std::string line = metrics->body.substr(pos, eol - pos);
-      pos = eol == std::string::npos ? metrics->body.size() : eol + 1;
+    while (shown < 12 && pos < body.size()) {
+      const auto eol = body.find('\n', pos);
+      const std::string_view line = body.substr(pos, eol - pos);
+      pos = eol == std::string_view::npos ? body.size() : eol + 1;
       if (line.empty() || line[0] == '#') continue;
       std::cout << "  " << line << "\n";
       ++shown;

@@ -189,7 +189,8 @@ void ProxyEngine::on_request(UserId& user, const http::Request& request, SimTime
   // their last prefetch become eligible again.
   state.prefetched_generation.clear();
 
-  const std::string key = request.cache_key(ignored_headers_);
+  request.cache_key_into(key_scratch_, ignored_headers_);
+  const std::string& key = key_scratch_;
   PrefetchCache::Lookup lookup = PrefetchCache::Lookup::kMiss;
   auto cached = state.cache.get(key, now, &lookup);
 
@@ -217,7 +218,8 @@ void ProxyEngine::on_response(UserId& user, const http::Request& request,
                               const http::Response& response, SimTime now, Decision* out) {
   UserState& state = state_for(user, now);
   inst_.bytes_origin_to_proxy->add(response.wire_size());
-  state.forwarding.erase(request.cache_key(ignored_headers_));
+  request.cache_key_into(key_scratch_, ignored_headers_);
+  state.forwarding.erase(key_scratch_);
 
   admit_prefetches(state, state.learning.observe(request, response), now);
   drain_scheduler(state, out);

@@ -172,6 +172,10 @@ class ProxyEngine final : public ProxyLike {
   const ProxyConfig* config_;
   EngineOptions options_;
   std::vector<std::string> ignored_headers_;  // config add_header names
+  // Reused cache-key buffer (DESIGN.md §5h): engine events are serialized
+  // per instance (external mutex, or per-shard mutex when sharded), so the
+  // hit path renders its lookup key without allocating.
+  std::string key_scratch_;
   std::uint32_t shard_index_ = 0;
   std::uint64_t seed_;
   // Backs registry_ when no external registry was supplied. Must outlive

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "http/view.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -36,6 +38,13 @@ std::optional<std::string> Headers::get(std::string_view name) const {
   return std::nullopt;
 }
 
+std::optional<std::string_view> Headers::get_view(std::string_view name) const {
+  for (const auto& [k, v] : items_) {
+    if (strings::iequals(k, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> Headers::get_all(std::string_view name) const {
   std::vector<std::string> out;
   for (const auto& [k, v] : items_) {
@@ -44,10 +53,23 @@ std::vector<std::string> Headers::get_all(std::string_view name) const {
   return out;
 }
 
-bool Headers::has(std::string_view name) const { return get(name).has_value(); }
+bool Headers::has(std::string_view name) const { return get_view(name).has_value(); }
 
 void Headers::remove(std::string_view name) {
   std::erase_if(items_, [&](const auto& kv) { return strings::iequals(kv.first, name); });
+}
+
+void Headers::set_slot(std::size_t i, std::string_view name, std::string_view value) {
+  if (i < items_.size()) {
+    items_[i].first.assign(name);
+    items_[i].second.assign(value);
+  } else {
+    items_.emplace_back(std::string(name), std::string(value));
+  }
+}
+
+void Headers::truncate(std::size_t n) {
+  if (n < items_.size()) items_.resize(n);
 }
 
 // --- form bodies --------------------------------------------------------------
@@ -84,11 +106,13 @@ std::string serialize_form(const FormFields& fields) {
 namespace {
 
 struct WireHead {
-  std::string start_line;
+  std::string_view start_line;
   Headers headers;
   std::string body;
 };
 
+// View-based head parsing: header names/values are copied only when stored
+// into the owning Headers map, never into intermediate line strings.
 WireHead parse_head(std::string_view wire, const char* what) {
   const std::size_t head_end = wire.find("\r\n\r\n");
   if (head_end == std::string_view::npos) {
@@ -98,16 +122,22 @@ WireHead parse_head(std::string_view wire, const char* what) {
   const std::string_view head = wire.substr(0, head_end);
   out.body = std::string(wire.substr(head_end + 4));
 
-  const auto lines = strings::split(head, "\r\n");
-  if (lines.empty() || lines[0].empty()) {
+  const std::size_t line_end = head.find("\r\n");
+  out.start_line = head.substr(0, line_end == std::string_view::npos ? head.size() : line_end);
+  if (out.start_line.empty()) {
     throw ParseError(std::string(what) + ": empty start line");
   }
-  out.start_line = lines[0];
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        rest.substr(0, eol == std::string_view::npos ? rest.size() : eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
     const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) {
-      throw ParseError(std::string(what) + ": malformed header line '" + line + "'");
+    if (colon == std::string_view::npos) {
+      throw ParseError(std::string(what) + ": malformed header line '" + std::string(line) +
+                       "'");
     }
     out.headers.add(strings::trim(line.substr(0, colon)), strings::trim(line.substr(colon + 1)));
   }
@@ -127,19 +157,28 @@ void write_headers(const Headers& headers, std::string& out) {
 
 // --- Request -------------------------------------------------------------------
 
-std::string Request::serialize_head() const {
-  std::string out = method;
+void Request::serialize_head_into(std::string& out) const {
+  out += method;
   out += ' ';
-  out += uri.path_and_query();
+  uri.path_and_query_into(out);
   out += " HTTP/1.1\r\n";
   if (!uri.host.empty() && !headers.has("Host")) {
-    out += "Host: " + uri.host_port() + "\r\n";  // Host goes first per convention
+    out += "Host: ";  // Host goes first per convention
+    uri.host_port_into(out);
+    out += "\r\n";
   }
   write_headers(headers, out);
   if (!body.empty() && !headers.has("Content-Length")) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
   }
   out += "\r\n";
+}
+
+std::string Request::serialize_head() const {
+  std::string out;
+  serialize_head_into(out);
   return out;
 }
 
@@ -150,34 +189,22 @@ std::string Request::serialize() const {
 }
 
 Request Request::parse(std::string_view wire) {
-  WireHead head = parse_head(wire, "http request");
-  const auto parts = strings::split(head.start_line, ' ');
-  if (parts.size() != 3) throw ParseError("http request: bad request line");
-  if (!strings::starts_with(parts[2], "HTTP/")) {
-    throw ParseError("http request: bad version '" + parts[2] + "'");
-  }
+  // One implementation for both paths: the zero-copy view parser feeds the
+  // capacity-reusing materializer (http/view.cpp), so the live servers'
+  // pinned-buffer path and this convenience API cannot diverge.
+  thread_local util::Arena arena;
+  arena.reset();
   Request req;
-  req.method = parts[0];
-  req.uri = Uri::parse(parts[1]);
-  if (req.uri.host.empty()) {
-    if (const auto host = head.headers.get("Host")) {
-      const auto colon = host->rfind(':');
-      if (colon != std::string::npos && strings::to_int(host->substr(colon + 1))) {
-        req.uri.host = strings::to_lower(host->substr(0, colon));
-        req.uri.port = static_cast<int>(*strings::to_int(host->substr(colon + 1)));
-      } else {
-        req.uri.host = strings::to_lower(*host);
-      }
-    }
-  }
-  head.headers.remove("Host");
-  head.headers.remove("Content-Length");
-  req.headers = std::move(head.headers);
-  req.body = std::move(head.body);
+  materialize(parse_request_view(wire, arena), req);
   return req;
 }
 
-Bytes Request::wire_size() const { return static_cast<Bytes>(serialize().size()); }
+Bytes Request::wire_size() const {
+  thread_local std::string scratch;
+  scratch.clear();
+  serialize_head_into(scratch);
+  return static_cast<Bytes>(scratch.size() + body.size());
+}
 
 void Request::set_form_fields(const FormFields& fields) {
   body = serialize_form(fields);
@@ -186,69 +213,107 @@ void Request::set_form_fields(const FormFields& fields) {
   }
 }
 
-std::string Request::cache_key(const std::vector<std::string>& ignored_headers) const {
-  std::string key = method;
-  key += ' ';
-  key += uri.serialize();
-  key += '\n';
-  std::vector<std::string> lines;
+void Request::cache_key_into(std::string& out,
+                             const std::vector<std::string>& ignored_headers) const {
+  out.clear();
+  out += method;
+  out += ' ';
+  uri.serialize_into(out);
+  out += '\n';
+  // Normalised header lines are rendered into a reused scratch block and
+  // sorted as (offset, length) ranges — no per-line strings.
+  thread_local std::string scratch;
+  thread_local std::vector<std::pair<std::size_t, std::size_t>> lines;
+  scratch.clear();
+  lines.clear();
   for (const auto& [k, v] : headers.items()) {
     const bool ignored =
         std::any_of(ignored_headers.begin(), ignored_headers.end(),
                     [&, &name = k](const std::string& ig) { return strings::iequals(ig, name); });
     if (ignored) continue;
-    lines.push_back(strings::to_lower(k) + ":" + v);
+    const std::size_t start = scratch.size();
+    strings::to_lower_into(k, scratch);
+    scratch += ':';
+    scratch += v;
+    lines.emplace_back(start, scratch.size() - start);
   }
-  std::sort(lines.begin(), lines.end());
-  for (const std::string& line : lines) {
-    key += line;
-    key += '\n';
+  const auto line_at = [&](const std::pair<std::size_t, std::size_t>& r) {
+    return std::string_view(scratch).substr(r.first, r.second);
+  };
+  std::sort(lines.begin(), lines.end(),
+            [&](const auto& a, const auto& b) { return line_at(a) < line_at(b); });
+  for (const auto& range : lines) {
+    out += line_at(range);
+    out += '\n';
   }
-  key += body;
+  out += body;
+}
+
+std::string Request::cache_key(const std::vector<std::string>& ignored_headers) const {
+  std::string key;
+  cache_key_into(key, ignored_headers);
   return key;
 }
 
 // --- Response ------------------------------------------------------------------
 
-std::string Response::serialize_head() const {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+void Response::serialize_head_into(std::string& out, std::string_view extra_header_line) const {
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\n";
   write_headers(headers, out);
+  if (!extra_header_line.empty()) {
+    out += extra_header_line;
+    out += "\r\n";
+  }
   if (!body.empty() && !headers.has("Content-Length")) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
   }
   if (opaque_payload > 0) {
-    out += std::string(kOpaqueHeader) + ": " + std::to_string(opaque_payload) + "\r\n";
+    out += kOpaqueHeader;
+    out += ": ";
+    out += std::to_string(opaque_payload);
+    out += "\r\n";
   }
   out += "\r\n";
+}
+
+std::string Response::serialize_head() const {
+  std::string out;
+  serialize_head_into(out);
   return out;
 }
 
 std::string Response::serialize() const {
   std::string out = serialize_head();
-  out += body;
+  out.append(body.view());
   return out;
 }
 
 Response Response::parse(std::string_view wire) {
   WireHead head = parse_head(wire, "http response");
   // Status line: HTTP/1.1 SP code SP reason (reason may contain spaces).
-  const std::string& line = head.start_line;
+  const std::string_view line = head.start_line;
   const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string::npos || !strings::starts_with(line, "HTTP/")) {
+  if (sp1 == std::string_view::npos || !strings::starts_with(line, "HTTP/")) {
     throw ParseError("http response: bad status line");
   }
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   const std::string_view code =
-      std::string_view(line).substr(sp1 + 1, (sp2 == std::string::npos ? line.size() : sp2) - sp1 - 1);
+      line.substr(sp1 + 1, (sp2 == std::string_view::npos ? line.size() : sp2) - sp1 - 1);
   const auto status = strings::to_int(code);
   if (!status || *status < 100 || *status > 599) {
     throw ParseError("http response: bad status code");
   }
   Response resp;
   resp.status = static_cast<int>(*status);
-  resp.reason = (sp2 == std::string::npos) ? std::string(reason_phrase(resp.status))
-                                           : line.substr(sp2 + 1);
-  if (const auto opaque = head.headers.get(kOpaqueHeader)) {
+  resp.reason = (sp2 == std::string_view::npos) ? std::string(reason_phrase(resp.status))
+                                                : std::string(line.substr(sp2 + 1));
+  if (const auto opaque = head.headers.get_view(kOpaqueHeader)) {
     const auto n = strings::to_int(*opaque);
     if (!n || *n < 0) throw ParseError("http response: bad opaque byte count");
     resp.opaque_payload = *n;
@@ -256,12 +321,16 @@ Response Response::parse(std::string_view wire) {
   }
   head.headers.remove("Content-Length");
   resp.headers = std::move(head.headers);
+  // The single body copy of the upstream leg: wire bytes -> refcounted slab.
   resp.body = std::move(head.body);
   return resp;
 }
 
 Bytes Response::wire_size() const {
-  return static_cast<Bytes>(serialize().size()) + opaque_payload;
+  thread_local std::string scratch;
+  scratch.clear();
+  serialize_head_into(scratch);
+  return static_cast<Bytes>(scratch.size() + body.size()) + opaque_payload;
 }
 
 std::string_view reason_phrase(int status) {

@@ -5,6 +5,12 @@
 // Wish workload) are simulated: the simulator charges their bandwidth cost
 // without materialising the bytes. The wire format encodes the count in an
 // "X-Appx-Opaque-Bytes" header so parse/serialize round-trips.
+//
+// Allocation discipline (DESIGN.md §5h): response bodies are refcounted
+// immutable BodySlabs, so caching, queueing and serving a response never
+// copies the payload. The _into serializers append into caller-owned buffers
+// that hot paths reuse across requests; the string-returning forms remain as
+// conveniences built on top of them.
 #pragma once
 
 #include <optional>
@@ -13,10 +19,18 @@
 #include <utility>
 #include <vector>
 
+#include "http/slab.hpp"
 #include "http/uri.hpp"
 #include "util/units.hpp"
 
 namespace appx::http {
+
+// One header as a pair of views over externally owned bytes (the parser's
+// pinned connection buffer, or another message's storage).
+struct HeaderView {
+  std::string_view name;
+  std::string_view value;
+};
 
 // Case-insensitive header map preserving insertion order. Duplicate names
 // are allowed (the paper's add_header policy can add repeated fields).
@@ -25,12 +39,21 @@ class Headers {
   void set(std::string_view name, std::string_view value);  // replace-or-insert
   void add(std::string_view name, std::string_view value);  // always append
   std::optional<std::string> get(std::string_view name) const;
+  // View form for hot paths: no copy; the view lives as long as the entry.
+  std::optional<std::string_view> get_view(std::string_view name) const;
   std::vector<std::string> get_all(std::string_view name) const;
   bool has(std::string_view name) const;
   void remove(std::string_view name);
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
   const std::vector<std::pair<std::string, std::string>>& items() const { return items_; }
+
+  // Capacity-reusing bulk assignment (the zero-alloc materialize path):
+  // overwrite slot `i` in place — extending by one when i == size() — then
+  // truncate to the slots written. Existing string capacity is retained, so
+  // steady-state keep-alive traffic assigns headers without allocating.
+  void set_slot(std::size_t i, std::string_view name, std::string_view value);
+  void truncate(std::size_t n);
 
   bool operator==(const Headers& other) const { return items_ == other.items_; }
 
@@ -57,6 +80,8 @@ struct Request {
   // the wire is serialize_head() followed by `body`; writers batch the two
   // as one iovec instead of concatenating (no body copy).
   std::string serialize_head() const;
+  // Append the head into a reused buffer (no per-message string).
+  void serialize_head_into(std::string& out) const;
   static Request parse(std::string_view wire);
 
   // Total simulated size on the wire.
@@ -69,13 +94,19 @@ struct Request {
   // string, header, and body"). Headers listed in `ignored_headers` (the
   // proxy's own add_header marks) are excluded; header order is normalised.
   std::string cache_key(const std::vector<std::string>& ignored_headers = {}) const;
+  // Same bytes appended into a reused buffer (out is cleared first); the
+  // hit path renders its lookup key with zero allocations.
+  void cache_key_into(std::string& out,
+                      const std::vector<std::string>& ignored_headers = {}) const;
 };
 
 struct Response {
   int status = 200;
   std::string reason = "OK";
   Headers headers;
-  std::string body;
+  // Refcounted immutable payload: assigning rebinds the slab; copying a
+  // Response shares the bytes.
+  BodySlab body;
   // Simulated extra payload bytes (images/video stills); charged to the
   // network but not materialised.
   Bytes opaque_payload = 0;
@@ -85,6 +116,11 @@ struct Response {
   std::string serialize() const;
   // Status line + headers + blank line; the full message is this + `body`.
   std::string serialize_head() const;
+  // Append the head into a reused buffer. `extra_header_line`, when
+  // non-empty, is a complete "Name: value" line emitted after the stored
+  // headers — the live proxy stamps "X-Appx-Cache: hit" on shared cached
+  // responses this way instead of copying the message to mutate it.
+  void serialize_head_into(std::string& out, std::string_view extra_header_line = {}) const;
   static Response parse(std::string_view wire);
 
   Bytes wire_size() const;

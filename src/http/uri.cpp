@@ -9,12 +9,20 @@ namespace strings = appx::strings;
 
 Uri Uri::parse(std::string_view text) {
   Uri uri;
-  uri.path.clear();
+  parse_into(text, uri);
+  return uri;
+}
+
+void Uri::parse_into(std::string_view text, Uri& out) {
+  out.scheme.clear();
+  out.host.clear();
+  out.port = 0;
+  out.path.clear();
 
   std::string_view rest = text;
   const std::size_t scheme_end = rest.find("://");
   if (scheme_end != std::string_view::npos) {
-    uri.scheme = strings::to_lower(rest.substr(0, scheme_end));
+    strings::to_lower_into(rest.substr(0, scheme_end), out.scheme);
     rest = rest.substr(scheme_end + 3);
     const std::size_t authority_end = rest.find_first_of("/?");
     std::string_view authority = rest.substr(0, authority_end);
@@ -26,73 +34,106 @@ Uri Uri::parse(std::string_view text) {
       if (!port || *port <= 0 || *port > 65535) {
         throw ParseError("uri: bad port in '" + std::string(text) + "'");
       }
-      uri.port = static_cast<int>(*port);
+      out.port = static_cast<int>(*port);
       authority = authority.substr(0, colon);
     }
     if (authority.empty()) throw ParseError("uri: empty host in '" + std::string(text) + "'");
-    uri.host = strings::to_lower(authority);
+    strings::to_lower_into(authority, out.host);
   }
 
   const std::size_t qmark = rest.find('?');
-  std::string_view path = rest.substr(0, qmark);
-  uri.path = path.empty() ? "/" : std::string(path);
-  if (uri.path[0] != '/') throw ParseError("uri: path must start with '/': '" + std::string(text) + "'");
+  const std::string_view path = rest.substr(0, qmark);
+  out.path.assign(path.empty() ? std::string_view("/") : path);
+  if (out.path[0] != '/') {
+    throw ParseError("uri: path must start with '/': '" + std::string(text) + "'");
+  }
 
+  // Query parameters are decoded into reused slots: existing pair strings
+  // keep their capacity, extra slots are dropped at the end.
+  std::size_t slot = 0;
   if (qmark != std::string_view::npos) {
-    const std::string_view qs = rest.substr(qmark + 1);
-    if (!qs.empty()) {
-      for (const std::string& pair : strings::split(qs, '&')) {
-        if (pair.empty()) continue;
-        const std::size_t eq = pair.find('=');
-        if (eq == std::string::npos) {
-          uri.query.emplace_back(strings::url_decode(pair), "");
-        } else {
-          uri.query.emplace_back(strings::url_decode(pair.substr(0, eq)),
-                                 strings::url_decode(pair.substr(eq + 1)));
-        }
+    std::string_view qs = rest.substr(qmark + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      qs = amp == std::string_view::npos ? std::string_view{} : qs.substr(amp + 1);
+      if (pair.empty()) continue;
+      if (slot == out.query.size()) out.query.emplace_back();
+      auto& [key, value] = out.query[slot++];
+      key.clear();
+      value.clear();
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        strings::url_decode_into(pair, key);
+      } else {
+        strings::url_decode_into(pair.substr(0, eq), key);
+        strings::url_decode_into(pair.substr(eq + 1), value);
       }
     }
   }
-  return uri;
+  out.query.resize(slot);
 }
 
 std::string Uri::serialize() const {
   std::string out;
-  if (!host.empty()) {
-    out += scheme.empty() ? "http" : scheme;
-    out += "://";
-    out += host_port();
-  }
-  out += path_and_query();
+  serialize_into(out);
   return out;
 }
 
-std::string Uri::path_and_query() const {
-  std::string out = path;
-  const std::string qs = query_string();
-  if (!qs.empty()) {
-    out += '?';
-    out += qs;
+void Uri::serialize_into(std::string& out) const {
+  if (!host.empty()) {
+    out += scheme.empty() ? std::string_view("http") : std::string_view(scheme);
+    out += "://";
+    host_port_into(out);
   }
+  path_and_query_into(out);
+}
+
+std::string Uri::path_and_query() const {
+  std::string out;
+  path_and_query_into(out);
   return out;
+}
+
+void Uri::path_and_query_into(std::string& out) const {
+  out += path;
+  if (!query.empty()) {
+    out += '?';
+    const std::size_t mark = out.size();
+    query_string_into(out);
+    if (out.size() == mark) out.pop_back();  // all-degenerate query: no '?'
+  }
 }
 
 std::string Uri::query_string() const {
   std::string out;
-  for (std::size_t i = 0; i < query.size(); ++i) {
-    if (i != 0) out += '&';
-    out += strings::url_encode(query[i].first);
-    if (!query[i].second.empty()) {
-      out += '=';
-      out += strings::url_encode(query[i].second);
-    }
-  }
+  query_string_into(out);
   return out;
 }
 
+void Uri::query_string_into(std::string& out) const {
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    if (i != 0) out += '&';
+    strings::url_encode_into(query[i].first, out);
+    if (!query[i].second.empty()) {
+      out += '=';
+      strings::url_encode_into(query[i].second, out);
+    }
+  }
+}
+
 std::string Uri::host_port() const {
-  if (port == 0 || port == effective_port_default()) return host;
-  return host + ":" + std::to_string(port);
+  std::string out;
+  host_port_into(out);
+  return out;
+}
+
+void Uri::host_port_into(std::string& out) const {
+  out += host;
+  if (port != 0 && port != effective_port_default()) {
+    out += ':';
+    out += std::to_string(port);
+  }
 }
 
 namespace {

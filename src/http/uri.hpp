@@ -23,11 +23,21 @@ struct Uri {
   // Accepts absolute ("https://host:port/path?a=b") and origin-form
   // ("/path?a=b") URIs. Percent-decoding is applied to query keys/values.
   static Uri parse(std::string_view text);
+  // Same parse, but assigns into `out`'s existing string/vector capacity —
+  // a warm Uri absorbs a similar target with zero allocations (DESIGN.md §5h).
+  static void parse_into(std::string_view text, Uri& out);
 
   std::string serialize() const;        // absolute if host set, else origin-form
   std::string path_and_query() const;   // "/path?a=b"
   std::string query_string() const;     // "a=b&c=d" (percent-encoded)
   std::string host_port() const;        // "host" or "host:port"
+
+  // Append-style serializers backing the string forms above; hot paths call
+  // these with a reused buffer.
+  void serialize_into(std::string& out) const;
+  void path_and_query_into(std::string& out) const;
+  void query_string_into(std::string& out) const;
+  void host_port_into(std::string& out) const;
   int effective_port() const;           // port or scheme default (80/443)
   int effective_port_default() const;   // the scheme's default port
 

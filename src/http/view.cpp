@@ -1,0 +1,109 @@
+#include "http/view.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appx::http {
+
+namespace strings = appx::strings;
+
+std::optional<std::string_view> RequestView::header(std::string_view name) const {
+  for (std::size_t i = 0; i < header_count; ++i) {
+    if (strings::iequals(headers[i].name, name)) return headers[i].value;
+  }
+  return std::nullopt;
+}
+
+RequestView parse_request_view(std::string_view wire, util::Arena& arena) {
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    throw ParseError("http request: missing header terminator");
+  }
+  const std::string_view head = wire.substr(0, head_end);
+  RequestView out;
+  out.body = wire.substr(head_end + 4);
+
+  // Request line: method SP target SP version, exactly two spaces.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size() : line_end);
+  if (request_line.empty()) throw ParseError("http request: empty start line");
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    throw ParseError("http request: bad request line");
+  }
+  out.method = request_line.substr(0, sp1);
+  out.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = request_line.substr(sp2 + 1);
+  if (!strings::starts_with(out.version, "HTTP/")) {
+    throw ParseError("http request: bad version '" + std::string(out.version) + "'");
+  }
+
+  // Header lines: count, then fill an arena array (no reallocation).
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+  std::size_t count = 0;
+  for (std::string_view scan = rest; !scan.empty();) {
+    const std::size_t eol = scan.find("\r\n");
+    ++count;
+    scan = eol == std::string_view::npos ? std::string_view{} : scan.substr(eol + 2);
+  }
+  HeaderView* headers = count == 0 ? nullptr : arena.alloc_array<HeaderView>(count);
+  std::size_t filled = 0;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        rest.substr(0, eol == std::string_view::npos ? rest.size() : eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError("http request: malformed header line '" + std::string(line) + "'");
+    }
+    headers[filled].name = strings::trim(line.substr(0, colon));
+    headers[filled].value = strings::trim(line.substr(colon + 1));
+    ++filled;
+  }
+  out.headers = headers;
+  out.header_count = filled;
+  return out;
+}
+
+void materialize(const RequestView& view, Request& out) {
+  out.method.assign(view.method);
+  Uri::parse_into(view.target, out.uri);
+
+  // Host-header promotion (origin-form targets carry no authority).
+  if (out.uri.host.empty()) {
+    if (const auto host = view.header("Host")) {
+      const std::size_t colon = host->rfind(':');
+      if (colon != std::string_view::npos && strings::to_int(host->substr(colon + 1))) {
+        out.uri.host.clear();
+        strings::to_lower_into(host->substr(0, colon), out.uri.host);
+        out.uri.port = static_cast<int>(*strings::to_int(host->substr(colon + 1)));
+      } else {
+        out.uri.host.clear();
+        strings::to_lower_into(*host, out.uri.host);
+      }
+    }
+  }
+
+  // Headers minus the wire-framing fields (Host promoted above,
+  // Content-Length re-derived from the body on serialization), assigned into
+  // reused slots.
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < view.header_count; ++i) {
+    const HeaderView& h = view.headers[i];
+    if (strings::iequals(h.name, "Host") || strings::iequals(h.name, "Content-Length")) {
+      continue;
+    }
+    out.headers.set_slot(slot++, h.name, h.value);
+  }
+  out.headers.truncate(slot);
+
+  out.body.assign(view.body);
+}
+
+}  // namespace appx::http

@@ -1,0 +1,59 @@
+// Zero-copy parsed request over a pinned buffer (DESIGN.md §5h).
+//
+// RequestView is the data plane's working form of a request: every field is
+// a std::string_view into the connection's parser buffer, and the header
+// array lives in the connection's arena. Parsing a keep-alive request
+// therefore allocates nothing once the connection is warm.
+//
+// Lifetime rules: a view is valid while (a) the wire bytes it was parsed
+// from stay pinned (HttpParser::pin holds compaction and growth off the
+// buffer) and (b) the arena is not reset. The event-loop Conn enforces both
+// for the one request it keeps in flight.
+//
+// Where the engine needs an owning message (learning, cache keys), the view
+// is materialized into an http::Request whose string/vector capacity is
+// reused across requests — http::Request::parse is itself implemented as
+// parse_request_view + materialize, so the two paths cannot drift.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "http/message.hpp"
+#include "util/arena.hpp"
+
+namespace appx::http {
+
+struct RequestView {
+  std::string_view method;
+  std::string_view target;   // raw request-target exactly as on the wire
+  std::string_view version;  // "HTTP/1.1"
+  const HeaderView* headers = nullptr;
+  std::size_t header_count = 0;
+  std::string_view body;
+
+  // First case-insensitive match, whitespace-trimmed (same semantics as
+  // Headers::get), without copying.
+  std::optional<std::string_view> header(std::string_view name) const;
+
+  // The path component of the target (up to '?'), for routing checks that
+  // must not allocate (admin-path detection).
+  std::string_view path() const {
+    const std::size_t q = target.find('?');
+    return q == std::string_view::npos ? target : target.substr(0, q);
+  }
+};
+
+// Parse one complete wire message (as returned by HttpParser::next_message)
+// into views. The header array is allocated from `arena`; the caller owns
+// resetting it between requests. Throws ParseError on malformed messages —
+// identical validation to http::Request::parse.
+RequestView parse_request_view(std::string_view wire, util::Arena& arena);
+
+// Build an owning Request from a view, reusing `out`'s existing string and
+// vector capacity: a warm scratch Request absorbs a similar request with
+// zero allocations. Applies the same normalisation as Request::parse (URI
+// decoding, Host-header promotion, Host/Content-Length removal).
+void materialize(const RequestView& view, Request& out);
+
+}  // namespace appx::http

@@ -11,9 +11,13 @@ namespace {
 // Content-Length of a message head (the text before the blank line), 0 when
 // absent. Malformed values throw ParseError.
 std::size_t content_length_of(std::string_view head) {
-  for (const std::string& line : strings::split(head, "\r\n")) {
+  std::string_view rest = head;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    const std::string_view line = rest.substr(0, eol == std::string_view::npos ? rest.size() : eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
     const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
+    if (colon == std::string_view::npos) continue;
     if (!strings::iequals(strings::trim(line.substr(0, colon)), "Content-Length")) continue;
     const auto value = strings::to_int(line.substr(colon + 1));
     if (!value || *value < 0) throw ParseError("http framing: bad Content-Length");
@@ -27,6 +31,12 @@ std::size_t content_length_of(std::string_view head) {
 // --- HttpParser ----------------------------------------------------------------------
 
 void HttpParser::append(const char* data, std::size_t n) {
+  if (pinned_) {
+    // A message view into buffer_ is in flight: stage the bytes aside so the
+    // buffer neither compacts nor reallocates under the view.
+    overflow_.append(data, n);
+    return;
+  }
   // Compact before growing: erase the consumed prefix once it is large (or
   // the buffer is fully drained — a free clear() that keeps the capacity, so
   // a keep-alive connection reuses one allocation across all its messages).
@@ -36,6 +46,14 @@ void HttpParser::append(const char* data, std::size_t n) {
     consumed_ = 0;
   }
   buffer_.append(data, n);
+}
+
+void HttpParser::unpin() {
+  pinned_ = false;
+  if (!overflow_.empty()) {
+    append(overflow_.data(), overflow_.size());  // compacts first if due
+    overflow_.clear();
+  }
 }
 
 std::optional<std::string_view> HttpParser::next_message() {
@@ -72,7 +90,9 @@ std::optional<std::string_view> HttpParser::next_message() {
 
 void HttpParser::reset() {
   buffer_.clear();
+  overflow_.clear();
   consumed_ = 0;
+  pinned_ = false;
 }
 
 // --- HttpReader ----------------------------------------------------------------------
@@ -107,11 +127,17 @@ std::optional<http::Response> HttpReader::read_response() {
 }
 
 void write_request(TcpStream& stream, const http::Request& request) {
-  stream.writev_all(request.serialize_head(), request.body);
+  thread_local std::string head;
+  head.clear();
+  request.serialize_head_into(head);
+  stream.writev_all(head, request.body);
 }
 
 void write_response(TcpStream& stream, const http::Response& response) {
-  stream.writev_all(response.serialize_head(), response.body);
+  thread_local std::string head;
+  head.clear();
+  response.serialize_head_into(head);
+  stream.writev_all(head, response.body);
 }
 
 }  // namespace appx::net

@@ -9,6 +9,8 @@
 #include <chrono>
 #include <utility>
 
+#include "http/view.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -31,34 +33,49 @@ http::Response status_response(int status, std::string body) {
   return resp;
 }
 
-// Canned upstream-failure responses, built once: the miss path and prefetch
-// workers return copies instead of re-assembling status/reason/body per
-// failure.
-const http::Response& no_upstream_response() {
-  static const http::Response resp = status_response(502, R"({"error":"no upstream for host"})");
+// Canned upstream-failure responses, built once and shared: serving one is a
+// refcount bump — the body is a static slab, never copied or re-assembled
+// per failure (DESIGN.md §5h). `body` must have static storage duration.
+std::shared_ptr<const http::Response> make_canned(int status, std::string_view body) {
+  auto resp = std::make_shared<http::Response>();
+  resp->status = status;
+  resp->reason = std::string(http::reason_phrase(status));
+  resp->body = http::BodySlab::static_bytes(body);
   return resp;
 }
-const http::Response& shutting_down_response() {
-  static const http::Response resp = status_response(502, R"({"error":"proxy shutting down"})");
+const std::shared_ptr<const http::Response>& no_upstream_response() {
+  static const auto resp = make_canned(502, R"({"error":"no upstream for host"})");
   return resp;
 }
-const http::Response& upstream_error_response() {
-  static const http::Response resp = status_response(502, R"({"error":"upstream error"})");
+const std::shared_ptr<const http::Response>& shutting_down_response() {
+  static const auto resp = make_canned(502, R"({"error":"proxy shutting down"})");
   return resp;
 }
-const http::Response& upstream_timeout_response() {
-  static const http::Response resp = status_response(504, R"({"error":"upstream timeout"})");
+const std::shared_ptr<const http::Response>& upstream_error_response() {
+  static const auto resp = make_canned(502, R"({"error":"upstream error"})");
   return resp;
 }
-const http::Response& internal_error_response() {
-  static const http::Response resp = status_response(500, R"({"error":"internal error"})");
+const std::shared_ptr<const http::Response>& upstream_timeout_response() {
+  static const auto resp = make_canned(504, R"({"error":"upstream timeout"})");
   return resp;
+}
+const std::shared_ptr<const http::Response>& internal_error_response() {
+  static const auto resp = make_canned(500, R"({"error":"internal error"})");
+  return resp;
+}
+
+// Full wire bytes of the bodyless reject statuses (431/413), rendered once;
+// the reject path enqueues them as static slabs with zero per-use work.
+std::string_view canned_reject_wire(int status) {
+  static const std::string wire_431 = status_response(431, "").serialize_head();
+  static const std::string wire_413 = status_response(413, "").serialize_head();
+  return status == 431 ? std::string_view(wire_431) : std::string_view(wire_413);
 }
 
 // Shared admin surface: /appx/metrics (Prometheus text), /appx/metrics.json.
-bool is_admin_path(const std::string& path) { return path.rfind("/appx/", 0) == 0; }
+bool is_admin_path(std::string_view path) { return path.rfind("/appx/", 0) == 0; }
 
-http::Response metrics_response(const obs::MetricsRegistry& registry, const std::string& path) {
+http::Response metrics_response(const obs::MetricsRegistry& registry, std::string_view path) {
   if (path == "/appx/metrics") {
     http::Response resp = status_response(200, registry.to_prometheus());
     resp.headers.set("Content-Type", "text/plain; version=0.0.4");
@@ -77,14 +94,25 @@ http::Response metrics_response(const obs::MetricsRegistry& registry, const std:
 // --- Conn ----------------------------------------------------------------------------
 //
 // One client connection on one event loop. All state is loop-thread-only
-// except `sessions` (touched only by the single worker owning the in-flight
-// request — `processing_` serializes requests per connection) and complete()
-// (any thread; it serializes the response and posts the hand-off).
+// except the request-scoped members (`sessions`, the request view, arena and
+// scratch request) — touched only by the single worker owning the in-flight
+// request; `processing_` serializes requests per connection and the worker
+// queue/loop post provide the hand-off ordering — and complete() (any
+// thread; it posts the response to the loop).
+//
+// Zero-copy data plane (DESIGN.md §5h): a complete message is parsed into a
+// RequestView over the parser's pinned buffer (header array in the
+// connection arena); the buffer stays pinned until complete(). Responses
+// leave as (head, body) chunk pairs — the head rendered into a pooled
+// per-connection buffer, the body a refcounted slab — so serving a cached
+// response copies no payload bytes between the cache and the socket iovec.
 class Conn : public std::enable_shared_from_this<Conn> {
  public:
-  // Called on the loop thread with each complete parsed request. The sink
-  // must eventually call complete() exactly once per dispatched request.
-  using Dispatch = std::function<void(const std::shared_ptr<Conn>&, http::Request)>;
+  // Called on the loop thread for each complete parsed request, which rides
+  // on the connection as request_view() (and materialize_request() for an
+  // owning form). The sink must eventually call complete() exactly once per
+  // dispatched request; the view and scratch request stay valid until then.
+  using Dispatch = std::function<void(const std::shared_ptr<Conn>&)>;
   using OnClosed = std::function<void(int fd)>;
 
   Conn(EventLoop* loop, TcpStream stream, ReaderLimits limits, Duration idle_timeout,
@@ -112,19 +140,47 @@ class Conn : public std::enable_shared_from_this<Conn> {
     arm_idle_timer(last_activity_ + std::chrono::microseconds(idle_timeout_));
   }
 
-  // Any thread: hand back the response for the dispatched request. The
-  // serialization cost is paid on the calling (worker) thread; only the
-  // queue append + flush run on the loop.
-  void complete(http::Response response) {
-    std::string head = response.serialize_head();
-    std::string body = std::move(response.body);
+  // The in-flight request as zero-copy views over the pinned parser buffer.
+  // Valid from dispatch until the matching complete().
+  const http::RequestView& request_view() const { return view_; }
+
+  // The in-flight request in owning form, materialized on first use into a
+  // per-connection scratch whose string/vector capacity is reused across
+  // requests — warm keep-alive traffic materializes without allocating.
+  http::Request& materialize_request() {
+    if (!materialized_) {
+      http::materialize(view_, req_scratch_);
+      materialized_ = true;
+    }
+    return req_scratch_;
+  }
+
+  // Any thread: hand back the response for the dispatched request. The body
+  // slab is enqueued by reference (no copy); the head is rendered on the
+  // loop thread into a pooled buffer. `extra_header_line` must point at
+  // storage with static lifetime (callers pass literals like
+  // "X-Appx-Cache: hit"); it is emitted after the stored headers.
+  void complete(http::Response response, std::string_view extra_header_line = {}) {
     if (loop_->on_loop_thread()) {
-      finish_request(std::move(head), std::move(body));
+      finish_request(response, extra_header_line);
       return;
     }
-    loop_->post([self = shared_from_this(), head = std::move(head),
-                 body = std::move(body)]() mutable {
-      self->finish_request(std::move(head), std::move(body));
+    loop_->post([self = shared_from_this(), response = std::move(response),
+                 extra_header_line]() mutable {
+      self->finish_request(response, extra_header_line);
+    });
+  }
+
+  // Same, for a response shared with the engine's cache (or a canned
+  // singleton): no copy is taken — the write queue holds the refcount.
+  void complete(std::shared_ptr<const http::Response> response,
+                std::string_view extra_header_line = {}) {
+    if (loop_->on_loop_thread()) {
+      finish_request(*response, extra_header_line);
+      return;
+    }
+    loop_->post([self = shared_from_this(), response = std::move(response), extra_header_line] {
+      self->finish_request(*response, extra_header_line);
     });
   }
 
@@ -185,19 +241,24 @@ class Conn : public std::enable_shared_from_this<Conn> {
         break;
       }
       if (!wire) break;
-      http::Request request;
       try {
-        request = http::Request::parse(*wire);
+        arena_.reset();
+        view_ = http::parse_request_view(*wire, arena_);
       } catch (const ParseError& e) {
         log_debug("net.conn") << "malformed request: " << e.what();
         close();
         break;
       }
+      materialized_ = false;
       // A complete request is activity; a dribbling partial header (slow
       // loris) is not, so the idle timer keeps counting across it.
       touch();
       processing_ = true;
-      dispatch_(shared_from_this(), std::move(request));
+      // Pin the buffer under the outstanding views: bytes arriving while the
+      // request is in flight (EPOLLHUP-driven drains read even with EPOLLIN
+      // masked off) are staged aside instead of reallocating it.
+      parser_.pin();
+      dispatch_(shared_from_this());
     }
     in_pump_ = false;
   }
@@ -206,7 +267,7 @@ class Conn : public std::enable_shared_from_this<Conn> {
   // mode: sink the peer's remaining bytes and close after a bounded drain so
   // the FIN carries the status instead of an RST racing unread input.
   void reject(int status) {
-    out_.push_back(status_response(status, "").serialize_head());
+    out_.push_back(OutChunk::canned(canned_reject_wire(status)));
     discarding_ = true;
     parser_.reset();
     flush();
@@ -214,11 +275,14 @@ class Conn : public std::enable_shared_from_this<Conn> {
 
   // Loop thread: append the response for the in-flight request and resume
   // reading/dispatching.
-  void finish_request(std::string head, std::string body) {
+  void finish_request(const http::Response& response, std::string_view extra_header_line) {
     if (closed_) return;  // connection died while the worker ran; drop
     processing_ = false;
-    out_.push_back(std::move(head));
-    if (!body.empty()) out_.push_back(std::move(body));
+    parser_.unpin();  // views are dead; merge bytes staged during the request
+    std::string head = take_head_buffer();
+    response.serialize_head_into(head, extra_header_line);
+    out_.push_back(OutChunk::head(std::move(head)));
+    if (!response.body.empty()) out_.push_back(OutChunk::body(response.body));
     touch();
     flush();
     if (closed_) return;
@@ -234,10 +298,11 @@ class Conn : public std::enable_shared_from_this<Conn> {
       struct iovec iov[kMaxIov];
       std::size_t niov = 0;
       std::size_t offset = out_off_;
-      for (const std::string& chunk : out_) {
+      for (const OutChunk& chunk : out_) {
         if (niov == kMaxIov) break;
-        iov[niov].iov_base = const_cast<char*>(chunk.data() + offset);
-        iov[niov].iov_len = chunk.size() - offset;
+        const std::string_view bytes = chunk.bytes();
+        iov[niov].iov_base = const_cast<char*>(bytes.data() + offset);
+        iov[niov].iov_len = bytes.size() - offset;
         ++niov;
         offset = 0;
       }
@@ -259,11 +324,12 @@ class Conn : public std::enable_shared_from_this<Conn> {
       }
       std::size_t remaining = static_cast<std::size_t>(n);
       while (remaining > 0) {
-        std::string& front = out_.front();
-        const std::size_t left = front.size() - out_off_;
+        OutChunk& front = out_.front();
+        const std::size_t left = front.bytes().size() - out_off_;
         if (remaining >= left) {
           remaining -= left;
           out_off_ = 0;
+          if (front.kind == OutChunk::Kind::Text) recycle_head_buffer(std::move(front.text));
           out_.pop_front();
         } else {
           out_off_ += remaining;
@@ -333,6 +399,52 @@ class Conn : public std::enable_shared_from_this<Conn> {
     close();
   }
 
+  // One pending-write queue entry: either head text (a pooled per-connection
+  // buffer, recycled once written) or payload bytes held by reference — a
+  // refcounted body slab, or a canned wire with static lifetime. Payloads
+  // are never copied into the queue.
+  struct OutChunk {
+    enum class Kind { Text, Slab };
+    Kind kind = Kind::Text;
+    std::string text;
+    http::BodySlab slab;
+
+    static OutChunk head(std::string t) {
+      OutChunk c;
+      c.text = std::move(t);
+      return c;
+    }
+    static OutChunk body(const http::BodySlab& s) {
+      OutChunk c;
+      c.kind = Kind::Slab;
+      c.slab = s;
+      return c;
+    }
+    static OutChunk canned(std::string_view wire) {
+      OutChunk c;
+      c.kind = Kind::Slab;
+      c.slab = http::BodySlab::static_bytes(wire);
+      return c;
+    }
+    std::string_view bytes() const {
+      return kind == Kind::Slab ? slab.view() : std::string_view(text);
+    }
+  };
+
+  // Head buffers cycle between the write queue and this pool (loop-thread
+  // only), so steady-state responses render their head into warm capacity.
+  std::string take_head_buffer() {
+    if (head_pool_.empty()) return {};
+    std::string buf = std::move(head_pool_.back());
+    head_pool_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  void recycle_head_buffer(std::string&& buf) {
+    if (head_pool_.size() < kHeadPoolMax) head_pool_.push_back(std::move(buf));
+  }
+
   void close() {
     if (closed_) return;
     closed_ = true;
@@ -351,6 +463,8 @@ class Conn : public std::enable_shared_from_this<Conn> {
     if (on_closed_) on_closed_(conn_fd);
   }
 
+  static constexpr std::size_t kHeadPoolMax = 4;
+
   EventLoop* loop_;
   TcpStream stream_;
   HttpParser parser_;
@@ -359,7 +473,16 @@ class Conn : public std::enable_shared_from_this<Conn> {
   OnClosed on_closed_;
   obs::Histogram* first_byte_hist_;  // nulled after the first recorded write
 
-  std::deque<std::string> out_;
+  // Request-scoped state (owned by the dispatched handler until complete()):
+  // arena backs the view's header array; the scratch request keeps its
+  // capacity across materializations.
+  util::Arena arena_;
+  http::RequestView view_;
+  http::Request req_scratch_;
+  bool materialized_ = false;
+
+  std::deque<OutChunk> out_;
+  std::vector<std::string> head_pool_;
   std::size_t out_off_ = 0;  // bytes of out_.front() already written
   std::uint32_t events_ = 0;
   bool processing_ = false;
@@ -528,38 +651,40 @@ void LiveOriginServer::stop() {
   stop_shards(shards_);
 }
 
-void LiveOriginServer::handle_request(const std::shared_ptr<Conn>& conn, http::Request request) {
+void LiveOriginServer::handle_request(const std::shared_ptr<Conn>& conn) {
   // Served inline on the loop thread: OriginServer::serve is a pure
   // internally-synchronized request->response mapping with no blocking I/O.
-  if (is_admin_path(request.uri.path)) {
-    conn->complete(metrics_response(registry_, request.uri.path));
+  if (is_admin_path(conn->request_view().path())) {
+    conn->complete(metrics_response(registry_, conn->request_view().path()));
     return;
   }
   requests_total_->inc();
   const auto started = std::chrono::steady_clock::now();
-  http::Response response;
+  const http::Request& request = conn->materialize_request();
   try {
-    response = origin_->serve(request);
+    http::Response response = origin_->serve(request);
+    serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count());
+    ++served_;
+    conn->complete(std::move(response));
   } catch (const Error& e) {
     // A request the app rejects (bad argument, invalid state) fails that one
     // exchange; an uncaught throw here would unwind the loop thread.
     log_warn("net.origin") << "serve failed: " << e.what();
-    response = internal_error_response();
+    serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count());
+    ++served_;
+    conn->complete(internal_error_response());
   }
-  serve_us_->record(std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - started)
-                        .count());
-  ++served_;
-  conn->complete(std::move(response));
 }
 
 std::shared_ptr<Conn> LiveOriginServer::make_conn(LoopShard* shard, TcpStream stream) {
   if (stopping_.load()) return nullptr;
   auto conn = std::make_shared<Conn>(
       &shard->loop, std::move(stream), ReaderLimits{}, seconds(60),
-      [this](const std::shared_ptr<Conn>& c, http::Request request) {
-        handle_request(c, std::move(request));
-      },
+      [this](const std::shared_ptr<Conn>& c) { handle_request(c); },
       [this, shard](int fd) {
         shard->conns.erase(fd);
         conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_sub(1) - 1));
@@ -626,9 +751,7 @@ std::shared_ptr<Conn> LiveProxyServer::make_conn(LoopShard* shard, TcpStream str
       &shard->loop, std::move(stream),
       ReaderLimits{options_.reader_limits.max_head_bytes, options_.reader_limits.max_body_bytes},
       options_.conn_idle_timeout,
-      [this](const std::shared_ptr<Conn>& c, http::Request request) {
-        dispatch(c, std::move(request));
-      },
+      [this](const std::shared_ptr<Conn>& c) { dispatch(c); },
       [this, shard](int fd) {
         shard->conns.erase(fd);
         conns_gauge_->set(static_cast<std::int64_t>(open_conns_.fetch_sub(1) - 1));
@@ -689,7 +812,8 @@ SimTime LiveProxyServer::now() const {
       .count();
 }
 
-http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
+std::shared_ptr<const http::Response> LiveProxyServer::fetch_upstream(
+    const http::Request& request) {
   const auto it = upstreams_.find(request.uri.host);
   if (it == upstreams_.end()) return no_upstream_response();
   if (stopping_.load()) return shutting_down_response();
@@ -712,7 +836,9 @@ http::Response LiveProxyServer::fetch_upstream(const http::Request& request) {
       if (!response) throw Error("upstream closed without responding");
       // Reusable only when the exchange ended exactly at a message boundary.
       pool_->release(std::move(lease), reader.pending_bytes() == 0);
-      return *response;
+      // Shared from here on: the engine's cache, the learning event and the
+      // client's write queue all reference these bytes, never copy them.
+      return std::make_shared<const http::Response>(std::move(*response));
     } catch (const TimeoutError& e) {
       pool_->release(std::move(lease), false);
       // A dead or wedged origin degrades to 504 instead of hanging the worker.
@@ -744,12 +870,14 @@ http::Response LiveProxyServer::handle_admin(const http::Request& request) {
   return metrics_response(*registry_, request.uri.path);
 }
 
-void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn, http::Request request) {
+void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn) {
   const SimTime received = now();
   // Admin requests (metrics scrapes, trace dumps) bypass the engine: they
   // must not create user state or perturb learning. Served inline — no
-  // blocking work involved.
-  if (is_admin_path(request.uri.path)) {
+  // blocking work involved. The raw-target path check is exact for the
+  // origin-form requests the admin surface is scraped with.
+  if (is_admin_path(conn->request_view().path())) {
+    const http::Request& request = conn->materialize_request();
     obs::RequestTrace trace;
     trace.user = "-";
     trace.method = request.method;
@@ -762,22 +890,19 @@ void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn, http::Request 
     conn->complete(std::move(resp));
     return;
   }
-  workers_->submit([this, conn, request = std::move(request), received]() mutable {
-    http::Response response;
+  workers_->submit([this, conn, received] {
     try {
-      response = process_request(conn.get(), std::move(request), received);
+      process_request(conn.get(), received);
     } catch (const Error& e) {
       // Engine exceptions (invalid argument/state on a reachable path) fail
       // the one request as a 500 instead of escaping the worker thread.
       log_warn("net.proxy") << "request failed: " << e.what();
-      response = internal_error_response();
+      conn->complete(internal_error_response());
     }
-    conn->complete(std::move(response));
   });
 }
 
-http::Response LiveProxyServer::process_request(Conn* conn, http::Request request,
-                                                SimTime received) {
+void LiveProxyServer::process_request(Conn* conn, SimTime received) {
   // One logical user per connection source; for the loopback demo each
   // client identifies itself with an X-Appx-User header (falling back to a
   // shared id). A production front end would key on client address.
@@ -788,8 +913,22 @@ http::Response LiveProxyServer::process_request(Conn* conn, http::Request reques
   // runtime, go straight to the owning shard). The cache is safe lock-free:
   // a connection has at most one request in flight, so one worker touches it
   // at a time, hand-offs sequenced through the loop.
-  const std::string user = request.headers.get("X-Appx-User").value_or("default");
-  http::Request upstream_request = std::move(request);
+  //
+  // The user name is read from the zero-copy view (no header-value copy);
+  // the owning request is materialized into the connection's reusable
+  // scratch only after that, for the engine.
+  const std::string_view user = conn->request_view().header("X-Appx-User").value_or("default");
+
+  auto session_it = conn->sessions.find(user);
+  if (session_it == conn->sessions.end()) {
+    const auto resolve_guard = engine_guard();
+    session_it =
+        conn->sessions.emplace(std::string(user), engine_->session(std::string(user), now()))
+            .first;
+  }
+  core::Session& session = session_it->second;
+
+  http::Request& upstream_request = conn->materialize_request();
   upstream_request.headers.remove("X-Appx-User");
   // Origin-form request targets carry no scheme; this front end stands in
   // for the TLS-terminating proxy of the paper's deployment model, so
@@ -802,13 +941,6 @@ http::Response LiveProxyServer::process_request(Conn* conn, http::Request reques
   trace.target = upstream_request.uri.path;
   trace.start_us = received;
 
-  auto session_it = conn->sessions.find(user);
-  if (session_it == conn->sessions.end()) {
-    const auto resolve_guard = engine_guard();
-    session_it = conn->sessions.emplace(user, engine_->session(user, now())).first;
-  }
-  core::Session& session = session_it->second;
-
   core::Decision decision;
   {
     const auto guard = engine_guard();
@@ -816,36 +948,36 @@ http::Response LiveProxyServer::process_request(Conn* conn, http::Request reques
   }
   trace.add_span("decide", received, now());
   if (decision.served) {
-    // The served response is shared with the proxy's cache; take a local
-    // copy to annotate without mutating the cached entry.
-    http::Response served = *decision.served;
-    served.headers.set("X-Appx-Cache", "hit");
+    // The served response stays shared with the proxy's cache: the write
+    // queue holds the refcount and the hit marker is stamped into the head
+    // at serialize time, so no payload byte is copied between the cache and
+    // the socket iovec.
     trace.outcome = "hit";
     trace.end_us = now();
     client_hit_us_->record(trace.end_us - received);
     traces_.push(std::move(trace));
     enqueue_jobs(std::move(decision.prefetches));
-    return served;
+    conn->complete(std::move(decision.served), "X-Appx-Cache: hit");
+    return;
   }
   enqueue_jobs(std::move(decision.prefetches));
 
   const SimTime fetch_start = now();
-  http::Response response = fetch_upstream(upstream_request);
-  trace.add_span("forward", fetch_start, now(), "status=" + std::to_string(response.status));
+  std::shared_ptr<const http::Response> response = fetch_upstream(upstream_request);
+  trace.add_span("forward", fetch_start, now(), "status=" + std::to_string(response->status));
   const SimTime learn_start = now();
   core::Decision learned;
   {
     const auto guard = engine_guard();
-    learned = session.on_response(upstream_request, response, now());
+    learned = session.on_response(upstream_request, *response, now());
   }
   trace.add_span("learn", learn_start, now());
   enqueue_jobs(std::move(learned.prefetches));
-  response.headers.set("X-Appx-Cache", "miss");
-  trace.outcome = response.status >= 500 ? "error" : "miss";
+  trace.outcome = response->status >= 500 ? "error" : "miss";
   trace.end_us = now();
   client_miss_us_->record(trace.end_us - received);
   traces_.push(std::move(trace));
-  return response;
+  conn->complete(std::move(response), "X-Appx-Cache: miss");
 }
 
 void LiveProxyServer::enqueue_jobs(std::vector<core::PrefetchJob> jobs) {
@@ -913,13 +1045,13 @@ void LiveProxyServer::prefetch_worker() {
     try {
       // Shares the keep-alive pool with the miss path: prefetch fan-out rides
       // warm origin connections instead of causing a connect storm.
-      const http::Response response = fetch_upstream(job.request);
+      const std::shared_ptr<const http::Response> response = fetch_upstream(job.request);
       const SimTime fetched = now();
       prefetch_fetch_us_->record(fetched - started);
       trace.add_span("fetch", started, fetched, "sig=" + job.sig_id);
       {
         const auto guard = engine_guard();
-        engine_->on_prefetch_response(job.uid, job, response, now(),
+        engine_->on_prefetch_response(job.uid, job, *response, now(),
                                       to_ms(now() - started), &chained);
       }
       trace.add_span("learn", fetched, now());

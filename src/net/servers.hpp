@@ -125,7 +125,9 @@ class LiveOriginServer {
   void stop();
 
  private:
-  void handle_request(const std::shared_ptr<Conn>& conn, http::Request request);
+  // Loop-thread entry; the parsed request rides on the connection as a
+  // zero-copy view (Conn::request_view) instead of a message argument.
+  void handle_request(const std::shared_ptr<Conn>& conn);
   std::shared_ptr<Conn> make_conn(LoopShard* shard, TcpStream stream);
 
   apps::OriginServer* origin_;
@@ -185,11 +187,13 @@ class LiveProxyServer {
 
  private:
   // Loop-thread entry: admin requests answered inline, everything else
-  // dispatched to the request workers.
-  void dispatch(const std::shared_ptr<Conn>& conn, http::Request request);
+  // dispatched to the request workers. The request rides on the connection
+  // as a zero-copy view (Conn::request_view) over its pinned parser buffer.
+  void dispatch(const std::shared_ptr<Conn>& conn);
   std::shared_ptr<Conn> make_conn(LoopShard* shard, TcpStream stream);
   // Worker-thread body: engine events + upstream fetch for one request.
-  http::Response process_request(Conn* conn, http::Request request, SimTime received);
+  // Calls Conn::complete exactly once (unless it throws).
+  void process_request(Conn* conn, SimTime received);
   http::Response handle_admin(const http::Request& request);
   void prefetch_worker();
   // Queue the jobs an engine event decided to issue; overflow drops the
@@ -203,8 +207,10 @@ class LiveProxyServer {
   // or end() when no job is eligible. Call with queue_mutex_ held.
   std::deque<core::PrefetchJob>::iterator next_job_locked();
   // Fetch through the keep-alive pool; a reused connection that fails at use
-  // is retried once on a fresh connect. Degrades to canned 502/504.
-  http::Response fetch_upstream(const http::Request& request);
+  // is retried once on a fresh connect. Degrades to canned 502/504 (shared
+  // singletons — no per-failure assembly). The shared_ptr lets the response
+  // ride to the client's write queue without copying.
+  std::shared_ptr<const http::Response> fetch_upstream(const http::Request& request);
   SimTime now() const;
 
   core::ProxyLike* engine_;

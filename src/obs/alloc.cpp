@@ -1,0 +1,14 @@
+#include "obs/alloc.hpp"
+
+namespace appx::obs {
+
+namespace detail {
+thread_local AllocCounters t_alloc;
+bool g_hook_active = false;
+}  // namespace detail
+
+AllocCounters thread_alloc_counters() { return detail::t_alloc; }
+
+bool alloc_counting_active() { return detail::g_hook_active; }
+
+}  // namespace appx::obs

@@ -1,0 +1,36 @@
+// Heap-allocation instrumentation for bench/test builds (DESIGN.md §5h).
+//
+// The counters here are always present (and cost nothing when unused); they
+// only move when the replacement operator new/delete in obs/hook/
+// alloc_hook.cpp is linked into the binary. bench_alloc and test_alloc link
+// that hook to measure allocations/request on the serving data plane;
+// production binaries never do.
+//
+// Counters are thread-local: a measurement loop reads its own thread's
+// counts and is immune to allocator traffic on other threads.
+#pragma once
+
+#include <cstdint>
+
+namespace appx::obs {
+
+struct AllocCounters {
+  std::uint64_t allocations = 0;  // operator new calls
+  std::uint64_t bytes = 0;        // bytes requested from operator new
+};
+
+// Snapshot of the calling thread's counters since thread start.
+AllocCounters thread_alloc_counters();
+
+// True when the counting operator new/delete replacement is linked into this
+// binary (and not compiled out by a sanitizer build). Callers should skip
+// allocation assertions when false.
+bool alloc_counting_active();
+
+namespace detail {
+// Written by the hook TU only; reads race nothing (thread-local).
+extern thread_local AllocCounters t_alloc;
+extern bool g_hook_active;
+}  // namespace detail
+
+}  // namespace appx::obs

@@ -1,0 +1,87 @@
+// Replacement global operator new/delete that counts allocations into
+// obs::thread_alloc_counters(). Linked ONLY into measurement binaries
+// (bench_alloc, test_alloc) via the appx::alloc_hook object library — never
+// into the production libraries.
+//
+// Compiled out under ASan/TSan: the sanitizer runtimes install their own
+// allocator interceptors, and replacing operator new underneath them would
+// bypass their bookkeeping. alloc_counting_active() stays false there and
+// measurement code skips its assertions.
+#include "obs/alloc.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define APPX_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define APPX_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+#ifndef APPX_ALLOC_HOOK_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void* counted_alloc(std::size_t n) {
+  ++appx::obs::detail::t_alloc.allocations;
+  appx::obs::detail::t_alloc.bytes += n;
+  // malloc(0) may return null; operator new must not.
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  ++appx::obs::detail::t_alloc.allocations;
+  appx::obs::detail::t_alloc.bytes += n;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+const bool g_activated = [] {
+  appx::obs::detail::g_hook_active = true;
+  return true;
+}();
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // APPX_ALLOC_HOOK_DISABLED

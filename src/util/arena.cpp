@@ -1,0 +1,58 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace appx::util {
+
+void* Arena::alloc(std::size_t n, std::size_t align) {
+  if (n == 0) n = 1;
+  char* aligned = cursor_ + ((align - (reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1))) &
+                             (align - 1));
+  if (aligned + n > end_) {
+    // Advance to the next recycled block that fits, or grow.
+    while (block_index_ < blocks_.size() && blocks_[block_index_].size < n + align) {
+      ++block_index_;
+    }
+    if (block_index_ == blocks_.size()) {
+      const std::size_t want = std::max(n + align, next_block_bytes_);
+      blocks_.push_back(Block{std::make_unique<char[]>(want), want});
+      capacity_ += want;
+      next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+    }
+    Block& block = blocks_[block_index_];
+    ++block_index_;
+    cursor_ = block.bytes.get();
+    end_ = cursor_ + block.size;
+    aligned = cursor_ + ((align - (reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1))) &
+                         (align - 1));
+  }
+  cursor_ = aligned + n;
+  used_ += n;
+  return aligned;
+}
+
+std::string_view Arena::copy(std::string_view bytes) {
+  if (bytes.empty()) return {};
+  char* dst = static_cast<char*>(alloc(bytes.size(), 1));
+  std::memcpy(dst, bytes.data(), bytes.size());
+  return std::string_view(dst, bytes.size());
+}
+
+void Arena::reset() {
+  // Keep the largest block first so a warm arena serves a typical request
+  // from one block instead of walking fragments it outgrew.
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Block& a, const Block& b) { return a.size > b.size; });
+  block_index_ = 0;
+  used_ = 0;
+  if (blocks_.empty()) {
+    cursor_ = end_ = nullptr;
+  } else {
+    block_index_ = 1;
+    cursor_ = blocks_[0].bytes.get();
+    end_ = cursor_ + blocks_[0].size;
+  }
+}
+
+}  // namespace appx::util

@@ -1,0 +1,68 @@
+// Bump allocator for per-connection / per-request transient state.
+//
+// An Arena hands out raw bytes from chained blocks; nothing is freed
+// individually. reset() recycles every block for the next request, so a
+// keep-alive connection pays the block allocations once and then serves
+// every subsequent request with zero heap traffic (DESIGN.md §5h).
+//
+// Objects placed in an arena must be trivially destructible: reset() does
+// not run destructors.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace appx::util {
+
+class Arena {
+ public:
+  // First block size; subsequent blocks double up to kMaxBlockBytes.
+  explicit Arena(std::size_t initial_block_bytes = 4096)
+      : next_block_bytes_(initial_block_bytes == 0 ? 4096 : initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // `align` must be a power of two. An oversized request gets a dedicated
+  // block, so alloc never fails short of bad_alloc.
+  void* alloc(std::size_t n, std::size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>, "arena never runs destructors");
+    return static_cast<T*>(alloc(count * sizeof(T), alignof(T)));
+  }
+
+  // Copy bytes into the arena; the view lives until reset().
+  std::string_view copy(std::string_view bytes);
+
+  // Recycle all blocks: capacity is retained, so a warm arena allocates
+  // nothing on subsequent identical request patterns.
+  void reset();
+
+  // Bytes handed out since the last reset().
+  std::size_t used() const { return used_; }
+  // Total bytes owned across all blocks (never shrinks until destruction).
+  std::size_t capacity() const { return capacity_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> bytes;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kMaxBlockBytes = 256 * 1024;
+
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+  std::size_t block_index_ = 0;  // blocks_[0..block_index_) are in use
+  std::size_t next_block_bytes_;
+  std::size_t used_ = 0;
+  std::size_t capacity_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace appx::util

@@ -57,9 +57,15 @@ bool contains(std::string_view s, std::string_view needle) {
 }
 
 std::string to_lower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  std::string out;
+  to_lower_into(s, out);
   return out;
+}
+
+void to_lower_into(std::string_view s, std::string& out) {
+  for (char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
 }
 
 std::string to_upper(std::string_view s) {
@@ -112,9 +118,14 @@ int hex_digit(char c) {
 }  // namespace
 
 std::string url_encode(std::string_view s) {
-  static const char* kHex = "0123456789ABCDEF";
   std::string out;
   out.reserve(s.size());
+  url_encode_into(s, out);
+  return out;
+}
+
+void url_encode_into(std::string_view s, std::string& out) {
+  static const char* kHex = "0123456789ABCDEF";
   for (unsigned char c : s) {
     if (is_unreserved(c)) {
       out += static_cast<char>(c);
@@ -124,12 +135,16 @@ std::string url_encode(std::string_view s) {
       out += kHex[c & 0xf];
     }
   }
-  return out;
 }
 
 std::string url_decode(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  url_decode_into(s, out);
+  return out;
+}
+
+void url_decode_into(std::string_view s, std::string& out) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '%') {
       if (i + 2 >= s.size()) throw ParseError("url_decode: truncated percent escape");
@@ -144,7 +159,6 @@ std::string url_decode(std::string_view s) {
       out += s[i];
     }
   }
-  return out;
 }
 
 std::string to_hex(const void* data, std::size_t len) {

@@ -30,6 +30,12 @@ std::string to_lower(std::string_view s);
 std::string to_upper(std::string_view s);
 bool iequals(std::string_view a, std::string_view b);
 
+// Append-style variants for hot paths that reuse an output buffer across
+// calls (DESIGN.md §5h): each appends to `out` without clearing it.
+void to_lower_into(std::string_view s, std::string& out);
+void url_encode_into(std::string_view s, std::string& out);
+void url_decode_into(std::string_view s, std::string& out);
+
 // Parse a decimal integer; rejects trailing garbage.
 std::optional<std::int64_t> to_int(std::string_view s);
 std::optional<double> to_double(std::string_view s);

@@ -1,8 +1,14 @@
 // Unit tests for the HTTP substrate: URIs, headers, form bodies, messages.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <string_view>
+
 #include "http/message.hpp"
 #include "http/uri.hpp"
+#include "http/view.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace appx::http {
@@ -272,6 +278,125 @@ TEST(Response, ReasonPhrases) {
   EXPECT_EQ(reason_phrase(404), "Not Found");
   EXPECT_EQ(reason_phrase(503), "Service Unavailable");
   EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+// --- BodySlab ----------------------------------------------------------------
+
+TEST(BodySlab, CopySharesBytesInsteadOfDuplicating) {
+  BodySlab a = std::string("payload bytes");
+  BodySlab b = a;
+  EXPECT_EQ(a.data(), b.data());  // same storage, refcount bump only
+  EXPECT_EQ(b, "payload bytes");
+}
+
+TEST(BodySlab, KeepsBytesAliveAfterEveryOtherOwnerReleases) {
+  BodySlab survivor;
+  {
+    Response resp;
+    resp.body = std::string("cached response body");
+    const Response copy = resp;  // cache-style copy: shares the slab
+    survivor = copy.body;
+  }  // both Responses destroyed
+  EXPECT_EQ(survivor, "cached response body");
+}
+
+TEST(BodySlab, StaticBytesNeitherAllocateNorOwn) {
+  static constexpr std::string_view kCanned = R"({"error":"canned"})";
+  const BodySlab slab = BodySlab::static_bytes(kCanned);
+  EXPECT_EQ(slab.data(), kCanned.data());  // a view, not a copy
+  EXPECT_EQ(slab.size(), kCanned.size());
+}
+
+TEST(BodySlab, AliasKeepsExternalOwnerAlive) {
+  auto owner = std::make_shared<std::string>("aliased body");
+  BodySlab slab = BodySlab::alias(*owner, owner);
+  std::weak_ptr<std::string> watch = owner;
+  owner.reset();
+  EXPECT_FALSE(watch.expired());  // slab holds the storage
+  EXPECT_EQ(slab, "aliased body");
+  slab = BodySlab();
+  EXPECT_TRUE(watch.expired());
+}
+
+// --- RequestView / materialize ------------------------------------------------
+
+constexpr std::string_view kWireRequest =
+    "POST /api/get-feed?offset=0&count=30 HTTP/1.1\r\n"
+    "Host: api.wish.example:8443\r\n"
+    "Cookie: session=abc\r\n"
+    "Content-Length: 11\r\n"
+    "\r\n"
+    "offset=0&c=1";
+
+TEST(RequestView, FieldsAreViewsIntoTheWireBuffer) {
+  const std::string wire(kWireRequest);
+  util::Arena arena;
+  const RequestView view = parse_request_view(wire, arena);
+  EXPECT_EQ(view.method, "POST");
+  EXPECT_EQ(view.target, "/api/get-feed?offset=0&count=30");
+  EXPECT_EQ(view.path(), "/api/get-feed");
+  EXPECT_EQ(view.version, "HTTP/1.1");
+  ASSERT_EQ(view.header_count, 3u);
+  EXPECT_EQ(view.header("cookie").value(), "session=abc");
+  EXPECT_FALSE(view.header("X-Missing").has_value());
+  // Zero-copy: every view points inside the wire buffer.
+  const char* lo = wire.data();
+  const char* hi = wire.data() + wire.size();
+  for (std::string_view sv : {view.method, view.target, view.body}) {
+    EXPECT_GE(sv.data(), lo);
+    EXPECT_LE(sv.data() + sv.size(), hi);
+  }
+}
+
+TEST(RequestView, MaterializeMatchesRequestParseExactly) {
+  const std::string wire(kWireRequest);
+  util::Arena arena;
+  Request materialized;
+  materialize(parse_request_view(wire, arena), materialized);
+
+  const Request parsed = Request::parse(wire);
+  EXPECT_EQ(materialized.method, parsed.method);
+  EXPECT_EQ(materialized.uri, parsed.uri);
+  EXPECT_EQ(materialized.uri.host, "api.wish.example");  // Host promoted, lowered
+  EXPECT_EQ(materialized.uri.port, 8443);
+  EXPECT_TRUE(materialized.headers == parsed.headers);
+  EXPECT_FALSE(materialized.headers.has("Host"));            // promoted away
+  EXPECT_FALSE(materialized.headers.has("Content-Length"));  // re-derived
+  EXPECT_EQ(materialized.body, parsed.body);
+  EXPECT_EQ(materialized.serialize(), parsed.serialize());
+  EXPECT_EQ(materialized.cache_key(), parsed.cache_key());
+}
+
+TEST(RequestView, MaterializeIntoWarmScratchReplacesEveryField) {
+  util::Arena arena;
+  Request scratch;
+  const std::string first(kWireRequest);
+  materialize(parse_request_view(first, arena), scratch);
+
+  // A different request into the same scratch: no stale headers, body or
+  // query parameters may survive from the first materialization.
+  arena.reset();
+  const std::string second =
+      "GET /product/42 HTTP/1.1\r\nHost: img.wish.example\r\nAccept: */*\r\n\r\n";
+  materialize(parse_request_view(second, arena), scratch);
+  const Request fresh = Request::parse(second);
+  EXPECT_EQ(scratch.serialize(), fresh.serialize()) << "scratch reuse leaked state";
+  EXPECT_EQ(scratch.cache_key(), fresh.cache_key());
+  EXPECT_TRUE(scratch.body.empty());
+}
+
+TEST(RequestView, RejectsTheSameMalformedInputsAsRequestParse) {
+  util::Arena arena;
+  for (const char* raw :
+       {"GET /x\r\n\r\n",                       // missing version
+        "GET  /x HTTP/1.1\r\n\r\n",             // double space
+        "GET /x SMTP/1.0\r\n\r\n",              // bad version
+        "GET /x HTTP/1.1\r\nno colon\r\n\r\n",  // malformed header
+        "\r\n\r\n"}) {                          // empty start line
+    const std::string wire(raw);
+    EXPECT_THROW(parse_request_view(wire, arena), ParseError) << wire;
+    EXPECT_THROW(Request::parse(wire), ParseError) << wire;
+  }
 }
 
 }  // namespace

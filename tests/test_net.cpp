@@ -502,9 +502,9 @@ TEST_F(LiveProxyTest, PrefetchQueueOverflowDropsOldestAndBalances) {
 // --- /appx/* admin endpoints --------------------------------------------------
 
 // Prometheus text -> {metric name (with labels) -> value} for non-comment lines.
-std::map<std::string, double> parse_prometheus(const std::string& text) {
+std::map<std::string, double> parse_prometheus(std::string_view text) {
   std::map<std::string, double> values;
-  std::istringstream lines(text);
+  std::istringstream lines{std::string(text)};
   std::string line;
   while (std::getline(lines, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -589,7 +589,7 @@ TEST_F(LiveProxyTest, TraceEndpointRecordsLifecycles) {
     outcomes.insert(trace.at("outcome").as_string());
     EXPECT_GE(trace.at("end_us").as_int(), trace.at("start_us").as_int());
   }
-  EXPECT_TRUE(outcomes.count("miss")) << dump.body.substr(0, 400);
+  EXPECT_TRUE(outcomes.count("miss")) << dump.body.view().substr(0, 400);
   EXPECT_TRUE(outcomes.count("hit"));
   EXPECT_TRUE(outcomes.count("prefetch"));
 }
@@ -892,6 +892,66 @@ TEST(LiveOrigin, MetricsEndpointCountsServes) {
   EXPECT_EQ(metrics.at("appx_origin_requests_total"), 1.0);
   EXPECT_GE(metrics.at("appx_origin_serve_us_count"), 1.0);
   server.stop();
+}
+
+// --- Zero-copy data plane (DESIGN.md §5h) -------------------------------------
+
+// A keep-alive connection runs many requests through one Conn: the
+// per-request arena resets and the parser pin/unpin cycle must leave no
+// state behind between requests (stale views, stuck pins, or unmerged
+// overflow bytes would corrupt a later request on the same connection).
+TEST_F(LiveProxyTest, KeepAliveConnectionServesManyRequestsThroughOneArena) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  client.send(detail_request(0));
+  proxy_server_->drain_prefetches();
+  const std::string expected = origin_.serve(detail_request(1)).body.str();
+  for (int round = 0; round < 20; ++round) {
+    const auto response = client.send(detail_request(1));
+    ASSERT_TRUE(response.ok()) << "round " << round;
+    EXPECT_EQ(response.headers.get("X-Appx-Cache").value(), "hit") << "round " << round;
+    ASSERT_EQ(response.body, expected) << "round " << round;
+  }
+}
+
+// The refcounted slab keeps a served body alive independently of the cache
+// entry it came from: tearing the whole proxy (and with it every per-user
+// PrefetchCache) down while responses are still being read must not yield
+// corrupt bytes on connections that were already answered.
+TEST_F(LiveProxyTest, CachedBodySurvivesProxyTeardownRace) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  client.send(detail_request(0));
+  proxy_server_->drain_prefetches();
+  const std::string expected = origin_.serve(detail_request(1)).body.str();
+  const auto hit = client.send(detail_request(1));
+  EXPECT_EQ(hit.headers.get("X-Appx-Cache").value(), "hit");
+  EXPECT_EQ(hit.body, expected);
+  // Destroy the server (cache included) immediately after the hit; the
+  // response already read must be intact — its slab owns the bytes.
+  proxy_server_.reset();
+  EXPECT_EQ(hit.body, expected);
+}
+
+// Hit and miss markers are stamped at serialize time (no header mutation on
+// the cached response object): the cached entry must keep serving 'hit'
+// after a round-trip, and the stored response must not accumulate markers.
+TEST_F(LiveProxyTest, CacheMarkersDoNotAccumulateOnTheStoredResponse) {
+  TestClient client(proxy_server_->port(), "u1");
+  ASSERT_TRUE(client.send(feed_request()).ok());
+  client.send(detail_request(0));
+  proxy_server_->drain_prefetches();
+  for (int round = 0; round < 3; ++round) {
+    const auto response = client.send(detail_request(1));
+    EXPECT_EQ(response.headers.get("X-Appx-Cache").value(), "hit");
+    // Exactly one marker on the wire: a second would have been parsed over
+    // the first, so probe the raw header multiset via re-serialization.
+    std::size_t markers = 0;
+    for (const auto& [name, value] : response.headers.items()) {
+      if (name == "X-Appx-Cache") ++markers;
+    }
+    EXPECT_EQ(markers, 1u) << "round " << round;
+  }
 }
 
 }  // namespace

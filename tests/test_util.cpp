@@ -2,12 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
+#include <string_view>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/byte_io.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -511,6 +515,66 @@ TEST(Logger, ConcurrentWritersNeverInterleave) {
     EXPECT_NE(line.find("util.race: writer="), std::string::npos) << line;
     EXPECT_EQ(line.find("writer="), line.rfind("writer=")) << line;
   }
+}
+
+// --- Arena -------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  util::Arena arena(64);
+  auto* a = static_cast<char*>(arena.alloc(10, 1));
+  auto* b = static_cast<char*>(arena.alloc(10, 1));
+  EXPECT_NE(a, b);
+  std::memset(a, 0xaa, 10);
+  std::memset(b, 0xbb, 10);
+  EXPECT_EQ(static_cast<unsigned char>(a[9]), 0xaa);  // no overlap
+
+  auto* aligned = arena.alloc(24, 16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % 16, 0u);
+}
+
+TEST(Arena, GrowsAcrossBlocksAndRetainsCapacityOnReset) {
+  util::Arena arena(64);
+  for (int i = 0; i < 50; ++i) arena.alloc(16);
+  const std::size_t blocks = arena.block_count();
+  const std::size_t capacity = arena.capacity();
+  EXPECT_GT(blocks, 1u);
+  EXPECT_GE(capacity, 50u * 16u);
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), capacity);
+
+  // A warm arena absorbs the same allocation pattern without growing.
+  for (int i = 0; i < 50; ++i) arena.alloc(16);
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(arena.capacity(), capacity);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  util::Arena arena(64);
+  auto* big = static_cast<char*>(arena.alloc(1 << 20));
+  ASSERT_NE(big, nullptr);
+  big[0] = 'x';
+  big[(1 << 20) - 1] = 'y';  // whole range writable
+  EXPECT_GE(arena.capacity(), static_cast<std::size_t>(1 << 20));
+}
+
+TEST(Arena, CopyPlacesBytesThatSurviveFurtherAllocation) {
+  util::Arena arena(32);
+  const std::string_view copied = arena.copy("hello arena");
+  for (int i = 0; i < 100; ++i) arena.alloc(64);  // force several new blocks
+  EXPECT_EQ(copied, "hello arena");
+}
+
+TEST(Arena, ResetRecyclesLargestBlockFirst) {
+  util::Arena arena(64);
+  // Grow through doubling blocks, then reset: the next request's first
+  // allocations must land in recycled capacity, not new blocks.
+  for (int i = 0; i < 200; ++i) arena.alloc(32);
+  arena.reset();
+  const std::size_t blocks = arena.block_count();
+  arena.alloc(1024);
+  EXPECT_EQ(arena.block_count(), blocks);
 }
 
 }  // namespace
