@@ -127,7 +127,14 @@ struct RunResult {
   Percentiles latency_us;
 };
 
-// C concurrent keep-alive connections, each issuing R sequential requests.
+// C concurrent keep-alive connections, each issuing R requests paced at a
+// fixed per-connection interval. Latency is measured from the INTENDED send
+// time, not from whenever the previous response happened to free the
+// connection: a closed-loop client that stamps at actual-send silently
+// excludes server stalls from its own tail (coordinated omission) — a 100 ms
+// hiccup used to show up as one slow request instead of a backlog of them.
+constexpr std::int64_t kPaceUs = 2000;  // per-connection request interval
+
 RunResult run_clients(std::uint16_t port, const http::Request& request, std::size_t connections,
                       std::size_t requests_per_conn) {
   std::vector<std::vector<double>> latencies(connections);
@@ -141,8 +148,14 @@ RunResult run_clients(std::uint16_t port, const http::Request& request, std::siz
         net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port);
         net::HttpReader reader(&stream);
         latencies[c].reserve(requests_per_conn);
+        const auto first_send = std::chrono::steady_clock::now();
         for (std::size_t r = 0; r < requests_per_conn; ++r) {
-          const auto start = std::chrono::steady_clock::now();
+          // The schedule is fixed up front; a response that arrives late
+          // leaves the next intended time in the past, so the queueing delay
+          // it caused lands in the next sample instead of vanishing.
+          const auto intended =
+              first_send + std::chrono::microseconds(static_cast<std::int64_t>(r) * kPaceUs);
+          std::this_thread::sleep_until(intended);
           net::write_request(stream, request);
           const auto response = reader.read_response();
           if (!response || !response->ok()) {
@@ -150,7 +163,7 @@ RunResult run_clients(std::uint16_t port, const http::Request& request, std::siz
             continue;
           }
           latencies[c].push_back(std::chrono::duration<double, std::micro>(
-                                     std::chrono::steady_clock::now() - start)
+                                     std::chrono::steady_clock::now() - intended)
                                      .count());
         }
       } catch (const Error&) {
@@ -174,11 +187,16 @@ RunResult run_clients(std::uint16_t port, const http::Request& request, std::siz
 
 void print_run(const char* name, std::size_t connections, std::size_t server_threads,
                const RunResult& r, bool trailing_comma) {
-  std::printf("  {\"name\": \"%s\", \"connections\": %zu, \"server_threads\": %zu, "
+  // "loop": "closed" marks these as closed-loop (per-connection paced)
+  // numbers: they measure achievable throughput at bounded concurrency, not
+  // open-loop latency under an offered arrival rate. Never compare them
+  // against BENCH_macro.json (open-loop) unqualified.
+  std::printf("  {\"name\": \"%s\", \"loop\": \"closed\", \"pace_us\": %lld, "
+              "\"connections\": %zu, \"server_threads\": %zu, "
               "\"conns_per_thread\": %.1f, \"requests\": %zu, \"errors\": %zu, "
               "\"wall_s\": %.3f, \"rps\": %.0f, \"p50_us\": %.0f, \"p95_us\": %.0f, "
               "\"p99_us\": %.0f}%s\n",
-              name, connections, server_threads,
+              name, static_cast<long long>(kPaceUs), connections, server_threads,
               static_cast<double>(connections) / static_cast<double>(server_threads),
               r.requests, r.errors, r.wall_s, static_cast<double>(r.requests) / r.wall_s,
               r.latency_us.p50, r.latency_us.p95, r.latency_us.p99,
@@ -258,7 +276,8 @@ int main(int argc, char** argv) {
         static_cast<double>(pool.reuses()) /
         static_cast<double>(std::max<std::uint64_t>(1, pool.reuses() + pool.connects()));
     const Percentiles p = percentiles(latencies);
-    std::printf("  {\"name\": \"proxy_pooled_misses\", \"requests\": %zu, \"errors\": %zu, "
+    std::printf("  {\"name\": \"proxy_pooled_misses\", \"loop\": \"closed\", "
+                "\"requests\": %zu, \"errors\": %zu, "
                 "\"wall_s\": %.3f, \"pool_reuses\": %llu, \"pool_connects\": %llu, "
                 "\"pool_stale\": %llu, \"pool_retries\": %llu, \"reuse_fraction\": %.3f, "
                 "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f}\n",

@@ -30,6 +30,11 @@ util::Error EngineOptions::validate() const {
   if (prefetch_workers == 0) {
     return util::Error::failure("EngineOptions.prefetch_workers must be >= 1");
   }
+  if (listen_backlog < 0) {
+    return util::Error::failure(
+        "EngineOptions.listen_backlog must be >= 0 (0 = SOMAXCONN, the system "
+        "maximum accept-queue depth)");
+  }
   if (conn_idle_timeout < 0) {
     return util::Error::failure(
         "EngineOptions.conn_idle_timeout must be >= 0 (0 disables the idle timer)");

@@ -69,6 +69,18 @@ struct EngineOptions {
   // outnumber the loops).
   std::size_t loop_threads = 0;
   std::size_t request_workers = 0;
+  // listen(2) accept-queue depth per listener; 0 = SOMAXCONN. The queue must
+  // absorb connection storms (an open-loop ramp to 10k clients): when it
+  // fills, the kernel silently drops SYNs and clients see connect timeouts.
+  // Shrink only to deliberately shed load at the kernel boundary.
+  int listen_backlog = 0;
+  // File descriptors the server wants available (connections + listeners +
+  // epoll/eventfd/timer overhead). At startup the soft RLIMIT_NOFILE is
+  // raised to at least this (up to the hard limit); if the hard limit is
+  // below it, construction fails fast with an actionable error instead of
+  // the runtime dying mid-run with EMFILE at ~1k connections. 0 skips the
+  // check.
+  std::size_t min_file_descriptors = 1024;
   // A client connection idle (or dribbling an incomplete request — slow
   // loris) this long is closed. 0 disables the idle timer.
   Duration conn_idle_timeout = seconds(60);

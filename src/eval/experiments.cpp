@@ -73,6 +73,7 @@ Breakdown to_breakdown(const std::vector<apps::InteractionResult>& results) {
     out.p50_ms = to_ms(total_us.quantile(0.50));
     out.p95_ms = to_ms(total_us.quantile(0.95));
     out.p99_ms = to_ms(total_us.quantile(0.99));
+    out.p999_ms = to_ms(total_us.quantile(0.999));
   }
   out.runs = results.size();
   return out;

@@ -46,6 +46,7 @@ struct Breakdown {
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;  // with few runs this degenerates to the max — report anyway
   std::size_t runs = 0;
 };
 

@@ -1,0 +1,63 @@
+#include "net/rlimit.hpp"
+
+#include <sys/resource.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace appx::net {
+
+namespace {
+
+std::size_t clamp_rlim(rlim_t v) {
+  // RLIM_INFINITY is huge; fold it (and anything outsized) into size_t.
+  if (v == RLIM_INFINITY) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+FdLimits fd_limits() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) {
+    throw Error(std::string("getrlimit(RLIMIT_NOFILE): ") + std::strerror(errno));
+  }
+  return FdLimits{clamp_rlim(rl.rlim_cur), clamp_rlim(rl.rlim_max)};
+}
+
+util::Error ensure_fd_capacity(std::size_t needed) {
+  if (needed == 0) return util::Error();
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) {
+    return util::Error::failure(std::string("getrlimit(RLIMIT_NOFILE) failed: ") +
+                                std::strerror(errno));
+  }
+  if (rl.rlim_cur != RLIM_INFINITY && clamp_rlim(rl.rlim_cur) < needed) {
+    // Raise the soft limit toward the hard limit before giving up: most
+    // systems leave soft at 1024 with a much higher hard ceiling, and an
+    // unprivileged process may claim it.
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max == RLIM_INFINITY || clamp_rlim(rl.rlim_max) >= needed
+                          ? static_cast<rlim_t>(needed)
+                          : rl.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+      return util::Error::failure("setrlimit(RLIMIT_NOFILE, " +
+                                  std::to_string(clamp_rlim(raised.rlim_cur)) +
+                                  ") failed: " + std::strerror(errno));
+    }
+    rl = raised;
+  }
+  if (rl.rlim_cur != RLIM_INFINITY && clamp_rlim(rl.rlim_cur) < needed) {
+    return util::Error::failure(
+        "RLIMIT_NOFILE too low: need " + std::to_string(needed) +
+        " file descriptors but the hard limit is " + std::to_string(clamp_rlim(rl.rlim_max)) +
+        " (soft " + std::to_string(clamp_rlim(rl.rlim_cur)) +
+        "). Raise it before starting (e.g. `ulimit -n " + std::to_string(needed) +
+        "`, or raise the hard limit as root / via limits.conf), or lower the "
+        "configured connection count.");
+  }
+  return util::Error();
+}
+
+}  // namespace appx::net

@@ -1,0 +1,34 @@
+// RLIMIT_NOFILE management for the high-connection-count runtime.
+//
+// A proxy (or load generator) holding 10k+ concurrent connections needs one
+// descriptor per connection plus epoll/eventfd/listener overhead. The
+// default soft limit on most systems (1024) makes such a process die mid-run
+// with EMFILE at ~1k connections — long after startup, deep inside an accept
+// or connect path. These helpers move the failure to startup: attempt a
+// soft-limit raise up to the hard limit, and fail fast with an actionable
+// message when the hard limit itself is too low.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace appx::net {
+
+struct FdLimits {
+  std::size_t soft = 0;
+  std::size_t hard = 0;
+};
+
+// The process's current RLIMIT_NOFILE. Throws appx::Error if getrlimit fails
+// (effectively never on Linux).
+FdLimits fd_limits();
+
+// Ensure the soft RLIMIT_NOFILE is at least `needed` descriptors, raising it
+// toward the hard limit when necessary. Returns success when the limit
+// already sufficed or the raise worked; returns a failure Error naming the
+// achievable limit and the fix (`ulimit -n` / privileged hard-limit raise)
+// when the hard limit is below `needed`. `needed` == 0 is a no-op success.
+util::Error ensure_fd_capacity(std::size_t needed);
+
+}  // namespace appx::net

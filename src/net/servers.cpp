@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "http/view.hpp"
+#include "net/rlimit.hpp"
 #include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -515,10 +516,11 @@ void accept_pending(LoopShard* shard, const MakeConn& make_conn) {
 
 // Build one SO_REUSEPORT listener per shard on the shared port (the first
 // binds it, possibly ephemeral) and start each shard's loop thread with its
-// listener registered. Returns the bound port.
+// listener registered. Returns the bound port. `backlog` 0 = SOMAXCONN.
 template <typename MakeConn>
 std::uint16_t start_shards(std::vector<std::unique_ptr<LoopShard>>& shards,
-                           std::size_t loop_threads, std::uint16_t port, MakeConn make_conn) {
+                           std::size_t loop_threads, std::uint16_t port, MakeConn make_conn,
+                           int backlog = 0) {
   if (loop_threads == 0) {
     loop_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -526,7 +528,7 @@ std::uint16_t start_shards(std::vector<std::unique_ptr<LoopShard>>& shards,
   shards.reserve(loop_threads);
   for (std::size_t i = 0; i < loop_threads; ++i) {
     auto shard = std::make_unique<LoopShard>();
-    shard->listener = std::make_unique<TcpListener>(bound, /*reuse_port=*/true);
+    shard->listener = std::make_unique<TcpListener>(bound, /*reuse_port=*/true, backlog);
     if (i == 0) bound = shard->listener->port();
     shard->listener->set_nonblocking();
     shards.push_back(std::move(shard));
@@ -704,6 +706,10 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
       traces_(options_.trace_ring_capacity) {
   if (engine == nullptr) throw InvalidArgumentError("LiveProxyServer: null engine");
   options_.validate().throw_if_error();
+  // Fail fast on descriptor capacity: a high-connection run that would die
+  // mid-load with EMFILE instead refuses to start, after attempting the
+  // soft-limit raise (DESIGN.md §5i).
+  ensure_fd_capacity(options_.min_file_descriptors).throw_if_error();
   // One scrape shows everything: transport-level metrics land in the engine's
   // registry when it has one, next to the engine's own counters.
   registry_ = engine_->metrics();
@@ -736,7 +742,8 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
   workers_ = std::make_unique<WorkerPool>(request_workers);
   port_ = start_shards(
       shards_, options_.loop_threads, port,
-      [this](LoopShard* shard, TcpStream stream) { return make_conn(shard, std::move(stream)); });
+      [this](LoopShard* shard, TcpStream stream) { return make_conn(shard, std::move(stream)); },
+      options_.listen_backlog);
   prefetchers_.reserve(options_.prefetch_workers);
   for (std::size_t i = 0; i < options_.prefetch_workers; ++i) {
     prefetchers_.emplace_back([this] { prefetch_worker(); });

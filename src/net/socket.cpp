@@ -123,6 +123,31 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port, Durati
   return TcpStream(std::move(fd));
 }
 
+TcpStream TcpStream::begin_connect(const std::string& ip, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw Error("begin_connect: bad IPv4 address '" + ip + "'");
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail_errno("begin_connect: socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    fail_errno("begin_connect to " + ip + ":" + std::to_string(port));
+  }
+  return TcpStream(std::move(fd));
+}
+
+int TcpStream::connect_result() {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
 void TcpStream::set_read_timeout(Duration timeout) { read_timeout_ = timeout; }
 
 void TcpStream::set_write_timeout(Duration timeout) { write_timeout_ = timeout; }
@@ -225,7 +250,8 @@ void TcpStream::set_nonblocking() {
   }
 }
 
-TcpListener::TcpListener(std::uint16_t port, bool reuse_port) {
+TcpListener::TcpListener(std::uint16_t port, bool reuse_port, int backlog) {
+  if (backlog <= 0) backlog = SOMAXCONN;
   fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd_.valid()) fail_errno("socket");
   const int one = 1;
@@ -243,7 +269,11 @@ TcpListener::TcpListener(std::uint16_t port, bool reuse_port) {
   if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     fail_errno("bind 127.0.0.1:" + std::to_string(port));
   }
-  if (::listen(fd_.get(), 64) != 0) fail_errno("listen");
+  // The accept-queue depth must absorb connection storms: with the old
+  // hardcoded 64, a 10k-client open-loop ramp left most SYNs silently
+  // dropped (the kernel just ignores them when the queue is full) and the
+  // macro bench reported them as connect timeouts.
+  if (::listen(fd_.get(), backlog) != 0) fail_errno("listen");
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -298,11 +328,16 @@ void TcpListener::close() {
   // A blocked accept() on Linux is NOT unblocked by shutdown()/close() of the
   // listening socket; wake it with a throwaway loopback connection. Event-loop
   // (non-blocking) listeners never block in accept, so they skip the dance.
+  // The wake connect must be bounded: with a FULL accept queue the kernel
+  // drops its SYN and an unbounded connect would sit in SYN retry for ~2
+  // minutes — but a full queue also means accept() has connections to return
+  // and is not blocked, so nobody needs the wake and timing out is correct.
   if (!nonblocking_) {
     try {
-      TcpStream::connect("127.0.0.1", port_);
+      TcpStream::connect("127.0.0.1", port_, seconds(1));
     } catch (const Error&) {
-      // Listener already unreachable; accept() will see the closed fd.
+      // Listener already unreachable (or its queue is full); accept() will
+      // see the closed fd.
     }
   }
   fd_.reset();

@@ -56,6 +56,18 @@ class TcpStream {
   static TcpStream connect(const std::string& host, std::uint16_t port,
                            Duration timeout = 0);
 
+  // Begin a non-blocking connect to a numeric IPv4 address (event-loop
+  // clients: the open-loop load generator drives thousands of concurrent
+  // connects through one epoll thread). Returns a non-blocking stream whose
+  // connect is in progress (or already complete); register its fd for
+  // EPOLLOUT and call connect_result() when it fires. Throws appx::Error
+  // only on immediate local failure (bad address, out of descriptors).
+  static TcpStream begin_connect(const std::string& ip, std::uint16_t port);
+
+  // Resolve a begin_connect: 0 when the connection is established, else the
+  // socket error (ECONNREFUSED, ETIMEDOUT, ...) — the pending SO_ERROR.
+  int connect_result();
+
   // Per-operation I/O bounds; 0 = none. Apply to every subsequent
   // write_all/read_some call, which throws TimeoutError when the peer stays
   // silent (or unwritable) that long.
@@ -116,7 +128,10 @@ class TcpListener {
   // With `reuse_port`, N listeners may bind the same port (SO_REUSEPORT) and
   // the kernel shards incoming connections across them — one listener per
   // event-loop thread, no accept lock (DESIGN.md §5g).
-  explicit TcpListener(std::uint16_t port, bool reuse_port = false);
+  // `backlog` is the listen(2) accept-queue depth; 0 = SOMAXCONN. A short
+  // backlog silently drops connection storms (the kernel ignores SYNs once
+  // the queue fills), so servers default to the system maximum.
+  explicit TcpListener(std::uint16_t port, bool reuse_port = false, int backlog = 0);
 
   // The actual bound port (useful with port 0).
   std::uint16_t port() const { return port_; }

@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "util/error.hpp"
@@ -102,6 +103,51 @@ std::vector<UserTrace> generate_traces(const apps::AppSpec& spec, const TracePar
     traces.push_back(std::move(trace));
   }
   return traces;
+}
+
+std::vector<ScheduledSession> scale_traces(const std::vector<UserTrace>& base,
+                                           const ScaleParams& params) {
+  if (params.replicas == 0) throw InvalidArgumentError("scale_traces: replicas must be >= 1");
+  if (params.time_dilation <= 0) {
+    throw InvalidArgumentError("scale_traces: time_dilation must be > 0");
+  }
+  if (params.think_jitter < 0 || params.think_jitter >= 1) {
+    throw InvalidArgumentError("scale_traces: think_jitter must be in [0, 1)");
+  }
+  std::vector<ScheduledSession> sessions;
+  sessions.reserve(base.size() * params.replicas);
+  for (std::size_t b = 0; b < base.size(); ++b) {
+    const UserTrace& trace = base[b];
+    for (std::size_t r = 0; r < params.replicas; ++r) {
+      // Mix (seed, base, replica) into one 64-bit stream id; the golden-ratio
+      // constants decorrelate adjacent replicas the way splitmix64 does.
+      const std::uint64_t stream = params.seed ^ (static_cast<std::uint64_t>(b + 1) *
+                                                 0x9e3779b97f4a7c15ULL) ^
+                                   (static_cast<std::uint64_t>(r + 1) * 0xbf58476d1ce4e5b9ULL);
+      Rng rng(stream);
+      ScheduledSession session;
+      session.user_id = trace.user_id + "#" + std::to_string(r);
+      session.base_index = b;
+      session.start = params.ramp > 0
+                          ? static_cast<Duration>(rng.uniform(0, static_cast<double>(params.ramp)))
+                          : 0;
+      session.event_at.reserve(trace.events.size());
+      Duration t = session.start;
+      Duration prev_at = 0;
+      for (const TraceEvent& event : trace.events) {
+        const Duration gap = std::max<Duration>(0, event.at - prev_at);
+        prev_at = event.at;
+        double scaled = static_cast<double>(gap) * params.time_dilation;
+        if (params.think_jitter > 0) {
+          scaled *= rng.uniform(1.0 - params.think_jitter, 1.0 + params.think_jitter);
+        }
+        t += static_cast<Duration>(scaled);
+        session.event_at.push_back(t);
+      }
+      sessions.push_back(std::move(session));
+    }
+  }
+  return sessions;
 }
 
 std::vector<std::uint8_t> serialize_traces(const std::vector<UserTrace>& traces) {

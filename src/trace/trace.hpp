@@ -43,6 +43,38 @@ struct TraceParams {
 // Generate one session per user.
 std::vector<UserTrace> generate_traces(const apps::AppSpec& spec, const TraceParams& params);
 
+// --- macro-scale replay scheduling (ROADMAP item 1) -------------------------
+//
+// The 30-user study trace scaled up ×1000s for the open-loop load harness:
+// every base user is replicated `replicas` times, each replica getting its
+// own user id, a ramped session start, and independently jittered inter-event
+// gaps (per-replica seed), so 10k concurrent sessions do not move in lockstep
+// and arrival times are fixed BEFORE the run — a stalled server accrues
+// latency against the schedule instead of silently slowing the offered load
+// (no coordinated omission).
+struct ScaleParams {
+  std::size_t replicas = 1;     // sessions per base user
+  std::uint64_t seed = 1;       // master seed for per-replica jitter streams
+  double think_jitter = 0.25;   // ± fraction applied to each inter-event gap
+  Duration ramp = seconds(10);  // session starts spread uniformly over [0, ramp)
+  double time_dilation = 1.0;   // stretch (>1) / compress (<1) all gaps
+};
+
+// One scheduled replica session: the base trace's events with jittered,
+// dilated ABSOLUTE times (offsets from the harness epoch). event_at[i]
+// corresponds to base.events[i]; times are non-decreasing.
+struct ScheduledSession {
+  std::string user_id;      // "<base-user>#<replica>"
+  std::size_t base_index;   // into the base-trace vector
+  Duration start = 0;       // ramped session start (connect time)
+  std::vector<Duration> event_at;
+};
+
+// Deterministic for a given (base, params): the per-replica jitter stream is
+// derived from params.seed, the base index and the replica index only.
+std::vector<ScheduledSession> scale_traces(const std::vector<UserTrace>& base,
+                                           const ScaleParams& params);
+
 // Serialisation for experiment reproducibility.
 std::vector<std::uint8_t> serialize_traces(const std::vector<UserTrace>& traces);
 std::vector<UserTrace> deserialize_traces(const std::vector<std::uint8_t>& data);

@@ -2,6 +2,8 @@
 // the live proxy, HTTP framing, and the end-to-end acceleration flow over
 // actual TCP connections.
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
@@ -16,6 +18,7 @@
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
 #include "core/sharded_proxy.hpp"
+#include "net/rlimit.hpp"
 #include "net/servers.hpp"
 #include "util/error.hpp"
 
@@ -936,6 +939,149 @@ TEST_F(LiveProxyTest, CachedBodySurvivesProxyTeardownRace) {
 // Hit and miss markers are stamped at serialize time (no header mutation on
 // the cached response object): the cached entry must keep serving 'hit'
 // after a round-trip, and the stored response must not accumulate markers.
+// --- listen backlog (scale-blocking bugfix: the hardcoded 64) ----------------
+
+// Fires `total` non-blocking connects at `port` and returns how many complete
+// within `wait_ms`. The target listener never accepts, so completions are
+// bounded by the kernel accept queue — i.e. by listen(2)'s backlog argument.
+std::size_t burst_connect(std::uint16_t port, std::size_t total, int wait_ms) {
+  std::vector<TcpStream> streams;
+  std::vector<pollfd> fds;
+  streams.reserve(total);
+  fds.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    streams.push_back(TcpStream::begin_connect("127.0.0.1", port));
+    fds.push_back({streams.back().fd(), POLLOUT, 0});
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  std::size_t established = 0;
+  std::vector<bool> done(total, false);
+  while (established < total) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;
+    const int ready = ::poll(fds.data(), fds.size(), static_cast<int>(left.count()));
+    if (ready <= 0) break;
+    bool progressed = false;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (done[i] || (fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) == 0) continue;
+      done[i] = true;
+      fds[i].fd = -1;  // poll ignores negative fds
+      progressed = true;
+      if (streams[i].connect_result() == 0) ++established;
+    }
+    if (!progressed) break;
+  }
+  return established;
+}
+
+TEST(TcpListenerBacklog, BurstBeyondShortBacklogIsDropped) {
+  // A listener that never accepts: connects complete only while the kernel
+  // accept queue has room. With the seed's hardcoded backlog of 64, a burst
+  // of 256 strands most of the clients in SYN retry (this is the regression
+  // this test pins); the default (SOMAXCONN) must absorb the whole burst.
+  constexpr std::size_t kBurst = 256;
+  TcpListener short_backlog(0, /*reuse_port=*/false, /*backlog=*/64);
+  const std::size_t through_short = burst_connect(short_backlog.port(), kBurst, 400);
+  EXPECT_LT(through_short, kBurst)
+      << "a 64-deep accept queue absorbed a 256-connection burst; "
+         "kernel backlog semantics changed?";
+
+  TcpListener default_backlog(0, /*reuse_port=*/false, /*backlog=*/0);  // SOMAXCONN
+  const std::size_t through_default = burst_connect(default_backlog.port(), kBurst, 2000);
+  EXPECT_EQ(through_default, kBurst);
+  short_backlog.close();
+  default_backlog.close();
+}
+
+TEST(TcpStreamConnect, BeginConnectCompletesAgainstAListener) {
+  TcpListener listener(0);
+  TcpStream stream = TcpStream::begin_connect("127.0.0.1", listener.port());
+  pollfd pfd{stream.fd(), POLLOUT, 0};
+  ASSERT_GT(::poll(&pfd, 1, 2000), 0);
+  EXPECT_EQ(stream.connect_result(), 0);
+  listener.close();
+}
+
+TEST(TcpStreamConnect, BeginConnectReportsRefusal) {
+  // Bind-then-close: the port is (briefly) guaranteed unoccupied.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.close();
+  }
+  TcpStream stream = TcpStream::begin_connect("127.0.0.1", dead_port);
+  pollfd pfd{stream.fd(), POLLOUT, 0};
+  ASSERT_GT(::poll(&pfd, 1, 2000), 0);
+  EXPECT_EQ(stream.connect_result(), ECONNREFUSED);
+}
+
+TEST(TcpStreamConnect, BeginConnectRejectsBadAddress) {
+  EXPECT_THROW(TcpStream::begin_connect("not-an-ip", 80), Error);
+}
+
+// --- RLIMIT_NOFILE detection (scale-blocking bugfix: EMFILE mid-run) ---------
+
+// Restores the process fd limits on scope exit, whatever the test did.
+class FdLimitGuard {
+ public:
+  FdLimitGuard() { ::getrlimit(RLIMIT_NOFILE, &saved_); }
+  ~FdLimitGuard() { ::setrlimit(RLIMIT_NOFILE, &saved_); }
+
+  rlim_t hard() const { return saved_.rlim_max; }
+  void lower_soft(rlim_t soft) {
+    rlimit lowered = saved_;
+    lowered.rlim_cur = soft;
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lowered), 0);
+  }
+
+ private:
+  rlimit saved_{};
+};
+
+TEST(FdLimits, EnsureCapacityRaisesLoweredSoftLimit) {
+  FdLimitGuard guard;
+  guard.lower_soft(64);
+  ASSERT_EQ(fd_limits().soft, 64u);
+  const util::Error err = ensure_fd_capacity(1024);
+  EXPECT_TRUE(err.ok()) << err.message();
+  EXPECT_GE(fd_limits().soft, 1024u);
+}
+
+TEST(FdLimits, FailsFastWithActionableErrorBeyondHardLimit) {
+  FdLimitGuard guard;
+  const std::size_t beyond = static_cast<std::size_t>(guard.hard()) + 1;
+  const util::Error err = ensure_fd_capacity(beyond);
+  ASSERT_FALSE(err.ok());
+  // Actionable: names the limit and tells the operator how to raise it.
+  EXPECT_NE(err.message().find("RLIMIT_NOFILE"), std::string::npos) << err.message();
+  EXPECT_NE(err.message().find("ulimit"), std::string::npos) << err.message();
+  EXPECT_NE(err.message().find(std::to_string(beyond)), std::string::npos) << err.message();
+}
+
+TEST(FdLimits, ZeroSkipsTheCheck) {
+  EXPECT_TRUE(ensure_fd_capacity(0).ok());
+}
+
+TEST(FdLimits, ServerConstructionFailsFastWhenDescriptorsCannotBeSecured) {
+  // A proxy configured for more connections than the hard limit permits must
+  // refuse to start with the rlimit error, not die with EMFILE at ~1k conns.
+  FdLimitGuard guard;
+  const apps::AppSpec spec = apps::make_wish();
+  const analysis::AnalysisResult analysis = analysis::analyze(apps::compile_app(spec));
+  core::ProxyConfig config;
+  core::EngineOptions options;
+  options.min_file_descriptors = static_cast<std::size_t>(guard.hard()) + 1;
+  core::ShardedProxyEngine engine(&analysis.signatures, &config, options);
+  try {
+    LiveProxyServer proxy(&engine, {}, 0, options);
+    FAIL() << "LiveProxyServer started despite an unsatisfiable fd requirement";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("RLIMIT_NOFILE"), std::string::npos) << e.what();
+  }
+}
+
 TEST_F(LiveProxyTest, CacheMarkersDoNotAccumulateOnTheStoredResponse) {
   TestClient client(proxy_server_->port(), "u1");
   ASSERT_TRUE(client.send(feed_request()).ok());

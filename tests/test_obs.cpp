@@ -121,6 +121,35 @@ TEST(ObsHistogram, QuantileWithinRelativeErrorBound) {
   EXPECT_GE(h.quantile(1.0), h.quantile(0.999));
 }
 
+TEST(ObsHistogram, P999OnKnownDistribution) {
+  // 0..9999 recorded once each: the 99.9th percentile of the recorded set is
+  // 9990, and the log-linear estimate must land within the 6.25% bucket
+  // bound. Both exporters must carry the 0.999 quantile — p99 alone hides a
+  // 1-in-1000 stall entirely (satellite of the macro-bench PR).
+  MetricsRegistry reg;
+  auto& h = reg.histogram("appx_lat_us");
+  for (int v = 0; v < 10000; ++v) h.record(v);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.999)), 9990.0, 9990.0 * 0.0625);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("appx_lat_us{quantile=\"0.999\"}"), std::string::npos) << text;
+  const json::Value parsed = json::parse(reg.to_json().dump());
+  const json::Value& hist = parsed.at("histograms").at("appx_lat_us");
+  EXPECT_NEAR(hist.at("p999").as_double(), 9990.0, 9990.0 * 0.0625);
+  EXPECT_GE(hist.at("p999").as_double(), hist.at("p99").as_double());
+}
+
+TEST(ObsHistogram, P999SeesTheRareTailP99Misses) {
+  // 1990 fast samples and ten 100 ms stalls (a 0.5% tail): p99's rank
+  // (ceil(0.99 * 2000) = 1980) stays inside the fast samples while p99.9's
+  // (1998) lands in the stalls — the quantile exists precisely to catch the
+  // rare-stall tail that p99 reports as healthy.
+  Histogram h;
+  for (int i = 0; i < 1990; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(100000);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 100.0, 100.0 * 0.0625);
+  EXPECT_GT(h.quantile(0.999), 50 * h.quantile(0.99));
+}
+
 TEST(ObsHistogram, CountSumMeanMinMax) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);

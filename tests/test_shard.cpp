@@ -353,6 +353,10 @@ TEST(EngineOptions, ValidateNamesTheBadField) {
   zero_workers.prefetch_workers = 0;
   expect_rejects(zero_workers, "prefetch_workers");
 
+  EngineOptions negative_backlog;
+  negative_backlog.listen_backlog = -1;
+  expect_rejects(negative_backlog, "listen_backlog");
+
   EngineOptions zero_head;
   zero_head.reader_limits.max_head_bytes = 0;
   expect_rejects(zero_head, "max_head_bytes");
