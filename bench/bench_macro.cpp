@@ -454,6 +454,18 @@ class UserConn : public std::enable_shared_from_this<UserConn> {
     engine_options.request_workers = 8;
     engine_options.prefetch_workers = 2;
     engine_options.max_prefetch_queue = 8192;
+    // Per-user scheduler bound (lowest-priority eviction) plus cost-aware
+    // admission: under overload the engine sheds the worst jobs *before*
+    // enqueue, so dropped-after-enqueue stays ~0 (gated below in --smoke).
+    engine_options.max_queued_prefetches = 64;
+    engine_options.policy.enabled = true;
+    // Localhost tuning: origin savings are ~2 ms (not the 100s of ms of a
+    // real WAN), so the absolute ms-per-KB floor sits ~1000x below the fig13
+    // deployment value — it only prunes repeatedly-unused large responses —
+    // and a healthy queue depth at 240+ concurrent users is far above the
+    // library default.
+    engine_options.policy.min_value = 0.0001;
+    engine_options.policy.target_queue_depth = 4096;
     // Think-time tails (exp-distributed, dilated) must not be reaped as idle.
     engine_options.conn_idle_timeout = minutes(30);
     engine_options.listen_backlog = 0;  // SOMAXCONN
@@ -714,17 +726,44 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.max_send_lag_us.load()) / 1000.0);
     std::printf("    \"server\": {\"rss_delta_mb\": %.1f, \"rss_per_resident_user_kb\": %.1f",
                 rss_delta_mb, rss_per_user_kb);
+    long long queue_dropped = 0;
+    bool have_server_metrics = false;
     if (server_metrics.is_object()) {
+      have_server_metrics = true;
       const json::Value* counters = server_metrics.find("counters");
-      const auto counter = [&](const char* name) -> long long {
+      const auto counter = [&](const std::string& name) -> long long {
         const json::Value* v =
             counters != nullptr && counters->is_object() ? counters->find(name) : nullptr;
         return v != nullptr ? static_cast<long long>(v->as_int()) : 0;
       };
+      queue_dropped = counter("appx_proxy_queue_dropped_total");
+      const json::Value* gauges = server_metrics.find("gauges");
+      const json::Value* thr =
+          gauges != nullptr && gauges->is_object() ? gauges->find("appx_policy_threshold") : nullptr;
+      const double threshold =
+          thr != nullptr ? static_cast<double>(thr->as_int()) / 1e6 : 0.0;
+      const long long prefetch_bytes = counter("appx_prefetch_bytes_total");
+      const long long wasted_bytes = counter("appx_prefetch_wasted_bytes_total");
+      const double waste_ratio =
+          prefetch_bytes > 0 ? static_cast<double>(wasted_bytes) /
+                                   static_cast<double>(prefetch_bytes)
+                             : 0.0;
       std::printf(",\n      \"upstream_pool_reuse\": %lld, \"upstream_pool_connect\": %lld, "
-                  "\"prefetch_queue_dropped\": %lld",
+                  "\"prefetch_queue_dropped\": %lld, \"prefetch_dropped\": %lld,\n",
                   counter("appx_upstream_reuse_total"), counter("appx_upstream_connect_total"),
-                  counter("appx_proxy_queue_dropped_total"));
+                  queue_dropped, counter("appx_prefetch_dropped_total"));
+      std::printf("      \"prefetch_skipped_queue_full\": %lld,\n",
+                  counter(obs::labeled("appx_prefetch_skipped_total", {{"reason", "queue_full"}})));
+      std::printf("      \"policy\": {\"admitted\": %lld, \"rejected_value\": %lld, "
+                  "\"rejected_budget\": %lld, \"threshold\": %.6f},\n",
+                  counter("appx_policy_admitted_total"),
+                  counter(obs::labeled("appx_policy_rejected_total", {{"reason", "value"}})),
+                  counter(obs::labeled("appx_policy_rejected_total", {{"reason", "budget"}})),
+                  threshold);
+      std::printf("      \"waste\": {\"prefetch_bytes\": %lld, \"wasted_bytes\": %lld, "
+                  "\"wasted_entries\": %lld, \"ratio\": %.3f}",
+                  prefetch_bytes, wasted_bytes, counter("appx_prefetch_wasted_entries_total"),
+                  waste_ratio);
     }
     std::printf("}\n  }\n}\n");
 
@@ -733,6 +772,18 @@ int main(int argc, char** argv) {
       if (stats.conn_errors.load() != 0) {
         std::fprintf(stderr, "bench_macro: GATE FAIL: %llu connection errors (want 0)\n",
                      static_cast<unsigned long long>(stats.conn_errors.load()));
+        exit_code = 1;
+      }
+      if (!have_server_metrics) {
+        std::fprintf(stderr, "bench_macro: GATE FAIL: could not scrape server metrics\n");
+        exit_code = 1;
+      } else if (queue_dropped != 0) {
+        // Cost-aware admission + lowest-priority queue eviction should shed
+        // work before enqueue; jobs dropped after enqueue mean thrash.
+        std::fprintf(stderr,
+                     "bench_macro: GATE FAIL: %lld prefetch jobs dropped after enqueue "
+                     "(want 0)\n",
+                     queue_dropped);
         exit_code = 1;
       }
       if (all.count == 0) {

@@ -3,9 +3,18 @@
 namespace appx::core {
 
 PrefetchCache::~PrefetchCache() {
+  // Entries still unused when the cache dies (user eviction, shutdown) were
+  // prefetched for nothing: report them before the bytes vanish.
+  if (hooks_.wasted) {
+    for (const Node& node : lru_) fire_wasted(node);
+  }
   // Give back this cache's share of the shared gauges.
   gauge_entries(-static_cast<std::int64_t>(index_.size()));
   gauge_bytes(-bytes_);
+}
+
+void PrefetchCache::fire_wasted(const Node& node) {
+  if (hooks_.wasted && !node.entry.used) hooks_.wasted(node.entry.sig_id, node.charged);
 }
 
 void PrefetchCache::bind_metrics(const Metrics& metrics) {
@@ -38,6 +47,7 @@ void PrefetchCache::count_eviction(bool was_expired) {
 }
 
 void PrefetchCache::erase_node(LruList::iterator it, bool count_as_expired) {
+  fire_wasted(*it);
   count_eviction(count_as_expired);
   bytes_ -= it->charged;
   gauge_entries(-1);
@@ -73,8 +83,10 @@ void PrefetchCache::put(std::string key, Entry entry, SimTime now) {
   const Bytes charged = entry.response->wire_size();
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    // Overwrite in place and promote; not an eviction.
+    // Overwrite in place and promote; not an eviction — but a replaced
+    // response that was never served was still fetched for nothing.
     LruList::iterator node = it->second;
+    fire_wasted(*node);
     bytes_ += charged - node->charged;
     gauge_bytes(charged - node->charged);
     node->charged = charged;
@@ -109,6 +121,7 @@ std::shared_ptr<const http::Response> PrefetchCache::get(std::string_view key, S
   if (!node->entry.used) {
     node->entry.used = true;
     ++used_unique_;
+    if (hooks_.first_use) hooks_.first_use(node->entry.sig_id, node->charged);
   }
   lru_.splice(lru_.begin(), lru_, node);  // promote to most-recently-used
   set_result(Lookup::kHit);
@@ -144,6 +157,14 @@ std::size_t PrefetchCache::sweep(SimTime now) {
 }
 
 std::size_t PrefetchCache::entries_used() const { return used_unique_; }
+
+Bytes PrefetchCache::unused_bytes() const {
+  Bytes total = 0;
+  for (const Node& node : lru_) {
+    if (!node.entry.used) total += node.charged;
+  }
+  return total;
+}
 
 void PrefetchCache::clear() {
   gauge_entries(-static_cast<std::int64_t>(index_.size()));

@@ -16,6 +16,7 @@
 // routed to external counters (the engine-wide ProxyStats).
 #pragma once
 
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -66,6 +67,17 @@ class PrefetchCache {
     obs::Gauge* bytes = nullptr;    // live bytes across all bound caches
   };
 
+  // Outcome callbacks feeding the policy engine's value model (DESIGN.md
+  // §5j). `first_use` fires when get() serves an entry for the first time;
+  // `wasted` fires when an entry leaves the cache without ever being used —
+  // eviction (LRU or TTL), overwrite by a fresher prefetch, or destruction of
+  // the whole cache (user teardown). clear() does not fire hooks (it is a
+  // test/administrative reset, not an outcome).
+  struct UsageHooks {
+    std::function<void(std::string_view sig_id, Bytes bytes)> first_use;
+    std::function<void(std::string_view sig_id, Bytes bytes)> wasted;
+  };
+
   PrefetchCache() = default;
   explicit PrefetchCache(Limits limits) : limits_(limits) {}
   ~PrefetchCache();
@@ -85,6 +97,10 @@ class PrefetchCache {
   // Bind registry metrics; current size/bytes are added to the gauges
   // immediately so a mid-life bind stays consistent.
   void bind_metrics(const Metrics& metrics);
+
+  // Install outcome callbacks. Anything they capture must outlive the cache:
+  // the `wasted` hook also fires from the destructor for entries never used.
+  void set_usage_hooks(UsageHooks hooks) { hooks_ = std::move(hooks); }
 
   // Insert or overwrite (a fresher prefetch replaces the old response). The
   // new entry becomes most-recently-used; LRU entries are evicted until the
@@ -109,6 +125,9 @@ class PrefetchCache {
 
   std::size_t size() const { return index_.size(); }
   Bytes bytes() const { return bytes_; }
+  // Bytes of live entries never served to a client: waste-so-far if the cache
+  // died now. O(entries); meant for end-of-run reporting, not hot paths.
+  Bytes unused_bytes() const;
   std::size_t entries_inserted() const { return inserted_; }
   std::size_t entries_used() const;
   std::size_t evicted_lru() const { return evicted_lru_; }
@@ -128,6 +147,7 @@ class PrefetchCache {
     return entry.expires_at && now >= *entry.expires_at;
   }
   void erase_node(LruList::iterator it, bool count_as_expired);
+  void fire_wasted(const Node& node);
   void enforce_limits(SimTime now);
   void count_eviction(bool was_expired);
   // Gauge deltas; no-ops while unbound.
@@ -149,6 +169,7 @@ class PrefetchCache {
   std::size_t* sink_lru_ = nullptr;
   std::size_t* sink_expired_ = nullptr;
   Metrics metrics_;
+  UsageHooks hooks_;
 };
 
 }  // namespace appx::core

@@ -140,6 +140,7 @@ std::string ProxyConfig::to_json() const {
       data_budget ? json::Value(static_cast<std::int64_t>(*data_budget)) : json::Value(nullptr);
   global["max_outstanding_prefetches"] =
       static_cast<std::int64_t>(max_outstanding_prefetches);
+  global["max_queued_prefetches"] = static_cast<std::int64_t>(max_queued_prefetches);
   global["cache_max_entries"] = static_cast<std::int64_t>(cache_max_entries);
   global["cache_max_bytes"] = static_cast<std::int64_t>(cache_max_bytes);
   global["max_users"] = static_cast<std::int64_t>(max_users);
@@ -151,6 +152,20 @@ std::string ProxyConfig::to_json() const {
     json::Object hosts;
     for (const auto& [host, app] : host_apps) hosts[host] = app;
     global["host_apps"] = std::move(hosts);
+  }
+  {
+    json::Object pol;
+    pol["enabled"] = policy.enabled;
+    pol["min_value"] = policy.min_value;
+    pol["max_threshold"] = policy.max_threshold;
+    pol["threshold_growth"] = policy.threshold_growth;
+    pol["threshold_decay"] = policy.threshold_decay;
+    pol["target_queue_depth"] = policy.target_queue_depth;
+    pol["budget_window_ms"] = to_ms(policy.budget_window);
+    pol["hit_byte_refund"] = policy.hit_byte_refund;
+    pol["learn_expiry"] = policy.learn_expiry;
+    pol["min_learned_expiry_ms"] = to_ms(policy.min_learned_expiry);
+    global["policy"] = std::move(pol);
   }
   root["global"] = std::move(global);
 
@@ -205,6 +220,9 @@ ProxyConfig ProxyConfig::from_json(std::string_view text) {
     if (const json::Value* v = global->find("max_outstanding_prefetches")) {
       config.max_outstanding_prefetches = static_cast<std::size_t>(v->as_int());
     }
+    if (const json::Value* v = global->find("max_queued_prefetches")) {
+      config.max_queued_prefetches = static_cast<std::size_t>(v->as_int());
+    }
     if (const json::Value* v = global->find("cache_max_entries")) {
       config.cache_max_entries = static_cast<std::size_t>(v->as_int());
     }
@@ -228,6 +246,32 @@ ProxyConfig ProxyConfig::from_json(std::string_view text) {
       for (const auto& [host, app] : v->as_object()) {
         config.host_apps[host] = app.as_string();
       }
+    }
+    if (const json::Value* pol = global->find("policy")) {
+      policy::PolicyOptions& p = config.policy;
+      if (const json::Value* v = pol->find("enabled")) p.enabled = v->as_bool();
+      if (const json::Value* v = pol->find("min_value")) p.min_value = v->as_double();
+      if (const json::Value* v = pol->find("max_threshold")) p.max_threshold = v->as_double();
+      if (const json::Value* v = pol->find("threshold_growth")) {
+        p.threshold_growth = v->as_double();
+      }
+      if (const json::Value* v = pol->find("threshold_decay")) {
+        p.threshold_decay = v->as_double();
+      }
+      if (const json::Value* v = pol->find("target_queue_depth")) {
+        p.target_queue_depth = v->as_int();
+      }
+      if (const json::Value* v = pol->find("budget_window_ms")) {
+        p.budget_window = milliseconds(v->as_double());
+      }
+      if (const json::Value* v = pol->find("hit_byte_refund")) {
+        p.hit_byte_refund = v->as_double();
+      }
+      if (const json::Value* v = pol->find("learn_expiry")) p.learn_expiry = v->as_bool();
+      if (const json::Value* v = pol->find("min_learned_expiry_ms")) {
+        p.min_learned_expiry = milliseconds(v->as_double());
+      }
+      p.validate().throw_if_error();
     }
   }
   if (const json::Value* sigs = root.find("signatures")) {

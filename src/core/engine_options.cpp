@@ -23,6 +23,7 @@ util::Error EngineOptions::validate() const {
   if (!std::isfinite(scheduler_hit_weight) || scheduler_hit_weight < 0) {
     return util::Error::failure("EngineOptions.scheduler_hit_weight must be finite and >= 0");
   }
+  if (util::Error err = policy.validate()) return err;
   if (connect_timeout < 0 || io_timeout < 0 || request_deadline < 0) {
     return util::Error::failure(
         "EngineOptions timeouts must be >= 0 (0 disables the corresponding bound)");
@@ -61,12 +62,14 @@ util::Error EngineOptions::validate() const {
 EngineOptions EngineOptions::from_config(const ProxyConfig& config) {
   EngineOptions options;
   options.max_outstanding_prefetches = config.max_outstanding_prefetches;
+  options.max_queued_prefetches = config.max_queued_prefetches;
   options.cache_max_entries = config.cache_max_entries;
   options.cache_max_bytes = config.cache_max_bytes;
   options.max_users = config.max_users;
   options.user_idle_timeout = config.user_idle_timeout;
   options.scheduler_time_weight = config.scheduler_time_weight;
   options.scheduler_hit_weight = config.scheduler_hit_weight;
+  options.policy = config.policy;
   return options;
 }
 

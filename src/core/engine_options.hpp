@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "policy/options.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -36,6 +37,11 @@ struct EngineOptions {
   std::size_t shards = 0;
   // Max outstanding prefetches per user (the scheduler window). Must be >= 1.
   std::size_t max_outstanding_prefetches = 32;
+  // Per-user bound on jobs *queued* behind the outstanding window; overflow
+  // evicts the lowest-priority queued job (reported as a skipped prefetch,
+  // reason=queue_full — it was never issued). 0 = unbounded (historical
+  // behaviour).
+  std::size_t max_queued_prefetches = 0;
   // Per-user prefetch-cache footprint caps (LRU eviction beyond these);
   // 0 = unlimited.
   std::size_t cache_max_entries = 4096;
@@ -49,6 +55,10 @@ struct EngineOptions {
   // (paper §5). Zeroing both degrades the scheduler to FIFO (ablation).
   double scheduler_time_weight = 1.0;
   double scheduler_hit_weight = 200.0;
+  // Cost-aware prefetch policy (value-based admission, budget pacing, learned
+  // expiry — DESIGN.md §5j). Off by default; ProxyConfig carries the same
+  // block in its serialized `global.policy` object.
+  policy::PolicyOptions policy;
 
   // --- live transport (LiveProxyServer); 0 disables a timeout ---------------
 

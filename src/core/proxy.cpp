@@ -27,6 +27,7 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
       options_(std::move(options)),
       shard_index_(shard_index),
       seed_(options_.seed),
+      admission_(options_.policy),
       registry_(registry != nullptr ? registry : &own_registry_) {
   if (signatures == nullptr) throw InvalidArgumentError("ProxyEngine: null signature set");
   if (config == nullptr) throw InvalidArgumentError("ProxyEngine: null config");
@@ -50,6 +51,14 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
   inst_.skipped_budget = skipped("budget");
   inst_.skipped_duplicate = skipped("duplicate");
   inst_.skipped_refetch = skipped("refetch");
+  inst_.skipped_queue_full = skipped("queue_full");
+  inst_.policy_admitted = &reg.counter("appx_policy_admitted_total");
+  inst_.policy_rejected_value =
+      &reg.counter(obs::labeled("appx_policy_rejected_total", {{"reason", "value"}}));
+  inst_.policy_rejected_budget =
+      &reg.counter(obs::labeled("appx_policy_rejected_total", {{"reason", "budget"}}));
+  inst_.wasted_entries = &reg.counter("appx_prefetch_wasted_entries_total");
+  inst_.wasted_bytes = &reg.counter("appx_prefetch_wasted_bytes_total");
   inst_.forward_cached = &reg.counter("appx_proxy_forward_cached_total");
   inst_.prefetches_dropped = &reg.counter("appx_prefetch_dropped_total");
   inst_.evicted_lru =
@@ -65,6 +74,7 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
   inst_.users = &reg.gauge("appx_proxy_users");
   inst_.prefetch_queued = &reg.gauge("appx_prefetch_queue_depth");
   inst_.prefetch_outstanding = &reg.gauge("appx_prefetch_outstanding");
+  inst_.policy_threshold = &reg.gauge("appx_policy_threshold");
   inst_.prefetch_response_time_us = &reg.histogram("appx_prefetch_response_time_us");
 
   sig_stats_.bind_registry(registry_);
@@ -103,6 +113,21 @@ UserId ProxyEngine::resolve_user(std::string_view user, SimTime now) {
   s.state = std::make_unique<UserState>(signatures_, *config_, options_);
   s.state->cache.bind_metrics(PrefetchCache::Metrics{
       inst_.evicted_lru, inst_.evicted_expired, inst_.cache_entries, inst_.cache_bytes});
+  // Outcome hooks feed the policy value model and the waste accounting. They
+  // capture the engine and the user state by pointer; both outlive the cache
+  // (the engine by member order, the state because the pacer is declared
+  // before the cache inside UserState).
+  UserState* state_ptr = s.state.get();
+  s.state->cache.set_usage_hooks(PrefetchCache::UsageHooks{
+      [this, state_ptr](std::string_view sig_id, Bytes bytes) {
+        state_ptr->pacer.refund_hit(bytes);
+        if (options_.policy.enabled && !sig_id.empty()) sig_model_.on_first_use(sig_id);
+      },
+      [this](std::string_view sig_id, Bytes bytes) {
+        inst_.wasted_entries->inc();
+        inst_.wasted_bytes->add(bytes);
+        if (options_.policy.enabled && !sig_id.empty()) sig_model_.on_wasted(sig_id, bytes);
+      }});
   s.state->scheduler.bind_metrics(
       PrefetchScheduler::Metrics{inst_.prefetch_queued, inst_.prefetch_outstanding});
   s.state->last_active = now;
@@ -234,6 +259,9 @@ void ProxyEngine::on_prefetch_response(UserId& user, const PrefetchJob& job,
   inst_.bytes_prefetched->add(response.wire_size());
   inst_.prefetch_response_time_us->record(static_cast<std::int64_t>(response_time_ms * 1000.0));
   state.prefetch_bytes_used += response.wire_size();
+  // Actual wire bytes are charged in full; the entry's first cache hit will
+  // refund part of them (see the cache usage hooks).
+  state.pacer.charge(response.wire_size(), now);
   sig_stats_.record_response_time(job.sig_id, response_time_ms);
 
   if (!response.ok()) {
@@ -251,7 +279,23 @@ void ProxyEngine::on_prefetch_response(UserId& user, const PrefetchJob& job,
   entry.set_response(response);
   entry.sig_id = job.sig_id;
   entry.fetched_at = now;
-  if (const auto expiry = config_->expiration(job.sig_id)) entry.expires_at = now + *expiry;
+  auto expiry = config_->expiration(job.sig_id);
+  if (options_.policy.enabled) {
+    sig_model_.on_prefetched(job.sig_id, response.wire_size(), response_time_ms);
+    if (options_.policy.learn_expiry) {
+      // One content sample per cached prefetch: a same-key re-fetch whose
+      // body changed refines this signature's TTL online (§4.3's probing,
+      // continued at run time).
+      const std::uint64_t body_hash = hash_combine(
+          fnv1a(response.body.view()), static_cast<std::uint64_t>(response.opaque_payload));
+      sig_model_.observe_content(job.sig_id, fnv1a(job.cache_key), body_hash, now);
+      if (const auto learned =
+              sig_model_.learned_expiry(job.sig_id, options_.policy.min_learned_expiry)) {
+        expiry = expiry ? std::min(*expiry, *learned) : *learned;
+      }
+    }
+  }
+  if (expiry) entry.expires_at = now + *expiry;
   state.cache.put(job.cache_key, std::move(entry), now);
 
   // Chained prefetching: treat the prefetched transaction as an observed one
@@ -273,6 +317,19 @@ void ProxyEngine::pump(UserId& user, SimTime now, Decision* out) {
 
 void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready,
                                    SimTime now) {
+  const bool policy_on = options_.policy.enabled;
+  if (policy_on && !ready.empty()) {
+    // One load-feedback tick per admission batch: the adaptive threshold
+    // reads fleet-wide queue pressure (queued + outstanding) and the
+    // dropped-after-enqueue counter, so overload raises the admission bar
+    // before jobs pile up behind it.
+    admission_.observe_load(inst_.prefetch_queued->value() + inst_.prefetch_outstanding->value(),
+                            inst_.prefetches_dropped->value());
+    // set(), not a delta: shards sharing a registry export a representative
+    // threshold rather than a meaningless sum.
+    inst_.policy_threshold->set(
+        static_cast<std::int64_t>(admission_.threshold() * 1e6));
+  }
   for (ReadyPrefetch& rp : ready) {
     const std::string& sig_id = rp.signature->id;
 
@@ -289,7 +346,22 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
         continue;
       }
     }
-    if (config_->data_budget && state.prefetch_bytes_used >= *config_->data_budget) {
+    if (policy_on) {
+      // Value-based admission + budget pacing (DESIGN.md §5j): issue only
+      // when the expected saving per byte clears the adaptive threshold and
+      // the token bucket has room for the expected size.
+      const policy::Estimate estimate = sig_model_.estimate(sig_id);
+      if (!admission_.admit(estimate)) {
+        inst_.policy_rejected_value->inc();
+        continue;
+      }
+      if (!state.pacer.allows(static_cast<Bytes>(estimate.bytes), now)) {
+        inst_.policy_rejected_budget->inc();
+        continue;
+      }
+    } else if (config_->data_budget && state.prefetch_bytes_used >= *config_->data_budget) {
+      // Legacy hard cliff: all prefetching stops for the rest of the session
+      // once the budget is spent.
       inst_.skipped_budget->inc();
       continue;
     }
@@ -327,7 +399,18 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
       job.request.headers.add(name, value);
     }
     job.enqueued_at = now;
-    state.scheduler.enqueue(std::move(job), sig_stats_);
+    if (policy_on) {
+      inst_.policy_admitted->inc();
+      // Issue-time feedback: the batch's own admissions lower p_use for
+      // signatures with no proven uses, so one fan-out burst self-limits.
+      sig_model_.on_issued(sig_id);
+    }
+    if (auto evicted = state.scheduler.enqueue(std::move(job), sig_stats_)) {
+      // The bounded queue shed its lowest-priority job before issue: release
+      // its bookkeeping. Not a drop — it never counted as issued.
+      state.inflight.erase(evicted->cache_key);
+      inst_.skipped_queue_full->inc();
+    }
   }
 }
 
@@ -351,6 +434,10 @@ const ProxyStats& ProxyEngine::stats() const {
   s.skipped_budget = count(inst_.skipped_budget);
   s.skipped_duplicate = count(inst_.skipped_duplicate);
   s.skipped_refetch = count(inst_.skipped_refetch);
+  s.skipped_queue_full = count(inst_.skipped_queue_full);
+  s.policy_admitted = count(inst_.policy_admitted);
+  s.policy_rejected_value = count(inst_.policy_rejected_value);
+  s.policy_rejected_budget = count(inst_.policy_rejected_budget);
   s.forward_cached = count(inst_.forward_cached);
   s.prefetches_dropped = count(inst_.prefetches_dropped);
   s.evicted_lru = count(inst_.evicted_lru);
@@ -359,6 +446,8 @@ const ProxyStats& ProxyEngine::stats() const {
   s.bytes_origin_to_proxy = inst_.bytes_origin_to_proxy->value();
   s.bytes_prefetched = inst_.bytes_prefetched->value();
   s.bytes_served_from_cache = inst_.bytes_served_from_cache->value();
+  s.prefetch_wasted_entries = count(inst_.wasted_entries);
+  s.prefetch_wasted_bytes = inst_.wasted_bytes->value();
   s.cache_entries = static_cast<std::size_t>(inst_.cache_entries->value());
   s.cache_bytes = inst_.cache_bytes->value();
   return stats_view_;

@@ -32,6 +32,9 @@
 #include "core/session.hpp"
 #include "core/signature.hpp"
 #include "obs/metrics.hpp"
+#include "policy/admission.hpp"
+#include "policy/model.hpp"
+#include "policy/pacer.hpp"
 #include "util/units.hpp"
 
 namespace appx::core {
@@ -97,12 +100,18 @@ class ProxyEngine final : public ProxyLike {
     UserState(const SignatureSet* signatures, const ProxyConfig& config,
               const EngineOptions& options)
         : learning(signatures, &config.host_apps),
+          pacer(policy::BudgetPacer::Options{
+              options.policy.enabled ? config.data_budget.value_or(0) : 0,
+              options.policy.budget_window, options.policy.hit_byte_refund}),
           cache(PrefetchCache::Limits{options.cache_max_entries, options.cache_max_bytes}),
           scheduler(PrefetchScheduler::Weights{options.scheduler_time_weight,
                                                options.scheduler_hit_weight},
-                    options.max_outstanding_prefetches) {}
+                    options.max_outstanding_prefetches, options.max_queued_prefetches) {}
     UserId id;  // the handle minted for this user (name, shard, slot, gen)
     LearningEngine learning;
+    // Declared before the cache: its usage hooks may refund the pacer, and
+    // the `wasted` hook fires from the cache destructor.
+    policy::BudgetPacer pacer;
     PrefetchCache cache;
     PrefetchScheduler scheduler;
     SimTime last_active = 0;        // for idle-user eviction
@@ -152,6 +161,12 @@ class ProxyEngine final : public ProxyLike {
     obs::Counter* skipped_budget = nullptr;
     obs::Counter* skipped_duplicate = nullptr;
     obs::Counter* skipped_refetch = nullptr;
+    obs::Counter* skipped_queue_full = nullptr;
+    obs::Counter* policy_admitted = nullptr;
+    obs::Counter* policy_rejected_value = nullptr;
+    obs::Counter* policy_rejected_budget = nullptr;
+    obs::Counter* wasted_entries = nullptr;
+    obs::Counter* wasted_bytes = nullptr;
     obs::Counter* forward_cached = nullptr;
     obs::Counter* prefetches_dropped = nullptr;
     obs::Counter* evicted_lru = nullptr;
@@ -165,6 +180,9 @@ class ProxyEngine final : public ProxyLike {
     obs::Gauge* users = nullptr;
     obs::Gauge* prefetch_queued = nullptr;
     obs::Gauge* prefetch_outstanding = nullptr;
+    // Admission threshold in micro-units (gauges are integral): the exported
+    // value is threshold(ms saved per KB) × 1e6.
+    obs::Gauge* policy_threshold = nullptr;
     obs::Histogram* prefetch_response_time_us = nullptr;
   };
 
@@ -178,6 +196,11 @@ class ProxyEngine final : public ProxyLike {
   std::string key_scratch_;
   std::uint32_t shard_index_ = 0;
   std::uint64_t seed_;
+  // Cost-aware policy state (DESIGN.md §5j), per shard like sig_stats_. Must
+  // be declared before slots_: per-user cache destructors fire waste hooks
+  // into the model.
+  policy::SignatureModel sig_model_;
+  policy::AdmissionController admission_;
   // Backs registry_ when no external registry was supplied. Must outlive
   // slots_: per-user caches and schedulers hold raw pointers into the
   // registry and give back their gauge contributions on destruction.

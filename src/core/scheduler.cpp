@@ -55,8 +55,9 @@ double SignatureStats::hit_rate(std::string_view sig_id) const {
   return it->second.hits.rate();
 }
 
-PrefetchScheduler::PrefetchScheduler(Weights weights, std::size_t max_outstanding)
-    : weights_(weights), max_outstanding_(max_outstanding) {}
+PrefetchScheduler::PrefetchScheduler(Weights weights, std::size_t max_outstanding,
+                                     std::size_t max_queued)
+    : weights_(weights), max_outstanding_(max_outstanding), max_queued_(max_queued) {}
 
 PrefetchScheduler::~PrefetchScheduler() {
   gauge_add(metrics_.queued, -static_cast<std::int64_t>(queue_.size()));
@@ -71,7 +72,8 @@ void PrefetchScheduler::bind_metrics(const Metrics& metrics) {
   gauge_add(metrics_.outstanding, static_cast<std::int64_t>(outstanding_));
 }
 
-void PrefetchScheduler::enqueue(PrefetchJob job, const SignatureStats& stats) {
+std::optional<PrefetchJob> PrefetchScheduler::enqueue(PrefetchJob job,
+                                                      const SignatureStats& stats) {
   job.priority = weights_.time_weight * stats.avg_response_time_ms(job.sig_id) +
                  weights_.hit_weight * stats.hit_rate(job.sig_id);
   // Stable position: after all jobs with priority >= ours (FIFO among equals).
@@ -79,7 +81,17 @@ void PrefetchScheduler::enqueue(PrefetchJob job, const SignatureStats& stats) {
     return other.priority < job.priority;
   });
   queue_.insert(pos, std::move(job));
+  if (max_queued_ > 0 && queue_.size() > max_queued_) {
+    // Evict the lowest-priority job — the sorted queue's back — rather than
+    // the oldest: a long-waiting high-value job survives a burst of low-value
+    // arrivals, and an incoming job below everything queued bounces straight
+    // out. Net gauge effect of insert-then-evict is zero.
+    PrefetchJob evicted = std::move(queue_.back());
+    queue_.pop_back();
+    return evicted;
+  }
   gauge_add(metrics_.queued, 1);
+  return std::nullopt;
 }
 
 std::optional<PrefetchJob> PrefetchScheduler::dequeue() {

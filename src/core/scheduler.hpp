@@ -79,16 +79,22 @@ class PrefetchScheduler {
     obs::Gauge* outstanding = nullptr;
   };
 
+  // max_queued bounds the jobs waiting behind the outstanding window;
+  // 0 = unbounded. Overflow evicts the lowest-priority job (see enqueue).
   explicit PrefetchScheduler(Weights weights = Weights{1.0, 200.0},
-                             std::size_t max_outstanding = 32);
+                             std::size_t max_outstanding = 32, std::size_t max_queued = 0);
   ~PrefetchScheduler();
   PrefetchScheduler(const PrefetchScheduler&) = delete;
   PrefetchScheduler& operator=(const PrefetchScheduler&) = delete;
 
   void bind_metrics(const Metrics& metrics);
 
-  // Compute the job's priority from current stats and queue it.
-  void enqueue(PrefetchJob job, const SignatureStats& stats);
+  // Compute the job's priority from current stats and queue it. When the
+  // queue bound is hit, the *lowest-priority* queued job (possibly the one
+  // just inserted; newest among equals) is evicted and returned so the caller
+  // can release bookkeeping for it — it was never issued, so it does not
+  // count against the responses + failures + dropped == issued invariant.
+  std::optional<PrefetchJob> enqueue(PrefetchJob job, const SignatureStats& stats);
 
   // Highest-priority job if the outstanding window has room.
   std::optional<PrefetchJob> dequeue();
@@ -115,6 +121,7 @@ class PrefetchScheduler {
   Weights weights_;
   Metrics metrics_;
   std::size_t max_outstanding_;
+  std::size_t max_queued_;
   std::size_t outstanding_ = 0;
   std::size_t completed_ = 0;
   std::size_t dropped_ = 0;

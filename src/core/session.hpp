@@ -55,6 +55,12 @@ struct ProxyStats {
   std::size_t skipped_budget = 0;
   std::size_t skipped_duplicate = 0;  // already cached and fresh
   std::size_t skipped_refetch = 0;    // already prefetched this client generation
+  std::size_t skipped_queue_full = 0;  // evicted from a bounded scheduler queue pre-issue
+  // Cost-aware policy (DESIGN.md §5j). Rejections happen before enqueue, so
+  // they are "skips" in the balance invariant's terms, broken out by cause.
+  std::size_t policy_admitted = 0;        // cleared admission + budget pacing
+  std::size_t policy_rejected_value = 0;  // value below the admission threshold
+  std::size_t policy_rejected_budget = 0;  // token bucket had no room
   std::size_t forward_cached = 0;     // forwarded responses kept in the cache
   std::size_t prefetches_dropped = 0;  // issued jobs abandoned by the caller
   // Resource-bound enforcement (cache caps, TTL sweeps, idle-user eviction).
@@ -65,6 +71,10 @@ struct ProxyStats {
   Bytes bytes_origin_to_proxy = 0;  // forwarded responses
   Bytes bytes_prefetched = 0;       // prefetch responses
   Bytes bytes_served_from_cache = 0;
+  // Wasted prefetches: cache entries that left the cache (evicted, expired,
+  // overwritten, or still unused at user teardown) without ever being hit.
+  std::size_t prefetch_wasted_entries = 0;
+  Bytes prefetch_wasted_bytes = 0;
   // Live cache footprint across all users (gauges, not monotonic).
   std::size_t cache_entries = 0;
   Bytes cache_bytes = 0;

@@ -79,6 +79,28 @@ Breakdown to_breakdown(const std::vector<apps::InteractionResult>& results) {
   return out;
 }
 
+// End-of-run prefetch cost accounting: registry totals plus the bytes still
+// sitting unused in the user's cache (waste hooks only fire when an entry
+// leaves the cache, which a short run may never trigger).
+void fill_prefetch_accounting(Breakdown& out, Testbed& bed, const std::string& user) {
+  const core::ProxyStats& stats = bed.engine().stats();
+  out.prefetches_issued = stats.prefetches_issued;
+  out.prefetch_bytes = stats.bytes_prefetched;
+  Bytes wasted = stats.prefetch_wasted_bytes;
+  if (bed.config().proxy_kind == ProxyKind::kAppx && bed.config().prefetch_enabled) {
+    if (const core::PrefetchCache* cache = bed.proxy().cache_for(user)) {
+      wasted += cache->unused_bytes();
+    }
+  }
+  out.wasted_bytes = wasted;
+  out.waste_ratio = out.prefetch_bytes > 0
+                        ? static_cast<double>(wasted) / static_cast<double>(out.prefetch_bytes)
+                        : 0.0;
+  out.policy_admitted = stats.policy_admitted;
+  out.policy_rejected_value = stats.policy_rejected_value;
+  out.policy_rejected_budget = stats.policy_rejected_budget;
+}
+
 }  // namespace
 
 Breakdown measure_main_interaction(const AnalyzedApp& app, TestbedConfig config, int runs) {
@@ -96,7 +118,9 @@ Breakdown measure_main_interaction(const AnalyzedApp& app, TestbedConfig config,
     const std::size_t selection = 1 + static_cast<std::size_t>(i);
     measured.push_back(run_to_completion(bed, user, app.spec.main_interaction, selection));
   }
-  return to_breakdown(measured);
+  Breakdown out = to_breakdown(measured);
+  fill_prefetch_accounting(out, bed, user);
+  return out;
 }
 
 Breakdown measure_launch(const AnalyzedApp& app, TestbedConfig config, int runs) {
@@ -112,7 +136,9 @@ Breakdown measure_launch(const AnalyzedApp& app, TestbedConfig config, int runs)
     bed.reset_client(user);  // app killed and restarted; proxy state persists
     measured.push_back(run_to_completion(bed, user, apps::kLaunchInteraction, 0));
   }
-  return to_breakdown(measured);
+  Breakdown out = to_breakdown(measured);
+  fill_prefetch_accounting(out, bed, user);
+  return out;
 }
 
 // --- trace replay ---------------------------------------------------------------------

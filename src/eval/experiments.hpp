@@ -15,6 +15,7 @@
 #include "fuzz/fuzzer.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace appx::eval {
 
@@ -48,6 +49,18 @@ struct Breakdown {
   double p99_ms = 0;
   double p999_ms = 0;  // with few runs this degenerates to the max — report anyway
   std::size_t runs = 0;
+  // Prefetch cost accounting over the whole run (warm-up included): issued
+  // jobs, bytes fetched, and the share of those bytes never served to the
+  // client — evicted/expired unused plus entries still sitting unused in the
+  // cache at the end. All zero for the Orig baseline.
+  std::size_t prefetches_issued = 0;
+  Bytes prefetch_bytes = 0;
+  Bytes wasted_bytes = 0;
+  double waste_ratio = 0;  // wasted_bytes / prefetch_bytes, 0 when nothing fetched
+  // Admission decisions of the cost-aware policy (zero when disabled).
+  std::size_t policy_admitted = 0;
+  std::size_t policy_rejected_value = 0;
+  std::size_t policy_rejected_budget = 0;
 };
 
 // User-perceived latency of the app's main interaction, averaged over `runs`

@@ -995,12 +995,19 @@ void LiveProxyServer::enqueue_jobs(std::vector<core::PrefetchJob> jobs) {
     for (core::PrefetchJob& job : jobs) {
       prefetch_queue_.push_back(std::move(job));
     }
-    // Bounded queue: shed the oldest jobs first (they are the most likely to
-    // be stale by the time a worker would reach them).
+    // Bounded queue: shed the lowest-priority job first so a burst of
+    // low-value arrivals cannot push out a high-value job already waiting.
+    // The first minimum wins ties, which sheds the oldest among equals —
+    // the job most likely to be stale by the time a worker reaches it.
     while (options_.max_prefetch_queue > 0 &&
            prefetch_queue_.size() > options_.max_prefetch_queue) {
-      dropped.push_back(std::move(prefetch_queue_.front()));
-      prefetch_queue_.pop_front();
+      const auto victim = std::min_element(
+          prefetch_queue_.begin(), prefetch_queue_.end(),
+          [](const core::PrefetchJob& a, const core::PrefetchJob& b) {
+            return a.priority < b.priority;
+          });
+      dropped.push_back(std::move(*victim));
+      prefetch_queue_.erase(victim);
     }
     queue_depth_->set(static_cast<std::int64_t>(prefetch_queue_.size()));
   }

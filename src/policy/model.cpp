@@ -1,0 +1,89 @@
+#include "policy/model.hpp"
+
+#include <algorithm>
+
+namespace appx::policy {
+
+const SignatureModel::PerSig* SignatureModel::find(std::string_view sig_id) const {
+  const auto it = per_sig_.find(sig_id);
+  return it == per_sig_.end() ? nullptr : &it->second;
+}
+
+void SignatureModel::on_issued(std::string_view sig_id) {
+  ++per_sig_[std::string(sig_id)].issued;
+}
+
+void SignatureModel::on_prefetched(std::string_view sig_id, Bytes wire_bytes,
+                                   double response_time_ms) {
+  PerSig& per = per_sig_[std::string(sig_id)];
+  per.saving_ms.add(response_time_ms);
+  per.body_bytes.add(static_cast<double>(wire_bytes));
+}
+
+void SignatureModel::on_first_use(std::string_view sig_id) {
+  ++per_sig_[std::string(sig_id)].used;
+}
+
+void SignatureModel::on_wasted(std::string_view sig_id, Bytes wire_bytes) {
+  (void)wire_bytes;  // byte-level waste is accounted by the engine's counters
+  ++per_sig_[std::string(sig_id)].wasted;
+}
+
+void SignatureModel::observe_content(std::string_view sig_id, std::uint64_t key_hash,
+                                     std::uint64_t body_hash, SimTime now) {
+  PerSig& per = per_sig_[std::string(sig_id)];
+  if (per.has_sample && per.last_key_hash == key_hash) {
+    if (per.last_body_hash != body_hash) {
+      // The same key re-fetched with different content: the elapsed time
+      // bounds the content lifetime from above.
+      per.change_interval_us.add(static_cast<double>(std::max<SimTime>(now - per.last_sample_at, 1)));
+      per.last_body_hash = body_hash;
+      per.last_sample_at = now;
+    }
+    // Same body: keep the original sample time so a slow drift still
+    // accumulates into one long interval instead of resetting per probe.
+    return;
+  }
+  per.has_sample = true;
+  per.last_key_hash = key_hash;
+  per.last_body_hash = body_hash;
+  per.last_sample_at = now;
+}
+
+std::optional<Duration> SignatureModel::learned_expiry(std::string_view sig_id,
+                                                       Duration floor) const {
+  const PerSig* per = find(sig_id);
+  if (per == nullptr || !per->change_interval_us.has_value()) return std::nullopt;
+  // Conservative: expire at half the observed change period (mirrors the
+  // verification phase's estimate/2 rule).
+  const auto half = static_cast<Duration>(per->change_interval_us.value() / 2.0);
+  return std::max(half, floor);
+}
+
+Estimate SignatureModel::estimate(std::string_view sig_id) const {
+  Estimate out;
+  out.saving_ms = priors_.saving_ms;
+  out.bytes = priors_.bytes;
+  const PerSig* per = find(sig_id);
+  if (per == nullptr) return out;
+  // Laplace smoothing: (used + 1) / (issued + 2) — responds immediately to
+  // both hits and fan-out over-prefetching without waiting for entries to
+  // age out of the cache.
+  out.p_use = static_cast<double>(per->used + 1) / static_cast<double>(per->issued + 2);
+  if (per->saving_ms.has_value()) out.saving_ms = per->saving_ms.value();
+  if (per->body_bytes.has_value()) out.bytes = per->body_bytes.value();
+  out.issued = per->issued;
+  return out;
+}
+
+std::size_t SignatureModel::used(std::string_view sig_id) const {
+  const PerSig* per = find(sig_id);
+  return per == nullptr ? 0 : per->used;
+}
+
+std::size_t SignatureModel::wasted(std::string_view sig_id) const {
+  const PerSig* per = find(sig_id);
+  return per == nullptr ? 0 : per->wasted;
+}
+
+}  // namespace appx::policy

@@ -1,0 +1,104 @@
+// Per-signature value model feeding the admission controller (DESIGN.md §5j).
+//
+// For every signature the model tracks what a prefetch of it has been worth
+// historically:
+//   * P(use)      — the fraction of cached prefetches served to a client
+//                   before leaving the cache (Laplace-smoothed, so unseen
+//                   signatures start at 0.5 rather than 0 or 1);
+//   * saving_ms   — EWMA of the origin response time, i.e. the latency a hit
+//                   hides from the user;
+//   * bytes       — EWMA of the response wire size, i.e. what a prefetch
+//                   costs against the data budget.
+//
+// It also refines TTLs online: each cached prefetch contributes a content
+// sample (cache-key hash, body hash); when the *same* key is re-prefetched
+// with a different body, the elapsed time is a content-change-interval
+// sample, and half the EWMA'd interval becomes the learned expiry — the
+// runtime analogue of the verification phase's probing (§4.3).
+//
+// Not thread-safe; owned per engine shard alongside SignatureStats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace appx::policy {
+
+// What the model believes a prefetch of one signature is worth.
+struct Estimate {
+  double p_use = 0.5;     // probability the cached response gets used
+  double saving_ms = 0;   // expected latency hidden by a hit
+  double bytes = 0;       // expected body cost
+  std::size_t issued = 0;  // issues behind the p_use estimate (0 = priors only)
+};
+
+class SignatureModel {
+ public:
+  // Estimates for signatures with no history yet. The defaults deliberately
+  // make unknown signatures look worth prefetching (p_use 0.5 on a plausible
+  // response) so the policy explores before it prunes.
+  struct Priors {
+    double saving_ms = 50.0;
+    double bytes = 8192.0;
+  };
+
+  SignatureModel() = default;
+  explicit SignatureModel(Priors priors) : priors_(priors) {}
+
+  // A prefetch for `sig_id` was admitted and issued. Counted at issue time —
+  // not at response time — so a synchronous fan-out burst (one predecessor
+  // response making dozens of same-signature prefetches ready at once) sees
+  // its own issues reflected in p_use immediately: an unproven signature's
+  // admission rate decays within the batch instead of only after responses
+  // trickle back, and first uses restore it run by run.
+  void on_issued(std::string_view sig_id);
+  // The issued prefetch's response arrived and was cached: update the cost
+  // and saving estimates with the observed wire size / response time.
+  void on_prefetched(std::string_view sig_id, Bytes wire_bytes, double response_time_ms);
+  // A cached prefetched entry was served to a client for the first time.
+  void on_first_use(std::string_view sig_id);
+  // A cached entry left the cache (evicted/expired/overwritten) unused.
+  void on_wasted(std::string_view sig_id, Bytes wire_bytes);
+
+  // TTL refinement: one content sample per cached prefetch. Only consecutive
+  // samples of the SAME key are compared — a different key resets the sample
+  // (items of a fan-out differ without the content having "changed").
+  void observe_content(std::string_view sig_id, std::uint64_t key_hash,
+                       std::uint64_t body_hash, SimTime now);
+  // Half the EWMA'd change interval, floored at `floor`; nullopt until a
+  // change has been observed.
+  std::optional<Duration> learned_expiry(std::string_view sig_id, Duration floor) const;
+
+  Estimate estimate(std::string_view sig_id) const;
+
+  std::size_t tracked_signatures() const { return per_sig_.size(); }
+  std::size_t used(std::string_view sig_id) const;
+  std::size_t wasted(std::string_view sig_id) const;
+
+ private:
+  struct PerSig {
+    std::size_t issued = 0;
+    std::size_t used = 0;
+    std::size_t wasted = 0;
+    RunningAverage saving_ms{0.3};
+    RunningAverage body_bytes{0.3};
+    // Last content sample for TTL refinement.
+    bool has_sample = false;
+    std::uint64_t last_key_hash = 0;
+    std::uint64_t last_body_hash = 0;
+    SimTime last_sample_at = 0;
+    RunningAverage change_interval_us{0.3};
+  };
+  const PerSig* find(std::string_view sig_id) const;
+
+  Priors priors_;
+  std::map<std::string, PerSig, std::less<>> per_sig_;
+};
+
+}  // namespace appx::policy

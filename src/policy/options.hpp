@@ -1,0 +1,58 @@
+// Knobs for the cost-aware prefetch policy engine (DESIGN.md §5j).
+//
+// The policy layer decides *whether* a prefetch is worth issuing (the
+// scheduler already decides in what order): a prefetch is admitted only when
+// its expected value — P(use) × expected_latency_saving_ms per KB of body —
+// clears a threshold that adapts to load, and when the user's data budget,
+// paced as a token bucket instead of a hard cliff, has room for it.
+//
+// Disabled by default: with `enabled = false` the engine behaves exactly as
+// before (fire-everything prefetch bounded by the hard data_budget cliff).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace appx::policy {
+
+struct PolicyOptions {
+  bool enabled = false;
+
+  // --- value-based admission -----------------------------------------------
+  //
+  // value(sig) = P(use) * expected_saving_ms / max(expected_KB, 1). The
+  // admission threshold starts at min_value (its floor). Load feedback
+  // (scheduler queue depth above target, or post-enqueue drops observed)
+  // multiplies it by threshold_growth up to max_threshold; calm periods decay
+  // it by threshold_decay back toward min_value — under overload the proxy
+  // degrades to best-jobs-only instead of drop-oldest thrash.
+  double min_value = 0.05;          // ms saved per KB; also the threshold floor
+  double max_threshold = 50.0;      // threshold ceiling under sustained overload
+  double threshold_growth = 1.25;   // multiplicative increase when overloaded
+  double threshold_decay = 0.9;     // multiplicative decay when calm
+  std::int64_t target_queue_depth = 256;  // queued + outstanding, fleet-wide
+
+  // --- budget pacing --------------------------------------------------------
+  //
+  // ProxyConfig.data_budget becomes a token-bucket capacity refilled once per
+  // budget_window (instead of a hard per-session cliff). Prefetched bytes are
+  // charged in full when the response arrives; an entry's *first* cache hit
+  // refunds hit_byte_refund of its bytes, so wasted (never-hit) bytes are
+  // charged at full rate and useful bytes at a discount.
+  Duration budget_window = minutes(1);
+  double hit_byte_refund = 0.5;  // fraction of a hit's bytes credited back
+
+  // --- learned expiry -------------------------------------------------------
+  //
+  // Refine configured TTLs online: re-prefetches of the same cache key whose
+  // body changed yield change-interval samples; half the EWMA'd interval
+  // (floored at min_learned_expiry) caps the configured expiration.
+  bool learn_expiry = true;
+  Duration min_learned_expiry = seconds(1);
+
+  util::Error validate() const;
+};
+
+}  // namespace appx::policy

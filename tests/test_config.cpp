@@ -234,5 +234,77 @@ TEST(ProxyConfig, SchedulerWeightsRoundTrip) {
   EXPECT_DOUBLE_EQ(back.scheduler_hit_weight, 42.5);
 }
 
+TEST(ProxyConfig, PolicyEngineJsonRoundTrip) {
+  ProxyConfig config;
+  config.policy.enabled = true;
+  config.policy.min_value = 0.25;
+  config.policy.max_threshold = 12.5;
+  config.policy.threshold_growth = 1.5;
+  config.policy.threshold_decay = 0.75;
+  config.policy.target_queue_depth = 1024;
+  config.policy.budget_window = seconds(90);
+  config.policy.hit_byte_refund = 0.8;
+  config.policy.learn_expiry = false;
+  config.policy.min_learned_expiry = seconds(7);
+  config.max_queued_prefetches = 48;
+
+  const ProxyConfig back = ProxyConfig::from_json(config.to_json());
+  EXPECT_TRUE(back.policy.enabled);
+  EXPECT_DOUBLE_EQ(back.policy.min_value, 0.25);
+  EXPECT_DOUBLE_EQ(back.policy.max_threshold, 12.5);
+  EXPECT_DOUBLE_EQ(back.policy.threshold_growth, 1.5);
+  EXPECT_DOUBLE_EQ(back.policy.threshold_decay, 0.75);
+  EXPECT_EQ(back.policy.target_queue_depth, 1024);
+  EXPECT_EQ(back.policy.budget_window, seconds(90));
+  EXPECT_DOUBLE_EQ(back.policy.hit_byte_refund, 0.8);
+  EXPECT_FALSE(back.policy.learn_expiry);
+  EXPECT_EQ(back.policy.min_learned_expiry, seconds(7));
+  EXPECT_EQ(back.max_queued_prefetches, 48u);
+}
+
+TEST(ProxyConfig, PolicySectionAbsentKeepsDefaults) {
+  // Pre-policy configs (no `global.policy` object) still parse, with the
+  // engine disabled — upgrading a deployment must not change behaviour.
+  const ProxyConfig config = ProxyConfig::from_json(R"({"global": {"probability": 0.7}})");
+  EXPECT_DOUBLE_EQ(config.global_probability, 0.7);
+  EXPECT_FALSE(config.policy.enabled);
+  EXPECT_DOUBLE_EQ(config.policy.min_value, policy::PolicyOptions{}.min_value);
+}
+
+TEST(FieldCondition, NumericVsStringFallsBackToLexicographic) {
+  // One side numeric, the other not: the comparison degrades to string
+  // ordering instead of failing ("Silk" > "100" lexicographically).
+  FieldCondition c{"data.contest.merchant_name", FieldCondition::Op::kGt, "100"};
+  EXPECT_TRUE(c.evaluate(product_body(1, "Silk")));
+  c.op = FieldCondition::Op::kLt;
+  EXPECT_FALSE(c.evaluate(product_body(1, "Silk")));
+
+  // Both numeric strings: numeric semantics win (9 < 10 numerically even
+  // though "9" > "10" as strings).
+  FieldCondition numeric{"data.contest.price", FieldCondition::Op::kLt, "10"};
+  EXPECT_TRUE(numeric.evaluate(product_body(9)));
+}
+
+TEST(FieldCondition, ContainsOnNonStringScalars) {
+  // kContains works on the scalar's textual form (price 1234 contains "23")
+  // but fails conservatively on arrays/objects.
+  FieldCondition c{"data.contest.price", FieldCondition::Op::kContains, "23"};
+  EXPECT_TRUE(c.evaluate(product_body(1234)));
+  c.value = "56";
+  EXPECT_FALSE(c.evaluate(product_body(1234)));
+
+  FieldCondition container{"data", FieldCondition::Op::kContains, "contest"};
+  EXPECT_FALSE(container.evaluate(product_body(1234)));
+}
+
+TEST(FieldCondition, EmptyAndOvershootingPaths) {
+  // An empty path is a configuration error and throws at parse time; a path
+  // that descends *through* a scalar simply fails the condition.
+  FieldCondition empty{"", FieldCondition::Op::kEq, "x"};
+  EXPECT_THROW(empty.evaluate(product_body(1)), ParseError);
+  FieldCondition deep{"data.contest.price.sub", FieldCondition::Op::kEq, "1"};
+  EXPECT_FALSE(deep.evaluate(product_body(1)));
+}
+
 }  // namespace
 }  // namespace appx::core

@@ -313,6 +313,195 @@ TEST(PrefetchScheduler, DropAndCompleteBalanceDequeues) {
   EXPECT_EQ(sched.outstanding(), 0u);
 }
 
+TEST(PrefetchScheduler, BoundedQueueEvictsLowestPriority) {
+  SignatureStats stats;
+  stats.record_response_time("high", 500);
+  stats.record_response_time("mid", 100);
+  stats.record_response_time("low", 1);
+  PrefetchScheduler sched(PrefetchScheduler::Weights{1.0, 0.0}, 32, /*max_queued=*/2);
+
+  PrefetchJob high;
+  high.sig_id = "high";
+  PrefetchJob mid;
+  mid.sig_id = "mid";
+  PrefetchJob low;
+  low.sig_id = "low";
+
+  EXPECT_FALSE(sched.enqueue(low, stats).has_value());
+  EXPECT_FALSE(sched.enqueue(high, stats).has_value());
+  // Third job overflows: the LOWEST-priority queued job goes, not the oldest.
+  const auto evicted = sched.enqueue(mid, stats);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->sig_id, "low");
+  EXPECT_EQ(sched.queued(), 2u);
+  EXPECT_EQ(sched.dequeue()->sig_id, "high");
+  EXPECT_EQ(sched.dequeue()->sig_id, "mid");
+}
+
+TEST(PrefetchScheduler, BoundedQueueBouncesIncomingLowJob) {
+  SignatureStats stats;
+  stats.record_response_time("high", 500);
+  stats.record_response_time("low", 1);
+  PrefetchScheduler sched(PrefetchScheduler::Weights{1.0, 0.0}, 32, /*max_queued=*/1);
+
+  PrefetchJob high;
+  high.sig_id = "high";
+  EXPECT_FALSE(sched.enqueue(high, stats).has_value());
+  // An incoming job that is itself the lowest priority bounces straight out.
+  PrefetchJob low;
+  low.sig_id = "low";
+  const auto evicted = sched.enqueue(low, stats);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->sig_id, "low");
+  EXPECT_EQ(sched.dequeue()->sig_id, "high");
+}
+
+TEST(PrefetchScheduler, BoundedQueueEvictsNewestAmongEqualPriorities) {
+  // Equal priorities dequeue FIFO, so the victim must be the NEWEST equal
+  // job — evicting the oldest would starve the front of the FIFO run.
+  SignatureStats stats;
+  PrefetchScheduler sched(PrefetchScheduler::Weights{1.0, 0.0}, 32, /*max_queued=*/2);
+  for (int i = 0; i < 3; ++i) {
+    PrefetchJob j;
+    j.sig_id = "same";
+    j.request.body = std::to_string(i);
+    const auto evicted = sched.enqueue(j, stats);
+    EXPECT_EQ(evicted.has_value(), i == 2);
+    if (evicted) EXPECT_EQ(evicted->request.body, "2");
+  }
+  EXPECT_EQ(sched.dequeue()->request.body, "0");
+  EXPECT_EQ(sched.dequeue()->request.body, "1");
+}
+
+TEST(PrefetchScheduler, BoundedQueueKeepsResolutionInvariant) {
+  // Every dequeued job resolves exactly once even under overflow eviction:
+  // completed + dropped == dequeued, and evicted jobs were never dequeued.
+  SignatureStats stats;
+  PrefetchScheduler sched(PrefetchScheduler::Weights{1.0, 200.0}, 2, /*max_queued=*/3);
+  std::size_t dequeued = 0;
+  std::size_t evicted = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      if (sched.enqueue(PrefetchJob{}, stats).has_value()) ++evicted;
+    }
+    while (sched.dequeue()) {
+      ++dequeued;
+      if (dequeued % 3 == 0) {
+        sched.on_dropped();
+      } else {
+        sched.on_completed();
+      }
+    }
+  }
+  EXPECT_GT(evicted, 0u);
+  EXPECT_EQ(sched.completed() + sched.dropped(), dequeued);
+  EXPECT_EQ(sched.outstanding(), 0u);
+}
+
+// --- PrefetchCache usage hooks ---------------------------------------------------
+
+PrefetchCache::Entry sized_entry(const std::string& sig, Bytes payload) {
+  PrefetchCache::Entry entry;
+  http::Response r;
+  r.opaque_payload = payload;
+  entry.set_response(std::move(r));
+  entry.sig_id = sig;
+  return entry;
+}
+
+struct HookLog {
+  std::vector<std::string> first_use;
+  std::vector<std::string> wasted;
+  PrefetchCache::UsageHooks hooks() {
+    return {[this](std::string_view sig, Bytes) { first_use.emplace_back(sig); },
+            [this](std::string_view sig, Bytes) { wasted.emplace_back(sig); }};
+  }
+};
+
+TEST(PrefetchCacheHooks, FirstUseFiresOncePerEntry) {
+  HookLog log;  // must outlive the cache: the wasted hook fires from ~PrefetchCache
+  PrefetchCache cache;
+  cache.set_usage_hooks(log.hooks());
+  cache.put("k", sized_entry("sig", 100));
+  EXPECT_NE(cache.get("k", 0), nullptr);
+  EXPECT_NE(cache.get("k", 0), nullptr);  // second hit: no second first_use
+  ASSERT_EQ(log.first_use.size(), 1u);
+  EXPECT_EQ(log.first_use[0], "sig");
+  EXPECT_TRUE(log.wasted.empty());
+}
+
+TEST(PrefetchCacheHooks, WastedFiresOnLruEvictionOfUnusedEntry) {
+  PrefetchCache::Limits limits;
+  limits.max_entries = 1;
+  HookLog log;  // must outlive the cache: the wasted hook fires from ~PrefetchCache
+  PrefetchCache cache(limits);
+  cache.set_usage_hooks(log.hooks());
+  cache.put("a", sized_entry("sa", 100));
+  cache.put("b", sized_entry("sb", 100));  // evicts unused "a"
+  ASSERT_EQ(log.wasted.size(), 1u);
+  EXPECT_EQ(log.wasted[0], "sa");
+
+  // A USED entry leaving the cache is not waste.
+  EXPECT_NE(cache.get("b", 0), nullptr);
+  cache.put("c", sized_entry("sc", 100));
+  EXPECT_EQ(log.wasted.size(), 1u);
+}
+
+TEST(PrefetchCacheHooks, WastedFiresOnExpiryAndOverwrite) {
+  HookLog log;  // must outlive the cache: the wasted hook fires from ~PrefetchCache
+  PrefetchCache cache;
+  cache.set_usage_hooks(log.hooks());
+
+  auto expiring = sized_entry("exp", 100);
+  expiring.expires_at = 10;
+  cache.put("e", expiring);
+  EXPECT_EQ(cache.get("e", 20), nullptr);  // expired unused -> wasted
+  ASSERT_EQ(log.wasted.size(), 1u);
+  EXPECT_EQ(log.wasted[0], "exp");
+
+  cache.put("o", sized_entry("old", 100));
+  cache.put("o", sized_entry("new", 100));  // overwrite before any use
+  ASSERT_EQ(log.wasted.size(), 2u);
+  EXPECT_EQ(log.wasted[1], "old");
+}
+
+TEST(PrefetchCacheHooks, DestructorWastesLiveUnusedEntriesOnly) {
+  HookLog log;
+  {
+    PrefetchCache cache;
+    cache.set_usage_hooks(log.hooks());
+    cache.put("used", sized_entry("su", 100));
+    cache.put("unused", sized_entry("sn", 100));
+    EXPECT_NE(cache.get("used", 0), nullptr);
+  }
+  ASSERT_EQ(log.wasted.size(), 1u);
+  EXPECT_EQ(log.wasted[0], "sn");
+}
+
+TEST(PrefetchCacheHooks, ClearDoesNotFireHooks) {
+  HookLog log;  // must outlive the cache: the wasted hook fires from ~PrefetchCache
+  PrefetchCache cache;
+  cache.set_usage_hooks(log.hooks());
+  cache.put("k", sized_entry("sig", 100));
+  cache.clear();
+  EXPECT_TRUE(log.wasted.empty());
+}
+
+TEST(PrefetchCache, UnusedBytesTracksLiveNeverUsedEntries) {
+  PrefetchCache cache;
+  EXPECT_EQ(cache.unused_bytes(), 0);
+  cache.put("a", sized_entry("sa", 1000));
+  cache.put("b", sized_entry("sb", 500));
+  const Bytes both = cache.unused_bytes();
+  EXPECT_GT(both, 0);
+  // Serving one entry removes its bytes from the unused tally.
+  EXPECT_NE(cache.get("a", 0), nullptr);
+  EXPECT_LT(cache.unused_bytes(), both);
+  EXPECT_GT(cache.unused_bytes(), 0);
+  EXPECT_NE(cache.get("b", 0), nullptr);
+  EXPECT_EQ(cache.unused_bytes(), 0);
+}
+
 // --- ProxyEngine -----------------------------------------------------------------
 
 class ProxyTest : public ::testing::Test {
@@ -701,6 +890,81 @@ TEST_F(ProxyTest, PerUserCacheHonoursConfiguredBounds) {
   ASSERT_NE(cache, nullptr);
   EXPECT_LE(cache->size(), 4u);
   EXPECT_EQ(cache->limits().max_entries, 4u);
+}
+
+// --- Policy engine through the proxy ---------------------------------------------
+
+TEST_F(ProxyTest, PolicyDisabledByDefaultCountsNothing) {
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  EXPECT_GT(engine_->stats().prefetches_issued, 0u);
+  EXPECT_EQ(engine_->stats().policy_admitted, 0u);
+  EXPECT_EQ(engine_->stats().policy_rejected_value, 0u);
+  EXPECT_EQ(engine_->stats().policy_rejected_budget, 0u);
+}
+
+TEST_F(ProxyTest, PolicyPermissiveFloorAdmitsAndStillHits) {
+  config_.policy.enabled = true;
+  config_.policy.min_value = 1e-9;  // admit everything
+  remake_engine();
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  bool hit = false;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1), 2, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_GT(engine_->stats().policy_admitted, 0u);
+  EXPECT_EQ(engine_->stats().policy_admitted, engine_->stats().prefetches_issued);
+}
+
+TEST_F(ProxyTest, PolicyHighFloorRejectsByValue) {
+  config_.policy.enabled = true;
+  config_.policy.min_value = 1e9;  // nothing can clear this
+  config_.policy.max_threshold = 1e9;
+  remake_engine();
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  EXPECT_EQ(engine_->stats().prefetches_issued, 0u);
+  EXPECT_GT(engine_->stats().policy_rejected_value, 0u);
+}
+
+TEST_F(ProxyTest, PolicyBudgetPacerRejectsWithoutHardCliff) {
+  config_.policy.enabled = true;
+  config_.policy.min_value = 1e-9;
+  config_.data_budget = 1;  // pacer bucket of one byte: no expected size fits
+  remake_engine();
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1);
+  EXPECT_GT(engine_->stats().policy_rejected_budget, 0u);
+  // With the policy on, the legacy cliff counter must stay untouched.
+  EXPECT_EQ(engine_->stats().skipped_budget, 0u);
+}
+
+TEST_F(ProxyTest, WastedAccountingCountsExpiredUnusedPrefetches) {
+  config_.default_expiration = milliseconds(10);
+  run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
+  run_transaction("u1", make_product_request("a"), make_product_response("m", 1), 1000);
+  // The prefetched sibling expires unused; requesting it later both misses
+  // and books the expired entry as waste.
+  bool hit = true;
+  run_transaction("u1", make_product_request("b"), make_product_response("m", 1),
+                  seconds(10), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_GT(engine_->stats().prefetch_wasted_entries, 0u);
+  EXPECT_GT(engine_->stats().prefetch_wasted_bytes, 0);
+}
+
+TEST_F(ProxyTest, BoundedEngineQueueShedsBeforeIssue) {
+  config_.max_queued_prefetches = 1;
+  remake_engine();
+  std::vector<std::string> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back("id" + std::to_string(i));
+  run_transaction("u1", make_feed_request(), make_feed_response(ids), 0);
+  run_transaction("u1", make_product_request("id0"), make_product_response("m", 1), 1);
+  const auto& stats = engine_->stats();
+  EXPECT_GT(stats.skipped_queue_full, 0u);
+  // Shed jobs were never issued: the resolution balance holds without them.
+  EXPECT_EQ(stats.prefetch_responses + stats.prefetch_failures + stats.prefetches_dropped,
+            stats.prefetches_issued);
 }
 
 }  // namespace

@@ -7,6 +7,12 @@
 //        --no-intent --no-rx --no-alias    disable analysis extensions
 //   appx verify <app>                      run the §4.3 verification phase;
 //                                          prints the initial Fig. 9 config
+//   appx gen-config <app> [opts]           verification + policy-engine knobs:
+//        --out <file>                      write the config instead of stdout
+//        --minutes <N>                     fuzzing duration (default 15)
+//        --probability <P>                 global prefetch probability
+//        --budget-mb <N>                   per-user data budget (paced by the
+//                                          policy engine's token bucket)
 //   appx demo <app>                        live loopback proxy demo (sockets)
 //   appx stats <host:port> [--json]        scrape a live proxy's /appx/metrics
 //                                          and pretty-print it
@@ -15,6 +21,7 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +50,8 @@ int usage() {
                "  appx analyze <in.sapk> [--sigs out.sig] [--no-intent] [--no-rx] "
                "[--no-alias]\n"
                "  appx verify <app>\n"
+               "  appx gen-config <app> [--out file] [--minutes N] [--probability P] "
+               "[--budget-mb N]\n"
                "  appx demo <app>\n"
                "  appx stats <host:port> [--json]\n"
                "apps: wish geek doordash purpleocean postmates\n";
@@ -137,6 +146,55 @@ int cmd_verify(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `appx verify` plus deployment tuning: the verified Fig. 9 config with the
+// cost-aware policy engine (DESIGN.md §5j) switched on, so learned expiry
+// keeps refining the probed TTL estimates at run time and admission/pacing
+// guard the data budget.
+int cmd_gen_config(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string out_path;
+  double fuzz_minutes = 15.0;
+  std::optional<double> probability;
+  std::optional<double> budget_mb;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--minutes" && i + 1 < args.size()) {
+      fuzz_minutes = std::stod(args[++i]);
+    } else if (args[i] == "--probability" && i + 1 < args.size()) {
+      probability = std::stod(args[++i]);
+    } else if (args[i] == "--budget-mb" && i + 1 < args.size()) {
+      budget_mb = std::stod(args[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  const eval::AnalyzedApp app = eval::analyze_app(app_by_name(args[0]));
+  eval::VerificationParams params;
+  params.fuzz.duration = minutes(fuzz_minutes);
+  const auto outcome = eval::run_verification(app, params);
+
+  core::ProxyConfig config = outcome.initial_config;
+  config.policy.enabled = true;
+  config.policy.learn_expiry = true;
+  if (probability) config.global_probability = *probability;
+  if (budget_mb) config.data_budget = megabytes(*budget_mb);
+  config.policy.validate().throw_if_error();
+
+  std::cerr << "gen-config: " << outcome.verified.size() << " signatures verified, "
+            << outcome.failing.size() << " disabled, " << outcome.expiry_estimates.size()
+            << " probed expirations (refined online by learned expiry)\n";
+  const std::string text = config.to_json() + "\n";
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    write_file(out_path, std::vector<std::uint8_t>(text.begin(), text.end()));
+    std::cerr << "wrote " << out_path << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+
 int cmd_demo(const std::vector<std::string>& args) {
   if (args.size() != 1) return usage();
   const apps::AppSpec spec = app_by_name(args[0]);
@@ -224,6 +282,23 @@ int cmd_stats(const std::vector<std::string>& args) {
   gauges.print(std::cout);
   std::cout << "\n";
   hists.print(std::cout);
+
+  // Waste summary: how much of the prefetch spend never got served.
+  const json::Object& counter_obj = root.as_object().at("counters").as_object();
+  const auto counter = [&](const std::string& name) -> std::int64_t {
+    const auto it = counter_obj.find(name);
+    return it == counter_obj.end() ? 0 : it->second.as_int();
+  };
+  const std::int64_t prefetch_bytes = counter("appx_prefetch_bytes_total");
+  const std::int64_t wasted_bytes = counter("appx_prefetch_wasted_bytes_total");
+  if (prefetch_bytes > 0) {
+    std::cout << "\nprefetch waste: " << wasted_bytes << " / " << prefetch_bytes
+              << " bytes wasted ("
+              << eval::TablePrinter::pct(static_cast<double>(wasted_bytes) /
+                                         static_cast<double>(prefetch_bytes))
+              << "), " << counter("appx_prefetch_wasted_entries_total")
+              << " entries left the cache unused\n";
+  }
   return 0;
 }
 
@@ -238,6 +313,7 @@ int main(int argc, char** argv) {
     if (command == "disasm") return cmd_disasm(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "verify") return cmd_verify(args);
+    if (command == "gen-config") return cmd_gen_config(args);
     if (command == "demo") return cmd_demo(args);
     if (command == "stats") return cmd_stats(args);
   } catch (const appx::Error& e) {
