@@ -174,7 +174,10 @@ void BM_EventDispatchSingleMutex(benchmark::State& state) {
   for (auto _ : state) {
     std::lock_guard<std::mutex> lock(rt->mutex);
     // Legacy call pattern: resolve the user by name, surface pending jobs.
-    benchmark::DoNotOptimize(rt->engine->take_prefetches(user, 1));
+    core::UserId id = rt->engine->resolve_user(user, 1);
+    core::Decision out;
+    rt->engine->pump(id, 1, &out);
+    benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,56 @@
+// Node-local cluster membership: a static JSON node list plus a generation
+// number.
+//
+// There is deliberately no consensus here (DESIGN.md §5k): every node reads
+// the same membership file at startup, builds the same Ring, and routes
+// identically. Rollouts bump `generation` and rewrite the file; a node
+// refuses to import user shards stamped with a *newer* generation than its
+// own so a half-rolled fleet cannot silently split the keyspace.
+//
+//   {"generation": 3,
+//    "nodes": [{"name": "n0", "host": "127.0.0.1", "port": 7100},
+//              {"name": "n1", "host": "127.0.0.1", "port": 7101}]}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/ring.hpp"
+
+namespace appx::cluster {
+
+struct MemberNode {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+class Membership {
+ public:
+  // Parse/validate the JSON form above. Throws ParseError on malformed JSON
+  // and InvalidArgumentError on structural problems (no nodes, duplicate or
+  // empty names, missing fields).
+  static Membership parse(std::string_view json_text);
+  // Read + parse a membership file. Throws IoError when unreadable.
+  static Membership load(const std::string& path);
+
+  Membership() = default;
+
+  std::string dump() const;  // canonical JSON (round-trips through parse)
+
+  std::uint64_t generation() const { return generation_; }
+  const std::vector<MemberNode>& nodes() const { return nodes_; }
+  // nullptr when no node has this name.
+  const MemberNode* find(std::string_view name) const;
+
+  // The routing ring over this membership's node names.
+  Ring ring(std::size_t vnodes = Ring::kDefaultVnodes) const;
+
+ private:
+  std::uint64_t generation_ = 0;
+  std::vector<MemberNode> nodes_;
+};
+
+}  // namespace appx::cluster

@@ -1,0 +1,85 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace appx::cluster {
+
+namespace {
+
+// FNV-1a's high bits barely avalanche on short strings ("n0#12", "user-7"),
+// which leaves whole arcs of the circle owned by one node. A splitmix64-style
+// finalizer on top restores uniformity without giving up FNV's stability.
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+std::uint64_t ring_hash(std::string_view key) { return mix(fnv1a(key)); }
+
+}  // namespace
+
+Ring::Ring(std::vector<std::string> nodes, std::size_t vnodes)
+    : nodes_(std::move(nodes)), vnodes_(vnodes) {
+  if (vnodes_ == 0) throw InvalidArgumentError("Ring: vnodes must be positive");
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& node : nodes_) {
+    if (node.empty()) throw InvalidArgumentError("Ring: empty node name");
+    if (!seen.insert(node).second) {
+      throw InvalidArgumentError("Ring: duplicate node name: " + node);
+    }
+  }
+  points_.reserve(nodes_.size() * vnodes_);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    // Each replica hashes "name#i": replicas of one node scatter over the
+    // circle, so its keyspace share is ~uniform and its departure spreads
+    // users over all survivors instead of dumping them on one neighbour.
+    for (std::size_t i = 0; i < vnodes_; ++i) {
+      points_.push_back({ring_hash(nodes_[n] + '#' + std::to_string(i)), n});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.node < b.node;  // deterministic on (astronomically rare) collisions
+  });
+}
+
+const std::string& Ring::node_for(std::string_view user) const {
+  if (points_.empty()) throw InvalidStateError("Ring: no nodes");
+  const std::uint64_t h = ring_hash(user);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top of the circle
+  return nodes_[it->node];
+}
+
+Ring Ring::without(std::string_view node) const {
+  std::vector<std::string> rest;
+  rest.reserve(nodes_.size());
+  for (const std::string& n : nodes_) {
+    if (n != node) rest.push_back(n);
+  }
+  return Ring(std::move(rest), vnodes_);
+}
+
+const std::string& Ring::successor(std::string_view node, std::string_view user) const {
+  if (points_.empty()) throw InvalidStateError("Ring: no nodes");
+  const std::uint64_t h = ring_hash(user);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  // Walk clockwise past every replica of the departing node; wrap as needed.
+  for (std::size_t steps = 0; steps <= points_.size(); ++steps, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (nodes_[it->node] != node) return nodes_[it->node];
+  }
+  throw InvalidStateError("Ring: no successor (single-node ring)");
+}
+
+}  // namespace appx::cluster

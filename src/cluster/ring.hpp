@@ -1,0 +1,57 @@
+// Consistent-hash ring: UserId/user-name -> node, stable under membership
+// change.
+//
+// Cluster mode (DESIGN.md §5k) shards users across nodes the same way
+// ShardedProxyEngine shards them across cores: by hashing the user name. A
+// plain `fnv1a(user) % node_count` would reshuffle almost every user when a
+// node joins or leaves; the ring instead places `vnodes` points per node on a
+// 64-bit circle and routes each user to the first point clockwise from
+// fnv1a(user), so removing one of N nodes moves only ~1/N of the users — and
+// every displaced user lands on its successor, which is exactly where the
+// draining node hands its exported user shards (see ProxyLike::export_user).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appx::cluster {
+
+class Ring {
+ public:
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  // Node names must be non-empty and unique; throws InvalidArgumentError
+  // otherwise. An empty node list is allowed (node_for then throws).
+  explicit Ring(std::vector<std::string> nodes, std::size_t vnodes = kDefaultVnodes);
+  Ring() = default;
+
+  // The node owning this user. Throws InvalidStateError on an empty ring.
+  const std::string& node_for(std::string_view user) const;
+
+  // The ring with `node` removed — route through it to find where each of the
+  // draining node's users goes. Unknown names are a no-op copy.
+  Ring without(std::string_view node) const;
+
+  // Convenience: where `user` lands once `node` has left the ring. This is
+  // the handoff target for that user's exported shard.
+  const std::string& successor(std::string_view node, std::string_view user) const;
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  std::size_t vnodes() const { return vnodes_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t node;  // index into nodes_
+  };
+
+  std::vector<std::string> nodes_;
+  std::size_t vnodes_ = kDefaultVnodes;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace appx::cluster

@@ -38,9 +38,6 @@ namespace appx::core {
 // thread-safe (baselines are evaluation vehicles, not production runtimes).
 class BaselineEngine : public ProxyLike {
  public:
-  using ProxyLike::on_prefetch_response;
-  using ProxyLike::on_prefetch_dropped;
-
   UserId resolve_user(std::string_view user, SimTime now) override;
   void on_request(UserId& user, const http::Request& request, SimTime now,
                   Decision* out) override;

@@ -56,6 +56,11 @@ util::Error EngineOptions::validate() const {
         "EngineOptions.metrics_snapshot_interval must be positive when snapshots are "
         "enabled");
   }
+  if (state_snapshot_interval <= 0 && !state_snapshot_path.empty()) {
+    return util::Error::failure(
+        "EngineOptions.state_snapshot_interval must be positive when state snapshots "
+        "are enabled");
+  }
   return util::Error();
 }
 

@@ -112,6 +112,13 @@ struct EngineOptions {
   std::size_t trace_ring_capacity = 128;
   std::string metrics_snapshot_path;
   Duration metrics_snapshot_interval = seconds(10);
+  // Durable learned state (DESIGN.md §5k): binary engine-state snapshot.
+  // Empty path disables. When set, the live server restores from the file at
+  // startup (missing/corrupt/future-version snapshots degrade to a logged
+  // cold start, never a crash) and a background writer re-dumps the learned
+  // state every state_snapshot_interval via write-to-temp + atomic rename.
+  std::string state_snapshot_path;
+  Duration state_snapshot_interval = seconds(30);
 
   // Reject out-of-domain values with a message naming the field. Engines and
   // servers call throw_if_error() on this at construction — bad options fail

@@ -236,6 +236,114 @@ std::vector<const RequestInstance*> LearningEngine::instances_of(std::string_vie
   return out;
 }
 
+// --- persistence -------------------------------------------------------------------
+
+namespace {
+
+void write_bindings(ByteWriter& out, const Bindings& bindings) {
+  out.u32(static_cast<std::uint32_t>(bindings.size()));
+  for (const auto& [k, v] : bindings) {
+    out.str(k);
+    out.str(v);
+  }
+}
+
+Bindings read_bindings(ByteReader& in) {
+  Bindings bindings;
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string k = in.str();
+    bindings[std::move(k)] = in.str();
+  }
+  return bindings;
+}
+
+void write_string_list(ByteWriter& out, const std::vector<std::string>& items) {
+  out.u32(static_cast<std::uint32_t>(items.size()));
+  for (const std::string& s : items) out.str(s);
+}
+
+std::vector<std::string> read_string_list(ByteReader& in) {
+  std::vector<std::string> items;
+  const std::uint32_t count = in.u32();
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) items.push_back(in.str());
+  return items;
+}
+
+}  // namespace
+
+void LearningEngine::persist_wildcards(ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(states_.size()));
+  for (const auto& [sig_id, state] : states_) {
+    out.str(sig_id);
+    out.u8(state.observed ? 1 : 0);
+    write_bindings(out, state.runtime_bindings);
+    write_string_list(out, state.recent_absent);
+  }
+}
+
+void LearningEngine::restore_wildcards(ByteReader& in, std::uint32_t version) {
+  (void)version;  // v1 is the only layout so far
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string sig_id = in.str();
+    const bool observed = in.u8() != 0;
+    Bindings runtime = read_bindings(in);
+    std::vector<std::string> absent = read_string_list(in);
+    // A signature the current set no longer carries: consume and drop.
+    if (signatures_->find(sig_id) == nullptr) continue;
+    SignatureState& state = states_[sig_id];
+    state.observed = state.observed || observed;
+    for (auto& [k, v] : runtime) state.runtime_bindings[k] = std::move(v);
+    state.recent_absent = std::move(absent);
+  }
+}
+
+void LearningEngine::persist_flows(ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(states_.size()));
+  for (const auto& [sig_id, state] : states_) {
+    out.str(sig_id);
+    out.u32(static_cast<std::uint32_t>(state.instances.size()));
+    for (const auto& [_, instance] : state.instances) {
+      write_bindings(out, instance->dependency_bindings());
+      write_bindings(out, instance->bindings());
+      std::vector<std::string> absent(instance->absent_optional().begin(),
+                                      instance->absent_optional().end());
+      write_string_list(out, absent);
+      // No issued flag: a snapshot outlives the cache, so restored instances
+      // always come back un-issued (collect_ready + proxy dedup re-issue
+      // them exactly once). Keeping the flag out of the format makes
+      // persist(restore(x)) byte-identical to x.
+    }
+  }
+}
+
+void LearningEngine::restore_flows(ByteReader& in, std::uint32_t version) {
+  (void)version;  // v1 is the only layout so far
+  const std::uint32_t sig_count = in.u32();
+  for (std::uint32_t s = 0; s < sig_count; ++s) {
+    const std::string sig_id = in.str();
+    const TransactionSignature* sig = signatures_->find(sig_id);
+    const std::uint32_t instance_count = in.u32();
+    for (std::uint32_t i = 0; i < instance_count; ++i) {
+      Bindings dep = read_bindings(in);
+      Bindings merged = read_bindings(in);
+      std::vector<std::string> absent = read_string_list(in);
+      if (sig == nullptr) continue;  // dropped signature: consume and skip
+      auto instance = std::make_unique<RequestInstance>(sig, std::move(dep));
+      instance->bind(merged);
+      instance->set_absent_optional(absent);
+      const std::string fp = instance->fingerprint();
+      SignatureState& state = states_[sig_id];
+      if (!state.instances.contains(fp)) {
+        state.instances.emplace(fp, std::move(instance));
+        ++stats_.instances_created;
+      }
+    }
+  }
+}
+
 // --- dependency value extraction ---------------------------------------------------
 
 namespace {

@@ -31,6 +31,7 @@
 
 #include "core/signature.hpp"
 #include "json/json.hpp"
+#include "util/byte_io.hpp"
 
 namespace appx::core {
 
@@ -41,6 +42,7 @@ class RequestInstance {
 
   const TransactionSignature& signature() const { return *sig_; }
   const Bindings& bindings() const { return bindings_; }
+  const Bindings& dependency_bindings() const { return dependency_bindings_; }
 
   // Merge additional bindings (later wins — "adaptation to recent condition").
   void bind(const Bindings& more);
@@ -120,6 +122,21 @@ class LearningEngine {
   // Pending (created, not yet ready or not yet issued) instances of a
   // signature; exposed for tests and for the proxy's bookkeeping.
   std::vector<const RequestInstance*> instances_of(std::string_view sig_id) const;
+
+  // --- Persistence (DESIGN.md §5k) -----------------------------------------
+  //
+  // Learned state splits into two independently versioned payloads: the
+  // resolved wildcards (runtime bindings + instance class per signature) and
+  // the dependency flows (live request instances). Both restore by MERGING
+  // into the current state — restoring into a fresh engine reproduces the
+  // saved one — and silently drop signatures the current signature set does
+  // not know (cross-version app updates shrink, never crash).
+  static constexpr std::uint32_t kWildcardsPersistVersion = 1;
+  static constexpr std::uint32_t kFlowsPersistVersion = 1;
+  void persist_wildcards(ByteWriter& out) const;
+  void restore_wildcards(ByteReader& in, std::uint32_t version);
+  void persist_flows(ByteWriter& out) const;
+  void restore_flows(ByteReader& in, std::uint32_t version);
 
  private:
   struct SignatureState {

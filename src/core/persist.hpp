@@ -1,0 +1,155 @@
+// Durable learned state (DESIGN.md §5k): the versioned snapshot container.
+//
+// APPx's acceleration only pays off once the proxy has *learned* — resolved
+// wildcards, dependency flows, per-signature value estimates. Cluster mode
+// (warm restart, user handoff between nodes) needs that state to survive the
+// process, so every learned component implements core::Persistable and the
+// engine packs them into one self-describing binary container:
+//
+//   magic "APPXSNAP" | u32 container version | u32 section count
+//   sections: { str name, u32 section version, u64 payload length, payload }
+//   trailing u64 FNV-1a checksum over everything before it
+//
+// Versioning rules:
+//   * A container whose version is NEWER than this build understands is
+//     rejected with SnapshotVersionError — an old node never misparses a new
+//     node's snapshot.
+//   * Unknown section NAMES are skipped: an old snapshot restored by a newer
+//     build (or vice versa) warms every component both sides know about.
+//   * A section whose version is newer than the component's current version
+//     leaves that component cold (restore_into returns false); the rest of
+//     the snapshot still restores.
+//   * Truncation/bit-rot fails the checksum before any section is parsed:
+//     SnapshotCorruptError, never a crash or a half-restored engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+
+namespace appx::core {
+
+// Bumped when the CONTAINER layout changes (not when a component's section
+// payload evolves — sections carry their own versions).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+// Any snapshot failure; catch this to degrade to a cold start.
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
+// The blob comes from a future build: forward-incompatible, rejected cleanly.
+class SnapshotVersionError : public SnapshotError {
+ public:
+  explicit SnapshotVersionError(const std::string& what) : SnapshotError(what) {}
+};
+
+// Bad magic, failed checksum, or a section table that does not parse.
+class SnapshotCorruptError : public SnapshotError {
+ public:
+  explicit SnapshotCorruptError(const std::string& what) : SnapshotError(what) {}
+};
+
+// One serializable learned-state component. Implementations: the learning
+// engine's resolved-wildcard and dependency-flow facets, the policy value
+// model, per-signature scheduler stats (see DESIGN.md §5k for the catalog).
+class Persistable {
+ public:
+  virtual ~Persistable() = default;
+
+  // Stable section name, e.g. "learning.wildcards".
+  virtual std::string_view section_name() const = 0;
+  // Version of the payload persist() writes; restore() must accept any
+  // version <= this and may be handed older payloads.
+  virtual std::uint32_t section_version() const = 0;
+
+  virtual void persist(ByteWriter& out) const = 0;
+  // `version` is the section version the payload was written with (always
+  // <= section_version(); newer payloads never reach restore()).
+  virtual void restore(ByteReader& in, std::uint32_t version) = 0;
+};
+
+// Adapter for components that are facets of a larger object (one object,
+// several sections) or engine-level closures over per-user state.
+class PersistableFn final : public Persistable {
+ public:
+  using Save = std::function<void(ByteWriter&)>;
+  using Load = std::function<void(ByteReader&, std::uint32_t)>;
+
+  PersistableFn(std::string name, std::uint32_t version, Save save, Load load)
+      : name_(std::move(name)), version_(version), save_(std::move(save)),
+        load_(std::move(load)) {}
+
+  std::string_view section_name() const override { return name_; }
+  std::uint32_t section_version() const override { return version_; }
+  void persist(ByteWriter& out) const override { save_(out); }
+  void restore(ByteReader& in, std::uint32_t version) override {
+    if (load_) load_(in, version);
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t version_;
+  Save save_;
+  Load load_;
+};
+
+// Accumulates sections and renders the container.
+class SnapshotBuilder {
+ public:
+  void add(const Persistable& component);
+  void add_raw(std::string_view name, std::uint32_t version, const ByteWriter& payload);
+
+  std::size_t section_count() const { return sections_.size(); }
+  // Render the container (magic, version, table, checksum). The builder can
+  // keep accumulating and finish() again; each call re-renders.
+  std::vector<std::uint8_t> finish() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::uint32_t version;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+// Parsed view over a snapshot blob. Parsing validates magic, container
+// version and checksum up front; section payloads are only decoded by the
+// component they belong to.
+class SnapshotView {
+ public:
+  // Throws SnapshotCorruptError / SnapshotVersionError. The blob must outlive
+  // the view (payloads are referenced, not copied).
+  explicit SnapshotView(const std::vector<std::uint8_t>& blob);
+
+  struct Section {
+    std::uint32_t version = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  std::uint32_t container_version() const { return container_version_; }
+  std::size_t section_count() const { return sections_.size(); }
+  const Section* find(std::string_view name) const;
+  const std::map<std::string, Section, std::less<>>& sections() const { return sections_; }
+
+  // Restore one component from its section. Returns false — leaving the
+  // component untouched (cold) — when the section is absent or carries a
+  // version newer than the component supports. Decode errors inside the
+  // payload surface as SnapshotCorruptError.
+  bool restore_into(Persistable& component) const;
+
+ private:
+  std::uint32_t container_version_ = 0;
+  std::map<std::string, Section, std::less<>> sections_;
+};
+
+}  // namespace appx::core

@@ -21,12 +21,13 @@ ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* conf
 
 ProxyEngine::ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
                          EngineOptions options, obs::MetricsRegistry* registry,
-                         std::uint32_t shard_index)
+                         std::uint32_t shard_index, policy::SignatureModel* shared_model)
     : signatures_(signatures),
       config_(config),
       options_(std::move(options)),
       shard_index_(shard_index),
       seed_(options_.seed),
+      sig_model_(shared_model != nullptr ? shared_model : &own_sig_model_),
       admission_(options_.policy),
       registry_(registry != nullptr ? registry : &own_registry_) {
   if (signatures == nullptr) throw InvalidArgumentError("ProxyEngine: null signature set");
@@ -121,12 +122,16 @@ UserId ProxyEngine::resolve_user(std::string_view user, SimTime now) {
   s.state->cache.set_usage_hooks(PrefetchCache::UsageHooks{
       [this, state_ptr](std::string_view sig_id, Bytes bytes) {
         state_ptr->pacer.refund_hit(bytes);
-        if (options_.policy.enabled && !sig_id.empty()) sig_model_.on_first_use(sig_id);
+        if (options_.policy.enabled && !sig_id.empty()) {
+          sig_model_->on_first_use(app_of(sig_id), sig_id);
+        }
       },
       [this](std::string_view sig_id, Bytes bytes) {
         inst_.wasted_entries->inc();
         inst_.wasted_bytes->add(bytes);
-        if (options_.policy.enabled && !sig_id.empty()) sig_model_.on_wasted(sig_id, bytes);
+        if (options_.policy.enabled && !sig_id.empty()) {
+          sig_model_->on_wasted(app_of(sig_id), sig_id, bytes);
+        }
       }});
   s.state->scheduler.bind_metrics(
       PrefetchScheduler::Metrics{inst_.prefetch_queued, inst_.prefetch_outstanding});
@@ -281,16 +286,17 @@ void ProxyEngine::on_prefetch_response(UserId& user, const PrefetchJob& job,
   entry.fetched_at = now;
   auto expiry = config_->expiration(job.sig_id);
   if (options_.policy.enabled) {
-    sig_model_.on_prefetched(job.sig_id, response.wire_size(), response_time_ms);
+    const std::string_view app = app_of(job.sig_id);
+    sig_model_->on_prefetched(app, job.sig_id, response.wire_size(), response_time_ms);
     if (options_.policy.learn_expiry) {
       // One content sample per cached prefetch: a same-key re-fetch whose
       // body changed refines this signature's TTL online (§4.3's probing,
       // continued at run time).
       const std::uint64_t body_hash = hash_combine(
           fnv1a(response.body.view()), static_cast<std::uint64_t>(response.opaque_payload));
-      sig_model_.observe_content(job.sig_id, fnv1a(job.cache_key), body_hash, now);
+      sig_model_->observe_content(app, job.sig_id, fnv1a(job.cache_key), body_hash, now);
       if (const auto learned =
-              sig_model_.learned_expiry(job.sig_id, options_.policy.min_learned_expiry)) {
+              sig_model_->learned_expiry(app, job.sig_id, options_.policy.min_learned_expiry)) {
         expiry = expiry ? std::min(*expiry, *learned) : *learned;
       }
     }
@@ -350,7 +356,7 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
       // Value-based admission + budget pacing (DESIGN.md §5j): issue only
       // when the expected saving per byte clears the adaptive threshold and
       // the token bucket has room for the expected size.
-      const policy::Estimate estimate = sig_model_.estimate(sig_id);
+      const policy::Estimate estimate = sig_model_->estimate(rp.signature->app, sig_id);
       if (!admission_.admit(estimate)) {
         inst_.policy_rejected_value->inc();
         continue;
@@ -403,7 +409,7 @@ void ProxyEngine::admit_prefetches(UserState& state, std::vector<ReadyPrefetch> 
       inst_.policy_admitted->inc();
       // Issue-time feedback: the batch's own admissions lower p_use for
       // signatures with no proven uses, so one fan-out burst self-limits.
-      sig_model_.on_issued(sig_id);
+      sig_model_->on_issued(rp.signature->app, sig_id);
     }
     if (auto evicted = state.scheduler.enqueue(std::move(job), sig_stats_)) {
       // The bounded queue shed its lowest-priority job before issue: release
@@ -451,6 +457,143 @@ const ProxyStats& ProxyEngine::stats() const {
   s.cache_entries = static_cast<std::size_t>(inst_.cache_entries->value());
   s.cache_bytes = inst_.cache_bytes->value();
   return stats_view_;
+}
+
+// --- durable learned state (DESIGN.md §5k) -----------------------------------
+
+std::string_view ProxyEngine::app_of(std::string_view sig_id) const {
+  const TransactionSignature* sig = signatures_->find(sig_id);
+  return sig == nullptr ? std::string_view{} : std::string_view(sig->app);
+}
+
+void ProxyEngine::persist_user_entry(const std::string& name, const UserState& state,
+                                     ByteWriter& out) const {
+  out.str(name);
+  ByteWriter payload;
+  payload.u64(state.prefetch_bytes_used);
+  // Each learning facet is framed with its own version + length so a future
+  // facet revision can evolve without bumping the "users" section framing.
+  ByteWriter wildcards;
+  state.learning.persist_wildcards(wildcards);
+  payload.u32(LearningEngine::kWildcardsPersistVersion);
+  payload.u64(wildcards.size());
+  payload.raw(wildcards.data().data(), wildcards.size());
+  ByteWriter flows;
+  state.learning.persist_flows(flows);
+  payload.u32(LearningEngine::kFlowsPersistVersion);
+  payload.u64(flows.size());
+  payload.raw(flows.data().data(), flows.size());
+  out.u64(payload.size());
+  out.raw(payload.data().data(), payload.size());
+}
+
+void ProxyEngine::persist_user_entries(ByteWriter& out) const {
+  for (const auto& [name, slot] : users_) {
+    persist_user_entry(name, *slots_[slot].state, out);
+  }
+}
+
+void ProxyEngine::restore_user_entry(std::string_view name, ByteReader& entry,
+                                     std::uint32_t version, SimTime now) {
+  (void)version;  // "users" v1 is the only framing so far
+  UserId id = resolve_user(name, now);
+  UserState& state = *slots_[id.slot()].state;
+  state.prefetch_bytes_used = entry.u64();
+  const std::uint32_t wildcards_version = entry.u32();
+  const std::uint64_t wildcards_len = entry.u64();
+  const std::uint8_t* wildcards_data = entry.cursor();
+  entry.skip(wildcards_len);
+  if (wildcards_version <= LearningEngine::kWildcardsPersistVersion) {
+    ByteReader in(wildcards_data, wildcards_len);
+    state.learning.restore_wildcards(in, wildcards_version);
+  }
+  const std::uint32_t flows_version = entry.u32();
+  const std::uint64_t flows_len = entry.u64();
+  const std::uint8_t* flows_data = entry.cursor();
+  entry.skip(flows_len);
+  if (flows_version <= LearningEngine::kFlowsPersistVersion) {
+    ByteReader in(flows_data, flows_len);
+    state.learning.restore_flows(in, flows_version);
+  }
+}
+
+void ProxyEngine::persist_sig_stats_to(SnapshotBuilder& builder) const {
+  ByteWriter payload;
+  sig_stats_.persist(payload);
+  builder.add_raw("scheduler.sig_stats/" + std::to_string(shard_index_),
+                  SignatureStats::kPersistVersion, payload);
+}
+
+void ProxyEngine::restore_sig_stats_from(const SnapshotView& view) {
+  const std::string name = "scheduler.sig_stats/" + std::to_string(shard_index_);
+  const SnapshotView::Section* section = view.find(name);
+  if (section == nullptr || section->version > SignatureStats::kPersistVersion) return;
+  ByteReader in(section->data, section->size);
+  sig_stats_.restore(in, section->version);
+}
+
+void ProxyEngine::snapshot_to(SnapshotBuilder& builder) const {
+  ByteWriter users;
+  users.u32(static_cast<std::uint32_t>(users_.size()));
+  persist_user_entries(users);
+  builder.add_raw("users", kUsersSectionVersion, users);
+  if (owns_sig_model()) {
+    ByteWriter model;
+    own_sig_model_.persist(model);
+    builder.add_raw("policy.model", policy::SignatureModel::kPersistVersion, model);
+  }
+  persist_sig_stats_to(builder);
+}
+
+std::size_t ProxyEngine::restore_from(const SnapshotView& view, SimTime now) {
+  std::size_t restored = 0;
+  const SnapshotView::Section* users = view.find("users");
+  if (users != nullptr && users->version <= kUsersSectionVersion) {
+    ByteReader in(users->data, users->size);
+    const std::uint32_t count = in.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string name = in.str();
+      const std::uint64_t len = in.u64();
+      const std::uint8_t* data = in.cursor();
+      in.skip(len);
+      ByteReader entry(data, len);
+      restore_user_entry(name, entry, users->version, now);
+      ++restored;
+    }
+  }
+  if (owns_sig_model()) {
+    const SnapshotView::Section* model = view.find("policy.model");
+    if (model != nullptr && model->version <= policy::SignatureModel::kPersistVersion) {
+      ByteReader in(model->data, model->size);
+      own_sig_model_.restore(in, model->version, now);
+    }
+  }
+  restore_sig_stats_from(view);
+  return restored;
+}
+
+std::vector<std::uint8_t> ProxyEngine::export_user(std::string_view user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  ByteWriter entry;
+  persist_user_entry(it->first, *slots_[it->second].state, entry);
+  SnapshotBuilder builder;
+  builder.add_raw("user", kUsersSectionVersion, entry);
+  return builder.finish();
+}
+
+bool ProxyEngine::import_user(const std::vector<std::uint8_t>& blob, SimTime now) {
+  const SnapshotView view(blob);
+  const SnapshotView::Section* section = view.find("user");
+  if (section == nullptr || section->version > kUsersSectionVersion) return false;
+  ByteReader in(section->data, section->size);
+  const std::string name = in.str();
+  const std::uint64_t len = in.u64();
+  const std::uint8_t* data = in.cursor();
+  in.skip(len);
+  ByteReader entry(data, len);
+  restore_user_entry(name, entry, section->version, now);
+  return true;
 }
 
 const LearningEngine* ProxyEngine::learning_for(const std::string& user) const {

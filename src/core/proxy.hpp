@@ -28,6 +28,7 @@
 #include "core/config.hpp"
 #include "core/engine_options.hpp"
 #include "core/learning.hpp"
+#include "core/persist.hpp"
 #include "core/scheduler.hpp"
 #include "core/session.hpp"
 #include "core/signature.hpp"
@@ -47,16 +48,15 @@ class ProxyEngine final : public ProxyLike {
               std::uint64_t seed = 1);
   // Full control: explicit options (validated here), optionally a shared
   // metrics registry (a ShardedProxyEngine passes one registry to all its
-  // shards; metric updates are deltas, so contributions aggregate) and this
-  // engine's shard index (stamped into minted UserIds).
+  // shards; metric updates are deltas, so contributions aggregate), this
+  // engine's shard index (stamped into minted UserIds) and optionally a
+  // shared per-app value model (a ShardedProxyEngine passes one model to all
+  // shards so signature evidence pools fleet-wide; it must outlive the
+  // engine). Without one the engine owns a private model.
   ProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
               EngineOptions options, obs::MetricsRegistry* registry = nullptr,
-              std::uint32_t shard_index = 0);
-
-  // The string-keyed shims share names with the session overloads below;
-  // re-expose them (they are hidden by the overrides otherwise).
-  using ProxyLike::on_prefetch_response;
-  using ProxyLike::on_prefetch_dropped;
+              std::uint32_t shard_index = 0,
+              policy::SignatureModel* shared_model = nullptr);
 
   // --- session API (see core/session.hpp for contracts) ---------------------
 
@@ -70,6 +70,32 @@ class ProxyEngine final : public ProxyLike {
                             double response_time_ms, Decision* out) override;
   void on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) override;
   void pump(UserId& user, SimTime now, Decision* out) override;
+
+  // --- durable learned state (DESIGN.md §5k) --------------------------------
+  //
+  // Sections this engine writes: "users" (per-user learned state: resolved
+  // wildcards, dependency-flow instances, budget spend), "policy.model" (only
+  // when the engine owns its value model — with a shared model the owner
+  // snapshots it once) and "scheduler.sig_stats/<shard>" (per-shard advisory
+  // priority stats). Cache bodies and scheduler queues are deliberately NOT
+  // persisted: a restart comes back with a cold cache but warm models, and
+  // restored flow instances re-issue their prefetches on the next relevant
+  // observation.
+  static constexpr std::uint32_t kUsersSectionVersion = 1;
+  void snapshot_to(SnapshotBuilder& builder) const override;
+  std::size_t restore_from(const SnapshotView& view, SimTime now) override;
+  std::vector<std::uint8_t> export_user(std::string_view user) const override;
+  bool import_user(const std::vector<std::uint8_t>& blob, SimTime now) override;
+
+  // Sharded-engine plumbing: the wrapper merges every shard's user entries
+  // into ONE "users" section (so restore can re-route users across a changed
+  // shard layout) and lets each shard keep its own sig-stats section.
+  void persist_user_entries(ByteWriter& out) const;
+  void restore_user_entry(std::string_view name, ByteReader& entry, std::uint32_t version,
+                          SimTime now);
+  void persist_sig_stats_to(SnapshotBuilder& builder) const;
+  void restore_sig_stats_from(const SnapshotView& view);
+  bool owns_sig_model() const { return sig_model_ == &own_sig_model_; }
 
   // --- introspection --------------------------------------------------------
 
@@ -138,6 +164,11 @@ class ProxyEngine final : public ProxyLike {
   // State for a resolved id, touching last_active. Re-interns (and updates
   // `id`) when the user was evicted since the id was minted.
   UserState& state_for(UserId& id, SimTime now);
+  // App owning a signature (for the per-app value model); empty if unknown.
+  std::string_view app_of(std::string_view sig_id) const;
+  // One `str name | u64 len | payload` user entry (snapshot + handoff unit).
+  void persist_user_entry(const std::string& name, const UserState& state,
+                          ByteWriter& out) const;
   void release_slot(std::uint32_t slot);
   void evict_idle_users(SimTime now, std::uint32_t keep_slot);
   void admit_prefetches(UserState& state, std::vector<ReadyPrefetch> ready, SimTime now);
@@ -196,10 +227,11 @@ class ProxyEngine final : public ProxyLike {
   std::string key_scratch_;
   std::uint32_t shard_index_ = 0;
   std::uint64_t seed_;
-  // Cost-aware policy state (DESIGN.md §5j), per shard like sig_stats_. Must
-  // be declared before slots_: per-user cache destructors fire waste hooks
-  // into the model.
-  policy::SignatureModel sig_model_;
+  // Cost-aware policy state (DESIGN.md §5j), keyed per app and possibly
+  // shared with sibling shards (see the constructor). Must be declared before
+  // slots_: per-user cache destructors fire waste hooks into the model.
+  policy::SignatureModel own_sig_model_;
+  policy::SignatureModel* sig_model_ = nullptr;
   policy::AdmissionController admission_;
   // Backs registry_ when no external registry was supplied. Must outlive
   // slots_: per-user caches and schedulers hold raw pointers into the

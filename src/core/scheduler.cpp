@@ -55,6 +55,30 @@ double SignatureStats::hit_rate(std::string_view sig_id) const {
   return it->second.hits.rate();
 }
 
+void SignatureStats::persist(ByteWriter& out) const {
+  out.u64(per_sig_.size());
+  for (const auto& [sig_id, per] : per_sig_) {
+    out.str(sig_id);
+    out.f64(per.response_time.value());
+    out.u64(per.response_time.count());
+    out.u64(per.hits.hits());
+    out.u64(per.hits.total());
+  }
+}
+
+void SignatureStats::restore(ByteReader& in, std::uint32_t version) {
+  (void)version;  // v1 is the only layout so far
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string sig_id = in.str();
+    PerSig& per = sig(sig_id);
+    const double rt = in.f64();
+    per.response_time.seed(rt, in.u64());
+    const std::uint64_t hits = in.u64();
+    per.hits.seed(hits, in.u64());
+  }
+}
+
 PrefetchScheduler::PrefetchScheduler(Weights weights, std::size_t max_outstanding,
                                      std::size_t max_queued)
     : weights_(weights), max_outstanding_(max_outstanding), max_queued_(max_queued) {}

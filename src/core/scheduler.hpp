@@ -17,6 +17,7 @@
 #include "http/message.hpp"
 #include "json/json.hpp"
 #include "obs/metrics.hpp"
+#include "util/byte_io.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -47,6 +48,13 @@ class SignatureStats {
 
   double avg_response_time_ms(std::string_view sig_id) const;  // 0 when unknown
   double hit_rate(std::string_view sig_id) const;              // 0.5 prior
+
+  // Persistence (snapshot section "scheduler.sig_stats", DESIGN.md §5k).
+  // restore() merges through sig() so registry bindings are re-resolved in
+  // this process rather than trusted from the snapshot.
+  static constexpr std::uint32_t kPersistVersion = 1;
+  void persist(ByteWriter& out) const;
+  void restore(ByteReader& in, std::uint32_t version);
 
  private:
   struct PerSig {

@@ -12,58 +12,4 @@ Session ProxyLike::session(std::string_view user, SimTime now) {
   return Session(this, resolve_user(user, now));
 }
 
-void ProxyLike::stash(const std::string& user, std::vector<PrefetchJob> jobs) {
-  if (jobs.empty()) return;
-  std::vector<PrefetchJob>& pending = compat_pending_[user];
-  for (PrefetchJob& job : jobs) pending.push_back(std::move(job));
-}
-
-ClientDecision ProxyLike::on_client_request(const std::string& user,
-                                            const http::Request& request, SimTime now) {
-  UserId id = resolve_user(user, now);
-  Decision d;
-  on_request(id, request, now, &d);
-  stash(user, std::move(d.prefetches));
-  ClientDecision out;
-  out.served = std::move(d.served);
-  return out;
-}
-
-void ProxyLike::on_origin_response(const std::string& user, const http::Request& request,
-                                   const http::Response& response, SimTime now) {
-  UserId id = resolve_user(user, now);
-  Decision d;
-  on_response(id, request, response, now, &d);
-  stash(user, std::move(d.prefetches));
-}
-
-void ProxyLike::on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                                     const http::Response& response, SimTime now,
-                                     double response_time_ms) {
-  UserId id = resolve_user(user, now);
-  Decision d;
-  on_prefetch_response(id, job, response, now, response_time_ms, &d);
-  stash(user, std::move(d.prefetches));
-}
-
-void ProxyLike::on_prefetch_dropped(const std::string& user, const PrefetchJob& job,
-                                    SimTime now) {
-  UserId id = resolve_user(user, now);
-  on_prefetch_dropped(id, job, now);
-}
-
-std::vector<PrefetchJob> ProxyLike::take_prefetches(const std::string& user, SimTime now) {
-  UserId id = resolve_user(user, now);
-  Decision d;
-  pump(id, now, &d);
-  std::vector<PrefetchJob> jobs;
-  const auto it = compat_pending_.find(user);
-  if (it != compat_pending_.end()) {
-    jobs = std::move(it->second);
-    compat_pending_.erase(it);
-  }
-  for (PrefetchJob& job : d.prefetches) jobs.push_back(std::move(job));
-  return jobs;
-}
-
 }  // namespace appx::core

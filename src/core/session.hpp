@@ -14,13 +14,9 @@
 // Every event fills one Decision out-param carrying both the serve/forward
 // choice and the prefetch jobs that became issuable, so a sharded engine can
 // complete an event under a single shard lock.
-//
-// The legacy string-keyed entry points (on_client_request / on_origin_response
-// / take_prefetches) survive one release as thin shims over the session API;
-// see the deprecation notes below.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -93,10 +89,9 @@ struct Decision {
   std::vector<PrefetchJob> prefetches;
 };
 
-// Deprecated name from the pre-session API; identical type.
-using ClientDecision = Decision;
-
 class Session;
+class SnapshotBuilder;
+class SnapshotView;
 
 // Shared shape of the proxy engines so any front end can host any of them.
 // Implementations: ProxyEngine (one shard), ShardedProxyEngine (N shards,
@@ -147,36 +142,42 @@ class ProxyLike {
   // baselines require the caller to serialise access.
   virtual bool thread_safe() const { return false; }
 
+  // --- durable learned state (DESIGN.md §5k) --------------------------------
+
+  // Append the engine's learned-state sections to a snapshot container.
+  // Engines without durable state (the baselines) contribute nothing.
+  virtual void snapshot_to(SnapshotBuilder& builder) const { (void)builder; }
+  // Merge learned state from a parsed snapshot container; returns the number
+  // of user contexts re-created. Absent sections and sections from a newer
+  // build leave the matching components cold; `now` re-anchors restored
+  // clocks to this process's epoch.
+  virtual std::size_t restore_from(const SnapshotView& view, SimTime now) {
+    (void)view;
+    (void)now;
+    return 0;
+  }
+  // One user's learned state as a standalone snapshot blob (the unit of
+  // node-to-node handoff when a cluster drains a node); empty when the user
+  // is unknown to this engine.
+  virtual std::vector<std::uint8_t> export_user(std::string_view user) const {
+    (void)user;
+    return {};
+  }
+  // Merge a blob minted by export_user (possibly on another node / an older
+  // build). Returns false when the blob carries no user this engine can
+  // adopt; throws SnapshotError subclasses on corrupt input.
+  virtual bool import_user(const std::vector<std::uint8_t>& blob, SimTime now) {
+    (void)blob;
+    (void)now;
+    return false;
+  }
+
   // --- introspection --------------------------------------------------------
 
   virtual const ProxyStats& stats() const = 0;
   // Metrics registry behind stats(), when the engine has one. Baselines that
   // keep a plain ProxyStats return nullptr.
   virtual obs::MetricsRegistry* metrics() { return nullptr; }
-
-  // --- deprecated string-keyed shims (one release; prefer Session) ----------
-  //
-  // Each shim resolves the user by name and forwards to the session API.
-  // Prefetch jobs surfaced by event Decisions are buffered per user and
-  // handed out by take_prefetches(), preserving the old call pattern. The
-  // shims mutate that shared buffer without locking, so — unlike the session
-  // API on a thread_safe() engine — they must be externally serialised.
-
-  ClientDecision on_client_request(const std::string& user, const http::Request& request,
-                                   SimTime now);
-  void on_origin_response(const std::string& user, const http::Request& request,
-                          const http::Response& response, SimTime now);
-  void on_prefetch_response(const std::string& user, const PrefetchJob& job,
-                            const http::Response& response, SimTime now,
-                            double response_time_ms);
-  void on_prefetch_dropped(const std::string& user, const PrefetchJob& job, SimTime now);
-  std::vector<PrefetchJob> take_prefetches(const std::string& user, SimTime now);
-
- private:
-  void stash(const std::string& user, std::vector<PrefetchJob> jobs);
-
-  // Per-user jobs produced by shim-driven events, awaiting take_prefetches().
-  std::map<std::string, std::vector<PrefetchJob>, std::less<>> compat_pending_;
 };
 
 // A user's handle onto an engine: the resolved UserId plus the engine it

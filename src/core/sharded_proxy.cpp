@@ -36,7 +36,7 @@ ShardedProxyEngine::ShardedProxyEngine(const SignatureSet* signatures,
     shard->signatures = SignatureSet::deserialize(blob);
     shard->engine = std::make_unique<ProxyEngine>(&shard->signatures, config,
                                                   std::move(shard_options), &registry_,
-                                                  static_cast<std::uint32_t>(i));
+                                                  static_cast<std::uint32_t>(i), &sig_model_);
     shards_.push_back(std::move(shard));
   }
   // Each shard's engine registered the sigindex gauge callbacks against its
@@ -110,6 +110,83 @@ void ShardedProxyEngine::pump(UserId& user, SimTime now, Decision* out) {
   Shard& shard = shard_for(user);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.engine->pump(user, now, out);
+}
+
+// --- durable learned state (DESIGN.md §5k) -----------------------------------
+
+void ShardedProxyEngine::snapshot_to(SnapshotBuilder& builder) const {
+  // Merge every shard's user entries into ONE section so restore can route
+  // users by hash under any shard layout. Entries are collected per shard
+  // under that shard's lock; the fleet keeps serving while one shard dumps.
+  ByteWriter users;
+  std::vector<ByteWriter> entries(shards_.size());
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+    total += static_cast<std::uint32_t>(shards_[i]->engine->user_count());
+    shards_[i]->engine->persist_user_entries(entries[i]);
+  }
+  users.u32(total);
+  for (const ByteWriter& w : entries) users.raw(w.data().data(), w.size());
+  builder.add_raw("users", ProxyEngine::kUsersSectionVersion, users);
+
+  ByteWriter model;
+  sig_model_.persist(model);
+  builder.add_raw("policy.model", policy::SignatureModel::kPersistVersion, model);
+
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->engine->persist_sig_stats_to(builder);
+  }
+}
+
+std::size_t ShardedProxyEngine::restore_from(const SnapshotView& view, SimTime now) {
+  std::size_t restored = 0;
+  const SnapshotView::Section* users = view.find("users");
+  if (users != nullptr && users->version <= ProxyEngine::kUsersSectionVersion) {
+    ByteReader in(users->data, users->size);
+    const std::uint32_t count = in.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string name = in.str();
+      const std::uint64_t len = in.u64();
+      const std::uint8_t* data = in.cursor();
+      in.skip(len);
+      ByteReader entry(data, len);
+      Shard& shard = *shards_[shard_index_for(name)];
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.engine->restore_user_entry(name, entry, users->version, now);
+      ++restored;
+    }
+  }
+  const SnapshotView::Section* model = view.find("policy.model");
+  if (model != nullptr && model->version <= policy::SignatureModel::kPersistVersion) {
+    ByteReader in(model->data, model->size);
+    sig_model_.restore(in, model->version, now);
+  }
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->engine->restore_sig_stats_from(view);
+  }
+  return restored;
+}
+
+std::vector<std::uint8_t> ShardedProxyEngine::export_user(std::string_view user) const {
+  const Shard& shard = *shards_[shard_index_for(user)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.engine->export_user(user);
+}
+
+bool ShardedProxyEngine::import_user(const std::vector<std::uint8_t>& blob, SimTime now) {
+  // Parse once here to learn the user's name, then route to the owning shard
+  // (which re-validates under its own lock).
+  const SnapshotView view(blob);
+  const SnapshotView::Section* section = view.find("user");
+  if (section == nullptr || section->version > ProxyEngine::kUsersSectionVersion) return false;
+  ByteReader in(section->data, section->size);
+  const std::string name = in.str();
+  Shard& shard = *shards_[shard_index_for(name)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.engine->import_user(blob, now);
 }
 
 std::size_t ShardedProxyEngine::user_count() const {

@@ -41,9 +41,6 @@ class ShardedProxyEngine final : public ProxyLike {
   ShardedProxyEngine(const SignatureSet* signatures, const ProxyConfig* config,
                      EngineOptions options = {});
 
-  using ProxyLike::on_prefetch_response;
-  using ProxyLike::on_prefetch_dropped;
-
   // --- session API (thread-safe; see core/session.hpp) ----------------------
 
   UserId resolve_user(std::string_view user, SimTime now) override;
@@ -57,6 +54,18 @@ class ShardedProxyEngine final : public ProxyLike {
   void on_prefetch_dropped(UserId& user, const PrefetchJob& job, SimTime now) override;
   void pump(UserId& user, SimTime now, Decision* out) override;
   bool thread_safe() const override { return true; }
+
+  // --- durable learned state (DESIGN.md §5k) --------------------------------
+  //
+  // User entries from EVERY shard merge into one "users" section: restore
+  // re-routes each user by hash, so a snapshot taken under one shard layout
+  // restores cleanly under another (and a single-shard snapshot restores
+  // into a sharded engine). The shared per-app value model is snapshotted
+  // once; per-shard sig stats keep per-shard sections.
+  void snapshot_to(SnapshotBuilder& builder) const override;
+  std::size_t restore_from(const SnapshotView& view, SimTime now) override;
+  std::vector<std::uint8_t> export_user(std::string_view user) const override;
+  bool import_user(const std::vector<std::uint8_t>& blob, SimTime now) override;
 
   // --- introspection --------------------------------------------------------
 
@@ -99,6 +108,11 @@ class ShardedProxyEngine final : public ProxyLike {
   // Declared before shards_: shard engines and their per-user state hold
   // pointers into the registry and deposit gauge deltas on destruction.
   obs::MetricsRegistry registry_;
+  // One per-app value model shared by all shards (internally synchronized):
+  // a signature's worth is a property of the app's request graph, so
+  // fleet-wide evidence pools here instead of each shard re-exploring it.
+  // Declared before shards_: per-user cache destructors fire hooks into it.
+  policy::SignatureModel sig_model_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

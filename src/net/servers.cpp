@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/uio.h>
 
 #include <algorithm>
@@ -9,6 +10,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/persist.hpp"
 #include "http/view.hpp"
 #include "net/rlimit.hpp"
 #include "util/arena.hpp"
@@ -699,7 +701,7 @@ std::shared_ptr<Conn> LiveOriginServer::make_conn(LoopShard* shard, TcpStream st
 // --- LiveProxyServer ------------------------------------------------------------------
 
 LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
-                                 std::uint16_t port, LiveProxyOptions options)
+                                 std::uint16_t port, core::EngineOptions options)
     : engine_(engine),
       upstreams_(std::move(upstreams)),
       options_(std::move(options)),
@@ -729,6 +731,15 @@ LiveProxyServer::LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams,
   if (!options_.metrics_snapshot_path.empty()) {
     snapshot_writer_ = std::make_unique<obs::SnapshotWriter>(
         registry_, options_.metrics_snapshot_path, options_.metrics_snapshot_interval);
+  }
+  if (!options_.state_snapshot_path.empty()) {
+    // Imperative gauges for the same reason as conns_gauge_ above.
+    state_bytes_gauge_ = &registry_->gauge("appx_state_snapshot_bytes");
+    state_last_ms_gauge_ = &registry_->gauge("appx_state_snapshot_last_unix_ms");
+    restore_engine_state();
+    state_writer_ = std::make_unique<obs::SnapshotWriter>(
+        [this] { return serialize_engine_state(); }, options_.state_snapshot_path,
+        options_.state_snapshot_interval);
   }
   pool_ = std::make_unique<UpstreamPool>(
       UpstreamPool::Options{options_.upstream_pool_per_host, options_.upstream_idle_timeout,
@@ -781,6 +792,10 @@ void LiveProxyServer::stop() {
   if (snapshot_writer_) {
     snapshot_writer_->write_now();  // final state, not up to 1 interval stale
     snapshot_writer_->stop();
+  }
+  if (state_writer_) {
+    state_writer_->write_now();  // a clean shutdown leaves a fresh snapshot
+    state_writer_->stop();
   }
   // Unblock in-flight upstream fetches first: workers and prefetchers stuck
   // reading a wedged origin fail over to canned 502s immediately.
@@ -874,7 +889,100 @@ http::Response LiveProxyServer::handle_admin(const http::Request& request) {
     resp.headers.set("Content-Type", "application/json");
     return resp;
   }
+  if (request.uri.path == "/appx/snapshot") {
+    // On-demand learned-state dump (the `appx snapshot` subcommand): the
+    // same bytes the periodic writer persists, served over the admin port.
+    std::vector<std::uint8_t> bytes = serialize_engine_state();
+    http::Response resp = status_response(
+        200, std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    resp.headers.set("Content-Type", "application/octet-stream");
+    return resp;
+  }
+  if (request.uri.path == "/appx/export") {
+    // One user's learned shard, for ring handoff (DESIGN.md §5k).
+    const std::optional<std::string> user = request.uri.query_param("user");
+    if (!user || user->empty()) {
+      return status_response(400, R"({"error":"missing user= query parameter"})");
+    }
+    std::vector<std::uint8_t> blob;
+    {
+      const auto guard = engine_guard();
+      blob = engine_->export_user(*user);
+    }
+    if (blob.empty()) return status_response(404, R"({"error":"unknown user"})");
+    http::Response resp = status_response(
+        200, std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+    resp.headers.set("Content-Type", "application/octet-stream");
+    return resp;
+  }
+  if (request.uri.path == "/appx/import") {
+    if (request.method != "POST") {
+      return status_response(405, R"({"error":"import requires POST"})");
+    }
+    const std::vector<std::uint8_t> blob(request.body.begin(), request.body.end());
+    try {
+      bool imported = false;
+      {
+        const auto guard = engine_guard();
+        imported = engine_->import_user(blob, now());
+      }
+      if (!imported) return status_response(409, R"({"imported":false})");
+      return status_response(200, R"({"imported":true})");
+    } catch (const Error& e) {
+      // Corrupt or future-version blobs are the sender's problem, not ours.
+      log_warn("net.proxy") << "user import rejected: " << e.what();
+      return status_response(400, R"({"error":"malformed user blob"})");
+    }
+  }
   return metrics_response(*registry_, request.uri.path);
+}
+
+std::vector<std::uint8_t> LiveProxyServer::serialize_engine_state() {
+  core::SnapshotBuilder builder;
+  {
+    const auto guard = engine_guard();
+    engine_->snapshot_to(builder);
+  }
+  std::vector<std::uint8_t> bytes = builder.finish();
+  if (state_bytes_gauge_ != nullptr) {
+    state_bytes_gauge_->set(static_cast<std::int64_t>(bytes.size()));
+    state_last_ms_gauge_->set(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  std::chrono::system_clock::now().time_since_epoch())
+                                  .count());
+  }
+  return bytes;
+}
+
+void LiveProxyServer::restore_engine_state() {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_file(options_.state_snapshot_path);
+  } catch (const Error&) {
+    log_info("net.proxy") << "no state snapshot at " << options_.state_snapshot_path
+                          << "; cold start";
+    return;
+  }
+  try {
+    const core::SnapshotView view(bytes);
+    std::size_t users = 0;
+    {
+      const auto guard = engine_guard();
+      users = engine_->restore_from(view, now());
+    }
+    log_info("net.proxy") << "warm restart: restored " << users << " users from "
+                          << options_.state_snapshot_path << " (" << bytes.size()
+                          << " bytes)";
+    state_bytes_gauge_->set(static_cast<std::int64_t>(bytes.size()));
+    struct stat st{};
+    if (::stat(options_.state_snapshot_path.c_str(), &st) == 0) {
+      state_last_ms_gauge_->set(static_cast<std::int64_t>(st.st_mtime) * 1000);
+    }
+  } catch (const Error& e) {
+    // A corrupt or future-version snapshot must never take the node down:
+    // log it, start cold, and let the periodic writer replace the file.
+    log_warn("net.proxy") << "state snapshot restore failed (" << e.what()
+                          << "); cold start";
+  }
 }
 
 void LiveProxyServer::dispatch(const std::shared_ptr<Conn>& conn) {

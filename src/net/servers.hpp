@@ -142,11 +142,6 @@ class LiveOriginServer {
   std::vector<std::unique_ptr<LoopShard>> shards_;
 };
 
-// Deprecated alias: live-proxy runtime bounds are the transport/runtime
-// section of core::EngineOptions (one knob surface for the whole stack; see
-// core/engine_options.hpp). Will be removed after one release.
-using LiveProxyOptions = core::EngineOptions;
-
 class LiveProxyServer {
  public:
   // Routes upstream connections by request host: host -> 127.0.0.1:port.
@@ -156,13 +151,13 @@ class LiveProxyServer {
   // runtime, a single-shard engine, or a baseline). Throws InvalidArgument
   // when options.validate() fails — bad bounds are rejected, never clamped.
   LiveProxyServer(core::ProxyLike* engine, UpstreamMap upstreams, std::uint16_t port = 0,
-                  LiveProxyOptions options = {});
+                  core::EngineOptions options = {});
   ~LiveProxyServer();
   LiveProxyServer(const LiveProxyServer&) = delete;
   LiveProxyServer& operator=(const LiveProxyServer&) = delete;
 
   std::uint16_t port() const { return port_; }
-  const LiveProxyOptions& options() const { return options_; }
+  const core::EngineOptions& options() const { return options_; }
   void stop();
 
   // Blocks until the prefetch queue is empty and no prefetch is in flight
@@ -195,6 +190,12 @@ class LiveProxyServer {
   // Calls Conn::complete exactly once (unless it throws).
   void process_request(Conn* conn, SimTime received);
   http::Response handle_admin(const http::Request& request);
+  // Durable learned state (DESIGN.md §5k): render the engine's learned state
+  // as one binary snapshot container / restore it from the configured path
+  // at startup (missing or unreadable snapshots degrade to a logged cold
+  // start, never a construction failure).
+  std::vector<std::uint8_t> serialize_engine_state();
+  void restore_engine_state();
   void prefetch_worker();
   // Queue the jobs an engine event decided to issue; overflow drops the
   // oldest queued job back into the engine (outstanding window released).
@@ -215,7 +216,7 @@ class LiveProxyServer {
 
   core::ProxyLike* engine_;
   UpstreamMap upstreams_;
-  LiveProxyOptions options_;
+  core::EngineOptions options_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> open_conns_{0};
@@ -236,6 +237,10 @@ class LiveProxyServer {
   obs::Gauge* conns_gauge_ = nullptr;
   obs::TraceRing traces_{128};
   std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
+  // Engine-state persistence (only when options.state_snapshot_path is set).
+  std::unique_ptr<obs::SnapshotWriter> state_writer_;
+  obs::Gauge* state_bytes_gauge_ = nullptr;    // appx_state_snapshot_bytes
+  obs::Gauge* state_last_ms_gauge_ = nullptr;  // appx_state_snapshot_last_unix_ms
 
   std::unique_ptr<UpstreamPool> pool_;
   std::unique_ptr<WorkerPool> workers_;

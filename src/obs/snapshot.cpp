@@ -9,10 +9,25 @@
 
 namespace appx::obs {
 
+namespace {
+
+SnapshotWriter::Producer metrics_producer(const MetricsRegistry* registry) {
+  if (registry == nullptr) throw InvalidArgumentError("SnapshotWriter: null registry");
+  return [registry] {
+    const std::string text = registry->to_json().dump(2) + '\n';
+    return std::vector<std::uint8_t>(text.begin(), text.end());
+  };
+}
+
+}  // namespace
+
 SnapshotWriter::SnapshotWriter(const MetricsRegistry* registry, std::string path,
                                Duration interval)
-    : registry_(registry), path_(std::move(path)), interval_(interval) {
-  if (registry == nullptr) throw InvalidArgumentError("SnapshotWriter: null registry");
+    : SnapshotWriter(metrics_producer(registry), std::move(path), interval) {}
+
+SnapshotWriter::SnapshotWriter(Producer producer, std::string path, Duration interval)
+    : producer_(std::move(producer)), path_(std::move(path)), interval_(interval) {
+  if (!producer_) throw InvalidArgumentError("SnapshotWriter: null producer");
   if (path_.empty()) throw InvalidArgumentError("SnapshotWriter: empty path");
   if (interval_ <= 0) throw InvalidArgumentError("SnapshotWriter: non-positive interval");
   thread_ = std::thread([this] { run(); });
@@ -31,14 +46,22 @@ void SnapshotWriter::stop() {
 }
 
 bool SnapshotWriter::write_now() {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = producer_();
+  } catch (const Error& e) {
+    log_warn("obs.snapshot") << "producer failed for " << path_ << ": " << e.what();
+    return false;
+  }
   const std::string temp = path_ + ".tmp";
   {
-    std::ofstream out(temp, std::ios::trunc);
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out) {
       log_warn("obs.snapshot") << "cannot open " << temp;
       return false;
     }
-    out << registry_->to_json().dump(2) << '\n';
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     if (!out) {
       log_warn("obs.snapshot") << "short write to " << temp;
       return false;
@@ -48,6 +71,7 @@ bool SnapshotWriter::write_now() {
     log_warn("obs.snapshot") << "rename " << temp << " -> " << path_ << " failed";
     return false;
   }
+  last_bytes_.store(bytes.size());
   ++written_;
   return true;
 }

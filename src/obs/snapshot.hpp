@@ -1,16 +1,21 @@
-// Observability: periodic metrics snapshots to disk.
+// Observability: periodic snapshots to disk.
 //
-// A SnapshotWriter serialises a MetricsRegistry to JSON on a fixed cadence
-// (write-to-temp + rename, so readers never observe a torn file). Useful for
-// post-mortem analysis of a proxy that was never scraped, and as the
-// file-based sibling of the /appx/metrics endpoint.
+// A SnapshotWriter writes a byte blob to a path on a fixed cadence
+// (write-to-temp + rename, so readers never observe a torn file). Two
+// producers exist today: the original MetricsRegistry JSON dump (post-mortem
+// analysis of a proxy that was never scraped), and the engine's binary
+// learned-state snapshot (DESIGN.md §5k warm restart) — the latter plugs in
+// through the generic producer constructor.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
@@ -19,29 +24,39 @@ namespace appx::obs {
 
 class SnapshotWriter {
  public:
-  // `registry` must outlive the writer. Starts the background thread
-  // immediately; the first snapshot is written after `interval`.
+  // Bytes to persist. Runs on the writer's background thread (and inline from
+  // write_now()); must be internally synchronised. May throw appx::Error — the
+  // snapshot is skipped and a warning logged.
+  using Producer = std::function<std::vector<std::uint8_t>()>;
+
+  // Metrics mode: serialise `registry` to pretty JSON each interval.
+  // `registry` must outlive the writer.
   SnapshotWriter(const MetricsRegistry* registry, std::string path, Duration interval);
+  // Generic mode: persist whatever `producer` returns each interval.
+  SnapshotWriter(Producer producer, std::string path, Duration interval);
   ~SnapshotWriter();
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
   // Write one snapshot now (also used by the background loop). Returns false
-  // when the file could not be written.
+  // when the producer failed or the file could not be written.
   bool write_now();
 
   void stop();
 
   std::size_t snapshots_written() const { return written_.load(); }
+  // Size of the last successfully written snapshot (0 before the first).
+  std::size_t last_bytes() const { return last_bytes_.load(); }
   const std::string& path() const { return path_; }
 
  private:
   void run();
 
-  const MetricsRegistry* registry_;
+  Producer producer_;
   const std::string path_;
   const Duration interval_;
   std::atomic<std::size_t> written_{0};
+  std::atomic<std::size_t> last_bytes_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -4,34 +4,60 @@
 
 namespace appx::policy {
 
-const SignatureModel::PerSig* SignatureModel::find(std::string_view sig_id) const {
-  const auto it = per_sig_.find(sig_id);
+std::string SignatureModel::key(std::string_view app, std::string_view sig_id) {
+  std::string out;
+  out.reserve(app.size() + 1 + sig_id.size());
+  out.append(app);
+  out.push_back('\x1f');
+  out.append(sig_id);
+  return out;
+}
+
+const SignatureModel::PerSig* SignatureModel::find_locked(std::string_view app,
+                                                          std::string_view sig_id) const {
+  scratch_.clear();
+  scratch_.append(app);
+  scratch_.push_back('\x1f');
+  scratch_.append(sig_id);
+  const auto it = per_sig_.find(scratch_);
   return it == per_sig_.end() ? nullptr : &it->second;
 }
 
-void SignatureModel::on_issued(std::string_view sig_id) {
-  ++per_sig_[std::string(sig_id)].issued;
+SignatureModel::PerSig& SignatureModel::at_locked(std::string_view app,
+                                                  std::string_view sig_id) {
+  return per_sig_[key(app, sig_id)];
 }
 
-void SignatureModel::on_prefetched(std::string_view sig_id, Bytes wire_bytes,
-                                   double response_time_ms) {
-  PerSig& per = per_sig_[std::string(sig_id)];
+void SignatureModel::on_issued(std::string_view app, std::string_view sig_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++at_locked(app, sig_id).issued;
+}
+
+void SignatureModel::on_prefetched(std::string_view app, std::string_view sig_id,
+                                   Bytes wire_bytes, double response_time_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerSig& per = at_locked(app, sig_id);
   per.saving_ms.add(response_time_ms);
   per.body_bytes.add(static_cast<double>(wire_bytes));
 }
 
-void SignatureModel::on_first_use(std::string_view sig_id) {
-  ++per_sig_[std::string(sig_id)].used;
+void SignatureModel::on_first_use(std::string_view app, std::string_view sig_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++at_locked(app, sig_id).used;
 }
 
-void SignatureModel::on_wasted(std::string_view sig_id, Bytes wire_bytes) {
+void SignatureModel::on_wasted(std::string_view app, std::string_view sig_id,
+                               Bytes wire_bytes) {
   (void)wire_bytes;  // byte-level waste is accounted by the engine's counters
-  ++per_sig_[std::string(sig_id)].wasted;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++at_locked(app, sig_id).wasted;
 }
 
-void SignatureModel::observe_content(std::string_view sig_id, std::uint64_t key_hash,
-                                     std::uint64_t body_hash, SimTime now) {
-  PerSig& per = per_sig_[std::string(sig_id)];
+void SignatureModel::observe_content(std::string_view app, std::string_view sig_id,
+                                     std::uint64_t key_hash, std::uint64_t body_hash,
+                                     SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerSig& per = at_locked(app, sig_id);
   if (per.has_sample && per.last_key_hash == key_hash) {
     if (per.last_body_hash != body_hash) {
       // The same key re-fetched with different content: the elapsed time
@@ -50,9 +76,11 @@ void SignatureModel::observe_content(std::string_view sig_id, std::uint64_t key_
   per.last_sample_at = now;
 }
 
-std::optional<Duration> SignatureModel::learned_expiry(std::string_view sig_id,
+std::optional<Duration> SignatureModel::learned_expiry(std::string_view app,
+                                                       std::string_view sig_id,
                                                        Duration floor) const {
-  const PerSig* per = find(sig_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerSig* per = find_locked(app, sig_id);
   if (per == nullptr || !per->change_interval_us.has_value()) return std::nullopt;
   // Conservative: expire at half the observed change period (mirrors the
   // verification phase's estimate/2 rule).
@@ -60,11 +88,12 @@ std::optional<Duration> SignatureModel::learned_expiry(std::string_view sig_id,
   return std::max(half, floor);
 }
 
-Estimate SignatureModel::estimate(std::string_view sig_id) const {
+Estimate SignatureModel::estimate(std::string_view app, std::string_view sig_id) const {
   Estimate out;
   out.saving_ms = priors_.saving_ms;
   out.bytes = priors_.bytes;
-  const PerSig* per = find(sig_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerSig* per = find_locked(app, sig_id);
   if (per == nullptr) return out;
   // Laplace smoothing: (used + 1) / (issued + 2) — responds immediately to
   // both hits and fan-out over-prefetching without waiting for entries to
@@ -76,14 +105,66 @@ Estimate SignatureModel::estimate(std::string_view sig_id) const {
   return out;
 }
 
-std::size_t SignatureModel::used(std::string_view sig_id) const {
-  const PerSig* per = find(sig_id);
+std::size_t SignatureModel::tracked_signatures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_sig_.size();
+}
+
+std::size_t SignatureModel::used(std::string_view app, std::string_view sig_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerSig* per = find_locked(app, sig_id);
   return per == nullptr ? 0 : per->used;
 }
 
-std::size_t SignatureModel::wasted(std::string_view sig_id) const {
-  const PerSig* per = find(sig_id);
+std::size_t SignatureModel::wasted(std::string_view app, std::string_view sig_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerSig* per = find_locked(app, sig_id);
   return per == nullptr ? 0 : per->wasted;
+}
+
+void SignatureModel::persist(ByteWriter& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.u64(per_sig_.size());
+  for (const auto& [composed, per] : per_sig_) {
+    out.str(composed);  // app + '\x1f' + sig_id, already composed
+    out.u64(per.issued);
+    out.u64(per.used);
+    out.u64(per.wasted);
+    out.f64(per.saving_ms.value());
+    out.u64(per.saving_ms.count());
+    out.f64(per.body_bytes.value());
+    out.u64(per.body_bytes.count());
+    out.u8(per.has_sample ? 1 : 0);
+    out.u64(per.last_key_hash);
+    out.u64(per.last_body_hash);
+    out.f64(per.change_interval_us.value());
+    out.u64(per.change_interval_us.count());
+  }
+}
+
+void SignatureModel::restore(ByteReader& in, std::uint32_t version, SimTime now) {
+  (void)version;  // v1 is the only layout so far
+  std::lock_guard<std::mutex> lock(mu_);
+  per_sig_.clear();
+  const std::uint64_t count = in.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string composed = in.str();
+    PerSig& per = per_sig_[composed];
+    per.issued = in.u64();
+    per.used = in.u64();
+    per.wasted = in.u64();
+    const double saving = in.f64();
+    per.saving_ms.seed(saving, in.u64());
+    const double bytes = in.f64();
+    per.body_bytes.seed(bytes, in.u64());
+    per.has_sample = in.u8() != 0;
+    per.last_key_hash = in.u64();
+    per.last_body_hash = in.u64();
+    // SimTime is a process clock; re-anchor the sample to this process.
+    per.last_sample_at = per.has_sample ? now : 0;
+    const double interval = in.f64();
+    per.change_interval_us.seed(interval, in.u64());
+  }
 }
 
 }  // namespace appx::policy

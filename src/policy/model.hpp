@@ -1,7 +1,7 @@
 // Per-signature value model feeding the admission controller (DESIGN.md §5j).
 //
-// For every signature the model tracks what a prefetch of it has been worth
-// historically:
+// For every (app, signature) pair the model tracks what a prefetch of it has
+// been worth historically:
 //   * P(use)      — the fraction of cached prefetches served to a client
 //                   before leaving the cache (Laplace-smoothed, so unseen
 //                   signatures start at 0.5 rather than 0 or 1);
@@ -16,15 +16,27 @@
 // sample, and half the EWMA'd interval becomes the learned expiry — the
 // runtime analogue of the verification phase's probing (§4.3).
 //
-// Not thread-safe; owned per engine shard alongside SignatureStats.
+// Keying is per APP, not per engine shard: signature value is a property of
+// the app's request graph, not of whichever shard a user hashed to, so one
+// model is shared by every shard of a ShardedProxyEngine and each signature
+// pays its exploration cost once fleet-wide instead of once per shard. The
+// model is internally synchronized (a single mutex; every touch is a few map
+// operations) to support that sharing.
+//
+// The accumulated estimates are part of the durable learned state: persist()
+// and restore() round-trip every entry through the "policy.model" section of
+// the engine snapshot (DESIGN.md §5k). Content-sample timestamps are process
+// times, so restore() re-stamps them with the caller's `now`.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "util/byte_io.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -51,35 +63,46 @@ class SignatureModel {
   SignatureModel() = default;
   explicit SignatureModel(Priors priors) : priors_(priors) {}
 
-  // A prefetch for `sig_id` was admitted and issued. Counted at issue time —
-  // not at response time — so a synchronous fan-out burst (one predecessor
-  // response making dozens of same-signature prefetches ready at once) sees
-  // its own issues reflected in p_use immediately: an unproven signature's
-  // admission rate decays within the batch instead of only after responses
-  // trickle back, and first uses restore it run by run.
-  void on_issued(std::string_view sig_id);
+  // A prefetch for (app, sig_id) was admitted and issued. Counted at issue
+  // time — not at response time — so a synchronous fan-out burst (one
+  // predecessor response making dozens of same-signature prefetches ready at
+  // once) sees its own issues reflected in p_use immediately: an unproven
+  // signature's admission rate decays within the batch instead of only after
+  // responses trickle back, and first uses restore it run by run.
+  void on_issued(std::string_view app, std::string_view sig_id);
   // The issued prefetch's response arrived and was cached: update the cost
   // and saving estimates with the observed wire size / response time.
-  void on_prefetched(std::string_view sig_id, Bytes wire_bytes, double response_time_ms);
+  void on_prefetched(std::string_view app, std::string_view sig_id, Bytes wire_bytes,
+                     double response_time_ms);
   // A cached prefetched entry was served to a client for the first time.
-  void on_first_use(std::string_view sig_id);
+  void on_first_use(std::string_view app, std::string_view sig_id);
   // A cached entry left the cache (evicted/expired/overwritten) unused.
-  void on_wasted(std::string_view sig_id, Bytes wire_bytes);
+  void on_wasted(std::string_view app, std::string_view sig_id, Bytes wire_bytes);
 
   // TTL refinement: one content sample per cached prefetch. Only consecutive
   // samples of the SAME key are compared — a different key resets the sample
   // (items of a fan-out differ without the content having "changed").
-  void observe_content(std::string_view sig_id, std::uint64_t key_hash,
-                       std::uint64_t body_hash, SimTime now);
+  void observe_content(std::string_view app, std::string_view sig_id,
+                       std::uint64_t key_hash, std::uint64_t body_hash, SimTime now);
   // Half the EWMA'd change interval, floored at `floor`; nullopt until a
   // change has been observed.
-  std::optional<Duration> learned_expiry(std::string_view sig_id, Duration floor) const;
+  std::optional<Duration> learned_expiry(std::string_view app, std::string_view sig_id,
+                                         Duration floor) const;
 
-  Estimate estimate(std::string_view sig_id) const;
+  Estimate estimate(std::string_view app, std::string_view sig_id) const;
 
-  std::size_t tracked_signatures() const { return per_sig_.size(); }
-  std::size_t used(std::string_view sig_id) const;
-  std::size_t wasted(std::string_view sig_id) const;
+  std::size_t tracked_signatures() const;
+  std::size_t used(std::string_view app, std::string_view sig_id) const;
+  std::size_t wasted(std::string_view app, std::string_view sig_id) const;
+
+  // --- Persistence (snapshot section "policy.model") -----------------------
+  static constexpr std::uint32_t kPersistVersion = 1;
+  void persist(ByteWriter& out) const;
+  // Replaces the current entries. Persisted sample times are meaningless
+  // across processes (SimTime restarts at the process epoch), so every
+  // restored content sample is re-stamped at `now`: interval learning resumes
+  // from the already-learned EWMA and just re-anchors its clock.
+  void restore(ByteReader& in, std::uint32_t version, SimTime now);
 
  private:
   struct PerSig {
@@ -95,10 +118,17 @@ class SignatureModel {
     SimTime last_sample_at = 0;
     RunningAverage change_interval_us{0.3};
   };
-  const PerSig* find(std::string_view sig_id) const;
+  // Map key: app + '\x1f' + sig_id ('\x1f' cannot appear in either part).
+  static std::string key(std::string_view app, std::string_view sig_id);
+  const PerSig* find_locked(std::string_view app, std::string_view sig_id) const;
+  PerSig& at_locked(std::string_view app, std::string_view sig_id);
 
   Priors priors_;
+  mutable std::mutex mu_;
   std::map<std::string, PerSig, std::less<>> per_sig_;
+  // Lookup scratch so read paths don't allocate a composed key per call;
+  // guarded by mu_ like everything else.
+  mutable std::string scratch_;
 };
 
 }  // namespace appx::policy

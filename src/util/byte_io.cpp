@@ -48,6 +48,11 @@ void ByteReader::need(std::size_t n) const {
   if (size_ - pos_ < n) throw ParseError("ByteReader: truncated input");
 }
 
+void ByteReader::skip(std::size_t n) {
+  need(n);
+  pos_ += n;
+}
+
 std::uint8_t ByteReader::u8() {
   need(1);
   return data_[pos_++];

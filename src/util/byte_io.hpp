@@ -44,6 +44,12 @@ class ByteReader {
   double f64();
   std::string str();
 
+  // Advance past n bytes without decoding them (throws ParseError when fewer
+  // remain); used with cursor() to slice nested payloads out of a container.
+  void skip(std::size_t n);
+  // Pointer to the next unread byte (valid while the underlying buffer lives).
+  const std::uint8_t* cursor() const { return data_ + pos_; }
+
   std::size_t remaining() const { return size_ - pos_; }
   bool at_end() const { return pos_ == size_; }
 

@@ -51,6 +51,13 @@ class RunningAverage {
   bool has_value() const { return count_ > 0; }
   std::size_t count() const { return count_; }
 
+  // Re-enter a previously accumulated state (snapshot restore): the next
+  // add() continues the EWMA from `value` as if `count` samples preceded it.
+  void seed(double value, std::size_t count) {
+    value_ = value;
+    count_ = count;
+  }
+
  private:
   double alpha_;
   double value_ = 0;
@@ -65,6 +72,12 @@ class RatioTracker {
   std::size_t total() const { return total_; }
   // Laplace-smoothed so unseen signatures start at 0.5 rather than 0.
   double rate() const;
+
+  // Re-enter a previously accumulated state (snapshot restore).
+  void seed(std::size_t hits, std::size_t total) {
+    hits_ = hits;
+    total_ = total;
+  }
 
  private:
   std::size_t hits_ = 0;

@@ -47,18 +47,18 @@ TEST(LooxyEngine, PrefetchesEmbeddedUrlsAndServesThem) {
   http::Response feed_resp;
   feed_resp.body = R"({"thumb":"https://img.example/t?cid=a"})";
 
-  EXPECT_EQ(looxy.on_client_request("u", feed, 0).served, nullptr);
-  looxy.on_origin_response("u", feed, feed_resp, 0);
-  auto jobs = looxy.take_prefetches("u", 0);
+  Session session = looxy.session("u", 0);
+  EXPECT_EQ(session.on_request(feed, 0).served, nullptr);
+  auto jobs = session.on_response(feed, feed_resp, 0).prefetches;
   ASSERT_EQ(jobs.size(), 1u);
   EXPECT_EQ(jobs[0].request.method, "GET");
   EXPECT_EQ(jobs[0].request.uri.serialize(), "https://img.example/t?cid=a");
 
   http::Response img;
   img.opaque_payload = kilobytes(40);
-  looxy.on_prefetch_response("u", jobs[0], img, 10, 20.0);
+  session.on_prefetch_response(jobs[0], img, 10, 20.0);
 
-  const auto decision = looxy.on_client_request("u", get_request("https://img.example/t?cid=a"), 20);
+  const Decision decision = session.on_request(get_request("https://img.example/t?cid=a"), 20);
   ASSERT_NE(decision.served, nullptr);
   EXPECT_EQ(decision.served->opaque_payload, kilobytes(40));
   EXPECT_EQ(looxy.stats().cache_hits, 1u);
@@ -71,8 +71,8 @@ TEST(LooxyEngine, CannotServePostRequests) {
   http::Request feed = get_request("https://api.example/feed");
   http::Response resp;
   resp.body = R"({"id":"09cf"})";  // the dependency value, but no URL
-  looxy.on_origin_response("u", feed, resp, 0);
-  EXPECT_TRUE(looxy.take_prefetches("u", 0).empty());
+  Session session = looxy.session("u", 0);
+  EXPECT_TRUE(session.on_response(feed, resp, 0).prefetches.empty());
 }
 
 TEST(LooxyEngine, DeduplicatesUrlsAcrossResponses) {
@@ -80,10 +80,9 @@ TEST(LooxyEngine, DeduplicatesUrlsAcrossResponses) {
   http::Request feed = get_request("https://api.example/feed");
   http::Response resp;
   resp.body = R"({"a":"https://img.example/t?cid=a","b":"https://img.example/t?cid=a"})";
-  looxy.on_origin_response("u", feed, resp, 0);
-  EXPECT_EQ(looxy.take_prefetches("u", 0).size(), 1u);
-  looxy.on_origin_response("u", feed, resp, 1);
-  EXPECT_TRUE(looxy.take_prefetches("u", 1).empty());
+  Session session = looxy.session("u", 0);
+  EXPECT_EQ(session.on_response(feed, resp, 0).prefetches.size(), 1u);
+  EXPECT_TRUE(session.on_response(feed, resp, 1).prefetches.empty());
 }
 
 TEST(LooxyEngine, UsersAreIsolated) {
@@ -91,15 +90,14 @@ TEST(LooxyEngine, UsersAreIsolated) {
   http::Request feed = get_request("https://api.example/feed");
   http::Response resp;
   resp.body = R"({"t":"https://img.example/t?cid=a"})";
-  looxy.on_origin_response("u1", feed, resp, 0);
-  auto jobs = looxy.take_prefetches("u1", 0);
+  Session u1 = looxy.session("u1", 0);
+  auto jobs = u1.on_response(feed, resp, 0).prefetches;
   ASSERT_EQ(jobs.size(), 1u);
   http::Response img;
-  looxy.on_prefetch_response("u1", jobs[0], img, 0, 1.0);
-  EXPECT_FALSE(
-      looxy.on_client_request("u2", get_request("https://img.example/t?cid=a"), 1).served);
-  EXPECT_TRUE(
-      looxy.on_client_request("u1", get_request("https://img.example/t?cid=a"), 1).served);
+  u1.on_prefetch_response(jobs[0], img, 0, 1.0);
+  Session u2 = looxy.session("u2", 1);
+  EXPECT_FALSE(u2.on_request(get_request("https://img.example/t?cid=a"), 1).served);
+  EXPECT_TRUE(u1.on_request(get_request("https://img.example/t?cid=a"), 1).served);
 }
 
 TEST(LooxyEngine, FailedPrefetchNotCached) {
@@ -107,15 +105,14 @@ TEST(LooxyEngine, FailedPrefetchNotCached) {
   http::Request feed = get_request("https://api.example/feed");
   http::Response resp;
   resp.body = R"({"t":"https://img.example/missing"})";
-  looxy.on_origin_response("u", feed, resp, 0);
-  auto jobs = looxy.take_prefetches("u", 0);
+  Session session = looxy.session("u", 0);
+  auto jobs = session.on_response(feed, resp, 0).prefetches;
   ASSERT_EQ(jobs.size(), 1u);
   http::Response fail;
   fail.status = 404;
-  looxy.on_prefetch_response("u", jobs[0], fail, 0, 1.0);
+  session.on_prefetch_response(jobs[0], fail, 0, 1.0);
   EXPECT_GT(looxy.stats().prefetch_failures, 0u);
-  EXPECT_FALSE(
-      looxy.on_client_request("u", get_request("https://img.example/missing"), 1).served);
+  EXPECT_FALSE(session.on_request(get_request("https://img.example/missing"), 1).served);
 }
 
 // --- StaticOnlyEngine ------------------------------------------------------------------
@@ -125,7 +122,7 @@ TEST(StaticOnlyEngine, NothingReconstructibleFromRealSignatures) {
   StaticOnlyEngine engine(&set);
   // Every fixture signature carries run-time holes.
   EXPECT_EQ(engine.statically_complete(), 0u);
-  EXPECT_TRUE(engine.take_prefetches("u", 0).empty());
+  EXPECT_TRUE(engine.session("u", 0).take_prefetches(0).empty());
 }
 
 TEST(StaticOnlyEngine, PrefetchesFullyConcreteSignatures) {
@@ -142,16 +139,17 @@ TEST(StaticOnlyEngine, PrefetchesFullyConcreteSignatures) {
   StaticOnlyEngine engine(&set);
   EXPECT_EQ(engine.statically_complete(), 1u);
 
-  auto jobs = engine.take_prefetches("u", 0);
+  Session session = engine.session("u", 0);
+  auto jobs = session.take_prefetches(0);
   ASSERT_EQ(jobs.size(), 1u);
   EXPECT_EQ(jobs[0].request.uri.path, "/ping");
   // Seeded once per user.
-  EXPECT_TRUE(engine.take_prefetches("u", 0).empty());
+  EXPECT_TRUE(session.take_prefetches(0).empty());
 
   http::Response resp;
   resp.body = "pong";
-  engine.on_prefetch_response("u", jobs[0], resp, 0, 1.0);
-  const auto decision = engine.on_client_request("u", jobs[0].request, 1);
+  session.on_prefetch_response(jobs[0], resp, 0, 1.0);
+  const Decision decision = session.on_request(jobs[0].request, 1);
   ASSERT_NE(decision.served, nullptr);
   EXPECT_EQ(decision.served->body, "pong");
 }

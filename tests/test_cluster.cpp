@@ -1,0 +1,516 @@
+// Cluster mode (DESIGN.md §5k): consistent-hash ring + membership units, and
+// the multi-process kill/restart integration test — N `appx node` processes
+// under wish-flow load, one killed and warm-restarted from its snapshot.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "apps/catalog.hpp"
+#include "apps/compiler.hpp"
+#include "apps/server.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/ring.hpp"
+#include "json/json.hpp"
+#include "net/http_io.hpp"
+#include "net/socket.hpp"
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+
+namespace appx::cluster {
+namespace {
+
+// --- Ring units ------------------------------------------------------------------
+
+TEST(Ring, RoutingIsDeterministic) {
+  const Ring ring({"n0", "n1", "n2"});
+  for (int i = 0; i < 64; ++i) {
+    const std::string user = "user-" + std::to_string(i);
+    EXPECT_EQ(ring.node_for(user), ring.node_for(user));
+  }
+}
+
+TEST(Ring, SpreadsUsersAcrossNodes) {
+  const Ring ring({"n0", "n1", "n2", "n3"});
+  std::map<std::string, int> per_node;
+  const int kUsers = 4000;
+  for (int i = 0; i < kUsers; ++i) ++per_node[ring.node_for("user-" + std::to_string(i))];
+  ASSERT_EQ(per_node.size(), 4u);  // nobody starves
+  for (const auto& [node, count] : per_node) {
+    // Vnode placement is hash-uniform, not perfect; 2x bounds are loose
+    // enough to be stable across hash tweaks yet still catch gross skew.
+    EXPECT_GT(count, kUsers / 8) << node;
+    EXPECT_LT(count, kUsers / 2) << node;
+  }
+}
+
+TEST(Ring, RemovingANodeOnlyMovesItsOwnUsers) {
+  const Ring full({"n0", "n1", "n2", "n3"});
+  const Ring reduced = full.without("n2");
+  EXPECT_EQ(reduced.size(), 3u);
+  int moved = 0, total = 2000;
+  for (int i = 0; i < total; ++i) {
+    const std::string user = "user-" + std::to_string(i);
+    const std::string& before = full.node_for(user);
+    const std::string& after = reduced.node_for(user);
+    if (before == "n2") {
+      // Displaced users land exactly on the advertised successor.
+      EXPECT_EQ(after, full.successor("n2", user));
+      ++moved;
+    } else {
+      EXPECT_EQ(after, before) << user;  // everyone else stays put
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(Ring, SuccessorIsNeverTheDepartingNode) {
+  const Ring ring({"a", "b", "c"});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(ring.successor("b", "user-" + std::to_string(i)), "b");
+  }
+}
+
+TEST(Ring, RejectsBadConfigurations) {
+  EXPECT_THROW(Ring({"a", "a"}), InvalidArgumentError);
+  EXPECT_THROW(Ring({""}), InvalidArgumentError);
+  EXPECT_THROW(Ring({"a"}, 0), InvalidArgumentError);
+  EXPECT_THROW(Ring(std::vector<std::string>{}).node_for("u"), InvalidStateError);
+  EXPECT_THROW(Ring({"only"}).successor("only", "u"), InvalidStateError);
+}
+
+// --- Membership units ------------------------------------------------------------
+
+constexpr const char* kMembershipJson = R"({
+  "generation": 7,
+  "nodes": [
+    {"name": "n0", "host": "127.0.0.1", "port": 7100},
+    {"name": "n1", "host": "127.0.0.1", "port": 7101},
+    {"name": "n2", "host": "127.0.0.1", "port": 7102}
+  ]
+})";
+
+TEST(Membership, ParsesAndRoundTrips) {
+  const Membership m = Membership::parse(kMembershipJson);
+  EXPECT_EQ(m.generation(), 7u);
+  ASSERT_EQ(m.nodes().size(), 3u);
+  const MemberNode* n1 = m.find("n1");
+  ASSERT_NE(n1, nullptr);
+  EXPECT_EQ(n1->host, "127.0.0.1");
+  EXPECT_EQ(n1->port, 7101);
+  EXPECT_EQ(m.find("nope"), nullptr);
+
+  const Membership again = Membership::parse(m.dump());
+  EXPECT_EQ(again.generation(), m.generation());
+  ASSERT_EQ(again.nodes().size(), m.nodes().size());
+  EXPECT_EQ(again.find("n2")->port, 7102);
+}
+
+TEST(Membership, RingRoutesOverItsNodes) {
+  const Membership m = Membership::parse(kMembershipJson);
+  const Ring ring = m.ring();
+  EXPECT_EQ(ring.size(), 3u);
+  const std::string& owner = ring.node_for("some-user");
+  EXPECT_NE(m.find(owner), nullptr);
+}
+
+TEST(Membership, RejectsStructuralProblems) {
+  EXPECT_THROW(Membership::parse("{not json"), ParseError);
+  EXPECT_THROW(Membership::parse(R"({"nodes":[]})"), InvalidArgumentError);
+  EXPECT_THROW(Membership::parse(R"({"generation":1,"nodes":[]})"), InvalidArgumentError);
+  EXPECT_THROW(Membership::parse(
+                   R"({"generation":1,"nodes":[{"name":"a","host":"h","port":1},
+                       {"name":"a","host":"h","port":2}]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(Membership::parse(R"({"generation":1,"nodes":[{"name":"a","host":"h"}]})"),
+               InvalidArgumentError);
+  EXPECT_THROW(Membership::load("/nonexistent/membership.json"), Error);
+}
+
+// --- multi-process kill/restart integration --------------------------------------
+
+#ifndef APPX_CLI_PATH
+#define APPX_CLI_PATH ""
+#endif
+
+struct NodeProc {
+  std::string name;
+  pid_t pid = -1;
+  int stdin_fd = -1;   // held open; closing it asks the node to exit
+  int stdout_fd = -1;  // READY line + logs
+  std::uint16_t port = 0;
+};
+
+// Spawn `appx node` and wait for its READY line. Returns pid -1 on failure.
+NodeProc spawn_node(const std::string& name, const std::string& membership_path,
+                    const std::string& state_path, std::uint16_t expected_port) {
+  NodeProc node;
+  node.name = name;
+  int to_child[2], from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) return node;
+  const pid_t pid = fork();
+  if (pid < 0) return node;
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(APPX_CLI_PATH, "appx", "node", "wish", "--name", name.c_str(), "--membership",
+          membership_path.c_str(), "--state", state_path.c_str(), "--snapshot-ms", "200",
+          "--shards", "2", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  node.pid = pid;
+  node.stdin_fd = to_child[1];
+  node.stdout_fd = from_child[0];
+
+  // Wait for "READY ... proxy=<port>" (analysis of the app model takes a
+  // moment on a loaded CI box).
+  std::string buffer;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline) {
+    char chunk[256];
+    const ssize_t n = read(node.stdout_fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // child died or closed stdout
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    const auto ready = buffer.find("READY ");
+    if (ready == std::string::npos) continue;
+    const auto eol = buffer.find('\n', ready);
+    if (eol == std::string::npos) continue;
+    const auto at = buffer.find("proxy=", ready);
+    if (at != std::string::npos) {
+      node.port = static_cast<std::uint16_t>(std::stoi(buffer.substr(at + 6)));
+    }
+    break;
+  }
+  if (node.port == 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    node.pid = -1;
+    return node;
+  }
+  EXPECT_EQ(node.port, expected_port);
+  // Drain the child's stdout in the background so node logging can never
+  // fill the pipe and wedge the process.
+  std::thread([fd = node.stdout_fd] {
+    char sink[1024];
+    while (read(fd, sink, sizeof(sink)) > 0) {
+    }
+  }).detach();
+  return node;
+}
+
+void stop_node(NodeProc& node) {
+  if (node.pid < 0) return;
+  close(node.stdin_fd);  // EOF on stdin: clean shutdown (final snapshot)
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (waitpid(node.pid, nullptr, WNOHANG) == node.pid) {
+      node.pid = -1;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill(node.pid, SIGKILL);
+  waitpid(node.pid, nullptr, 0);
+  node.pid = -1;
+}
+
+void kill_node(NodeProc& node) {
+  if (node.pid < 0) return;
+  kill(node.pid, SIGKILL);  // a crash, not a shutdown: no final snapshot
+  waitpid(node.pid, nullptr, 0);
+  close(node.stdin_fd);
+  node.pid = -1;
+}
+
+// One request over a fresh loopback connection (nodes restart mid-test, so
+// per-call connections keep the client trivially correct).
+http::Response send_one(std::uint16_t port, http::Request request, const std::string& user) {
+  net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port, seconds(5));
+  stream.set_read_timeout(seconds(10));
+  stream.set_write_timeout(seconds(10));
+  if (!user.empty()) request.headers.set("X-Appx-User", user);
+  net::write_request(stream, request);
+  net::HttpReader reader(&stream);
+  const auto response = reader.read_response();
+  if (!response) throw Error("cluster test: connection closed by node");
+  return *response;
+}
+
+bool served_from_cache(const http::Response& response) {
+  return response.headers.get("X-Appx-Cache").value_or("") == "hit";
+}
+
+struct PrefetchCounters {
+  std::int64_t issued = 0;
+  std::int64_t resolved = 0;  // responses + failures + dropped
+};
+
+PrefetchCounters scrape_prefetch_counters(std::uint16_t port) {
+  http::Request req;
+  req.method = "GET";
+  req.uri.path = "/appx/metrics.json";
+  req.headers.set("Host", "127.0.0.1");
+  const auto resp = send_one(port, req, "");
+  const json::Value root = json::parse(resp.body);
+  const json::Object& counters = root.as_object().at("counters").as_object();
+  const auto counter = [&](const char* name) -> std::int64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.as_int();
+  };
+  PrefetchCounters out;
+  out.issued = counter("appx_prefetch_issued_total");
+  out.resolved = counter("appx_prefetch_responses_total") +
+                 counter("appx_prefetch_failures_total") +
+                 counter("appx_prefetch_dropped_total");
+  return out;
+}
+
+class ClusterIntegration : public ::testing::Test {
+ protected:
+  ClusterIntegration()
+      : spec_(apps::make_wish()), origin_(&spec_) {}
+
+  http::Request feed_request() const {
+    http::Request req;
+    req.method = "POST";
+    req.uri = http::Uri::parse("https://" + spec_.endpoint("feed").host + "/api/get-feed");
+    req.uri.add_query_param("offset", "0");
+    req.uri.add_query_param("count", "30");
+    req.headers.set("Cookie", "c0");
+    req.headers.set("User-Agent", "ua");
+    req.set_form_fields({{"_client", "android"}, {"_ver", "4.13.0"}});
+    return req;
+  }
+
+  // The detail request the app would issue for feed item `index`, derived
+  // from a local OriginServer twin (deterministic, same spec as the nodes').
+  http::Request detail_request(std::size_t index) {
+    http::Request req;
+    req.method = "POST";
+    req.uri = http::Uri::parse("https://" + spec_.endpoint("detail").host + "/product/get");
+    req.headers.set("Cookie", "c0");
+    req.headers.set("User-Agent", "ua");
+    const auto feed_body = json::parse(origin_.serve(feed_request()).body);
+    http::FormFields fields;
+    for (const apps::FieldSpec& f : spec_.endpoint("detail").fields) {
+      if (f.loc != core::FieldLocation::kBody || f.conditional) continue;
+      if (f.value.kind == apps::ValueSpec::Kind::kDep) {
+        std::string path = f.value.dep_path;
+        const auto star = path.find("[*]");
+        if (star != std::string::npos) {
+          path.replace(star, 3, "[" + std::to_string(index) + "]");
+        }
+        fields.emplace_back(f.name,
+                            json::Path(path).resolve_first(feed_body)->scalar_to_string());
+      } else if (f.value.kind == apps::ValueSpec::Kind::kEnv) {
+        fields.emplace_back(f.name, spec_.env_defaults.at(f.value.text));
+      } else {
+        fields.emplace_back(f.name, f.value.text);
+      }
+    }
+    req.set_form_fields(fields);
+    return req;
+  }
+
+  // Feed + first detail: teaches the node this user's run-time values.
+  void teach(std::uint16_t port, const std::string& user) {
+    ASSERT_TRUE(send_one(port, feed_request(), user).ok());
+    ASSERT_TRUE(send_one(port, detail_request(0), user).ok());
+  }
+
+  // Re-arm with a feed, wait for the node's prefetch pipeline to drain, then
+  // count how many sibling details are served from cache.
+  double hit_ratio(std::uint16_t port, const std::string& user) {
+    const PrefetchCounters before = scrape_prefetch_counters(port);
+    if (!send_one(port, feed_request(), user).ok()) return 0.0;
+    // Deterministic, not a fixed sleep (sanitized CI runs are slow): wait
+    // until this feed's prefetches were issued AND everything issued has
+    // resolved. Other users' concurrent load can only push `issued` higher,
+    // which just makes the wait stricter.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const PrefetchCounters now = scrape_prefetch_counters(port);
+      if (now.issued > before.issued && now.issued == now.resolved) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    int hits = 0;
+    const int kProbes = 4;
+    for (int i = 0; i < kProbes; ++i) {
+      const auto resp = send_one(port, detail_request(1 + static_cast<std::size_t>(i)), user);
+      if (served_from_cache(resp)) ++hits;
+    }
+    return static_cast<double>(hits) / kProbes;
+  }
+
+  // Fleet-wide prefetch balance: on every node, issued == responses +
+  // failures + dropped once in-flight work drains.
+  ::testing::AssertionResult balance_holds(const std::vector<NodeProc*>& nodes) {
+    for (const NodeProc* node : nodes) {
+      PrefetchCounters last;
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        last = scrape_prefetch_counters(node->port);
+        if (last.issued == last.resolved) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (last.issued != last.resolved) {
+        return ::testing::AssertionFailure()
+               << node->name << ": issued=" << last.issued << " resolved=" << last.resolved;
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  apps::AppSpec spec_;
+  apps::OriginServer origin_;
+};
+
+TEST_F(ClusterIntegration, KillRestartWarmRecoveryUnderLoad) {
+  if (std::string(APPX_CLI_PATH).empty() || access(APPX_CLI_PATH, X_OK) != 0) {
+    GTEST_SKIP() << "appx CLI not built";
+  }
+
+  // Workspace + membership with three pre-reserved loopback ports.
+  char dir_template[] = "/tmp/appx-cluster-XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string dir(dir_template);
+  std::vector<std::uint16_t> ports;
+  {
+    std::vector<std::unique_ptr<net::TcpListener>> reserved;
+    for (int i = 0; i < 3; ++i) reserved.push_back(std::make_unique<net::TcpListener>(0));
+    for (auto& l : reserved) ports.push_back(l->port());
+  }
+  std::string membership_json = R"({"generation": 1, "nodes": [)";
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) membership_json += ",";
+    membership_json += R"({"name": "n)" + std::to_string(i) +
+                       R"(", "host": "127.0.0.1", "port": )" + std::to_string(ports[i]) + "}";
+  }
+  membership_json += "]}";
+  const std::string membership_path = dir + "/membership.json";
+  write_file(membership_path,
+             std::vector<std::uint8_t>(membership_json.begin(), membership_json.end()));
+  const Membership membership = Membership::parse(membership_json);
+  const Ring ring = membership.ring();
+
+  std::map<std::string, NodeProc> nodes;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    nodes[name] = spawn_node(name, membership_path, dir + "/" + name + ".snap",
+                             membership.find(name)->port);
+    ASSERT_GE(nodes[name].pid, 0) << name << " failed to start";
+  }
+  const auto port_of = [&](const std::string& user) {
+    return nodes[ring.node_for(user)].port;
+  };
+
+  // Enough users that every node owns at least two.
+  std::vector<std::string> users;
+  std::map<std::string, int> owned;
+  for (int i = 0; owned.size() < 3 || i < 12; ++i) {
+    ASSERT_LT(i, 200);
+    const std::string user = "user-" + std::to_string(i);
+    users.push_back(user);
+    ++owned[ring.node_for(user)];
+  }
+  const std::string victim = "n1";
+  std::vector<std::string> victim_users, other_users;
+  for (const std::string& user : users) {
+    (ring.node_for(user) == victim ? victim_users : other_users).push_back(user);
+  }
+  ASSERT_GE(victim_users.size(), 2u);
+
+  // Phase 1: teach every user, then measure the pre-kill hit ratio.
+  for (const std::string& user : users) teach(port_of(user), user);
+  double pre_kill = 0.0;
+  for (const std::string& user : victim_users) pre_kill += hit_ratio(port_of(user), user);
+  pre_kill /= static_cast<double>(victim_users.size());
+  ASSERT_GT(pre_kill, 0.0) << "fixture broken: no prefetch hits before the kill";
+
+  // Give the victim's 200ms snapshot cadence a couple of beats so its last
+  // dump includes everything phase 1 taught it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  // Phase 2: open-loop load on the survivors' users while n1 is killed and
+  // warm-restarted from its snapshot.
+  std::atomic<bool> stop_load{false};
+  std::thread load([&] {
+    std::size_t i = 0;
+    while (!stop_load.load()) {
+      const std::string& user = other_users[i++ % other_users.size()];
+      try {
+        send_one(port_of(user), feed_request(), user);
+        send_one(port_of(user), detail_request(i % 6), user);
+      } catch (const Error&) {
+        // Transient refusals while the fleet churns are the load's problem,
+        // not the invariant's.
+      }
+    }
+  });
+
+  kill_node(nodes[victim]);
+  nodes[victim] = spawn_node(victim, membership_path, dir + "/" + victim + ".snap",
+                             membership.find(victim)->port);
+  ASSERT_GE(nodes[victim].pid, 0) << "victim failed to restart";
+
+  // Phase 3: recovery. No re-teaching — the restored wildcards/flows must
+  // drive prefetching on the first feed after restart.
+  double post_restart = 0.0;
+  for (const std::string& user : victim_users) {
+    post_restart += hit_ratio(nodes[victim].port, user);
+  }
+  post_restart /= static_cast<double>(victim_users.size());
+  stop_load.store(true);
+  load.join();
+  EXPECT_GE(post_restart, 0.9 * pre_kill)
+      << "cold-learning storm: post-restart " << post_restart << " vs pre-kill " << pre_kill;
+
+  // Phase 4: ring handoff — export a survivor's user to another node over
+  // the admin surface and verify the importer serves it warm.
+  const std::string& mover = other_users.front();
+  const std::string owner = ring.node_for(mover);
+  const std::string target = owner == "n0" ? "n2" : "n0";
+  http::Request export_req;
+  export_req.method = "GET";
+  export_req.uri.path = "/appx/export";
+  export_req.uri.add_query_param("user", mover);
+  export_req.headers.set("Host", "127.0.0.1");
+  const auto exported = send_one(nodes[owner].port, export_req, "");
+  ASSERT_EQ(exported.status, 200);
+  http::Request import_req;
+  import_req.method = "POST";
+  import_req.uri.path = "/appx/import";
+  import_req.headers.set("Host", "127.0.0.1");
+  import_req.body = std::string(exported.body.view());
+  EXPECT_EQ(send_one(nodes[target].port, import_req, "").status, 200);
+  EXPECT_GT(hit_ratio(nodes[target].port, mover), 0.0);
+
+  // Phase 5: the fleet-wide prefetch balance invariant held throughout —
+  // each node's counters must reconcile once in-flight prefetches drain.
+  std::vector<NodeProc*> all;
+  for (auto& [_, node] : nodes) all.push_back(&node);
+  EXPECT_TRUE(balance_holds(all));
+
+  for (auto& [_, node] : nodes) stop_node(node);
+}
+
+}  // namespace
+}  // namespace appx::cluster

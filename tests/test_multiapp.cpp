@@ -37,16 +37,21 @@ struct MultiAppFixture : public ::testing::Test {
 
   // Full transaction + prefetch drain against the real origins.
   bool run(const std::string& user, const http::Request& req) {
-    const auto decision = engine_->on_client_request(user, req, now_);
+    Session session = engine_->session(user, now_);
+    Decision d = session.on_request(req, now_);
     ++now_;
-    if (decision.served) return true;
-    engine_->on_origin_response(user, req, serve(req), now_);
-    auto jobs = engine_->take_prefetches(user, now_);
+    if (d.served) return true;
+    Decision r = session.on_response(req, serve(req), now_);
+    std::vector<PrefetchJob> jobs = std::move(d.prefetches);
+    for (auto& job : r.prefetches) jobs.push_back(std::move(job));
     while (!jobs.empty()) {
+      std::vector<PrefetchJob> next;
       for (const auto& job : jobs) {
-        engine_->on_prefetch_response(user, job, serve(job.request), now_, 100.0);
+        Decision f = session.on_prefetch_response(job, serve(job.request), now_, 100.0);
+        for (auto& follow : f.prefetches) next.push_back(std::move(follow));
       }
-      jobs = engine_->take_prefetches(user, now_);
+      for (auto& job : session.take_prefetches(now_)) next.push_back(std::move(job));
+      jobs = std::move(next);
     }
     return false;
   }

@@ -377,7 +377,7 @@ TEST_F(LiveProxyTest, ClosedConnectionsAreReleased) {
 }
 
 TEST_F(LiveProxyTest, OversizedRequestHeadIs431) {
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.reader_limits.max_head_bytes = 512;
   LiveProxyServer::UpstreamMap upstreams;
   for (const apps::EndpointSpec& ep : spec_.endpoints) {
@@ -412,7 +412,7 @@ TEST(LiveOrigin, OversizedRequestHeadIs431) {
 
 TEST_F(LiveProxyTest, HungUpstreamDegradesTo504WithinDeadline) {
   BlackHole hole;
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.connect_timeout = seconds(2);
   options.io_timeout = milliseconds(200);
   options.request_deadline = milliseconds(400);
@@ -438,7 +438,7 @@ TEST_F(LiveProxyTest, HungPrefetchUpstreamDoesNotWedgeOtherUsers) {
   // sibling-item prefetches request. Those must resolve as 504 failures
   // within the deadline while client traffic and other users keep flowing.
   SelectiveHangOrigin hang(&origin_, feed_item_id(0));
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.connect_timeout = seconds(2);
   options.io_timeout = milliseconds(100);
   options.request_deadline = milliseconds(150);
@@ -479,7 +479,7 @@ TEST_F(LiveProxyTest, HungPrefetchUpstreamDoesNotWedgeOtherUsers) {
 }
 
 TEST_F(LiveProxyTest, PrefetchQueueOverflowDropsOldestAndBalances) {
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.prefetch_workers = 1;
   options.max_prefetch_queue = 2;
   LiveProxyServer::UpstreamMap upstreams;
@@ -610,7 +610,7 @@ TEST_F(LiveProxyTest, UnknownAdminPathIs404AndSkipsEngine) {
 // --- event-loop runtime edge cases --------------------------------------------
 
 TEST_F(LiveProxyTest, SlowLorisConnectionIsClosedByIdleTimer) {
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.conn_idle_timeout = milliseconds(200);
   LiveProxyServer::UpstreamMap upstreams;
   for (const apps::EndpointSpec& ep : spec_.endpoints) {
@@ -759,7 +759,7 @@ TEST_F(LiveProxyTest, StopDuringInFlightRequestsIsPromptAndLeakFree) {
   // connection, and join all threads promptly. ASan/TSan verify no fd or
   // memory leaks and no races.
   BlackHole hole;
-  LiveProxyOptions options;
+  core::EngineOptions options;
   options.connect_timeout = seconds(2);
   options.io_timeout = seconds(10);       // deliberately long: stop must cut it
   options.request_deadline = seconds(10);

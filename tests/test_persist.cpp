@@ -1,0 +1,315 @@
+// Durable learned state (DESIGN.md §5k): snapshot container robustness and
+// engine-level warm restart / user handoff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/persist.hpp"
+#include "core/proxy.hpp"
+#include "core/sharded_proxy.hpp"
+#include "util/hash.hpp"
+#include "wish_fixture.hpp"
+
+namespace appx::core {
+namespace {
+
+using testfix::make_feed_request;
+using testfix::make_feed_response;
+using testfix::make_product_request;
+using testfix::make_product_response;
+using testfix::make_wish_set;
+
+ByteWriter payload_of(std::string_view text) {
+  ByteWriter w;
+  w.raw(text.data(), text.size());
+  return w;
+}
+
+std::vector<std::uint8_t> two_section_blob() {
+  SnapshotBuilder builder;
+  builder.add_raw("alpha", 1, payload_of("aaaa"));
+  builder.add_raw("beta", 3, payload_of("bb"));
+  return builder.finish();
+}
+
+// Re-stamp the trailing checksum after test-side surgery on the blob, so the
+// corruption under test (and only it) is what the parser sees.
+void refresh_checksum(std::vector<std::uint8_t>& blob) {
+  const std::uint64_t sum = fnv1a(blob.data(), blob.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    blob[blob.size() - 8 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
+
+// --- container robustness --------------------------------------------------------
+
+TEST(SnapshotContainer, RoundTripsSectionsAndVersions) {
+  const auto blob = two_section_blob();
+  const SnapshotView view(blob);
+  EXPECT_EQ(view.container_version(), kSnapshotFormatVersion);
+  ASSERT_EQ(view.section_count(), 2u);
+  const SnapshotView::Section* alpha = view.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->version, 1u);
+  EXPECT_EQ(std::string_view(reinterpret_cast<const char*>(alpha->data), alpha->size), "aaaa");
+  const SnapshotView::Section* beta = view.find("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->version, 3u);
+  EXPECT_EQ(view.find("gamma"), nullptr);
+}
+
+TEST(SnapshotContainer, EmptySnapshotParses) {
+  const auto blob = SnapshotBuilder().finish();
+  EXPECT_EQ(SnapshotView(blob).section_count(), 0u);
+}
+
+TEST(SnapshotContainer, TruncationIsCorruptNotACrash) {
+  const auto blob = two_section_blob();
+  // Every proper prefix must be rejected cleanly — a torn write can stop at
+  // any byte.
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, blob.size() / 2, blob.size() - 1}) {
+    std::vector<std::uint8_t> cut(blob.begin(), blob.begin() + static_cast<long>(len));
+    EXPECT_THROW(SnapshotView{cut}, SnapshotCorruptError) << "prefix of " << len;
+  }
+}
+
+TEST(SnapshotContainer, BitFlipFailsTheChecksum) {
+  auto blob = two_section_blob();
+  blob[blob.size() / 2] ^= 0x40;
+  EXPECT_THROW(SnapshotView{blob}, SnapshotCorruptError);
+}
+
+TEST(SnapshotContainer, BadMagicIsCorrupt) {
+  auto blob = two_section_blob();
+  blob[0] = 'Z';
+  EXPECT_THROW(SnapshotView{blob}, SnapshotCorruptError);
+}
+
+TEST(SnapshotContainer, FutureContainerVersionIsAnExplicitError) {
+  auto blob = two_section_blob();
+  // Container version is the LE u32 right after the 8-byte magic.
+  blob[8] = static_cast<std::uint8_t>(kSnapshotFormatVersion + 1);
+  refresh_checksum(blob);
+  EXPECT_THROW(SnapshotView{blob}, SnapshotVersionError);
+}
+
+TEST(SnapshotContainer, LyingSectionLengthIsCorrupt) {
+  SnapshotBuilder builder;
+  builder.add_raw("alpha", 1, payload_of("aaaa"));
+  auto blob = builder.finish();
+  // Grow the section's declared length past the end of the file.
+  const char* name = "alpha";
+  auto it = std::search(blob.begin(), blob.end(), name, name + 5);
+  ASSERT_NE(it, blob.end());
+  // str is u32 length + bytes; the section version (u32) follows, then the
+  // u64 payload length.
+  const std::size_t len_at = static_cast<std::size_t>(it - blob.begin()) + 5 + 4;
+  blob[len_at] = 0xff;
+  refresh_checksum(blob);
+  EXPECT_THROW(SnapshotView{blob}, SnapshotCorruptError);
+}
+
+TEST(SnapshotContainer, UnknownAndFutureSectionsLeaveComponentsCold) {
+  SnapshotBuilder builder;
+  builder.add_raw("known", 1, payload_of("data"));
+  builder.add_raw("from.the.future", 9, payload_of("????"));
+  const auto blob = builder.finish();
+  const SnapshotView view(blob);
+
+  std::string seen;
+  PersistableFn known("known", 2, [](ByteWriter&) {},
+                      [&seen](ByteReader& in, std::uint32_t version) {
+                        EXPECT_EQ(version, 1u);  // the version it was written with
+                        seen = std::string(reinterpret_cast<const char*>(in.cursor()), 4);
+                      });
+  EXPECT_TRUE(view.restore_into(known));
+  EXPECT_EQ(seen, "data");
+
+  // Same name, but the payload was written by a newer component revision.
+  PersistableFn stale("from.the.future", 2, [](ByteWriter&) {},
+                      [](ByteReader&, std::uint32_t) { FAIL() << "must stay cold"; });
+  EXPECT_FALSE(view.restore_into(stale));
+  // Absent name: cold, not an error.
+  PersistableFn absent("never.written", 1, [](ByteWriter&) {}, {});
+  EXPECT_FALSE(view.restore_into(absent));
+}
+
+TEST(SnapshotContainer, DecodeErrorInsideSectionIsCorrupt) {
+  SnapshotBuilder builder;
+  builder.add_raw("tiny", 1, payload_of("ab"));
+  const auto blob = builder.finish();
+  const SnapshotView view(blob);
+  PersistableFn overreader("tiny", 1, [](ByteWriter&) {},
+                           [](ByteReader& in, std::uint32_t) { in.u64(); });
+  EXPECT_THROW(view.restore_into(overreader), SnapshotCorruptError);
+}
+
+// --- engine snapshot / restore ---------------------------------------------------
+
+class PersistEngineTest : public ::testing::Test {
+ protected:
+  PersistEngineTest() : set_(make_wish_set()), restored_set_(make_wish_set()) {
+    config_.default_expiration = seconds(3600);
+    engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7);
+  }
+
+  // Feed + first product: resolves wildcards, learns the dependency flows and
+  // feeds the value model — the state a warm restart must preserve.
+  void teach(ProxyLike& engine, const std::string& user) {
+    run(engine, user, make_feed_request(), make_feed_response({"09cf", "3gf3"}), 0);
+    run(engine, user, make_product_request("09cf"), make_product_response("Silk", 1), 1000);
+  }
+
+  // After a feed re-arms the instances, the sibling product must be a hit —
+  // i.e. the engine acts on learned state instead of relearning it.
+  bool serves_sibling_from_cache(ProxyLike& engine, const std::string& user, SimTime base) {
+    run(engine, user, make_feed_request(), make_feed_response({"09cf", "3gf3"}), base);
+    bool hit = false;
+    run(engine, user, make_product_request("3gf3"), make_product_response("Silk", 1), base + 1,
+        &hit);
+    return hit;
+  }
+
+  void run(ProxyLike& engine, const std::string& user, const http::Request& req,
+           const http::Response& origin_response, SimTime now, bool* hit = nullptr) {
+    Session session = engine.session(user, now);
+    Decision d = session.on_request(req, now);
+    if (hit != nullptr) *hit = d.served != nullptr;
+    std::vector<PrefetchJob> jobs = std::move(d.prefetches);
+    if (!d.served) {
+      Decision r = session.on_response(req, origin_response, now);
+      for (auto& job : r.prefetches) jobs.push_back(std::move(job));
+    }
+    while (!jobs.empty()) {
+      std::vector<PrefetchJob> next;
+      for (const auto& job : jobs) {
+        http::Response resp;
+        if (job.request.uri.path == "/product/get") {
+          resp = make_product_response("m_" + job.request.form_fields()[0].second, 1500);
+        } else if (job.request.uri.path == "/img") {
+          resp.opaque_payload = kilobytes(300);
+        } else {
+          resp.body = "{}";
+        }
+        Decision f = session.on_prefetch_response(job, resp, now, 165.0);
+        for (auto& follow : f.prefetches) next.push_back(std::move(follow));
+      }
+      for (auto& job : session.take_prefetches(now)) next.push_back(std::move(job));
+      jobs = std::move(next);
+    }
+  }
+
+  std::vector<std::uint8_t> snapshot(const ProxyLike& engine) {
+    SnapshotBuilder builder;
+    engine.snapshot_to(builder);
+    return builder.finish();
+  }
+
+  SignatureSet set_;
+  SignatureSet restored_set_;  // restored engines need their own copy
+  ProxyConfig config_;
+  std::unique_ptr<ProxyEngine> engine_;
+};
+
+TEST_F(PersistEngineTest, WarmRestartActsOnRestoredLearning) {
+  teach(*engine_, "u1");
+  const auto blob = snapshot(*engine_);
+
+  ProxyEngine fresh(&restored_set_, &config_, 7);
+  // Cold control: without the snapshot the sibling product is a miss.
+  EXPECT_FALSE(serves_sibling_from_cache(fresh, "u1", minutes(10)));
+
+  ProxyEngine warmed(&restored_set_, &config_, 7);
+  const SnapshotView view(blob);
+  EXPECT_EQ(warmed.restore_from(view, minutes(10)), 1u);
+  EXPECT_TRUE(serves_sibling_from_cache(warmed, "u1", minutes(10)));
+}
+
+TEST_F(PersistEngineTest, SnapshotRoundTripIsByteIdentical) {
+  teach(*engine_, "u1");
+  const auto blob = snapshot(*engine_);
+
+  ProxyEngine warmed(&restored_set_, &config_, 7);
+  warmed.restore_from(SnapshotView(blob), minutes(10));
+  // Persist the restored engine: learned sections must reproduce the exact
+  // bytes (resolved wildcards, flows, EWMAs, counters — nothing lossy).
+  const auto reblob = snapshot(warmed);
+  EXPECT_EQ(blob, reblob);
+}
+
+TEST_F(PersistEngineTest, RestoreIsMergeNotReplace) {
+  teach(*engine_, "u1");
+  const auto blob = snapshot(*engine_);
+  ProxyEngine warmed(&restored_set_, &config_, 7);
+  teach(warmed, "u2");  // pre-existing local user
+  warmed.restore_from(SnapshotView(blob), minutes(10));
+  EXPECT_TRUE(serves_sibling_from_cache(warmed, "u1", minutes(10)));
+  EXPECT_TRUE(serves_sibling_from_cache(warmed, "u2", minutes(20)));
+}
+
+TEST_F(PersistEngineTest, FutureUsersSectionLeavesUsersCold) {
+  teach(*engine_, "u1");
+  SnapshotBuilder builder;
+  engine_->snapshot_to(builder);
+  // Re-render with the users section replaced by a future revision.
+  SnapshotBuilder future;
+  ByteWriter bogus;
+  bogus.u32(1);
+  future.add_raw("users", ProxyEngine::kUsersSectionVersion + 1, bogus);
+  ProxyEngine warmed(&restored_set_, &config_, 7);
+  EXPECT_EQ(warmed.restore_from(SnapshotView(future.finish()), minutes(10)), 0u);
+}
+
+TEST_F(PersistEngineTest, ExportImportHandsUserToAnotherEngine) {
+  teach(*engine_, "mover");
+  EXPECT_TRUE(engine_->export_user("never-seen").empty());
+  const std::vector<std::uint8_t> shard = engine_->export_user("mover");
+  ASSERT_FALSE(shard.empty());
+
+  ProxyEngine successor(&restored_set_, &config_, 7);
+  EXPECT_TRUE(successor.import_user(shard, minutes(10)));
+  EXPECT_TRUE(serves_sibling_from_cache(successor, "mover", minutes(10)));
+}
+
+TEST_F(PersistEngineTest, ImportRejectsCorruptBlobsCleanly) {
+  teach(*engine_, "mover");
+  auto shard = engine_->export_user("mover");
+  shard[shard.size() / 2] ^= 0x10;
+  ProxyEngine successor(&restored_set_, &config_, 7);
+  EXPECT_THROW(successor.import_user(shard, 0), SnapshotCorruptError);
+  // The failed import left no trace.
+  EXPECT_EQ(successor.user_count(), 0u);
+}
+
+TEST_F(PersistEngineTest, SingleShardSnapshotRestoresIntoShardedEngine) {
+  teach(*engine_, "u1");
+  teach(*engine_, "u2");
+  const auto blob = snapshot(*engine_);
+
+  EngineOptions options;
+  options.shards = 3;
+  ShardedProxyEngine fleet(&restored_set_, &config_, options);
+  EXPECT_EQ(fleet.restore_from(SnapshotView(blob), minutes(10)), 2u);
+  // Users land on whatever shard the fleet's hash picks; both serve warm.
+  EXPECT_TRUE(serves_sibling_from_cache(fleet, "u1", minutes(10)));
+  EXPECT_TRUE(serves_sibling_from_cache(fleet, "u2", minutes(20)));
+}
+
+TEST_F(PersistEngineTest, ShardedSnapshotRestoresIntoSingleEngine) {
+  EngineOptions options;
+  options.shards = 3;
+  ShardedProxyEngine fleet(&set_, &config_, options);
+  teach(fleet, "u1");
+  teach(fleet, "u2");
+  teach(fleet, "u3");
+  SnapshotBuilder builder;
+  fleet.snapshot_to(builder);
+
+  ProxyEngine single(&restored_set_, &config_, 7);
+  EXPECT_EQ(single.restore_from(SnapshotView(builder.finish()), minutes(10)), 3u);
+  EXPECT_TRUE(serves_sibling_from_cache(single, "u2", minutes(10)));
+}
+
+}  // namespace
+}  // namespace appx::core

@@ -15,7 +15,7 @@ namespace {
 
 TEST(SignatureModel, UnknownSignatureGetsExploratoryPriors) {
   SignatureModel model;
-  const Estimate e = model.estimate("never-seen");
+  const Estimate e = model.estimate("app", "never-seen");
   EXPECT_DOUBLE_EQ(e.p_use, 0.5);
   EXPECT_GT(e.saving_ms, 0);
   EXPECT_GT(e.bytes, 0);
@@ -26,28 +26,28 @@ TEST(SignatureModel, PUseCountsAtIssueTime) {
   // Issues are counted when admitted, not when the response arrives: a
   // synchronous fan-out burst must see its own issues in p_use immediately.
   SignatureModel model;
-  model.on_issued("sig");
-  model.on_issued("sig");
-  model.on_issued("sig");
+  model.on_issued("app", "sig");
+  model.on_issued("app", "sig");
+  model.on_issued("app", "sig");
   // Laplace smoothing: (0 + 1) / (3 + 2).
-  EXPECT_DOUBLE_EQ(model.estimate("sig").p_use, 1.0 / 5.0);
-  EXPECT_EQ(model.estimate("sig").issued, 3u);
+  EXPECT_DOUBLE_EQ(model.estimate("app", "sig").p_use, 1.0 / 5.0);
+  EXPECT_EQ(model.estimate("app", "sig").issued, 3u);
 
   // First uses restore the estimate.
-  model.on_first_use("sig");
-  model.on_first_use("sig");
-  EXPECT_DOUBLE_EQ(model.estimate("sig").p_use, 3.0 / 5.0);
-  EXPECT_EQ(model.used("sig"), 2u);
+  model.on_first_use("app", "sig");
+  model.on_first_use("app", "sig");
+  EXPECT_DOUBLE_EQ(model.estimate("app", "sig").p_use, 3.0 / 5.0);
+  EXPECT_EQ(model.used("app", "sig"), 2u);
 }
 
 TEST(SignatureModel, PUseDecaysWithinUnusedBurst) {
   // The admission value of an unproven signature must fall as a burst of
   // same-signature prefetches is admitted — this is what self-limits fan-out.
   SignatureModel model;
-  double prev = model.estimate("burst").p_use;
+  double prev = model.estimate("app", "burst").p_use;
   for (int i = 0; i < 10; ++i) {
-    model.on_issued("burst");
-    const double cur = model.estimate("burst").p_use;
+    model.on_issued("app", "burst");
+    const double cur = model.estimate("app", "burst").p_use;
     EXPECT_LT(cur, prev);
     prev = cur;
   }
@@ -56,48 +56,48 @@ TEST(SignatureModel, PUseDecaysWithinUnusedBurst) {
 
 TEST(SignatureModel, ResponseUpdatesCostAndSavingEstimates) {
   SignatureModel model;
-  model.on_prefetched("sig", 10240, 120.0);
-  const Estimate e = model.estimate("sig");
+  model.on_prefetched("app", "sig", 10240, 120.0);
+  const Estimate e = model.estimate("app", "sig");
   EXPECT_DOUBLE_EQ(e.saving_ms, 120.0);
   EXPECT_DOUBLE_EQ(e.bytes, 10240.0);
 
   // EWMA: a second observation moves the estimate toward it, not onto it.
-  model.on_prefetched("sig", 0, 0.0);
-  const Estimate e2 = model.estimate("sig");
+  model.on_prefetched("app", "sig", 0, 0.0);
+  const Estimate e2 = model.estimate("app", "sig");
   EXPECT_GT(e2.saving_ms, 0.0);
   EXPECT_LT(e2.saving_ms, 120.0);
 }
 
 TEST(SignatureModel, WastedEntriesAreCounted) {
   SignatureModel model;
-  model.on_wasted("sig", 4096);
-  model.on_wasted("sig", 4096);
-  EXPECT_EQ(model.wasted("sig"), 2u);
+  model.on_wasted("app", "sig", 4096);
+  model.on_wasted("app", "sig", 4096);
+  EXPECT_EQ(model.wasted("app", "sig"), 2u);
 }
 
 TEST(SignatureModel, LearnedExpiryFromContentChanges) {
   SignatureModel model;
   // No samples yet -> nothing learned.
-  EXPECT_FALSE(model.learned_expiry("sig", seconds(1)).has_value());
+  EXPECT_FALSE(model.learned_expiry("app", "sig", seconds(1)).has_value());
 
   const std::uint64_t key = 42;
-  model.observe_content("sig", key, /*body_hash=*/1, /*now=*/0);
+  model.observe_content("app", "sig", key, /*body_hash=*/1, /*now=*/0);
   // Same body 10 s later: still no change observed.
-  model.observe_content("sig", key, 1, seconds(10));
-  EXPECT_FALSE(model.learned_expiry("sig", seconds(1)).has_value());
+  model.observe_content("app", "sig", key, 1, seconds(10));
+  EXPECT_FALSE(model.learned_expiry("app", "sig", seconds(1)).has_value());
 
   // Body changed 20 s after the first sample: one 20 s interval.
-  model.observe_content("sig", key, 2, seconds(20));
-  const auto learned = model.learned_expiry("sig", seconds(1));
+  model.observe_content("app", "sig", key, 2, seconds(20));
+  const auto learned = model.learned_expiry("app", "sig", seconds(1));
   ASSERT_TRUE(learned.has_value());
   EXPECT_EQ(*learned, seconds(10));  // half the observed change interval
 }
 
 TEST(SignatureModel, LearnedExpiryFloors) {
   SignatureModel model;
-  model.observe_content("sig", 7, 1, 0);
-  model.observe_content("sig", 7, 2, seconds(1));  // 1 s interval -> 0.5 s half
-  const auto learned = model.learned_expiry("sig", seconds(5));
+  model.observe_content("app", "sig", 7, 1, 0);
+  model.observe_content("app", "sig", 7, 2, seconds(1));  // 1 s interval -> 0.5 s half
+  const auto learned = model.learned_expiry("app", "sig", seconds(5));
   ASSERT_TRUE(learned.has_value());
   EXPECT_EQ(*learned, seconds(5));
 }
@@ -106,9 +106,51 @@ TEST(SignatureModel, DifferentKeyResetsContentSample) {
   // Fan-out items of one signature have different keys; switching keys must
   // not fabricate a change interval.
   SignatureModel model;
-  model.observe_content("sig", /*key=*/1, /*body=*/10, 0);
-  model.observe_content("sig", /*key=*/2, /*body=*/20, seconds(30));
-  EXPECT_FALSE(model.learned_expiry("sig", seconds(1)).has_value());
+  model.observe_content("app", "sig", /*key=*/1, /*body=*/10, 0);
+  model.observe_content("app", "sig", /*key=*/2, /*body=*/20, seconds(30));
+  EXPECT_FALSE(model.learned_expiry("app", "sig", seconds(1)).has_value());
+}
+
+TEST(SignatureModel, EntriesAreKeyedPerApp) {
+  // Two apps may reuse a signature id; their evidence must not mix — that is
+  // the point of per-app (not per-shard) keying.
+  SignatureModel model;
+  model.on_issued("com.app.a", "sig");
+  model.on_issued("com.app.a", "sig");
+  model.on_first_use("com.app.a", "sig");
+  EXPECT_DOUBLE_EQ(model.estimate("com.app.a", "sig").p_use, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(model.estimate("com.app.b", "sig").p_use, 0.5);  // priors
+  EXPECT_EQ(model.estimate("com.app.b", "sig").issued, 0u);
+  EXPECT_EQ(model.tracked_signatures(), 1u);
+}
+
+TEST(SignatureModel, PersistRestoreRoundTripsEstimates) {
+  SignatureModel model;
+  model.on_issued("app", "sig");
+  model.on_issued("app", "sig");
+  model.on_first_use("app", "sig");
+  model.on_prefetched("app", "sig", 10240, 120.0);
+  model.on_wasted("app", "sig", 4096);
+  model.observe_content("app", "sig", /*key=*/7, /*body=*/1, 0);
+  model.observe_content("app", "sig", 7, 2, seconds(20));
+
+  ByteWriter out;
+  model.persist(out);
+  SignatureModel restored;
+  ByteReader in(out.data());
+  restored.restore(in, SignatureModel::kPersistVersion, /*now=*/minutes(5));
+
+  const Estimate a = model.estimate("app", "sig");
+  const Estimate b = restored.estimate("app", "sig");
+  EXPECT_DOUBLE_EQ(a.p_use, b.p_use);
+  EXPECT_DOUBLE_EQ(a.saving_ms, b.saving_ms);
+  EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(restored.used("app", "sig"), 1u);
+  EXPECT_EQ(restored.wasted("app", "sig"), 1u);
+  // The learned change interval survives; its clock is re-anchored to `now`.
+  EXPECT_EQ(restored.learned_expiry("app", "sig", seconds(1)),
+            model.learned_expiry("app", "sig", seconds(1)));
 }
 
 // ------------------------------------------------------------ admission ----

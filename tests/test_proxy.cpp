@@ -515,23 +515,31 @@ class ProxyTest : public ::testing::Test {
   // that tighten them must rebuild the engine for the change to apply.
   void remake_engine() { engine_ = std::make_unique<ProxyEngine>(&set_, &config_, 7); }
 
-  // Drive a full transaction through the proxy as the simulator would:
+  // Drive a full transaction through the proxy as a front end would:
   // client request -> (cache | origin) -> prefetch jobs -> prefetch responses.
   http::Response run_transaction(const std::string& user, const http::Request& req,
                                  const http::Response& origin_response, SimTime now,
                                  bool* served_from_cache = nullptr) {
-    const auto decision = engine_->on_client_request(user, req, now);
-    if (served_from_cache != nullptr) *served_from_cache = decision.served != nullptr;
-    if (decision.served) return *decision.served;
-    engine_->on_origin_response(user, req, origin_response, now);
-    drain_prefetches(user, now);
-    return origin_response;
+    Session session = engine_->session(user, now);
+    Decision d = session.on_request(req, now);
+    if (served_from_cache != nullptr) *served_from_cache = d.served != nullptr;
+    std::vector<PrefetchJob> jobs = std::move(d.prefetches);
+    http::Response result = origin_response;
+    if (d.served) {
+      result = *d.served;
+    } else {
+      Decision r = session.on_response(req, origin_response, now);
+      for (auto& job : r.prefetches) jobs.push_back(std::move(job));
+    }
+    answer_prefetches(session, std::move(jobs), now);
+    return result;
   }
 
-  // Answer outstanding prefetch jobs from a canned origin.
-  void drain_prefetches(const std::string& user, SimTime now) {
-    auto jobs = engine_->take_prefetches(user, now);
+  // Answer prefetch jobs from a canned origin, following up on jobs the
+  // responses themselves surface (chained prefetching) until quiescent.
+  void answer_prefetches(Session& session, std::vector<PrefetchJob> jobs, SimTime now) {
     while (!jobs.empty()) {
+      std::vector<PrefetchJob> next;
       for (const auto& job : jobs) {
         http::Response resp;
         if (job.request.uri.path == "/product/get") {
@@ -543,10 +551,18 @@ class ProxyTest : public ::testing::Test {
         } else {
           resp.body = "{}";
         }
-        engine_->on_prefetch_response(user, job, resp, now, 165.0);
+        Decision d = session.on_prefetch_response(job, resp, now, 165.0);
+        for (auto& follow : d.prefetches) next.push_back(std::move(follow));
       }
-      jobs = engine_->take_prefetches(user, now);
+      // Freed outstanding-window slots may release queued jobs.
+      for (auto& job : session.take_prefetches(now)) next.push_back(std::move(job));
+      jobs = std::move(next);
     }
+  }
+
+  void drain_prefetches(const std::string& user, SimTime now) {
+    Session session = engine_->session(user, now);
+    answer_prefetches(session, session.take_prefetches(now), now);
   }
 
   SignatureSet set_;
@@ -714,21 +730,22 @@ TEST_F(ProxyTest, ChainedPrefetchReachesSecondHop) {
 
 TEST_F(ProxyTest, FailedPrefetchNotCached) {
   run_transaction("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
-  const auto decision = engine_->on_client_request("u1", make_product_request("a"), 1);
-  ASSERT_EQ(decision.served, nullptr);
+  Session session = engine_->session("u1", 1);
+  Decision d = session.on_request(make_product_request("a"), 1);
+  ASSERT_EQ(d.served, nullptr);
   // The sibling instance ("b") becomes prefetchable; fail its prefetch.
-  engine_->on_origin_response("u1", make_product_request("a"), make_product_response("m", 1), 1);
-  auto jobs = engine_->take_prefetches("u1", 1);
-  ASSERT_FALSE(jobs.empty());
-  for (const auto& job : jobs) {
+  Decision r = session.on_response(make_product_request("a"), make_product_response("m", 1), 1);
+  for (auto& job : r.prefetches) d.prefetches.push_back(std::move(job));
+  ASSERT_FALSE(d.prefetches.empty());
+  for (const auto& job : d.prefetches) {
     http::Response fail;
     fail.status = 500;
-    engine_->on_prefetch_response("u1", job, fail, 1, 100.0);
+    session.on_prefetch_response(job, fail, 1, 100.0);
   }
   EXPECT_GT(engine_->stats().prefetch_failures, 0u);
   const auto* cache = engine_->cache_for("u1");
   ASSERT_NE(cache, nullptr);
-  for (const auto& job : jobs) {
+  for (const auto& job : d.prefetches) {
     EXPECT_FALSE(cache->contains(job.cache_key, 1));
   }
   EXPECT_EQ(cache->size(), 0u);
@@ -810,17 +827,21 @@ TEST_F(ProxyTest, CacheEntriesGaugeTracksRealOccupancy) {
 TEST_F(ProxyTest, DroppedPrefetchReleasesOutstandingWindow) {
   config_.max_outstanding_prefetches = 1;
   remake_engine();
-  engine_->on_client_request("u1", make_feed_request(), 0);
-  engine_->on_origin_response("u1", make_feed_request(), make_feed_response({"a", "b"}), 0);
-  engine_->on_client_request("u1", make_product_request("a"), 1);
-  engine_->on_origin_response("u1", make_product_request("a"), make_product_response("m", 1), 1);
-  auto jobs = engine_->take_prefetches("u1", 2);
+  Session session = engine_->session("u1", 0);
+  std::vector<PrefetchJob> jobs;
+  const auto collect = [&](Decision d) {
+    for (auto& job : d.prefetches) jobs.push_back(std::move(job));
+  };
+  collect(session.on_request(make_feed_request(), 0));
+  collect(session.on_response(make_feed_request(), make_feed_response({"a", "b"}), 0));
+  collect(session.on_request(make_product_request("a"), 1));
+  collect(session.on_response(make_product_request("a"), make_product_response("m", 1), 1));
   ASSERT_EQ(jobs.size(), 1u);  // window of one
   // Abandon the job (queue overflow / torn-down connection). Without the
   // explicit drop path this slot would leak and throttle prefetching to zero.
-  engine_->on_prefetch_dropped("u1", jobs[0], 3);
+  session.on_prefetch_dropped(jobs[0], 3);
   EXPECT_EQ(engine_->stats().prefetches_dropped, 1u);
-  EXPECT_EQ(engine_->take_prefetches("u1", 4).size(), 1u)
+  EXPECT_EQ(session.take_prefetches(4).size(), 1u)
       << "a dropped job must release its outstanding-window slot";
 }
 
@@ -875,8 +896,9 @@ TEST_F(ProxyTest, EvictedKeyNotReprefetchedWithinGeneration) {
   // re-admitting them would let a cyclic dependency graph prefetch forever;
   // the per-generation guard skips them (and drain_prefetches terminating at
   // all is the real assertion here).
-  engine_->on_origin_response("u1", make_feed_request(), make_feed_response({"a", "b"}), 2);
-  drain_prefetches("u1", 2);
+  Session session = engine_->session("u1", 2);
+  Decision d = session.on_response(make_feed_request(), make_feed_response({"a", "b"}), 2);
+  answer_prefetches(session, std::move(d.prefetches), 2);
   EXPECT_GT(engine_->stats().skipped_refetch, 0u);
 }
 

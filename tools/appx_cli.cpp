@@ -14,6 +14,14 @@
 //        --budget-mb <N>                   per-user data budget (paced by the
 //                                          policy engine's token bucket)
 //   appx demo <app>                        live loopback proxy demo (sockets)
+//   appx node <app> [opts]                 run one cluster node (DESIGN.md §5k):
+//        --name <n> --membership <file>    identity + static node list (port
+//                                          comes from the membership entry)
+//        --state <path>                    snapshot path for warm restart
+//        --snapshot-ms <N>                 dump cadence (default 1000)
+//        --shards <N>                      engine shards (default 2)
+//   appx snapshot <host:port> [--out f]    pull a live node's learned-state
+//                                          snapshot (binary) to a file
 //   appx stats <host:port> [--json]        scrape a live proxy's /appx/metrics
 //                                          and pretty-print it
 //
@@ -27,6 +35,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "apps/catalog.hpp"
+#include "cluster/membership.hpp"
 #include "apps/compiler.hpp"
 #include "core/sharded_proxy.hpp"
 #include "eval/report.hpp"
@@ -53,6 +62,9 @@ int usage() {
                "  appx gen-config <app> [--out file] [--minutes N] [--probability P] "
                "[--budget-mb N]\n"
                "  appx demo <app>\n"
+               "  appx node <app> --name <n> --membership <file> [--state <path>] "
+               "[--snapshot-ms N] [--shards N]\n"
+               "  appx snapshot <host:port> [--out <file>]\n"
                "  appx stats <host:port> [--json]\n"
                "apps: wish geek doordash purpleocean postmates\n";
   return 2;
@@ -223,6 +235,110 @@ int cmd_demo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// One admin-path GET against host:port; returns the response or nullopt.
+std::optional<http::Response> admin_get(const std::string& hostport, const std::string& path) {
+  const auto colon = hostport.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string host = hostport.substr(0, colon);
+  const int port = std::stoi(hostport.substr(colon + 1));
+  net::TcpStream stream = net::TcpStream::connect(host, static_cast<std::uint16_t>(port),
+                                                  seconds(5));
+  stream.set_read_timeout(seconds(10));
+  stream.set_write_timeout(seconds(10));
+  http::Request request;
+  request.method = "GET";
+  request.uri.path = path;
+  request.headers.set("Host", hostport);
+  net::write_request(stream, request);
+  net::HttpReader reader(&stream);
+  return reader.read_response();
+}
+
+// Pull a node's learned-state snapshot (the same bytes its periodic writer
+// persists) and save it — an on-demand dump for backups or pre-drain copies.
+int cmd_snapshot(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 3) return usage();
+  std::string out_path = "appx-state.snap";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const auto response = admin_get(args[0], "/appx/snapshot");
+  if (!response || response->status != 200) {
+    std::cerr << "appx snapshot: dump failed"
+              << (response ? " (status " + std::to_string(response->status) + ")" : "")
+              << "\n";
+    return 1;
+  }
+  const std::string_view body = response->body.view();
+  write_file(out_path, std::vector<std::uint8_t>(body.begin(), body.end()));
+  std::cout << "wrote " << out_path << " (" << body.size() << " bytes)\n";
+  return 0;
+}
+
+// Run one cluster node: a sharded engine + loopback origin behind a live
+// proxy, with warm-restart snapshots when --state is given. Blocks until
+// stdin closes (orchestrators hold the pipe; a killed node just dies).
+int cmd_node(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string name;
+  std::string membership_path;
+  std::string state_path;
+  double snapshot_ms = 1000.0;
+  std::size_t shards = 2;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--name" && i + 1 < args.size()) {
+      name = args[++i];
+    } else if (args[i] == "--membership" && i + 1 < args.size()) {
+      membership_path = args[++i];
+    } else if (args[i] == "--state" && i + 1 < args.size()) {
+      state_path = args[++i];
+    } else if (args[i] == "--snapshot-ms" && i + 1 < args.size()) {
+      snapshot_ms = std::stod(args[++i]);
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      shards = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else {
+      return usage();
+    }
+  }
+  if (name.empty() || membership_path.empty()) return usage();
+
+  const cluster::Membership membership = cluster::Membership::load(membership_path);
+  const cluster::MemberNode* self = membership.find(name);
+  if (self == nullptr) {
+    std::cerr << "appx node: '" << name << "' not in " << membership_path << "\n";
+    return 1;
+  }
+
+  const apps::AppSpec spec = app_by_name(args[0]);
+  const auto analysis = analysis::analyze(apps::compile_app(spec));
+  apps::OriginServer origin(&spec);
+  net::LiveOriginServer origin_server(&origin);
+  core::ProxyConfig config;
+  config.default_expiration = minutes(30);
+  core::EngineOptions options;
+  options.shards = shards;
+  options.state_snapshot_path = state_path;
+  options.state_snapshot_interval = static_cast<Duration>(snapshot_ms * 1000.0);
+  core::ShardedProxyEngine engine(&analysis.signatures, &config, options);
+  net::LiveProxyServer::UpstreamMap upstreams;
+  for (const apps::EndpointSpec& ep : spec.endpoints) upstreams[ep.host] = origin_server.port();
+  net::LiveProxyServer proxy(&engine, std::move(upstreams), self->port, options);
+
+  // Orchestrators (the cluster integration test) wait for this exact line.
+  std::cout << "READY node=" << name << " generation=" << membership.generation()
+            << " proxy=" << proxy.port() << " origin=" << origin_server.port() << "\n"
+            << std::flush;
+  std::string line;
+  std::getline(std::cin, line);
+  proxy.stop();
+  origin_server.stop();
+  return 0;
+}
+
 // Scrape a live proxy's admin endpoint and pretty-print the registry.
 int cmd_stats(const std::vector<std::string>& args) {
   if (args.empty() || args.size() > 2) return usage();
@@ -231,22 +347,7 @@ int cmd_stats(const std::vector<std::string>& args) {
     if (args[1] != "--json") return usage();
     raw_json = true;
   }
-  const auto colon = args[0].rfind(':');
-  if (colon == std::string::npos) return usage();
-  const std::string host = args[0].substr(0, colon);
-  const int port = std::stoi(args[0].substr(colon + 1));
-
-  net::TcpStream stream = net::TcpStream::connect(host, static_cast<std::uint16_t>(port),
-                                                  seconds(5));
-  stream.set_read_timeout(seconds(10));
-  stream.set_write_timeout(seconds(10));
-  http::Request request;
-  request.method = "GET";
-  request.uri.path = "/appx/metrics.json";
-  request.headers.set("Host", args[0]);
-  net::write_request(stream, request);
-  net::HttpReader reader(&stream);
-  const auto response = reader.read_response();
+  const auto response = admin_get(args[0], "/appx/metrics.json");
   if (!response || response->status != 200) {
     std::cerr << "appx stats: scrape failed"
               << (response ? " (status " + std::to_string(response->status) + ")" : "")
@@ -299,6 +400,27 @@ int cmd_stats(const std::vector<std::string>& args) {
               << "), " << counter("appx_prefetch_wasted_entries_total")
               << " entries left the cache unused\n";
   }
+
+  // Durable-state freshness (only on nodes running with a snapshot path).
+  const json::Object& gauge_obj = root.as_object().at("gauges").as_object();
+  const auto gauge = [&](const std::string& name) -> std::int64_t {
+    const auto it = gauge_obj.find(name);
+    return it == gauge_obj.end() ? 0 : it->second.as_int();
+  };
+  const std::int64_t snap_bytes = gauge("appx_state_snapshot_bytes");
+  const std::int64_t snap_ms = gauge("appx_state_snapshot_last_unix_ms");
+  if (snap_bytes > 0) {
+    std::cout << "\nstate snapshot: " << snap_bytes << " bytes";
+    if (snap_ms > 0) {
+      const std::int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                      std::chrono::system_clock::now().time_since_epoch())
+                                      .count();
+      std::cout << ", age " << eval::TablePrinter::fmt(
+                       static_cast<double>(now_ms - snap_ms) / 1000.0, 1)
+                << " s";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -315,6 +437,8 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(args);
     if (command == "gen-config") return cmd_gen_config(args);
     if (command == "demo") return cmd_demo(args);
+    if (command == "node") return cmd_node(args);
+    if (command == "snapshot") return cmd_snapshot(args);
     if (command == "stats") return cmd_stats(args);
   } catch (const appx::Error& e) {
     std::cerr << "appx: " << e.what() << "\n";
