@@ -1,13 +1,18 @@
+// Backend-independent EventLoop machinery: the task queue with its
+// armed-flag wake elision, the timer min-heap with lazy cancellation, the
+// loop-thread marker, and the backend factory. The kernel-facing halves live
+// in event_loop_epoll.cpp and event_loop_uring.cpp.
 #include "net/event_loop.hpp"
 
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "net/syscount.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -16,12 +21,6 @@ namespace appx::net {
 namespace {
 [[noreturn]] void fail_errno(const char* what) {
   throw Error(std::string(what) + ": " + std::strerror(errno));
-}
-
-// Events carry (generation, fd) so a stale event for a recycled fd number is
-// recognisable; see Handler::gen.
-std::uint64_t pack_key(std::uint32_t gen, int fd) {
-  return (static_cast<std::uint64_t>(gen) << 32) | static_cast<std::uint32_t>(fd);
 }
 
 // Stable per-thread address used to answer on_loop_thread() without
@@ -33,21 +32,8 @@ const void* this_thread_marker() {
 }  // namespace
 
 EventLoop::EventLoop() {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) fail_errno("epoll_create1");
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (wake_fd_ < 0) {
-    ::close(epoll_fd_);
-    fail_errno("eventfd");
-  }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = pack_key(/*gen=*/0, wake_fd_);
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
-    ::close(wake_fd_);
-    ::close(epoll_fd_);
-    fail_errno("epoll_ctl(wakeup)");
-  }
+  if (wake_fd_ < 0) fail_errno("eventfd");
 }
 
 EventLoop::~EventLoop() {
@@ -59,23 +45,32 @@ EventLoop::~EventLoop() {
     leftover.swap(tasks_);
   }
   leftover.clear();
-  handlers_.clear();
   if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 bool EventLoop::on_loop_thread() const {
   return loop_thread_id_.load(std::memory_order_relaxed) == this_thread_marker();
 }
 
+void EventLoop::mark_loop_thread() {
+  loop_thread_id_.store(this_thread_marker(), std::memory_order_relaxed);
+}
+
+void EventLoop::clear_loop_thread() {
+  loop_thread_id_.store(nullptr, std::memory_order_relaxed);
+}
+
 void EventLoop::wake() {
   const std::uint64_t one = 1;
+  sys::count(sys::Op::kWake);
   // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
 void EventLoop::stop() {
   stopping_.store(true, std::memory_order_release);
+  // Always wake: arm_sleep() re-checks stopping_, but only after the store
+  // above is visible; an unconditional wake keeps stop() latency-proof.
   wake();
 }
 
@@ -84,8 +79,25 @@ void EventLoop::post(Task task) {
     const std::lock_guard<std::mutex> lock(tasks_mutex_);
     tasks_.push_back(std::move(task));
   }
-  pending_tasks_.fetch_add(1, std::memory_order_relaxed);
-  wake();
+  // Dekker handshake with arm_sleep(): bump the pending count, then claim
+  // the armed flag — both seq_cst, so either we see the loop armed (and pay
+  // the wake) or the loop's post-arm re-check sees our task. A busy loop
+  // (flag clear) costs no syscall per post, and the exchange coalesces
+  // concurrent posters: only the first to claim the flag writes the eventfd
+  // (one wake per sleep), later posters ride the same wakeup — the loop
+  // drains the whole queue once running, and anything pushed after that
+  // drain trips the next arm_sleep() re-check.
+  pending_tasks_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleep_armed_.exchange(false, std::memory_order_seq_cst)) wake();
+}
+
+bool EventLoop::arm_sleep() {
+  sleep_armed_.store(true, std::memory_order_seq_cst);
+  if (pending_tasks_.load(std::memory_order_seq_cst) != 0 || stopping()) {
+    // Work raced in between the last drain and arming: poll, don't block.
+    return false;
+  }
+  return true;
 }
 
 void EventLoop::drain_tasks() {
@@ -105,40 +117,6 @@ void EventLoop::drain_tasks() {
   }
 }
 
-void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
-  auto handler = std::make_shared<Handler>();
-  handler->events = events;
-  handler->gen = next_gen_++;
-  if (next_gen_ == 0) next_gen_ = 1;  // keep 0 reserved for the wakeup fd
-  handler->callback = std::move(callback);
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.u64 = pack_key(handler->gen, fd);
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail_errno("epoll_ctl(add)");
-  handlers_[fd] = std::move(handler);
-  fd_count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void EventLoop::mod_fd(int fd, std::uint32_t events) {
-  const auto it = handlers_.find(fd);
-  if (it == handlers_.end()) return;
-  if (it->second->events == events) return;
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.u64 = pack_key(it->second->gen, fd);
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail_errno("epoll_ctl(mod)");
-  it->second->events = events;
-}
-
-void EventLoop::del_fd(int fd) {
-  const auto it = handlers_.find(fd);
-  if (it == handlers_.end()) return;
-  // The fd may already be closed (kernel removed it from the set); ignore.
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  handlers_.erase(it);
-  fd_count_.fetch_sub(1, std::memory_order_relaxed);
-}
-
 std::uint64_t EventLoop::add_timer(TimePoint when, Task task) {
   const std::uint64_t id = next_timer_id_++;
   timer_heap_.push(TimerEntry{when, id});
@@ -153,7 +131,7 @@ void EventLoop::cancel_timer(std::uint64_t id) {
 
 int EventLoop::next_timeout_ms() {
   // Pop lazily-cancelled heads for real: with one idle timer per connection
-  // a heap copy here would be O(n) per epoll_wait wakeup.
+  // a heap copy here would be O(n) per wakeup.
   while (!timer_heap_.empty() &&
          timer_tasks_.find(timer_heap_.top().id) == timer_tasks_.end()) {
     timer_heap_.pop();
@@ -184,48 +162,36 @@ void EventLoop::fire_due_timers() {
   }
 }
 
-void EventLoop::run() {
-  loop_thread_id_.store(this_thread_marker(), std::memory_order_relaxed);
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
-  while (!stopping_.load(std::memory_order_acquire)) {
-    drain_tasks();
-    fire_due_timers();
-    if (stopping_.load(std::memory_order_acquire)) break;
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, next_timeout_ms());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail_errno("epoll_wait");
-    }
-    for (int i = 0; i < n; ++i) {
-      const std::uint64_t key = events[i].data.u64;
-      const int fd = static_cast<int>(key & 0xffffffffULL);
-      if (fd == wake_fd_) {
-        std::uint64_t counter;
-        while (::read(wake_fd_, &counter, sizeof counter) > 0) {
-        }
-        continue;
-      }
-      const auto it = handlers_.find(fd);
-      if (it == handlers_.end()) continue;  // removed by an earlier callback
-      // Generation mismatch: the fd closed during this batch and its number
-      // was reused by a new registration (e.g. an accept in the same batch).
-      // The queued event belongs to the dead registration; drop it.
-      if (it->second->gen != static_cast<std::uint32_t>(key >> 32)) continue;
-      // Keep the handler alive across the call: the callback may del_fd
-      // (closing a connection closes its own registration).
-      const std::shared_ptr<Handler> handler = it->second;
-      try {
-        handler->callback(events[i].events);
-      } catch (const std::exception& e) {
-        log_error("net.loop") << "fd callback threw: " << e.what();
-      }
-    }
+// Completion-op defaults: readiness-mode backends report "unsupported" and
+// callers fall back to add_fd/mod_fd/del_fd.
+bool EventLoop::submit_recv(int, void*, std::size_t, IoCallback) { return false; }
+bool EventLoop::submit_sendmsg(int, const msghdr*, IoCallback) { return false; }
+bool EventLoop::submit_accept(int, AcceptCallback) { return false; }
+void EventLoop::cancel_fd(int) {}
+
+std::string resolve_io_backend(std::string_view configured) {
+  std::string backend(configured);
+  if (backend.empty()) {
+    const char* env = std::getenv("APPX_IO_BACKEND");
+    backend = (env != nullptr && *env != '\0') ? env : "epoll";
   }
-  // Final drain: tasks queued alongside the stop (e.g. a close-all) run;
-  // anything posted later is destroyed by the destructor instead.
-  drain_tasks();
-  loop_thread_id_.store(nullptr, std::memory_order_relaxed);
+  if (backend == "auto") return uring_supported() ? "uring" : "epoll";
+  if (backend == "epoll") return backend;
+  if (backend == "uring") {
+    if (!uring_supported()) {
+      throw InvalidArgumentError(
+          "io_backend=uring: this kernel lacks the required io_uring support "
+          "(need >= 5.11 with EXT_ARG timeouts); use \"auto\" to fall back to epoll");
+    }
+    return backend;
+  }
+  throw InvalidArgumentError("unknown io_backend \"" + backend +
+                             "\" (expected \"epoll\", \"uring\" or \"auto\")");
+}
+
+std::unique_ptr<EventLoop> make_event_loop(std::string_view backend) {
+  if (resolve_io_backend(backend) == "uring") return make_uring_event_loop();
+  return make_epoll_event_loop();
 }
 
 }  // namespace appx::net

@@ -1,8 +1,18 @@
-// Single-threaded epoll reactor: the core of the event-driven network
-// runtime (DESIGN.md §5g).
+// Event-loop interface of the network runtime (DESIGN.md §5g/§5l), with two
+// backends behind it:
 //
-// One EventLoop owns one epoll instance and runs on one thread. It
-// multiplexes three event sources:
+//   * EpollEventLoop — the readiness-mode reactor: one epoll instance, level-
+//     triggered fd callbacks. The default everywhere.
+//   * UringEventLoop — a completion-mode io_uring backend (raw syscalls, no
+//     liburing): the same readiness contract via re-armed one-shot POLL_ADD
+//     (re-arming re-checks the readiness *level*, which multishot poll would
+//     not — the re-arm SQEs ride the next batched enter for free), plus a
+//     completion-op extension (submit_recv/submit_sendmsg/submit_accept) the
+//     servers use to run whole request/response exchanges with one batched
+//     io_uring_enter per loop iteration. Feature-detected at runtime
+//     (uring_supported()); kernels without it fall back under "auto".
+//
+// One EventLoop runs on one thread and multiplexes three event sources:
 //
 //   * file descriptors — add_fd/mod_fd/del_fd register a callback invoked
 //     with the ready-event mask. Handlers are reference-counted internally,
@@ -10,11 +20,14 @@
 //     mid-dispatch without use-after-free.
 //   * timers — a min-heap of deadlines with lazy cancellation, driving the
 //     idle/slow-loris timeouts of the live servers. Firing and cancelling
-//     are loop-thread-only and O(log n).
+//     are loop-thread-only and O(log n). Timers ride the backend's own wait
+//     primitive (epoll_wait timeout / io_uring_enter EXT_ARG) — they never
+//     cost an extra fd or syscall.
 //   * cross-thread tasks — post() enqueues a closure from any thread and
-//     wakes the loop via an eventfd. This is the only cross-thread entry
-//     point: worker threads finish engine/upstream work off the loop and
-//     post the completion back, so no fd or timer state ever needs a lock.
+//     wakes the loop via an eventfd, but only when the loop may actually be
+//     sleeping: an "armed" flag set before the backend blocks elides the
+//     wake write(2) while the loop is busy, so completion storms from the
+//     worker pool don't pay one syscall each.
 //
 // Lifecycle: run() blocks until stop(); tasks already queued when stop() is
 // observed still run (a close-all posted together with stop is guaranteed to
@@ -23,6 +36,8 @@
 // handles) release through RAII.
 #pragma once
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +45,8 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -40,31 +57,61 @@ class EventLoop {
   using FdCallback = std::function<void(std::uint32_t events)>;
   using Task = std::function<void()>;
   using TimePoint = std::chrono::steady_clock::time_point;
+  // Completion-op result: bytes transferred (>= 0) or -errno. The buffer a
+  // submitted op reads from / writes into is owned by the caller and must
+  // stay alive until the callback runs (see DESIGN.md §5l): callbacks
+  // capture the owning connection handle, which is what enforces it.
+  using IoCallback = std::function<void(int res)>;
+  // Accepted client fd (>= 0) or -errno when the listener is cancelled.
+  using AcceptCallback = std::function<void(int fd)>;
 
-  EventLoop();
-  ~EventLoop();
+  virtual ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   // Runs the loop on the calling thread until stop(). Dispatches fd events,
   // fires due timers, and drains posted tasks each iteration.
-  void run();
+  virtual void run() = 0;
 
   // Thread-safe. Wakes the loop; run() returns after draining the tasks that
   // were queued when the stop was observed.
   void stop();
 
-  // Thread-safe. Enqueues `task` to run on the loop thread.
+  // Thread-safe. Enqueues `task` to run on the loop thread. Wakes the loop
+  // only when it may be blocked in the kernel (armed-flag handshake).
   void post(Task task);
 
-  // --- fd watching (loop thread only) ---------------------------------------
+  // --- fd readiness watching (loop thread only) -----------------------------
 
-  // Register `fd` for the epoll `events` mask (EPOLLIN/EPOLLOUT/...).
-  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+  // Register `fd` for the epoll `events` mask (EPOLLIN/EPOLLOUT/...). Both
+  // backends deliver the same mask semantics (level-triggered).
+  virtual void add_fd(int fd, std::uint32_t events, FdCallback callback) = 0;
   // Change the event mask of a registered fd.
-  void mod_fd(int fd, std::uint32_t events);
+  virtual void mod_fd(int fd, std::uint32_t events) = 0;
   // Deregister. Safe to call from inside the fd's own callback.
-  void del_fd(int fd);
+  virtual void del_fd(int fd) = 0;
+
+  // --- completion-mode ops (loop thread only; uring backend) ----------------
+  //
+  // All return/accept false on backends without completion support (epoll),
+  // where callers fall back to the readiness API. Submissions are batched:
+  // nothing hits the kernel until the loop's next io_uring_enter, so a
+  // response write + next-request read + accept re-arm ride one syscall.
+
+  virtual bool supports_completions() const { return false; }
+  // One recv into caller-owned [buf, buf+len); cb(bytes or -errno).
+  virtual bool submit_recv(int fd, void* buf, std::size_t len, IoCallback cb);
+  // One sendmsg of a caller-owned msghdr/iovec (MSG_NOSIGNAL applied);
+  // cb(bytes or -errno). The iovec array and the bytes it points at must
+  // outlive the callback.
+  virtual bool submit_sendmsg(int fd, const msghdr* msg, IoCallback cb);
+  // Multishot accept on a listening fd: cb fires once per accepted
+  // connection (SOCK_NONBLOCK|SOCK_CLOEXEC applied) until cancel_fd.
+  virtual bool submit_accept(int listen_fd, AcceptCallback cb);
+  // Cancel every in-flight completion op on `fd` (by op token, so a
+  // concurrently closed/reused fd number cannot be confused) and release the
+  // fd's registered-file slot. Pending callbacks are dropped, not invoked.
+  virtual void cancel_fd(int fd);
 
   // --- timers (loop thread only) --------------------------------------------
 
@@ -82,17 +129,48 @@ class EventLoop {
   std::size_t pending_tasks() const { return pending_tasks_.load(std::memory_order_relaxed); }
   // True when called on the thread currently inside run().
   bool on_loop_thread() const;
+  // "epoll" or "uring".
+  virtual const char* backend_name() const = 0;
+
+ protected:
+  EventLoop();
+
+  // --- shared machinery for backends ----------------------------------------
+
+  // Write the wakeup eventfd (a full counter already guarantees a wakeup).
+  void wake();
+  // Run every queued task; exceptions are logged, never unwound into run().
+  void drain_tasks();
+  void fire_due_timers();
+  // Milliseconds until the next live timer, -1 when none. Pops lazily
+  // cancelled heap heads in place (loop thread only).
+  int next_timeout_ms();
+  // Arm the sleep flag and re-check for work that raced in. Returns false
+  // when tasks are already pending or stop was requested — the backend must
+  // then poll with a zero timeout instead of blocking. Pair every arm with
+  // disarm_sleep() after the kernel wait returns.
+  bool arm_sleep();
+  void disarm_sleep() { sleep_armed_.store(false, std::memory_order_relaxed); }
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+  void mark_loop_thread();
+  void clear_loop_thread();
+
+  int wake_fd_ = -1;
+  std::atomic<std::size_t> fd_count_{0};
 
  private:
-  struct Handler {
-    std::uint32_t events = 0;
-    // Registration generation, stamped into epoll_data alongside the fd. A
-    // stale event queued for a closed fd whose number was reused within the
-    // same epoll_wait batch carries the old generation and is dropped
-    // instead of being delivered to the new handler.
-    std::uint32_t gen = 0;
-    FdCallback callback;
-  };
+  std::atomic<bool> stopping_{false};
+  // Dekker-style handshake with post(): the loop stores true then loads
+  // pending_tasks_; a poster bumps pending_tasks_ then loads this. Under the
+  // seq_cst total order at least one side observes the other, so a task can
+  // never be queued while the loop sleeps unwoken.
+  std::atomic<bool> sleep_armed_{false};
+  std::atomic<std::size_t> pending_tasks_{0};
+  std::atomic<const void*> loop_thread_id_{nullptr};
+
+  std::mutex tasks_mutex_;
+  std::vector<Task> tasks_;
+
   struct TimerEntry {
     TimePoint when;
     std::uint64_t id;
@@ -100,30 +178,30 @@ class EventLoop {
       return when > other.when || (when == other.when && id > other.id);
     }
   };
-
-  void wake();
-  void drain_tasks();
-  void fire_due_timers();
-  // Milliseconds until the next live timer, -1 when none. Pops lazily
-  // cancelled heap heads in place (loop thread only).
-  int next_timeout_ms();
-
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::size_t> fd_count_{0};
-  std::atomic<std::size_t> pending_tasks_{0};
-  std::atomic<const void*> loop_thread_id_{nullptr};
-
-  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
-  std::uint32_t next_gen_ = 1;  // 0 is reserved for the wakeup fd
-
-  std::mutex tasks_mutex_;
-  std::vector<Task> tasks_;
-
   std::uint64_t next_timer_id_ = 1;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timer_heap_;
   std::unordered_map<std::uint64_t, Task> timer_tasks_;
 };
+
+// True when this kernel can run UringEventLoop (io_uring_setup succeeds, the
+// required opcodes probe as supported, and EXT_ARG timeouts exist — kernel
+// >= 5.11; multishot accept is newer and degrades internally). Cached after
+// the first call. APPX_NO_URING=1 forces false (CI escape hatch).
+bool uring_supported();
+
+// Map a configured backend name ("", "epoll", "uring", "auto") to the
+// backend to instantiate. "" reads APPX_IO_BACKEND from the environment
+// (default "epoll"); "auto" resolves to "uring" when supported, else
+// "epoll"; an explicit "uring" on an unsupporting kernel throws — it never
+// silently degrades. Any other name throws InvalidArgumentError.
+std::string resolve_io_backend(std::string_view configured);
+
+// Construct the backend resolve_io_backend() picks.
+std::unique_ptr<EventLoop> make_event_loop(std::string_view backend = {});
+
+// Concrete backend factories (make_event_loop resolves names onto these; the
+// conformance tests instantiate them directly).
+std::unique_ptr<EventLoop> make_epoll_event_loop();
+std::unique_ptr<EventLoop> make_uring_event_loop();  // throws when !uring_supported()
 
 }  // namespace appx::net

@@ -1,0 +1,160 @@
+// Readiness-mode EventLoop backend: one epoll instance, level-triggered fd
+// callbacks keyed by (generation, fd) so a stale event queued for a closed
+// fd whose number was recycled within the same epoll_wait batch is dropped
+// instead of reaching the new handler.
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/event_loop.hpp"
+#include "net/syscount.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace appx::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Events carry (generation, fd) so a stale event for a recycled fd number is
+// recognisable; see Handler::gen.
+std::uint64_t pack_key(std::uint32_t gen, int fd) {
+  return (static_cast<std::uint64_t>(gen) << 32) | static_cast<std::uint32_t>(fd);
+}
+
+class EpollEventLoop final : public EventLoop {
+ public:
+  EpollEventLoop() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) fail_errno("epoll_create1");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = pack_key(/*gen=*/0, wake_fd_);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      const int saved = errno;
+      ::close(epoll_fd_);
+      errno = saved;
+      fail_errno("epoll_ctl(wakeup)");
+    }
+  }
+
+  ~EpollEventLoop() override {
+    handlers_.clear();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  const char* backend_name() const override { return "epoll"; }
+
+  void add_fd(int fd, std::uint32_t events, FdCallback callback) override {
+    auto handler = std::make_shared<Handler>();
+    handler->events = events;
+    handler->gen = next_gen_++;
+    if (next_gen_ == 0) next_gen_ = 1;  // keep 0 reserved for the wakeup fd
+    handler->callback = std::move(callback);
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = pack_key(handler->gen, fd);
+    sys::count(sys::Op::kCtl);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail_errno("epoll_ctl(add)");
+    handlers_[fd] = std::move(handler);
+    fd_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void mod_fd(int fd, std::uint32_t events) override {
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) return;
+    if (it->second->events == events) return;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = pack_key(it->second->gen, fd);
+    sys::count(sys::Op::kCtl);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail_errno("epoll_ctl(mod)");
+    it->second->events = events;
+  }
+
+  void del_fd(int fd) override {
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) return;
+    // The fd may already be closed (kernel removed it from the set); ignore.
+    sys::count(sys::Op::kCtl);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(it);
+    fd_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void run() override {
+    mark_loop_thread();
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (!stopping()) {
+      drain_tasks();
+      fire_due_timers();
+      if (stopping()) break;
+      // arm_sleep() false means tasks/stop raced in after the drain: poll
+      // with a zero timeout instead of blocking past them.
+      const int timeout = arm_sleep() ? next_timeout_ms() : 0;
+      sys::count(sys::Op::kWait);
+      const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+      disarm_sleep();
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail_errno("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t key = events[i].data.u64;
+        const int fd = static_cast<int>(key & 0xffffffffULL);
+        if (fd == wake_fd_) {
+          std::uint64_t counter;
+          sys::count(sys::Op::kRead);
+          while (::read(wake_fd_, &counter, sizeof counter) > 0) {
+          }
+          continue;
+        }
+        const auto it = handlers_.find(fd);
+        if (it == handlers_.end()) continue;  // removed by an earlier callback
+        // Generation mismatch: the fd closed during this batch and its number
+        // was reused by a new registration (e.g. an accept in the same batch).
+        // The queued event belongs to the dead registration; drop it.
+        if (it->second->gen != static_cast<std::uint32_t>(key >> 32)) continue;
+        // Keep the handler alive across the call: the callback may del_fd
+        // (closing a connection closes its own registration).
+        const std::shared_ptr<Handler> handler = it->second;
+        try {
+          handler->callback(events[i].events);
+        } catch (const std::exception& e) {
+          log_error("net.loop") << "fd callback threw: " << e.what();
+        }
+      }
+    }
+    // Final drain: tasks queued alongside the stop (e.g. a close-all) run;
+    // anything posted later is destroyed by the destructor instead.
+    drain_tasks();
+    clear_loop_thread();
+  }
+
+ private:
+  struct Handler {
+    std::uint32_t events = 0;
+    // Registration generation, stamped into epoll_data alongside the fd.
+    std::uint32_t gen = 0;
+    FdCallback callback;
+  };
+
+  int epoll_fd_ = -1;
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::uint32_t next_gen_ = 1;  // 0 is reserved for the wakeup fd
+};
+
+}  // namespace
+
+std::unique_ptr<EventLoop> make_epoll_event_loop() {
+  return std::make_unique<EpollEventLoop>();
+}
+
+}  // namespace appx::net

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <utility>
 
+#include "net/syscount.hpp"
 #include "util/error.hpp"
 
 namespace appx::net {
@@ -303,6 +304,7 @@ TcpStream TcpListener::accept() {
 TcpStream TcpListener::accept_nonblocking() {
   while (true) {
     if (closed_.load() || !fd_.valid()) return TcpStream(Fd{});
+    sys::count(sys::Op::kAccept);
     const int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (client >= 0) {
       const int one = 1;

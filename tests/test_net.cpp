@@ -3,14 +3,20 @@
 // actual TCP connections.
 #include <gtest/gtest.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <future>
 #include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -18,6 +24,7 @@
 #include "apps/catalog.hpp"
 #include "apps/compiler.hpp"
 #include "core/sharded_proxy.hpp"
+#include "net/event_loop.hpp"
 #include "net/rlimit.hpp"
 #include "net/servers.hpp"
 #include "util/error.hpp"
@@ -1098,6 +1105,299 @@ TEST_F(LiveProxyTest, CacheMarkersDoNotAccumulateOnTheStoredResponse) {
     }
     EXPECT_EQ(markers, 1u) << "round " << round;
   }
+}
+
+// --- EventLoop conformance suite (DESIGN.md §5g/§5l) ------------------------
+//
+// Both backends must honor the same contract: level-triggered fd masks,
+// del_fd-from-own-callback safety, stale events for deleted handlers dropped,
+// timer lazy-cancel, cross-thread post with the stop-with-final-drain
+// guarantee. The suite runs once per backend; the uring instantiation skips
+// on kernels without io_uring support.
+
+// Polls `cond` until true or the deadline passes.
+bool wait_for_cond(const std::function<bool()>& cond,
+                   std::chrono::milliseconds limit = std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+class EventLoopConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == std::string_view("uring") && !uring_supported()) {
+      GTEST_SKIP() << "kernel lacks io_uring support (or APPX_NO_URING=1)";
+    }
+    loop_ = make_event_loop(GetParam());
+    runner_ = std::thread([this] { loop_->run(); });
+  }
+
+  void TearDown() override {
+    if (loop_ && runner_.joinable()) {
+      loop_->stop();
+      runner_.join();
+    }
+  }
+
+  // Runs `fn` on the loop thread and waits for it to finish (the fd and
+  // timer APIs are loop-thread-only).
+  void on_loop(std::function<void()> fn) {
+    std::promise<void> done;
+    loop_->post([&] {
+      fn();
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+
+  // A connected AF_UNIX pair; [0] is watched by the loop, [1] driven by the
+  // test thread.
+  struct Pair {
+    Pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+    ~Pair() {
+      ::close(fds[0]);
+      ::close(fds[1]);
+    }
+    void poke() const { EXPECT_EQ(::write(fds[1], "x", 1), 1); }
+    int fds[2] = {-1, -1};
+  };
+
+  std::unique_ptr<EventLoop> loop_;
+  std::thread runner_;
+};
+
+TEST_P(EventLoopConformance, ReportsItsBackendName) {
+  EXPECT_EQ(loop_->backend_name(), std::string_view(GetParam()));
+}
+
+TEST_P(EventLoopConformance, StopDrainsTasksQueuedWithIt) {
+  // The header contract: tasks already queued when stop() is observed still
+  // run. A close-all posted immediately before stop must execute.
+  std::atomic<bool> final_task_ran{false};
+  loop_->post([&] {
+    loop_->post([&] { final_task_ran.store(true); });
+    loop_->stop();
+  });
+  runner_.join();
+  EXPECT_TRUE(final_task_ran.load());
+}
+
+TEST_P(EventLoopConformance, DelFdFromOwnCallbackIsSafe) {
+  // Level-triggered with the byte left unread: without the del_fd the
+  // callback would storm. Exactly one delivery proves deregistration from
+  // inside the handler works and the handler body is not use-after-freed.
+  Pair pair;
+  std::atomic<int> fires{0};
+  on_loop([&] {
+    loop_->add_fd(pair.fds[0], EPOLLIN, [&, fd = pair.fds[0]](std::uint32_t) {
+      fires.fetch_add(1);
+      loop_->del_fd(fd);
+    });
+  });
+  pair.poke();
+  ASSERT_TRUE(wait_for_cond([&] { return fires.load() >= 1; }));
+  pair.poke();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(loop_->fd_count(), 0u);
+  // Barrier: order the loop thread's del_fd before ~Pair closes the fd.
+  on_loop([] {});
+}
+
+TEST_P(EventLoopConformance, StaleEventForHandlerDeletedMidBatchIsDropped) {
+  // Both fds become ready in the same kernel batch; whichever handler runs
+  // first deletes the other. The deleted handler's already-harvested event
+  // must be dropped, not dispatched into a dead registration.
+  Pair a;
+  Pair b;
+  std::atomic<int> fires{0};
+  on_loop([&] {
+    const auto kill_other = [&](int own, int other) {
+      return [&, own, other](std::uint32_t) {
+        fires.fetch_add(1);
+        loop_->del_fd(other);
+        loop_->del_fd(own);
+      };
+    };
+    loop_->add_fd(a.fds[0], EPOLLIN, kill_other(a.fds[0], b.fds[0]));
+    loop_->add_fd(b.fds[0], EPOLLIN, kill_other(b.fds[0], a.fds[0]));
+  });
+  a.poke();
+  b.poke();
+  ASSERT_TRUE(wait_for_cond([&] { return fires.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(loop_->fd_count(), 0u);
+  // Barrier: order the loop thread's del_fds before the Pairs close the fds.
+  on_loop([] {});
+}
+
+TEST_P(EventLoopConformance, ModFdTogglesInterest) {
+  // Watch an empty-but-writable socket for EPOLLIN only (silent), then
+  // toggle to EPOLLOUT: exactly one writable delivery, after which the
+  // callback toggles back to quiesce the level-triggered writability.
+  Pair pair;
+  std::atomic<int> fires{0};
+  on_loop([&] {
+    loop_->add_fd(pair.fds[0], EPOLLIN, [&, fd = pair.fds[0]](std::uint32_t events) {
+      if ((events & EPOLLOUT) != 0) {
+        fires.fetch_add(1);
+        loop_->mod_fd(fd, EPOLLIN);
+      }
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fires.load(), 0);
+  on_loop([&] { loop_->mod_fd(pair.fds[0], EPOLLOUT); });
+  ASSERT_TRUE(wait_for_cond([&] { return fires.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fires.load(), 1);
+  on_loop([&] { loop_->del_fd(pair.fds[0]); });
+}
+
+TEST_P(EventLoopConformance, CancelledTimerNeverFires) {
+  std::atomic<bool> cancelled_ran{false};
+  std::atomic<bool> kept_ran{false};
+  on_loop([&] {
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t id =
+        loop_->add_timer(now + std::chrono::milliseconds(20), [&] { cancelled_ran.store(true); });
+    loop_->add_timer(now + std::chrono::milliseconds(60), [&] { kept_ran.store(true); });
+    loop_->cancel_timer(id);  // lazy: the heap entry stays, the task must not run
+  });
+  ASSERT_TRUE(wait_for_cond([&] { return kept_ran.load(); }));
+  EXPECT_FALSE(cancelled_ran.load());
+}
+
+TEST_P(EventLoopConformance, PostFromManyThreadsRunsEveryTask) {
+  // Hammers the armed-flag wake elision: coalesced wakeups must never lose a
+  // task, whatever the interleaving of posters and sleep cycles.
+  constexpr int kThreads = 8;
+  constexpr int kPostsPerThread = 500;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> posters;
+  posters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPostsPerThread; ++i) loop_->post([&] { ran.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : posters) t.join();
+  ASSERT_TRUE(wait_for_cond([&] { return ran.load() == kThreads * kPostsPerThread; }));
+  EXPECT_EQ(loop_->pending_tasks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopConformance, ::testing::Values("epoll", "uring"));
+
+TEST(IoBackendResolve, RejectsUnknownNames) {
+  EXPECT_THROW(resolve_io_backend("iocp"), InvalidArgumentError);
+}
+
+TEST(IoBackendResolve, AutoPicksUringExactlyWhenSupported) {
+  EXPECT_EQ(resolve_io_backend("auto"), uring_supported() ? "uring" : "epoll");
+}
+
+TEST(IoBackendResolve, ExplicitUringNeverSilentlyDegrades) {
+  if (uring_supported()) GTEST_SKIP() << "kernel supports io_uring; nothing to refuse";
+  EXPECT_THROW(make_event_loop("uring"), Error);
+}
+
+// --- uring completion-op extension (DESIGN.md §5l) --------------------------
+
+class UringCompletionOps : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!uring_supported()) GTEST_SKIP() << "kernel lacks io_uring support";
+    loop_ = make_uring_event_loop();
+    ASSERT_TRUE(loop_->supports_completions());
+    runner_ = std::thread([this] { loop_->run(); });
+  }
+  void TearDown() override {
+    if (loop_ && runner_.joinable()) {
+      loop_->stop();
+      runner_.join();
+    }
+  }
+  void on_loop(std::function<void()> fn) {
+    std::promise<void> done;
+    loop_->post([&] {
+      fn();
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+  std::unique_ptr<EventLoop> loop_;
+  std::thread runner_;
+};
+
+TEST_F(UringCompletionOps, RecvSendmsgRoundTripOnCallerOwnedBuffers) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  // recv completes with the bytes the peer wrote into the caller's buffer.
+  char buf[16] = {};
+  std::promise<int> recv_res;
+  on_loop([&] {
+    ASSERT_TRUE(loop_->submit_recv(sv[0], buf, sizeof buf,
+                                   [&](int res) { recv_res.set_value(res); }));
+  });
+  ASSERT_EQ(::write(sv[1], "ping", 4), 4);
+  ASSERT_EQ(recv_res.get_future().get(), 4);
+  EXPECT_EQ(std::string_view(buf, 4), "ping");
+
+  // sendmsg of a caller-owned iovec lands on the peer.
+  const char reply[] = "pong!";
+  struct iovec iov { const_cast<char*>(reply), 5 };
+  struct msghdr msg {};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  std::promise<int> send_res;
+  on_loop([&] {
+    ASSERT_TRUE(loop_->submit_sendmsg(sv[0], &msg, [&](int res) { send_res.set_value(res); }));
+  });
+  ASSERT_EQ(send_res.get_future().get(), 5);
+  char peer[16] = {};
+  ASSERT_EQ(::read(sv[1], peer, sizeof peer), 5);
+  EXPECT_EQ(std::string_view(peer, 5), "pong!");
+
+  // cancel_fd drops a parked recv without invoking its callback.
+  std::atomic<bool> cancelled_cb_ran{false};
+  on_loop([&] {
+    ASSERT_TRUE(
+        loop_->submit_recv(sv[0], buf, sizeof buf, [&](int) { cancelled_cb_ran.store(true); }));
+  });
+  on_loop([&] { loop_->cancel_fd(sv[0]); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(cancelled_cb_ran.load());
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST_F(UringCompletionOps, MultishotAcceptDeliversEveryConnection) {
+  TcpListener listener(0);
+  std::atomic<int> accepted{0};
+  std::vector<int> fds;
+  std::mutex fds_mutex;
+  on_loop([&] {
+    ASSERT_TRUE(loop_->submit_accept(listener.fd(), [&](int fd) {
+      if (fd < 0) return;
+      const std::lock_guard<std::mutex> lock(fds_mutex);
+      fds.push_back(fd);
+      accepted.fetch_add(1);
+    }));
+  });
+  std::vector<TcpStream> clients;
+  for (int i = 0; i < 5; ++i) {
+    clients.push_back(TcpStream::connect("127.0.0.1", listener.port()));
+  }
+  ASSERT_TRUE(wait_for_cond([&] { return accepted.load() == 5; }));
+  on_loop([&] { loop_->cancel_fd(listener.fd()); });
+  const std::lock_guard<std::mutex> lock(fds_mutex);
+  for (const int fd : fds) ::close(fd);
 }
 
 }  // namespace
