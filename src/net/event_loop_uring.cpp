@@ -84,6 +84,10 @@ void store_release(unsigned* p, unsigned v) {
 constexpr unsigned kSqEntries = 1024;
 constexpr unsigned kCqEntries = 4096;
 constexpr unsigned kFileSlots = 1024;
+// Delay before re-arming accept after EMFILE/ENFILE/ENOBUFS: long enough to
+// stop the instant-completion spin, short enough to pick connections back up
+// promptly once fds free.
+constexpr std::chrono::milliseconds kAcceptRearmBackoff{50};
 
 class UringEventLoop final : public EventLoop {
  public:
@@ -132,6 +136,13 @@ class UringEventLoop final : public EventLoop {
   // --- readiness contract (one-shot poll, re-armed per delivery) ------------
 
   void add_fd(int fd, std::uint32_t events, FdCallback callback) override {
+    // Re-adding a registered fd: retire the old poll op first so it can't
+    // deliver a stale callback, and don't count the fd twice. (The epoll
+    // backend fails loudly on EEXIST; replacing is the closest this backend
+    // can get without diverging callers that already handled the overwrite.)
+    const auto existing = handlers_.find(fd);
+    const bool replacing = existing != handlers_.end();
+    if (replacing) retire_poll(existing->second.token);
     FdHandler handler;
     handler.events = events;
     handler.token = new_token();
@@ -143,7 +154,7 @@ class UringEventLoop final : public EventLoop {
     ops_.emplace(handler.token, std::move(op));
     prep_poll(fd, events, handler.token);
     handlers_[fd] = std::move(handler);
-    fd_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!replacing) fd_count_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void mod_fd(int fd, std::uint32_t events) override {
@@ -220,12 +231,26 @@ class UringEventLoop final : public EventLoop {
   }
 
   void cancel_fd(int fd) override {
-    for (auto& [token, op] : ops_) {
+    // Snapshot first: prep_cancel inserts into ops_, and a rehash mid-range-
+    // for would invalidate the iterators (same pattern as reap_pending_ops).
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [token, op] : ops_) {
       if (op.fd != fd || op.dead) continue;
       if (op.kind != OpKind::kRecv && op.kind != OpKind::kSend && op.kind != OpKind::kAccept) {
         continue;  // poll registrations go through del_fd
       }
-      op.dead = true;
+      doomed.push_back(token);
+    }
+    for (const std::uint64_t token : doomed) {
+      const auto it = ops_.find(token);
+      if (it == ops_.end()) continue;
+      if (it->second.parked) {
+        // No kernel op in flight (accept waiting out a backoff timer), so no
+        // terminal CQE will ever come: drop the entry here.
+        ops_.erase(it);
+        continue;
+      }
+      it->second.dead = true;
       prep_cancel(token);
     }
     unregister_file(fd);
@@ -262,6 +287,10 @@ class UringEventLoop final : public EventLoop {
     int fd = -1;
     // Deregistered/cancelled: swallow the CQE, never invoke the callback.
     bool dead = false;
+    // No kernel op in flight for this token: the accept re-arm is waiting
+    // out a backoff timer. No CQE will arrive, so teardown paths erase the
+    // entry directly instead of submitting a cancel for it.
+    bool parked = false;
     std::shared_ptr<FdCallback> poll_cb;        // kPoll (shared with FdHandler)
     IoCallback io_cb;                           // kRecv / kSend
     std::shared_ptr<AcceptCallback> accept_cb;  // kAccept
@@ -337,22 +366,29 @@ class UringEventLoop final : public EventLoop {
   // --- SQE production (batched; nothing hits the kernel until enter) --------
 
   io_uring_sqe* get_sqe() {
-    if (local_sq_tail_ - load_acquire(sq_head_) == sq_entries_) {
+    if (sq_full()) {
       // Ring full (a burst queued kSqEntries ops between iterations): flush
-      // without waiting so production can continue.
-      sys::count(sys::Op::kEnter);
-      if (sys_io_uring_enter(ring_fd_, sq_pending(), 0, 0, nullptr, 0) < 0 &&
-          errno != EINTR && errno != EBUSY) {
-        fail_errno("io_uring_enter(flush)");
+      // without waiting so production can continue. The kernel refuses the
+      // flush with EBUSY while an unreaped CQ backlog is parked under
+      // NODROP, so a still-full SQ after a flush means: reap completions,
+      // then retry the enter — a mass shutdown can fill both rings at once,
+      // and throwing there would turn close paths into crashes.
+      for (int attempt = 0; attempt < 8 && sq_full(); ++attempt) {
+        sys::count(sys::Op::kEnter);
+        if (sys_io_uring_enter(ring_fd_, sq_pending(), 0, 0, nullptr, 0) < 0 &&
+            errno != EINTR && errno != EBUSY) {
+          fail_errno("io_uring_enter(flush)");
+        }
+        if (sq_full()) process_cqes();
       }
-      if (local_sq_tail_ - load_acquire(sq_head_) == sq_entries_) {
-        throw Error("io_uring: submission queue stuck full");
-      }
+      if (sq_full()) throw Error("io_uring: submission queue stuck full");
     }
     io_uring_sqe* sqe = &sqes_[local_sq_tail_ & sq_mask_];
     std::memset(sqe, 0, sizeof(*sqe));
     return sqe;
   }
+
+  bool sq_full() const { return local_sq_tail_ - load_acquire(sq_head_) == sq_entries_; }
 
   void publish_sqe() { store_release(sq_tail_, ++local_sq_tail_); }
 
@@ -467,12 +503,19 @@ class UringEventLoop final : public EventLoop {
   void reap_pending_ops() {
     if (ring_fd_ < 0) return;
     std::vector<std::uint64_t> live;
+    std::vector<std::uint64_t> parked;
     live.reserve(ops_.size());
     for (const auto& [token, op] : ops_) {
-      if (!op.dead && op.kind != OpKind::kCancel && op.kind != OpKind::kPollRemove) {
+      if (op.parked) {
+        parked.push_back(token);
+      } else if (!op.dead && op.kind != OpKind::kCancel && op.kind != OpKind::kPollRemove) {
         live.push_back(token);
       }
     }
+    // Parked ops have no kernel op in flight (accept waiting on a backoff
+    // timer) — no terminal CQE will come, so drop them here rather than
+    // letting them hold the reap loop to its deadline.
+    for (const std::uint64_t token : parked) ops_.erase(token);
     for (const std::uint64_t token : live) {
       PendingOp& op = ops_.at(token);
       op.dead = true;
@@ -538,15 +581,18 @@ class UringEventLoop final : public EventLoop {
   }
 
   void process_cqes() {
-    unsigned head = load_acquire(cq_head_);
+    // Reload the published head every iteration, not once up front: a
+    // dispatched callback can re-enter process_cqes (via get_sqe's
+    // ring-full reap), and a cached local head would then re-deliver CQEs
+    // the nested call already consumed.
     while (true) {
+      const unsigned head = load_acquire(cq_head_);
       const unsigned tail = load_acquire(cq_tail_);
       if (head == tail) break;
       // Copy out and publish consumption before dispatch: the callback may
       // run long, and freeing the slot keeps the kernel out of overflow.
       const io_uring_cqe cqe = cqes_[head & cq_mask_];
-      ++head;
-      store_release(cq_head_, head);
+      store_release(cq_head_, head + 1);
       handle_cqe(cqe.user_data, cqe.res, cqe.flags);
     }
   }
@@ -665,6 +711,25 @@ class UringEventLoop final : public EventLoop {
     if (op_it == ops_.end()) return;
     if (op_it->second.dead) {
       ops_.erase(op_it);
+      return;
+    }
+    if (res == -EMFILE || res == -ENFILE || res == -ENOBUFS) {
+      // Resource exhaustion is not transient on the completion timescale:
+      // with one-shot accept a re-armed op completes again instantly with
+      // the same error, pegging the loop in a submit/complete spin until
+      // fds free up. Park the registration and re-arm from a short timer.
+      op_it->second.parked = true;
+      add_timer(std::chrono::steady_clock::now() + kAcceptRearmBackoff,
+                [this, token, listen_fd] {
+                  const auto it2 = ops_.find(token);
+                  if (it2 == ops_.end()) return;
+                  if (it2->second.dead) {
+                    ops_.erase(it2);
+                    return;
+                  }
+                  it2->second.parked = false;
+                  prep_accept(listen_fd, token, accept_multishot_ok_);
+                });
       return;
     }
     prep_accept(listen_fd, token, accept_multishot_ok_);

@@ -1377,6 +1377,60 @@ TEST_F(UringCompletionOps, RecvSendmsgRoundTripOnCallerOwnedBuffers) {
   ::close(sv[1]);
 }
 
+TEST_F(UringCompletionOps, CancelStormDropsEveryPendingCallback) {
+  // Regression: cancel_fd used to range-iterate the op table while inserting
+  // cancel ops into it — enough simultaneous closes rehash the map mid-walk.
+  // Queue enough in-flight ops that the burst of cancel insertions forces a
+  // rehash, then cancel everything in one task drain.
+  constexpr int kPairs = 48;
+  int sv[kPairs][2];
+  for (auto& p : sv) ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, p), 0);
+  static char buf[64];
+  std::atomic<int> cb_ran{0};
+  on_loop([&] {
+    for (auto& p : sv) {
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(
+            loop_->submit_recv(p[0], buf, sizeof buf, [&](int) { cb_ran.fetch_add(1); }));
+      }
+    }
+  });
+  on_loop([&] {
+    for (auto& p : sv) loop_->cancel_fd(p[0]);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(cb_ran.load(), 0);
+  for (auto& p : sv) {
+    ::close(p[0]);
+    ::close(p[1]);
+  }
+}
+
+TEST_F(UringCompletionOps, ReAddingAnFdReplacesTheHandlerWithoutDoubleCounting) {
+  // Regression: add_fd on an already-registered fd used to orphan the old
+  // poll op (one stale callback delivery) and double-increment fd_count.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::atomic<int> old_hits{0};
+  std::atomic<int> new_hits{0};
+  on_loop([&] {
+    loop_->add_fd(sv[0], EPOLLIN, [&](std::uint32_t) { old_hits.fetch_add(1); });
+    loop_->add_fd(sv[0], EPOLLIN, [&](std::uint32_t) {
+      char drain[8];
+      ::read(sv[0], drain, sizeof drain);  // drain the single byte (blocking fd)
+      new_hits.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(loop_->fd_count(), 1u);
+  ASSERT_EQ(::write(sv[1], "x", 1), 1);
+  ASSERT_TRUE(wait_for_cond([&] { return new_hits.load() >= 1; }));
+  EXPECT_EQ(old_hits.load(), 0);
+  on_loop([&] { loop_->del_fd(sv[0]); });
+  EXPECT_EQ(loop_->fd_count(), 0u);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
 TEST_F(UringCompletionOps, MultishotAcceptDeliversEveryConnection) {
   TcpListener listener(0);
   std::atomic<int> accepted{0};
